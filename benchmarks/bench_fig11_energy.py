@@ -1,0 +1,21 @@
+"""Fig. 11 — amplified voltage per stage count for all 12 tags (a) and
+charging time vs 16x voltage (b)."""
+
+import pytest
+
+from repro.experiments.fig11_energy import format_fig11, run_fig11
+
+
+def test_fig11_energy(benchmark, medium):
+    result = benchmark(run_fig11, medium)
+    assert result.all_activate_at_8_stages()
+    lo_t, hi_t = result.charging_time_range_s()
+    assert lo_t == pytest.approx(4.5, abs=0.1)
+    assert hi_t == pytest.approx(56.2, rel=0.03)
+    row4 = next(r for r in result.rows if r.tag == "tag4")
+    row11 = next(r for r in result.rows if r.tag == "tag11")
+    assert row4.amplified_16x_v == pytest.approx(4.74, abs=0.1)
+    assert row11.amplified_16x_v == pytest.approx(2.70, abs=0.05)
+    print("\nFig. 11 (paper anchors: tag4 4.74 V, tag11 2.70 V @16x; "
+          "charge 4.5-56.2 s):")
+    print(format_fig11(result))

@@ -1,0 +1,57 @@
+"""Fig. 12 — uplink SNR (a) and packet loss (b) vs bit rate for the
+three probe tags, in both analytic and waveform-verified modes."""
+
+import pytest
+
+from repro.experiments.fig12_uplink import (
+    format_fig12,
+    run_fig12,
+    run_fig12_waveform,
+)
+
+
+def test_fig12_analytic(benchmark, medium):
+    result = benchmark(run_fig12, medium)
+    assert result.snr("tag8", 3000.0) > 11.7
+    assert result.snr("tag11", 750.0) == pytest.approx(18.1, abs=1.0)
+    for tag in ("tag8", "tag4", "tag11"):
+        for rate in (93.75, 375.0, 3000.0):
+            assert result.loss(tag, rate) <= 5.0  # < 0.5% of 1000
+    print("\nFig. 12 analytic (paper: tag8 >11.7 dB @3000, tag11 ~18.1 dB "
+          "@750, loss <0.5%):")
+    print(format_fig12(result))
+
+
+def test_fig12_waveform_verification(benchmark, medium):
+    points = benchmark.pedantic(
+        run_fig12_waveform,
+        kwargs=dict(
+            medium=medium,
+            tags=("tag8", "tag4", "tag11"),
+            bit_rates=(375.0, 3000.0),
+            packets_sent=6,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    by_key = {(p.tag, p.bit_rate_bps): p for p in points}
+    # Ordering and slope survive the full DSP chain.
+    assert (
+        by_key[("tag8", 375.0)].measured_snr_db
+        > by_key[("tag11", 375.0)].measured_snr_db
+    )
+    for tag in ("tag8", "tag4", "tag11"):
+        assert (
+            by_key[(tag, 375.0)].measured_snr_db
+            > by_key[(tag, 3000.0)].measured_snr_db
+        )
+    lost = sum(p.packets_lost for p in points)
+    sent = sum(p.packets_sent for p in points)
+    assert lost / sent < 0.10
+    print("\nFig. 12 waveform-verified (PSD-measured SNR, decoded through "
+          "the reader chain):")
+    for p in points:
+        print(
+            f"  {p.tag} @{p.bit_rate_bps:g} bps: {p.measured_snr_db:5.1f} dB, "
+            f"lost {p.packets_lost}/{p.packets_sent}"
+        )

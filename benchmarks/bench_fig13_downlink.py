@@ -1,0 +1,16 @@
+"""Fig. 13 — downlink packet loss vs bit rate (a) and per-tag beacon
+synchronisation offsets (b)."""
+
+from repro.experiments.fig13_downlink import format_fig13, run_fig13
+
+
+def test_fig13_downlink(benchmark, medium):
+    result = benchmark(run_fig13, medium)
+    for tag in ("tag8", "tag4", "tag11"):
+        assert result.loss(tag, 250.0) < 5.0
+        assert result.loss(tag, 1000.0) > 200.0
+        assert result.loss(tag, 2000.0) > 800.0
+    for s in result.sync_offsets:
+        assert s.max_abs_ms < 5.0  # paper: all offsets under 5.0 ms
+    print("\nFig. 13 (paper: loss explodes at 1000/2000 bps; sync < 5 ms):")
+    print(format_fig13(result))

@@ -1,0 +1,15 @@
+"""Fig. 14 — ping-pong latency CDF: DL beacon airtime (stage 1) and
+DL-end-to-UL-decoded delay (stage 2)."""
+
+import pytest
+
+from repro.experiments.fig14_pingpong import format_fig14, run_fig14
+
+
+def test_fig14_pingpong(benchmark):
+    result = benchmark(run_fig14, 2000)
+    assert result.percentile_stage2_s(99) * 1e3 == pytest.approx(281.9, abs=15.0)
+    assert result.mean_software_delay_s() * 1e3 == pytest.approx(58.9, abs=3.0)
+    assert result.software_delay_fraction_of_ul() < 0.30
+    print("\nFig. 14 (paper: 99% of stage 2 < 281.9 ms, software ~58.9 ms):")
+    print(format_fig14(result))

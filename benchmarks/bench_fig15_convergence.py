@@ -1,0 +1,46 @@
+"""Table 3 + Fig. 15 — first convergence time across the nine
+transmission patterns: (a) fixed 12 tags, rising utilisation;
+(b) fixed utilisation 0.75, shrinking tag count."""
+
+import numpy as np
+
+from repro.experiments.configs import (
+    FIXED_TAGS_SWEEP,
+    FIXED_UTILIZATION_SWEEP,
+)
+from repro.experiments.table3_convergence import format_fig15, run_fig15
+
+N_TRIALS = 8
+
+
+def test_fig15a_fixed_tags(benchmark, medium):
+    results = benchmark.pedantic(
+        run_fig15,
+        kwargs=dict(sweep=FIXED_TAGS_SWEEP, n_trials=N_TRIALS, medium=medium),
+        rounds=1,
+        iterations=1,
+    )
+    medians = [results[n].median for n in FIXED_TAGS_SWEEP]
+    # Paper: medians rise 139 -> 1712 as U goes 0.38 -> 1.0; the shape
+    # to hold is strong monotone-ish growth with a >5x end-to-end ratio.
+    assert medians[-1] > 5 * medians[0]
+    assert results["c5"].median > results["c3"].median > results["c1"].median
+    print("\nFig. 15(a) (paper medians: c1 139 ... c5 1712):")
+    print(format_fig15(results))
+
+
+def test_fig15b_fixed_utilization(benchmark, medium):
+    results = benchmark.pedantic(
+        run_fig15,
+        kwargs=dict(
+            sweep=FIXED_UTILIZATION_SWEEP, n_trials=N_TRIALS, medium=medium, seed=7
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    medians = np.array([results[n].median for n in FIXED_UTILIZATION_SWEEP])
+    # Paper: at fixed U=0.75 convergence times cluster — utilisation,
+    # not tag count, is the dominant factor.
+    assert medians.max() < 8 * medians.min()
+    print("\nFig. 15(b) (paper: comparable times across c2, c6-c9):")
+    print(format_fig15(results))

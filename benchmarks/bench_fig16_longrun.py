@@ -1,0 +1,18 @@
+"""Fig. 16 — long-running slot statistics under pattern c3: non-empty
+ratio vs the 0.84375 bound and the collision ratio over 10,000 slots."""
+
+from repro.experiments.fig16_longrun import format_fig16, run_fig16
+
+
+def test_fig16_longrun(benchmark, medium):
+    result = benchmark.pedantic(
+        run_fig16,
+        kwargs=dict(n_slots=10_000, seed=2, medium=medium),
+        rounds=1,
+        iterations=1,
+    )
+    # Paper: average non-empty 0.812 (bound 0.84375), collision 0.056.
+    assert 0.74 <= result.mean_non_empty <= result.utilization_bound + 0.01
+    assert result.mean_collision < 0.12
+    print("\nFig. 16 (paper: non-empty 0.812, collision 0.056):")
+    print(format_fig16(result))

@@ -1,0 +1,15 @@
+"""Fig. 17 — strain case study: reconstructed voltage vs displacement
+for the three gauge tags, through real UL packets."""
+
+from repro.experiments.fig17_strain import format_fig17, run_fig17
+
+
+def test_fig17_strain(benchmark):
+    result = benchmark(run_fig17)
+    assert len(result.curves) == 3
+    for c in result.curves:
+        assert c.correlation() > 0.99  # "a clear correlation"
+    slopes = [(c.voltage_v[-1] - c.voltage_v[0]) for c in result.curves]
+    assert len({round(s, 3) for s in slopes}) == 3  # distinct sensitivities
+    print("\nFig. 17 (monotone voltage/displacement per tag):")
+    print(format_fig17(result))

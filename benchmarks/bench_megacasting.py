@@ -1,0 +1,49 @@
+"""Mega-casting bench (Sec. 1): quantifies the paper's claim that
+single-piece casting — fewer seams — yields "a more uniform medium for
+vibration propagation"."""
+
+from repro.channel.biw import onvo_l60, onvo_l60_megacast
+from repro.channel.medium import AcousticMedium
+from repro.channel.propagation import PropagationModel
+from repro.hardware.harvester import EnergyHarvester
+
+
+def test_megacasting_benefit(benchmark):
+    def run():
+        harvester = EnergyHarvester()
+        out = {}
+        for name, factory in (("stamped", onvo_l60), ("megacast", onvo_l60_megacast)):
+            biw = factory()
+            medium = AcousticMedium(biw=biw, propagation=PropagationModel(biw))
+            voltages = {
+                t: medium.carrier_amplitude_v(t) for t in medium.tag_names()
+            }
+            out[name] = {
+                "worst_16x_v": min(
+                    harvester.amplified_voltage_v(v) for v in voltages.values()
+                ),
+                "worst_charge_s": max(
+                    harvester.charge_time_s(v) for v in voltages.values()
+                ),
+                "mean_loss_db": sum(
+                    medium.propagation.link("reader", t).loss_db
+                    for t in medium.tag_names()
+                )
+                / 12.0,
+            }
+        return out
+
+    results = benchmark(run)
+    stamped, cast = results["stamped"], results["megacast"]
+    assert cast["worst_16x_v"] > stamped["worst_16x_v"]
+    assert cast["worst_charge_s"] < stamped["worst_charge_s"]
+    assert cast["mean_loss_db"] < stamped["mean_loss_db"]
+    print(
+        "\nMega-casting (Sec. 1 claim, quantified):\n"
+        f"  worst-tag 16x voltage: {stamped['worst_16x_v']:.2f} V -> "
+        f"{cast['worst_16x_v']:.2f} V\n"
+        f"  worst-tag charge time: {stamped['worst_charge_s']:.1f} s -> "
+        f"{cast['worst_charge_s']:.1f} s\n"
+        f"  mean one-way path loss: {stamped['mean_loss_db']:.1f} dB -> "
+        f"{cast['mean_loss_db']:.1f} dB"
+    )

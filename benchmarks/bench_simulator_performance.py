@@ -1,0 +1,71 @@
+"""Simulator performance: slots per second across the three execution
+fidelities.  A systems repo should know its own speed envelope — these
+numbers size what each fidelity can afford (10^5 slots for protocol
+sweeps, 10^2-10^3 for DSP-in-the-loop certification)."""
+
+from repro.core.network import NetworkConfig, SlottedNetwork
+from repro.core.realtime import RealtimeNetwork
+from repro.core.waveform_network import WaveformNetwork
+from repro.experiments.configs import pattern
+
+PERIODS = {"tag5": 4, "tag8": 4, "tag9": 8}
+
+
+def test_perf_slot_level(benchmark, medium):
+    def run():
+        net = SlottedNetwork(
+            pattern("c3").tag_periods(),
+            medium=medium,
+            config=NetworkConfig(seed=1, ideal_channel=True),
+        )
+        net.run(2000)
+        return len(net.records)
+
+    slots = benchmark(run)
+    assert slots == 2000
+
+
+def test_perf_realtime(benchmark, medium):
+    def run():
+        net = RealtimeNetwork(
+            PERIODS, medium=medium, config=NetworkConfig(seed=1, ideal_channel=True)
+        )
+        net.run(500)
+        net.stop()
+        return len(net.records)
+
+    slots = benchmark(run)
+    assert slots == 500
+
+
+def test_perf_waveform_in_the_loop(benchmark, medium):
+    def run():
+        net = WaveformNetwork(
+            PERIODS, medium=medium, config=NetworkConfig(seed=1)
+        )
+        net.run(30)
+        return len(net.records)
+
+    slots = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert slots == 30
+
+
+def test_perf_engine_event_throughput(benchmark):
+    from repro.sim.engine import Simulator
+
+    def run():
+        sim = Simulator()
+        count = 0
+
+        def tick():
+            nonlocal count
+            count += 1
+            if count < 20_000:
+                sim.schedule_in(0.001, tick)
+
+        sim.schedule_in(0.0, tick)
+        sim.run()
+        return count
+
+    events = benchmark(run)
+    assert events == 20_000

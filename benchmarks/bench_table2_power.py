@@ -1,0 +1,15 @@
+"""Table 2 — tag power consumption per operating mode (RX 24.8 uW,
+TX 51.0 uW, IDLE 7.6 uW) plus the Sec. 6.2 sustainability check."""
+
+import pytest
+
+from repro.experiments.table2_power import format_table2, run_table2
+
+
+def test_table2_power_rows(benchmark):
+    result = benchmark(run_table2)
+    assert result.table["RX"]["total_power_uw"] == pytest.approx(24.8)
+    assert result.table["TX"]["total_power_uw"] == pytest.approx(51.0)
+    assert result.table["IDLE"]["total_power_uw"] == pytest.approx(7.6)
+    assert result.sustainable
+    print("\n" + format_table2(result))

@@ -1,0 +1,30 @@
+"""Waveform-in-the-loop bench: the MAC driven by the real DSP chain,
+certifying the fast slot-level outcome model."""
+
+from repro.core.network import NetworkConfig
+from repro.core.waveform_network import WaveformNetwork
+
+
+def test_waveform_fidelity_convergence(benchmark, medium):
+    def run():
+        net = WaveformNetwork(
+            {"tag5": 4, "tag8": 4, "tag9": 8},
+            medium=medium,
+            config=NetworkConfig(seed=3),
+        )
+        conv = net.run_until_converged(streak=16, max_slots=400)
+        records = net.run(40)
+        decoded = sum(1 for r in records if r.decoded is not None)
+        collided = sum(1 for r in records if r.truly_collided)
+        return conv, decoded, collided, len(net.slot_logs)
+
+    conv, decoded, collided, slots = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert conv is not None
+    assert decoded >= 20  # ~U x 40 = 25
+    assert collided == 0
+    print(
+        f"\nWaveform-in-the-loop: converged in {conv} slots through the "
+        f"real FM0 chain + IQ clustering; {decoded}/40 slots decoded "
+        f"post-convergence (U = 0.625), {collided} collisions "
+        f"({slots} slots of full DSP)"
+    )

@@ -1,0 +1,10 @@
+"""Shared benchmark fixtures."""
+
+import pytest
+
+from repro.channel.medium import AcousticMedium
+
+
+@pytest.fixture(scope="session")
+def medium() -> AcousticMedium:
+    return AcousticMedium()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: deploy three battery-free tags on the stock SUV BiW and
+watch the distributed slot allocation converge.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import AcousticMedium, NetworkConfig, SlottedNetwork
+from repro.hardware import EnergyHarvester
+
+
+def main() -> None:
+    # The ONVO L60 deployment of Fig. 10: reader in the second row,
+    # twelve mount points across the body.
+    medium = AcousticMedium()
+
+    # Check the energy story first: can these tags even power up?
+    harvester = EnergyHarvester()
+    print("Energy audit:")
+    for tag in ("tag8", "tag4", "tag11"):
+        vp = medium.carrier_amplitude_v(tag)
+        report = harvester.report(vp)
+        print(
+            f"  {tag}: PZT {vp:.2f} V -> {report.amplified_voltage_v:.2f} V "
+            f"after the 8-stage pump; charges in "
+            f"{report.full_charge_time_s:.1f} s"
+        )
+
+    # Give the battery-pack tag a fast reporting period (every 4 slots)
+    # and the structural tags slower ones (Sec. 5.1's diverse rates).
+    periods = {"tag8": 4, "tag4": 8, "tag11": 8}
+    net = SlottedNetwork(periods, medium, NetworkConfig(seed=42))
+
+    slots = net.run_until_converged()
+    print(f"\nConverged to a collision-free schedule in {slots} slots:")
+    for tag, mac in sorted(net.tags.items()):
+        print(
+            f"  {tag}: period {mac.period}, offset {mac.offset} "
+            f"({mac.state.value})"
+        )
+
+    # Keep running: every slot now delivers at most one clean packet.
+    records = net.run(64)
+    decoded = sum(1 for r in records if r.decoded is not None)
+    collided = sum(1 for r in records if r.truly_collided)
+    print(
+        f"\nNext 64 slots: {decoded} packets decoded, {collided} collisions "
+        f"(theoretical slot utilisation: "
+        f"{sum(1 / p for p in periods.values()):.3f})"
+    )
+
+    # One character per slot: tag digit = decoded, '.' empty, 'X' collision.
+    from repro.analysis.render import render_timeline
+
+    print("\nSlot timeline:")
+    print(render_timeline(records, width=32))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""End-to-end structural health monitoring — the system the paper
+builds everything for.
+
+Physics-driven lifecycle: tags charge from the carrier and join as
+their supercapacitors reach 2.3 V; the distributed slot allocation
+settles them; their strain reports stream to the SHM monitor.  Then two
+incidents happen: an impact near the battery pack (slot 300) and slow
+corrosion-driven drift on a rocker tag — the monitor catches both, plus
+the staleness of a tag that browns out under an excessive sampling
+load.
+
+Run:  python examples/shm_monitoring.py
+"""
+
+from repro import AcousticMedium, NetworkConfig
+from repro.app import ShmMonitor, StrainField, collect_reports
+from repro.core.energy_network import EnergyAwareNetwork
+from repro.hardware.strain import StrainSensorModule
+
+PERIODS = {"tag5": 4, "tag6": 8, "tag8": 4, "tag9": 8, "tag11": 16}
+
+
+def main() -> None:
+    medium = AcousticMedium()
+    sensors = {t: StrainSensorModule() for t in PERIODS}
+
+    # Ground truth: quiet structure, then an impact near tag5 at slot
+    # 300, plus steady corrosion drift at tag9.  Magnitudes chosen to
+    # stay inside the bridge amplifier's linear range.
+    field = StrainField(
+        baseline={t: 2e-5 for t in PERIODS},
+        drift_per_slot={"tag9": 4.5e-7},
+    )
+    field.inject_event(300, "tag5", 4.0e-4)
+
+    net = EnergyAwareNetwork(
+        PERIODS, medium, NetworkConfig(seed=11, ideal_channel=True)
+    )
+    monitor = ShmMonitor(PERIODS, sensors)
+
+    print("=== Running 600 slots (tags join as they charge) ===")
+    for chunk_start in range(0, 600, 50):
+        records = net.run(50)
+        for report in collect_reports(records, field, sensors):
+            for alarm in monitor.ingest(report):
+                print(f"  ALARM {alarm}")
+        for alarm in monitor.check_staleness(chunk_start + 50):
+            print(f"  ALARM {alarm}")
+
+    print("\n=== Activation (physics-driven late arrival) ===")
+    for tag, log in sorted(
+        net.energy_log.items(), key=lambda kv: kv[1].slots_dark
+    ):
+        print(f"  {tag}: dark for first ~{log.slots_dark} slots, "
+              f"availability {log.availability:.1%}")
+
+    print("\n=== Monitor dashboard after 600 slots ===")
+    summary = monitor.summary()
+    print(f"{'tag':<7}{'reports':>8}{'last V':>9}{'trend V/slot':>14}")
+    for tag, row in sorted(summary.items()):
+        print(
+            f"{tag:<7}{row['reports']:>8.0f}{row['last_voltage_v']:>9.3f}"
+            f"{row['trend_v_per_slot']:>14.2e}"
+        )
+
+    threshold = [a for a in monitor.alarms if a.kind.value == "threshold"]
+    trend = [a for a in monitor.alarms if a.kind.value == "trend"]
+    print(f"\nimpact alarms (tag5, after slot 300): {len(threshold)}")
+    print(f"corrosion-trend alarms (tag9): {len(trend)}")
+    print(f"network brownouts: {net.total_brownouts()} "
+          f"(the protocol duty cycle is sustainable)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Strain-measurement workbench (Sec. 6.5 case study), end to end.
+
+Bends a metal bar from -10 cm to +10 cm of tip displacement; three
+gauge tags sample their Wheatstone bridges, pack the ADC codes into UL
+frames, backscatter them over the acoustic channel as real waveforms,
+and the reader's DSP chain decodes and reconstructs the voltages.
+
+Run:  python examples/strain_workbench.py
+"""
+
+import numpy as np
+
+from repro import AcousticMedium
+from repro.hardware import StrainSensorModule
+from repro.phy.modem import BackscatterUplink
+from repro.phy.packets import UplinkPacket
+from repro.phy.reader_dsp import ReaderReceiveChain
+
+SENSORS = {
+    "tagA": StrainSensorModule(strain_per_cm=16e-6),
+    "tagB": StrainSensorModule(strain_per_cm=12e-6),
+    "tagC": StrainSensorModule(strain_per_cm=8e-6),
+}
+MOUNTS = {"tagA": "tag5", "tagB": "tag6", "tagC": "tag9"}
+RAW_RATE = 375.0
+
+
+def main() -> None:
+    medium = AcousticMedium()
+    uplink = BackscatterUplink(pzt=medium.pzt)
+    chain = ReaderReceiveChain()
+    rng = np.random.default_rng(0)
+
+    displacements = np.linspace(-10, 10, 9)
+    print(f"{'disp (cm)':>10}" + "".join(f"{t:>10}" for t in SENSORS))
+
+    reconstructed = {t: [] for t in SENSORS}
+    failures = 0
+    for d in displacements:
+        row = []
+        for tid, (tag, sensor) in enumerate(SENSORS.items()):
+            code = sensor.sample(float(d))
+            packet = UplinkPacket(tid=tid, payload=code)
+            mount = MOUNTS[tag]
+            comp = uplink.tag_component(
+                packet.to_bits(),
+                RAW_RATE,
+                2.5 * medium.backscatter_amplitude_v(mount),
+                phase_rad=float(rng.uniform(0, 2 * np.pi)),
+                delay_s=medium.propagation_delay_s(mount),
+                lead_in_s=0.03,
+            )
+            capture = uplink.capture(
+                [comp], medium.noise.psd_v2_per_hz, rng, extra_samples=2000
+            )
+            decoded = chain.decode(capture, RAW_RATE).packets
+            if decoded and decoded[0].tid == tid:
+                volts = sensor.reconstruct_voltage_v(decoded[0].payload)
+                reconstructed[tag].append(volts)
+                row.append(f"{volts:>9.3f}V")
+            else:
+                failures += 1
+                reconstructed[tag].append(np.nan)
+                row.append(f"{'lost':>10}")
+        print(f"{d:>10.1f}" + "".join(row))
+
+    print(f"\npacket failures: {failures} / {3 * len(displacements)}")
+    for tag, series in reconstructed.items():
+        arr = np.asarray(series)
+        ok = ~np.isnan(arr)
+        corr = np.corrcoef(displacements[ok], arr[ok])[0, 1]
+        print(f"{tag}: displacement/voltage correlation {corr:.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setup shim for environments whose pip/setuptools lack PEP 660
+editable-install support (metadata lives in pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,51 @@
+"""Analysis tools: long-run metrics, convergence proof machinery, PSD."""
+
+from repro.analysis.markov import (
+    ChainState,
+    SlotAllocationChain,
+    completion_feasible,
+)
+from repro.analysis.metrics import (
+    DEFAULT_WINDOW,
+    LongRunStats,
+    first_convergence_slot,
+    reader_visible_ratios,
+    settled_throughput,
+    sliding_ratios,
+)
+from repro.analysis.psd import backscatter_snr_db, band_power, waveform_psd
+from repro.analysis.theory import (
+    convergence_trend,
+    disruption_collision_ratio,
+    estimate_convergence_slots,
+    expected_goodput,
+    minimum_slot_duration_s,
+)
+from repro.analysis.render import (
+    render_occupancy_by_tag,
+    render_schedule,
+    render_timeline,
+)
+
+__all__ = [
+    "ChainState",
+    "SlotAllocationChain",
+    "completion_feasible",
+    "DEFAULT_WINDOW",
+    "LongRunStats",
+    "first_convergence_slot",
+    "reader_visible_ratios",
+    "settled_throughput",
+    "sliding_ratios",
+    "backscatter_snr_db",
+    "band_power",
+    "waveform_psd",
+    "render_occupancy_by_tag",
+    "render_schedule",
+    "render_timeline",
+    "convergence_trend",
+    "disruption_collision_ratio",
+    "estimate_convergence_slots",
+    "expected_goodput",
+    "minimum_slot_duration_s",
+]

@@ -1,0 +1,299 @@
+"""Absorbing-Markov-chain model of the slot allocation (Appendix C).
+
+Models the protocol exactly as the proof does: each network state is
+the slot phase plus every tag's (MIGRATE/SETTLE, offset, NACK count).
+Per slot, concurrent transmitters are NACKed (migrating tags re-pick
+offsets uniformly; settled tags count toward the threshold N and demote
+when it is reached).  A lone transmitter is ACKed **subject to the
+reader's future-collision avoidance** (Sec. 5.6), modelled in the
+idealised form the proof relies on: the ACK is granted iff the
+resulting settled set still admits a conflict-free completion for every
+remaining tag.  This one rule subsumes both behaviours of Sec. 5.6 —
+NACKing a newcomer whose pattern can never fit, and evicting a settled
+tag whose continued presence creates a dead-end.  Beacon loss is
+assumed negligible (the paper measures <0.1%), so the chain is
+absorbing rather than quasi-absorbing.
+
+For small configurations the full reachable state space can be
+enumerated, which lets tests *verify* the pillars of the proof
+mechanically:
+
+* every reachable all-settled state is collision-free (Lemma 1);
+* the absorbing set (all settled, counters zero) is closed (Lemma 2);
+* every reachable state can reach the absorbing set (Lemma 3), hence
+  absorption with probability 1.
+
+The fundamental-matrix solve also yields the expected convergence time,
+the quantity Fig. 15 measures empirically.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.slot_schedule import offsets_conflict, validate_period
+from repro.core.state_machine import DEFAULT_NACK_THRESHOLD
+
+#: Per-tag chain state: (settled?, offset, consecutive NACKs).
+TagChainState = Tuple[bool, int, int]
+#: Network state: (slot phase, per-tag states).
+ChainState = Tuple[int, Tuple[TagChainState, ...]]
+
+
+def completion_feasible(
+    fixed: Sequence[Tuple[int, int]], pending: Sequence[int]
+) -> bool:
+    """Can every period in ``pending`` receive an offset conflict-free
+    against ``fixed`` (period, offset) pairs and each other?
+
+    Exact backtracking over the power-of-two congruence lattice (buddy
+    allocation); pending is tried shortest-period-first since short
+    periods claim the largest slot share and are the most constrained.
+    """
+    pending = sorted(pending)
+
+    def place(fixed_now: List[Tuple[int, int]], idx: int) -> bool:
+        if idx == len(pending):
+            return True
+        period = pending[idx]
+        for offset in range(period):
+            if all(
+                not offsets_conflict(period, offset, p, a) for p, a in fixed_now
+            ):
+                fixed_now.append((period, offset))
+                if place(fixed_now, idx + 1):
+                    fixed_now.pop()
+                    return True
+                fixed_now.pop()
+        return False
+
+    return place(list(fixed), 0)
+
+
+class SlotAllocationChain:
+    """The Appendix C Markov chain for a set of tag periods."""
+
+    def __init__(
+        self,
+        periods: Sequence[int],
+        nack_threshold: int = DEFAULT_NACK_THRESHOLD,
+    ) -> None:
+        if not periods:
+            raise ValueError("need at least one tag")
+        for p in periods:
+            validate_period(p)
+        if sum(1.0 / p for p in periods) > 1.0 + 1e-12:
+            raise ValueError("slot utilization exceeds 1; chain cannot absorb")
+        if nack_threshold < 1:
+            raise ValueError("NACK threshold must be >= 1")
+        self.periods = tuple(periods)
+        self.nack_threshold = nack_threshold
+        self.hyperperiod = max(periods)
+
+    # -- state predicates ------------------------------------------------------
+
+    def is_collision_free(self, state: ChainState) -> bool:
+        """No two tags' (period, offset) patterns ever coincide."""
+        _, tags = state
+        for i in range(len(tags)):
+            for j in range(i + 1, len(tags)):
+                if offsets_conflict(
+                    self.periods[i], tags[i][1], self.periods[j], tags[j][1]
+                ):
+                    return False
+        return True
+
+    def all_settled(self, state: ChainState) -> bool:
+        return all(t[0] for t in state[1])
+
+    def is_absorbing(self, state: ChainState) -> bool:
+        """Absorbing = all settled with zero counters.
+
+        All-settled states with a nonzero counter are transient-but-
+        harmless: the next lone ACK clears the counter.  Collision
+        freedom of reachable all-settled states is Lemma 1, checked
+        separately by :meth:`verify_lemma1`.
+        """
+        return all(settled and nacks == 0 for settled, _, nacks in state[1])
+
+    # -- reader rule --------------------------------------------------------------
+
+    def _ack_granted(self, tags: Tuple[TagChainState, ...], i: int) -> bool:
+        """Sec. 5.6 (idealised): grant iff, with tag ``i`` fixed at its
+        current offset alongside the already-settled tags, every other
+        tag still has a conflict-free completion."""
+        fixed = [(self.periods[i], tags[i][1])]
+        pending: List[int] = []
+        for j, (settled, offset, _) in enumerate(tags):
+            if j == i:
+                continue
+            if settled:
+                fixed.append((self.periods[j], offset))
+            else:
+                pending.append(self.periods[j])
+        # Conflict with an already-settled tag can never be granted.
+        base_p, base_a = fixed[0]
+        for p, a in fixed[1:]:
+            if offsets_conflict(base_p, base_a, p, a):
+                return False
+        return completion_feasible(fixed, pending)
+
+    # -- dynamics -----------------------------------------------------------------
+
+    def initial_states(self) -> Dict[ChainState, float]:
+        """All tags in MIGRATE with uniformly random offsets, phase 0."""
+        dist: Dict[ChainState, float] = {}
+        ranges = [range(p) for p in self.periods]
+        prob = 1.0 / math.prod(self.periods)
+        for offsets in itertools.product(*ranges):
+            tags = tuple((False, a, 0) for a in offsets)
+            dist[(0, tags)] = prob
+        return dist
+
+    def transitions(self, state: ChainState) -> Dict[ChainState, float]:
+        """One-slot transition distribution from ``state``."""
+        phase, tags = state
+        next_phase = (phase + 1) % self.hyperperiod
+        transmitters = [
+            i
+            for i, (settled, offset, _) in enumerate(tags)
+            if phase % self.periods[i] == offset
+        ]
+
+        if not transmitters:
+            return {(next_phase, tags): 1.0}
+
+        nacked: List[int] = []
+        new_tags: List[Optional[TagChainState]] = list(tags)
+        if len(transmitters) == 1:
+            i = transmitters[0]
+            settled, offset, nacks = tags[i]
+            if self._ack_granted(tags, i):
+                new_tags[i] = (True, offset, 0)
+                return {(next_phase, tuple(new_tags)): 1.0}  # type: ignore[arg-type]
+            nacked = [i]
+        else:
+            nacked = transmitters
+
+        repick: List[int] = []
+        for i in nacked:
+            settled, offset, nacks = tags[i]
+            if not settled:
+                repick.append(i)
+                new_tags[i] = None
+            else:
+                nacks += 1
+                if nacks >= self.nack_threshold:
+                    repick.append(i)  # demoted to MIGRATE, fresh offset
+                    new_tags[i] = None
+                else:
+                    new_tags[i] = (True, offset, nacks)
+
+        if not repick:
+            return {(next_phase, tuple(new_tags)): 1.0}  # type: ignore[arg-type]
+
+        out: Dict[ChainState, float] = {}
+        prob_each = 1.0 / math.prod(self.periods[i] for i in repick)
+        for choices in itertools.product(*(range(self.periods[i]) for i in repick)):
+            candidate = list(new_tags)
+            for i, offset in zip(repick, choices):
+                candidate[i] = (False, offset, 0)
+            key = (next_phase, tuple(candidate))  # type: ignore[arg-type]
+            out[key] = out.get(key, 0.0) + prob_each
+        return out
+
+    # -- exploration -----------------------------------------------------------------
+
+    def explore(
+        self, max_states: int = 500_000
+    ) -> Tuple[List[ChainState], Dict[ChainState, Dict[ChainState, float]]]:
+        """BFS the reachable state space from the initial distribution.
+
+        Returns (states in discovery order, sparse transition map).
+        Raises if the reachable space exceeds ``max_states`` — keep the
+        configurations small (2-4 tags, periods <= 4) for exhaustive
+        verification.
+        """
+        frontier = deque(self.initial_states())
+        seen = set(frontier)
+        order: List[ChainState] = list(frontier)
+        trans: Dict[ChainState, Dict[ChainState, float]] = {}
+        while frontier:
+            state = frontier.popleft()
+            step = self.transitions(state)
+            trans[state] = step
+            for nxt in step:
+                if nxt not in seen:
+                    if len(seen) >= max_states:
+                        raise MemoryError(
+                            f"reachable state space exceeds {max_states} states"
+                        )
+                    seen.add(nxt)
+                    order.append(nxt)
+                    frontier.append(nxt)
+        return order, trans
+
+    def verify_lemma1(self) -> bool:
+        """Every reachable all-settled state is collision-free."""
+        states, _ = self.explore()
+        return all(
+            self.is_collision_free(s) for s in states if self.all_settled(s)
+        )
+
+    def verify_absorbing(self) -> bool:
+        """The chain is absorbing: the absorbing set is nonempty and
+        closed (offsets/states frozen), and every reachable state can
+        reach it."""
+        states, trans = self.explore()
+        absorbing = {s for s in states if self.is_absorbing(s)}
+        if not absorbing:
+            return False
+        for s in absorbing:
+            if not self.is_collision_free(s):
+                return False
+            for nxt in trans[s]:
+                if nxt[1] != s[1]:
+                    return False  # tag states changed: not absorbing
+        reverse: Dict[ChainState, List[ChainState]] = {s: [] for s in states}
+        for s, step in trans.items():
+            for nxt in step:
+                reverse[nxt].append(s)
+        reached = set(absorbing)
+        queue = deque(absorbing)
+        while queue:
+            s = queue.popleft()
+            for prev in reverse[s]:
+                if prev not in reached:
+                    reached.add(prev)
+                    queue.append(prev)
+        return reached == set(states)
+
+    def expected_absorption_time(self) -> float:
+        """Expected slots to absorption from the initial distribution,
+        via the fundamental matrix: solve (I - Q) t = 1 over transient
+        states."""
+        states, trans = self.explore()
+        transient = [s for s in states if not self.is_absorbing(s)]
+        if not transient:
+            return 0.0
+        index = {s: i for i, s in enumerate(transient)}
+        n = len(transient)
+        q = np.zeros((n, n))
+        for s, i in index.items():
+            for nxt, p in trans[s].items():
+                j = index.get(nxt)
+                if j is not None:
+                    q[i, j] += p
+        t = np.linalg.solve(np.eye(n) - q, np.ones(n))
+        init = self.initial_states()
+        total = 0.0
+        for s, p in init.items():
+            if s in index:
+                total += p * t[index[s]]
+        return float(total)

@@ -1,0 +1,109 @@
+"""Long-run slot statistics (Sec. 6.4, Fig. 16).
+
+Two windowed metrics over the reader's slot records:
+
+* **non-empty ratio** — fraction of the last W slots with at least one
+  tag transmission (collisions included);
+* **collision ratio** — fraction of the last W slots where more than
+  one tag transmitted.
+
+The paper uses W = 32 and reports, for pattern c3 over 10,000 slots, an
+average non-empty ratio of 81.2% against the theoretical bound 0.84375
+and an average collision ratio of 0.056.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.reader_protocol import SlotRecord
+
+#: Window size used throughout Sec. 6.4.
+DEFAULT_WINDOW = 32
+
+
+@dataclass(frozen=True)
+class LongRunStats:
+    """Windowed series plus their run-wide averages."""
+
+    window: int
+    non_empty_ratio: np.ndarray
+    collision_ratio: np.ndarray
+
+    @property
+    def mean_non_empty(self) -> float:
+        return float(np.mean(self.non_empty_ratio)) if self.non_empty_ratio.size else 0.0
+
+    @property
+    def mean_collision(self) -> float:
+        return float(np.mean(self.collision_ratio)) if self.collision_ratio.size else 0.0
+
+
+def sliding_ratios(
+    records: Sequence[SlotRecord], window: int = DEFAULT_WINDOW
+) -> LongRunStats:
+    """Compute the Fig. 16 series from slot records.
+
+    Uses ground-truth transmitter counts (the simulator's view), like
+    the paper's logged experiment; reader-visible variants are exposed
+    by :func:`reader_visible_ratios`.
+    """
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    nonempty = np.array([1.0 if r.truly_nonempty else 0.0 for r in records])
+    collided = np.array([1.0 if r.truly_collided else 0.0 for r in records])
+    return LongRunStats(
+        window=window,
+        non_empty_ratio=_rolling_mean(nonempty, window),
+        collision_ratio=_rolling_mean(collided, window),
+    )
+
+
+def reader_visible_ratios(
+    records: Sequence[SlotRecord], window: int = DEFAULT_WINDOW
+) -> LongRunStats:
+    """Same metrics from what the reader can actually observe: decodes
+    and detected collisions.  UL decode failures depress the non-empty
+    ratio here but not in :func:`sliding_ratios` — exactly the
+    "failures in UL packet decoding, affecting only the non-empty
+    ratio" remark of Sec. 6.4."""
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    nonempty = np.array([1.0 if r.occupied else 0.0 for r in records])
+    collided = np.array([1.0 if r.collision_detected else 0.0 for r in records])
+    return LongRunStats(
+        window=window,
+        non_empty_ratio=_rolling_mean(nonempty, window),
+        collision_ratio=_rolling_mean(collided, window),
+    )
+
+
+def _rolling_mean(values: np.ndarray, window: int) -> np.ndarray:
+    if values.size < window:
+        return np.array([])
+    kernel = np.ones(window) / window
+    return np.convolve(values, kernel, mode="valid")
+
+
+def first_convergence_slot(
+    records: Sequence[SlotRecord], streak: int = DEFAULT_WINDOW
+) -> int | None:
+    """Index (1-based slot count) at which ``streak`` consecutive
+    collision-free slots complete, or None if never."""
+    clean = 0
+    for i, r in enumerate(records):
+        clean = 0 if r.collision_detected else clean + 1
+        if clean >= streak:
+            return i + 1
+    return None
+
+
+def settled_throughput(records: Sequence[SlotRecord]) -> float:
+    """Fraction of slots delivering a decoded packet — the end-to-end
+    goodput of the allocation."""
+    if not records:
+        return 0.0
+    return sum(1 for r in records if r.decoded is not None) / len(records)

@@ -1,0 +1,112 @@
+"""Text rendering of schedules and slot timelines.
+
+The paper presents schedules as slot grids (Table 1, Fig. 8); these
+helpers reproduce that view for any simulation run, for examples, docs,
+and debugging — no plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.core.reader_protocol import SlotRecord
+from repro.core.slot_schedule import Assignment
+
+
+def render_schedule(
+    assignments: Mapping[str, Assignment],
+    n_slots: Optional[int] = None,
+    labels: Optional[Mapping[str, str]] = None,
+) -> str:
+    """Render a static assignment as a Table-1-style grid.
+
+    >>> from repro.core.slot_schedule import Assignment
+    >>> print(render_schedule({
+    ...     "tA": Assignment("tA", 2, 0), "tB": Assignment("tB", 4, 1),
+    ... }))
+    slot: 0 1 2 3
+    tx:   A B A .
+    """
+    if not assignments:
+        return "(empty schedule)"
+    horizon = n_slots if n_slots is not None else max(
+        a.period for a in assignments.values()
+    )
+    label_of = dict(labels or {})
+    cells: List[str] = []
+    for slot in range(horizon):
+        owners = [t for t, a in assignments.items() if a.transmits_in(slot)]
+        if not owners:
+            cells.append(".")
+        elif len(owners) == 1:
+            cells.append(label_of.get(owners[0], _short(owners[0])))
+        else:
+            cells.append("X")  # collision
+    return "slot: " + " ".join(str(i) for i in range(horizon)) + "\n" + (
+        "tx:   " + " ".join(cells)
+    )
+
+
+def render_timeline(
+    records: Sequence[SlotRecord],
+    width: int = 64,
+    labels: Optional[Mapping[str, str]] = None,
+) -> str:
+    """Render a run's slot records as a one-character-per-slot strip.
+
+    ``.`` empty, ``X`` collision, ``?`` undetected transmission (decode
+    failure), otherwise the short label of the decoded tag.  Wraps at
+    ``width`` slots per line with slot indices in the margin.
+    """
+    if width < 8:
+        raise ValueError("width must be at least 8")
+    label_of = dict(labels or {})
+    chars: List[str] = []
+    for r in records:
+        if r.truly_collided:
+            chars.append("X")
+        elif r.decoded is not None:
+            chars.append(label_of.get(r.decoded, _short(r.decoded)))
+        elif r.truly_nonempty:
+            chars.append("?")
+        else:
+            chars.append(".")
+    lines = []
+    for start in range(0, len(chars), width):
+        lines.append(f"{start:>6} | " + "".join(chars[start : start + width]))
+    return "\n".join(lines) if lines else "(no slots)"
+
+
+def render_occupancy_by_tag(
+    records: Sequence[SlotRecord],
+    tags: Sequence[str],
+    period_of: Mapping[str, int],
+) -> str:
+    """Per-tag delivery summary: decoded count vs the schedule's ideal."""
+    n = len(records)
+    if n == 0:
+        return "(no slots)"
+    counts: Dict[str, int] = {t: 0 for t in tags}
+    for r in records:
+        if r.decoded in counts:
+            counts[r.decoded] += 1
+    lines = [f"{'tag':<8}{'period':>7}{'decoded':>9}{'ideal':>7}{'ratio':>7}"]
+    for t in tags:
+        ideal = n / period_of[t]
+        ratio = counts[t] / ideal if ideal else 0.0
+        lines.append(
+            f"{t:<8}{period_of[t]:>7}{counts[t]:>9}{ideal:>7.0f}{ratio:>7.1%}"
+        )
+    return "\n".join(lines)
+
+
+def _short(name: str) -> str:
+    """One-character label: trailing number's last digit-letter, or the
+    last character."""
+    digits = "".join(c for c in name if c.isdigit())
+    if digits:
+        value = int(digits)
+        if value < 10:
+            return str(value)
+        return chr(ord("a") + (value - 10) % 26)
+    return name[-1].upper()

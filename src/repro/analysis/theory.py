@@ -1,0 +1,147 @@
+"""Analytical approximations for protocol behaviour.
+
+The Appendix C chain is exact but only enumerable for toy
+configurations.  For deployment-scale questions ("roughly how long will
+c4 take to converge?") this module provides a mean-field estimate that
+captures the Fig. 15 shape:
+
+Each migrating tag of period ``p`` probes once per ``p`` slots; a probe
+lands collision-free with probability roughly the fraction of its
+offsets not conflicting with already-settled tags.  Treating settles as
+sequential (densest tags first, matching the reader's bias) yields a
+sum of geometric waiting times.  The estimate is deliberately coarse —
+it ignores probe-probe collisions between migrating tags — so it
+*undershoots* at high utilisation; its value is the trend, the
+per-pattern ordering, and a sanity anchor for the measured medians.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+from repro.core.slot_schedule import slot_utilization, validate_period
+
+
+def settle_probability(period: int, occupied_fraction: float) -> float:
+    """Probability a single probe of a period-``p`` tag is clean, when
+    ``occupied_fraction`` of the channel is already owned.
+
+    A fraction ``occupied_fraction`` of the tag's ``p`` offsets is
+    blocked in expectation (power-of-two patterns tile uniformly).
+    """
+    if not 0.0 <= occupied_fraction <= 1.0:
+        raise ValueError("occupied fraction must be in [0, 1]")
+    return max(0.0, 1.0 - occupied_fraction)
+
+
+def estimate_convergence_slots(
+    periods: Sequence[int],
+    streak: int = 32,
+    residual: float = 0.05,
+    max_slots: int = 500_000,
+) -> float:
+    """Fluid (mean-field) estimate of the first convergence time.
+
+    Track, per tag, the probability ``u_i`` it is still migrating.
+    Each slot, tag ``i`` probes with probability ``u_i / p_i``; the
+    probe settles iff the slot is neither owned by a settled tag
+    (fraction ``sum (1-u_j)/p_j``) nor hit by another prober
+    (``prod_(j!=i) (1 - u_j/p_j)``).  Convergence is declared when the
+    expected number of migrating tags falls below ``residual``, plus the
+    trailing clean ``streak``.
+
+    At U = 1 the final free slot is found by a blind search over the
+    longest period, which the fluid model tracks; probe-probe
+    correlations it ignores make it a mild *underestimate* there.
+    """
+    ps = sorted(periods)
+    for p in ps:
+        validate_period(p)
+    if float(slot_utilization(ps)) > 1.0:
+        return math.inf
+    if residual <= 0:
+        raise ValueError("residual must be positive")
+    u: List[float] = [1.0] * len(ps)
+    for slot in range(max_slots):
+        if sum(u) < residual:
+            return float(slot + streak)
+        settled_fraction = sum((1.0 - ui) / p for ui, p in zip(u, ps))
+        probe_p = [ui / p for ui, p in zip(u, ps)]
+        quiet = 1.0
+        for q in probe_p:
+            quiet *= 1.0 - q
+        new_u = []
+        for i, (ui, p) in enumerate(zip(u, ps)):
+            if ui <= 0:
+                new_u.append(0.0)
+                continue
+            others_quiet = quiet / max(1.0 - probe_p[i], 1e-12)
+            clean = max(0.0, 1.0 - settled_fraction) * others_quiet
+            new_u.append(ui - (ui / p) * clean)
+        u = new_u
+    return math.inf
+
+
+def convergence_trend(
+    patterns: Dict[str, Sequence[int]], streak: int = 32
+) -> Dict[str, float]:
+    """Estimates for a set of named period lists (e.g. Table 3)."""
+    return {
+        name: estimate_convergence_slots(ps, streak)
+        for name, ps in patterns.items()
+    }
+
+
+def expected_goodput(periods: Sequence[int], ul_success: float = 1.0) -> float:
+    """Converged decoded-packets-per-slot: utilisation x link success."""
+    if not 0.0 <= ul_success <= 1.0:
+        raise ValueError("success probability must be in [0, 1]")
+    return float(slot_utilization(periods)) * ul_success
+
+
+def disruption_collision_ratio(
+    periods: Sequence[int],
+    beacon_loss_per_tag: float,
+    mean_probes_to_resettle: float = 4.0,
+) -> float:
+    """Long-run collision-ratio estimate under beacon loss (Fig. 16).
+
+    Disruption rate = n_tags x loss probability per slot; each
+    disruption costs roughly ``mean_probes_to_resettle`` colliding
+    probes (each probe collides with probability ~ the utilisation).
+    """
+    if not 0.0 <= beacon_loss_per_tag <= 1.0:
+        raise ValueError("loss probability must be in [0, 1]")
+    n = len(periods)
+    u = float(slot_utilization(periods))
+    disruptions_per_slot = n * beacon_loss_per_tag
+    return min(1.0, disruptions_per_slot * mean_probes_to_resettle * u)
+
+
+def minimum_slot_duration_s(
+    dl_raw_rate_bps: float = 250.0,
+    ul_raw_rate_bps: float = 375.0,
+    beacon_symbols: int = 10,
+    ul_data_bits: int = 32,
+    turnaround_s: float = 0.020,
+    software_delay_s: float = 0.0589,
+    sync_margin_s: float = 0.005,
+    guard_fraction: float = 0.1,
+) -> float:
+    """How short a slot the component timings allow.
+
+    The paper sets the slot "empirically to 1 s" (Sec. 6.4); the slot
+    must fit beacon airtime, the worst-case tag synchronisation offset
+    (<5 ms, Fig. 13b), the 20 ms turnaround, the UL frame, and the
+    reader software's decode latency, plus a guard.  The budget shows
+    ~1 s is comfortable — roughly 2x the hard floor — leaving room for
+    the energy duty cycle and clock drift.
+    """
+    if guard_fraction < 0:
+        raise ValueError("guard fraction must be non-negative")
+    # A beacon's airtime: PIE averages 2.5 raw bits per symbol.
+    beacon_s = beacon_symbols * 2.5 / dl_raw_rate_bps
+    ul_s = 2.0 * ul_data_bits / ul_raw_rate_bps
+    busy = beacon_s + sync_margin_s + turnaround_s + ul_s + software_delay_s
+    return busy * (1.0 + guard_fraction)

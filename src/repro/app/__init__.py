@@ -1,0 +1,20 @@
+"""Application layer: structural-health monitoring on top of the
+backscatter network."""
+
+from repro.app.shm import (
+    Alarm,
+    AlarmKind,
+    Report,
+    ShmMonitor,
+    StrainField,
+    collect_reports,
+)
+
+__all__ = [
+    "Alarm",
+    "AlarmKind",
+    "Report",
+    "ShmMonitor",
+    "StrainField",
+    "collect_reports",
+]

@@ -1,0 +1,17 @@
+"""Baseline protocols the paper compares against."""
+
+from repro.baselines.aloha import (
+    AlohaResult,
+    AlohaSimulation,
+    PACKET_DURATION_S,
+    RESUME_FRACTION,
+    TagAlohaStats,
+)
+
+__all__ = [
+    "AlohaResult",
+    "AlohaSimulation",
+    "PACKET_DURATION_S",
+    "RESUME_FRACTION",
+    "TagAlohaStats",
+]

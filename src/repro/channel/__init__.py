@@ -1,0 +1,77 @@
+"""Acoustic channel substrate: BiW structure, propagation, PZTs, noise,
+and the shared-medium abstraction."""
+
+from repro.channel.acoustics import (
+    CARRIER_FREQUENCY_HZ,
+    READER_SAMPLE_RATE_HZ,
+    amplitude_ratio_to_db,
+    db_to_amplitude_ratio,
+    db_to_power_ratio,
+    power_ratio_to_db,
+    propagation_delay,
+    wavelength,
+)
+from repro.channel.biw import (
+    AcousticPath,
+    BiWModel,
+    JointKind,
+    Member,
+    MountPoint,
+    TAG_NAMES,
+    onvo_l60,
+    onvo_l60_megacast,
+)
+from repro.channel.medium import AcousticMedium, SlotObservation
+from repro.channel.multipath import (
+    Echo,
+    ImpulseResponse,
+    MultipathModel,
+    k_least_lossy_paths,
+)
+from repro.channel.noise import (
+    ReceiverNoise,
+    ReverberationField,
+    VehicleVibration,
+)
+from repro.channel.propagation import LinkBudget, PropagationModel
+from repro.channel.pzt import PZTState, PZTTransducer
+from repro.channel.resonance import (
+    PlateMode,
+    ResonanceCalibrator,
+    SweepResult,
+)
+
+__all__ = [
+    "CARRIER_FREQUENCY_HZ",
+    "READER_SAMPLE_RATE_HZ",
+    "amplitude_ratio_to_db",
+    "db_to_amplitude_ratio",
+    "db_to_power_ratio",
+    "power_ratio_to_db",
+    "propagation_delay",
+    "wavelength",
+    "AcousticPath",
+    "BiWModel",
+    "JointKind",
+    "Member",
+    "MountPoint",
+    "TAG_NAMES",
+    "onvo_l60",
+    "onvo_l60_megacast",
+    "AcousticMedium",
+    "SlotObservation",
+    "Echo",
+    "ImpulseResponse",
+    "MultipathModel",
+    "k_least_lossy_paths",
+    "ReceiverNoise",
+    "ReverberationField",
+    "VehicleVibration",
+    "LinkBudget",
+    "PropagationModel",
+    "PZTState",
+    "PZTTransducer",
+    "PlateMode",
+    "ResonanceCalibrator",
+    "SweepResult",
+]

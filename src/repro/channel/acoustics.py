@@ -1,0 +1,94 @@
+"""Acoustic physics helpers for vibration propagation in sheet steel.
+
+ARACHNET operates at 90 kHz, the resonant frequency of the reader-PZT /
+BiW system.  At that frequency the dominant propagation mode in thin
+automotive sheet steel is the A0 Lamb (flexural) wave, whose group
+velocity is strongly thickness- and frequency-dependent.  The constants
+here are textbook values for mild steel; the absolute numbers only need
+to be plausible because the experiments are calibrated against the
+paper's measured per-tag voltages and SNRs (see ``repro.channel.biw``).
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Longitudinal bulk wave speed in mild steel (m/s).
+STEEL_LONGITUDINAL_SPEED = 5900.0
+
+#: Shear bulk wave speed in mild steel (m/s).
+STEEL_SHEAR_SPEED = 3200.0
+
+#: Default sheet thickness of BiW panels (m). ~0.8 mm is typical for
+#: automotive body panels.
+DEFAULT_PANEL_THICKNESS = 0.8e-3
+
+#: System resonant frequency used by the reader carrier (Hz), Sec. 6.1.
+CARRIER_FREQUENCY_HZ = 90_000.0
+
+#: Reader DAQ sampling rate (Hz), Sec. 6.1 (ART USB3136A at 500 kHz).
+READER_SAMPLE_RATE_HZ = 500_000.0
+
+
+def db_to_amplitude_ratio(db: float) -> float:
+    """Convert a dB figure to an amplitude (voltage/displacement) ratio."""
+    return 10.0 ** (db / 20.0)
+
+
+def amplitude_ratio_to_db(ratio: float) -> float:
+    """Convert an amplitude ratio to dB.  Ratio must be positive."""
+    if ratio <= 0:
+        raise ValueError(f"amplitude ratio must be positive, got {ratio}")
+    return 20.0 * math.log10(ratio)
+
+
+def db_to_power_ratio(db: float) -> float:
+    """Convert a dB figure to a power ratio."""
+    return 10.0 ** (db / 10.0)
+
+
+def power_ratio_to_db(ratio: float) -> float:
+    """Convert a power ratio to dB.  Ratio must be positive."""
+    if ratio <= 0:
+        raise ValueError(f"power ratio must be positive, got {ratio}")
+    return 10.0 * math.log10(ratio)
+
+
+def lamb_a0_phase_velocity(
+    frequency_hz: float, thickness_m: float = DEFAULT_PANEL_THICKNESS
+) -> float:
+    """Approximate A0 Lamb-wave phase velocity in a thin plate (m/s).
+
+    Uses the low frequency-thickness-product asymptote of classical plate
+    theory: ``c_p = sqrt(omega * h * c_s / sqrt(3))`` scaled to match the
+    known behaviour that c_p grows with sqrt(f*d).  Valid for
+    f*d << 1 MHz*mm, which holds here (90 kHz * 0.8 mm = 72 Hz*m).
+    """
+    if frequency_hz <= 0 or thickness_m <= 0:
+        raise ValueError("frequency and thickness must be positive")
+    omega = 2.0 * math.pi * frequency_hz
+    return math.sqrt(omega * thickness_m * STEEL_SHEAR_SPEED / math.sqrt(3.0))
+
+
+def lamb_a0_group_velocity(
+    frequency_hz: float, thickness_m: float = DEFAULT_PANEL_THICKNESS
+) -> float:
+    """A0 group velocity: exactly 2x phase velocity in the thin-plate
+    (dispersive, c_p ∝ sqrt(f)) regime."""
+    return 2.0 * lamb_a0_phase_velocity(frequency_hz, thickness_m)
+
+
+def wavelength(frequency_hz: float, thickness_m: float = DEFAULT_PANEL_THICKNESS) -> float:
+    """A0 wavelength (m) at ``frequency_hz`` in a plate of given thickness."""
+    return lamb_a0_phase_velocity(frequency_hz, thickness_m) / frequency_hz
+
+
+def propagation_delay(
+    distance_m: float,
+    frequency_hz: float = CARRIER_FREQUENCY_HZ,
+    thickness_m: float = DEFAULT_PANEL_THICKNESS,
+) -> float:
+    """Time (s) for wave energy to travel ``distance_m`` along the plate."""
+    if distance_m < 0:
+        raise ValueError(f"distance must be non-negative, got {distance_m}")
+    return distance_m / lamb_a0_group_velocity(frequency_hz, thickness_m)

@@ -1,0 +1,348 @@
+"""Body-in-White structural model.
+
+The BiW is modelled as a graph of structural members (floors, pillars,
+rocker panels, beams).  Vertices carry 3-D coordinates; edges carry the
+member length and a *joint loss* — the attenuation a flexural wave pays
+when crossing from one member onto this one.  Two joint classes are
+distinguished, following the paper's observations (Sec. 6.2):
+
+* ``SEAM`` — spot-welded/bonded in-plane continuation (floor panel to
+  floor panel).  Small loss.
+* ``PERPENDICULAR`` — a geometric transition where the propagation face
+  turns (e.g. floor onto rocker panel).  The paper attributes Tag 4's low
+  harvested voltage to exactly this ("geometric transition at the
+  perpendicular junction").  Large loss.
+
+The stock :func:`onvo_l60` factory reproduces the deployment of Fig. 10:
+12 tags across front row (1-3), second row (4-8), cargo area (9-12), with
+the reader centrally placed in the second row above the battery pack.
+Acoustic path metrics are computed by Dijkstra over (length, joints).
+
+Joint losses (1.536 dB per seam, 5.06 dB per perpendicular junction) and
+the geometry are jointly calibrated so that, with the propagation and
+harvesting models of :mod:`repro.channel.propagation` and
+:mod:`repro.hardware`, the paper's measured anchors come out right:
+Tag 4 harvests 4.74 V and Tag 11 2.70 V at 16x amplification
+(Fig. 11a), and charging times span 4.5 s (Tag 8) to 56.2 s (Fig. 11b).
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class JointKind(enum.Enum):
+    """How two structural members are connected."""
+
+    NONE = "none"  # same continuous member
+    SEAM = "seam"  # in-plane welded/bonded seam
+    PERPENDICULAR = "perpendicular"  # face-turning junction
+
+
+#: Per-joint amplitude losses in dB, calibrated against Fig. 11(a).
+DEFAULT_JOINT_LOSS_DB = {
+    JointKind.NONE: 0.0,
+    JointKind.SEAM: 1.536,
+    JointKind.PERPENDICULAR: 5.06,
+}
+
+
+@dataclass(frozen=True)
+class Member:
+    """A structural member (edge) between two named vertices.
+
+    ``length_m`` optionally overrides the euclidean vertex distance:
+    the acoustic path along a curved or ribbed panel is longer than the
+    straight-line chord between its endpoints.
+    """
+
+    a: str
+    b: str
+    joint: JointKind = JointKind.SEAM
+    length_m: Optional[float] = None
+
+    def other(self, vertex: str) -> str:
+        if vertex == self.a:
+            return self.b
+        if vertex == self.b:
+            return self.a
+        raise KeyError(f"{vertex} is not an endpoint of {self.a}-{self.b}")
+
+
+@dataclass(frozen=True)
+class MountPoint:
+    """Where a transducer (tag or reader PZT) is epoxied onto the BiW."""
+
+    name: str
+    vertex: str
+
+
+@dataclass(frozen=True)
+class AcousticPath:
+    """Shortest acoustic route between two mount points."""
+
+    distance_m: float
+    joints: Tuple[JointKind, ...]
+    vertices: Tuple[str, ...]
+
+    def joint_loss_db(self, losses: Optional[Dict[JointKind, float]] = None) -> float:
+        table = DEFAULT_JOINT_LOSS_DB if losses is None else losses
+        return sum(table[j] for j in self.joints)
+
+
+class BiWModel:
+    """Graph of the vehicle body with transducer mount points."""
+
+    def __init__(self) -> None:
+        self._positions: Dict[str, Tuple[float, float, float]] = {}
+        self._adjacency: Dict[str, List[Member]] = {}
+        self._mounts: Dict[str, MountPoint] = {}
+        self._joint_loss_db = dict(DEFAULT_JOINT_LOSS_DB)
+
+    # -- construction -----------------------------------------------------
+
+    def add_vertex(self, name: str, x: float, y: float, z: float = 0.0) -> None:
+        """Add a structural vertex at coordinates (x, y, z) in metres."""
+        if name in self._positions:
+            raise ValueError(f"vertex {name!r} already exists")
+        self._positions[name] = (x, y, z)
+        self._adjacency[name] = []
+
+    def add_member(
+        self,
+        a: str,
+        b: str,
+        joint: JointKind = JointKind.SEAM,
+        length_m: Optional[float] = None,
+    ) -> None:
+        """Connect two vertices with a structural member."""
+        for v in (a, b):
+            if v not in self._positions:
+                raise KeyError(f"unknown vertex {v!r}")
+        if length_m is not None and length_m <= 0:
+            raise ValueError("member length must be positive")
+        member = Member(a, b, joint, length_m)
+        self._adjacency[a].append(member)
+        self._adjacency[b].append(member)
+
+    def add_mount(self, name: str, vertex: str) -> MountPoint:
+        """Register a transducer mount point at ``vertex``."""
+        if vertex not in self._positions:
+            raise KeyError(f"unknown vertex {vertex!r}")
+        if name in self._mounts:
+            raise ValueError(f"mount {name!r} already exists")
+        mount = MountPoint(name, vertex)
+        self._mounts[name] = mount
+        return mount
+
+    def set_joint_loss(self, kind: JointKind, loss_db: float) -> None:
+        """Override the per-joint attenuation (used by ablation benches)."""
+        if loss_db < 0:
+            raise ValueError("joint loss must be non-negative")
+        self._joint_loss_db[kind] = loss_db
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def vertices(self) -> Sequence[str]:
+        return list(self._positions)
+
+    @property
+    def mounts(self) -> Dict[str, MountPoint]:
+        return dict(self._mounts)
+
+    @property
+    def joint_loss_table(self) -> Dict[JointKind, float]:
+        return dict(self._joint_loss_db)
+
+    def position(self, vertex: str) -> Tuple[float, float, float]:
+        return self._positions[vertex]
+
+    def member_length(self, member: Member) -> float:
+        if member.length_m is not None:
+            return member.length_m
+        ax, ay, az = self._positions[member.a]
+        bx, by, bz = self._positions[member.b]
+        return math.dist((ax, ay, az), (bx, by, bz))
+
+    def path(self, mount_a: str, mount_b: str) -> AcousticPath:
+        """Least-loss acoustic path between two mount points.
+
+        Dijkstra cost is ``length_m + joint_loss_db`` — with the default
+        absorption of ~2 dB/m this weighs a 1 dB joint like ~0.5 m of
+        extra travel, so the "shortest" path is the one a wavefront's
+        dominant energy actually takes.
+        """
+        src = self._mounts[mount_a].vertex
+        dst = self._mounts[mount_b].vertex
+        if src == dst:
+            return AcousticPath(0.0, (), (src,))
+
+        best: Dict[str, float] = {src: 0.0}
+        prev: Dict[str, Tuple[str, Member]] = {}
+        heap: List[Tuple[float, str]] = [(0.0, src)]
+        while heap:
+            cost, v = heapq.heappop(heap)
+            if cost > best.get(v, math.inf):
+                continue
+            if v == dst:
+                break
+            for m in self._adjacency[v]:
+                w = m.other(v)
+                step = self.member_length(m) + self._joint_loss_db[m.joint]
+                new_cost = cost + step
+                if new_cost < best.get(w, math.inf):
+                    best[w] = new_cost
+                    prev[w] = (v, m)
+                    heapq.heappush(heap, (new_cost, w))
+        if dst not in best:
+            raise ValueError(f"no acoustic path between {mount_a!r} and {mount_b!r}")
+
+        # Reconstruct the route, accumulating distance and joints crossed.
+        verts: List[str] = [dst]
+        joints: List[JointKind] = []
+        distance = 0.0
+        v = dst
+        while v != src:
+            u, m = prev[v]
+            distance += self.member_length(m)
+            if m.joint is not JointKind.NONE:
+                joints.append(m.joint)
+            verts.append(u)
+            v = u
+        verts.reverse()
+        joints.reverse()
+        return AcousticPath(distance, tuple(joints), tuple(verts))
+
+
+def onvo_l60() -> BiWModel:
+    """BiW of the ONVO L60 SUV with the Fig. 10 deployment.
+
+    The vehicle is ~4.8 m long and ~1.9 m wide.  Coordinates are metres:
+    x along the length (0 = nose), y across the width, z up.  Mount names
+    are ``reader`` and ``tag1`` .. ``tag12``.
+
+    Geometry anchors (with the calibrated propagation constants):
+
+    * Tag 8 sits 0.4 m from the reader on the same floor panel — nearest,
+      strongest harvest, fastest charge (4.5 s).
+    * Tag 4 is 0.92 m away across one perpendicular rocker junction —
+      the "turning face" tag, 4.74 V at 16x.
+    * Tags 11/12 are ~1.81 m away across two floor seams in the cargo
+      area — weakest harvest (2.70 V at 16x, 56.2 s charge).
+    """
+    biw = BiWModel()
+
+    # Spine of the floor structure, nose to tail.
+    biw.add_vertex("dashboard", 0.9, 0.95, 0.45)
+    biw.add_vertex("front_floor", 1.5, 0.95, 0.0)
+    biw.add_vertex("front_floor_left", 1.5, 0.25, 0.0)
+    biw.add_vertex("front_floor_right", 1.5, 1.65, 0.0)
+    biw.add_vertex("front_left_seat", 1.9, 0.5, 0.0)
+    biw.add_vertex("front_right_seat", 1.9, 1.4, 0.0)
+    biw.add_vertex("front_floor_center", 1.05, 0.95, 0.0)
+    biw.add_vertex("middle_floor", 2.5, 0.95, 0.0)  # reader sits here
+    biw.add_vertex("mid_left", 2.5, 0.45, 0.0)
+    biw.add_vertex("mid_right", 2.5, 1.35, 0.0)
+    biw.add_vertex("mid_rear", 3.0, 0.95, 0.0)
+    biw.add_vertex("seat_rail_left", 2.0, 0.35, 0.05)
+    biw.add_vertex("seat_rail_rear", 3.1, 1.35, 0.05)
+    biw.add_vertex("rear_floor_left", 3.6, 0.45, 0.1)
+    biw.add_vertex("rocker_left", 2.62, 0.07, 0.12)  # turning face
+    biw.add_vertex("b_pillar_left", 2.2, 0.05, 0.85)
+    biw.add_vertex("rear_floor", 3.5, 0.95, 0.1)
+    biw.add_vertex("cargo_front", 3.9, 0.95, 0.15)
+    biw.add_vertex("cargo_mid", 4.3, 0.95, 0.15)
+    biw.add_vertex("cargo_left", 3.95, 0.55, 0.15)
+    biw.add_vertex("cargo_right", 3.95, 1.35, 0.15)
+    biw.add_vertex("threshold_rear", 4.7, 0.95, 0.3)
+
+    # Members.  The joint kind describes the connection a wave crosses
+    # when it enters this member.
+    biw.add_member("dashboard", "front_floor", JointKind.SEAM)
+    biw.add_member("front_floor", "front_floor_left", JointKind.NONE)
+    biw.add_member("front_floor", "front_floor_right", JointKind.NONE)
+    biw.add_member("front_floor", "front_left_seat", JointKind.NONE)
+    biw.add_member("front_floor", "front_right_seat", JointKind.NONE)
+    biw.add_member("front_floor", "middle_floor", JointKind.SEAM)
+    biw.add_member("middle_floor", "mid_left", JointKind.NONE)
+    biw.add_member("middle_floor", "mid_right", JointKind.NONE)
+    biw.add_member("middle_floor", "mid_rear", JointKind.NONE)
+    biw.add_member("front_floor", "front_floor_center", JointKind.NONE, length_m=0.47)
+    biw.add_member("mid_left", "rocker_left", JointKind.PERPENDICULAR)
+    biw.add_member("rocker_left", "b_pillar_left", JointKind.PERPENDICULAR)
+    # Seat rails bolt onto the floor pan (seam); the acoustic path runs
+    # along the ribbed rail, longer than the straight-line chord.
+    biw.add_member("middle_floor", "seat_rail_left", JointKind.SEAM, length_m=1.17)
+    biw.add_member("middle_floor", "seat_rail_rear", JointKind.SEAM, length_m=1.43)
+    biw.add_member("mid_rear", "rear_floor", JointKind.SEAM)
+    biw.add_member("rear_floor", "rear_floor_left", JointKind.NONE, length_m=0.54)
+    biw.add_member("rear_floor", "cargo_front", JointKind.SEAM)
+    biw.add_member("cargo_front", "cargo_mid", JointKind.NONE)
+    biw.add_member("cargo_front", "cargo_left", JointKind.NONE)
+    biw.add_member("cargo_front", "cargo_right", JointKind.NONE)
+    biw.add_member("cargo_mid", "threshold_rear", JointKind.SEAM)
+
+    # Reader: centrally in the second row, above the battery pack.
+    biw.add_mount("reader", "middle_floor")
+
+    # Front row: tags 1-3.
+    biw.add_mount("tag1", "front_floor_left")
+    biw.add_mount("tag2", "front_floor_center")
+    biw.add_mount("tag3", "front_floor_right")
+    # Second row: tags 4-8; tag 4 on the rocker turning face.
+    biw.add_mount("tag4", "rocker_left")
+    biw.add_mount("tag5", "seat_rail_left")
+    biw.add_mount("tag6", "seat_rail_rear")
+    biw.add_mount("tag7", "front_left_seat")
+    biw.add_mount("tag8", "mid_right")
+    # Cargo area: tags 9-12.
+    biw.add_mount("tag9", "rear_floor_left")
+    biw.add_mount("tag10", "cargo_front")
+    biw.add_mount("tag11", "cargo_mid")
+    biw.add_mount("tag12", "cargo_left")
+
+    return biw
+
+
+def onvo_l60_megacast() -> BiWModel:
+    """The same vehicle manufactured with single-piece mega-casting.
+
+    Sec. 1 notes that mega-casting "reduces joints and seams in the BiW,
+    providing a more uniform medium for vibration propagation" — and
+    that this manufacturing trend aligns with ARACHNET's needs.  This
+    variant models it: the floor structure is one casting, so every
+    in-plane SEAM becomes a continuous NONE connection.  Geometric
+    transitions (the rocker's perpendicular turn) remain: casting does
+    not remove corners.
+
+    Compare against :func:`onvo_l60` to quantify the benefit (see
+    ``benchmarks/bench_megacasting.py``).
+    """
+    biw = onvo_l60()
+    cast = BiWModel()
+    for name in biw.vertices:
+        x, y, z = biw.position(name)
+        cast.add_vertex(name, x, y, z)
+    seen = set()
+    for vertex in biw.vertices:
+        for member in biw._adjacency[vertex]:
+            key = tuple(sorted((member.a, member.b)))
+            if key in seen:
+                continue
+            seen.add(key)
+            joint = member.joint
+            if joint is JointKind.SEAM:
+                joint = JointKind.NONE  # the casting has no seam here
+            cast.add_member(member.a, member.b, joint, member.length_m)
+    for name, mount in biw.mounts.items():
+        cast.add_mount(name, mount.vertex)
+    return cast
+
+
+#: Names of the twelve deployed tags, in order.
+TAG_NAMES: Tuple[str, ...] = tuple(f"tag{i}" for i in range(1, 13))

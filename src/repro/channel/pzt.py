@@ -1,0 +1,121 @@
+"""Piezoelectric transducer (PZT) model.
+
+A PZT epoxied to the BiW converts between plate vibration and electrical
+voltage (Sec. 2.2).  Two properties matter to ARACHNET:
+
+* **Backscatter states** — short-circuited the transducer *reflects* the
+  incident carrier; open-circuited it *absorbs* it.  The tag toggles a
+  MOSFET between the two to perform OOK; the contrast between the two
+  reflection coefficients sets the modulation depth seen at the reader.
+
+* **Ring effect** — the transducer (and the resonant plate behind it)
+  keeps vibrating after the drive voltage is cut, with an exponential
+  tail whose time constant is Q/(pi*f).  The paper mitigates this on the
+  downlink with the "FSK in, OOK out" scheme of [19]: the reader shifts
+  to a non-resonant frequency for the OFF level instead of going silent,
+  which shortens the effective tail.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.channel import acoustics
+
+
+class PZTState(enum.Enum):
+    """Electrical termination of the transducer (Fig. 2)."""
+
+    REFLECTIVE = "reflective"  # short-circuited: carrier bounces back
+    ABSORPTIVE = "absorptive"  # open-circuited: carrier is absorbed
+
+
+@dataclass(frozen=True)
+class PZTTransducer:
+    """A transducer with a mechanical resonance.
+
+    Parameters mirror a commodity bonded PZT disc: resonance at the
+    system's 90 kHz operating point, moderate Q (the epoxy bond and steel
+    backing damp the ceramic), and reflection coefficients giving a
+    usable OOK contrast.
+    """
+
+    resonant_frequency_hz: float = acoustics.CARRIER_FREQUENCY_HZ
+    q_factor: float = 45.0
+    reflective_coefficient: float = 0.85
+    absorptive_coefficient: float = 0.25
+    #: Fraction of incident vibration power convertible to electrical
+    #: power when terminated by the harvester.
+    harvest_efficiency: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.absorptive_coefficient < self.reflective_coefficient <= 1:
+            raise ValueError(
+                "need 0 <= absorptive < reflective <= 1, got "
+                f"{self.absorptive_coefficient} / {self.reflective_coefficient}"
+            )
+        if self.q_factor <= 0 or self.resonant_frequency_hz <= 0:
+            raise ValueError("Q and resonant frequency must be positive")
+        if not 0 < self.harvest_efficiency <= 1:
+            raise ValueError("harvest efficiency must be in (0, 1]")
+
+    def reflection_coefficient(self, state: PZTState) -> float:
+        """Amplitude reflection coefficient in the given state."""
+        if state is PZTState.REFLECTIVE:
+            return self.reflective_coefficient
+        return self.absorptive_coefficient
+
+    @property
+    def modulation_depth(self) -> float:
+        """Amplitude swing between the two states; what the reader sees."""
+        return self.reflective_coefficient - self.absorptive_coefficient
+
+    @property
+    def ring_time_constant_s(self) -> float:
+        """Exponential decay constant of the vibration tail after the
+        drive stops: tau = Q / (pi * f0)."""
+        return self.q_factor / (math.pi * self.resonant_frequency_hz)
+
+    def frequency_response(self, frequency_hz: float) -> float:
+        """Normalised amplitude response at ``frequency_hz`` (1.0 at
+        resonance), from the standard second-order resonator magnitude."""
+        if frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+        f0 = self.resonant_frequency_hz
+        ratio = frequency_hz / f0
+        denom = math.sqrt((1 - ratio**2) ** 2 + (ratio / self.q_factor) ** 2)
+        # At resonance the magnitude is Q; normalise so response(f0) == 1.
+        return (ratio / self.q_factor) / denom if denom > 0 else 1.0
+
+    def ring_tail(
+        self,
+        initial_amplitude: float,
+        duration_s: float,
+        sample_rate_hz: float = acoustics.READER_SAMPLE_RATE_HZ,
+    ) -> np.ndarray:
+        """Decaying residual vibration after drive cutoff.
+
+        Returns samples of ``A * exp(-t/tau) * cos(2 pi f0 t)``: the tail
+        that corrupts PIE gaps unless the FSK-in-OOK-out trick is used.
+        """
+        if duration_s < 0:
+            raise ValueError("duration must be non-negative")
+        n = int(round(duration_s * sample_rate_hz))
+        t = np.arange(n) / sample_rate_hz
+        tau = self.ring_time_constant_s
+        return initial_amplitude * np.exp(-t / tau) * np.cos(
+            2 * math.pi * self.resonant_frequency_hz * t
+        )
+
+    def effective_off_amplitude(self, non_resonant_frequency_hz: float) -> float:
+        """Residual amplitude during the OFF level under FSK-in-OOK-out.
+
+        The reader transmits a *low* amplitude at a non-resonant frequency
+        instead of silence; the plate responds with the resonator's
+        attenuated response at that frequency, so the tail never builds.
+        """
+        return self.frequency_response(non_resonant_frequency_hz)

@@ -1,0 +1,142 @@
+"""System resonance calibration.
+
+The paper operates at "90 kHz (the resonant frequency of the system)"
+(Sec. 6.1) — a property of the TX PZT bonded to that particular BiW,
+found empirically.  This module models the calibration procedure a
+reader runs at installation time: sweep a probe tone across the band,
+measure the TX→plate→RX response, and lock the carrier to the dominant
+mode.  The secondary modes the sweep reveals are exactly the
+subcarriers the FDMA extension can exploit
+(:func:`repro.ext.fdma.FdmaChannelPlan`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PlateMode:
+    """One structural resonance of the PZT-loaded BiW."""
+
+    frequency_hz: float
+    amplitude: float
+    q_factor: float = 45.0
+
+    def response(self, frequency_hz: np.ndarray) -> np.ndarray:
+        """Second-order resonator magnitude at the probe frequencies."""
+        ratio = np.asarray(frequency_hz, dtype=float) / self.frequency_hz
+        denom = np.sqrt((1 - ratio**2) ** 2 + (ratio / self.q_factor) ** 2)
+        return self.amplitude * (ratio / self.q_factor) / np.maximum(denom, 1e-12)
+
+
+#: The stock modal structure of the PZT-loaded ONVO L60 BiW: a dominant
+#: mode at 90 kHz plus the secondary modes the FDMA plan derates.
+DEFAULT_MODES: Tuple[PlateMode, ...] = (
+    PlateMode(90_000.0, 1.00),
+    PlateMode(84_500.0, 0.72),
+    PlateMode(96_000.0, 0.66),
+    PlateMode(78_200.0, 0.41),
+    PlateMode(103_500.0, 0.35),
+)
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Outcome of a calibration sweep."""
+
+    frequencies_hz: np.ndarray
+    response: np.ndarray
+
+    def peak_frequency_hz(self) -> float:
+        """Dominant resonance, refined by parabolic interpolation
+        around the strongest sample."""
+        i = int(np.argmax(self.response))
+        if 0 < i < len(self.response) - 1:
+            y0, y1, y2 = self.response[i - 1 : i + 2]
+            denom = y0 - 2 * y1 + y2
+            if denom != 0:
+                delta = 0.5 * (y0 - y2) / denom
+                step = self.frequencies_hz[1] - self.frequencies_hz[0]
+                return float(self.frequencies_hz[i] + delta * step)
+        return float(self.frequencies_hz[i])
+
+    def find_modes(
+        self, min_relative: float = 0.25, min_separation_hz: float = 3_000.0
+    ) -> List[float]:
+        """All local response maxima above ``min_relative`` of the peak,
+        at least ``min_separation_hz`` apart — the FDMA channel set."""
+        r = self.response
+        peak = float(r.max())
+        candidates = [
+            i
+            for i in range(1, len(r) - 1)
+            if r[i] >= r[i - 1] and r[i] >= r[i + 1] and r[i] >= min_relative * peak
+        ]
+        kept: List[int] = []
+        for i in sorted(candidates, key=lambda k: -r[k]):
+            if all(
+                abs(self.frequencies_hz[i] - self.frequencies_hz[j])
+                >= min_separation_hz
+                for j in kept
+            ):
+                kept.append(i)
+        return sorted(float(self.frequencies_hz[i]) for i in kept)
+
+
+class ResonanceCalibrator:
+    """Runs the installation-time frequency sweep."""
+
+    def __init__(
+        self,
+        modes: Sequence[PlateMode] = DEFAULT_MODES,
+        noise_floor: float = 0.01,
+    ) -> None:
+        if not modes:
+            raise ValueError("need at least one plate mode")
+        if noise_floor < 0:
+            raise ValueError("noise floor must be non-negative")
+        self.modes = tuple(modes)
+        self.noise_floor = noise_floor
+
+    def response_at(self, frequencies_hz: np.ndarray) -> np.ndarray:
+        """Magnitude of the TX→plate→RX transfer at probe frequencies.
+
+        Modes add in power (their phases at the RX PZT are effectively
+        random across modes).
+        """
+        freqs = np.asarray(frequencies_hz, dtype=float)
+        if np.any(freqs <= 0):
+            raise ValueError("probe frequencies must be positive")
+        total = np.zeros_like(freqs)
+        for mode in self.modes:
+            total += mode.response(freqs) ** 2
+        return np.sqrt(total)
+
+    def sweep(
+        self,
+        f_lo_hz: float = 70_000.0,
+        f_hi_hz: float = 110_000.0,
+        n_points: int = 401,
+        rng: Optional[np.random.Generator] = None,
+    ) -> SweepResult:
+        """Probe ``n_points`` frequencies across the band."""
+        if not 0 < f_lo_hz < f_hi_hz:
+            raise ValueError("need 0 < f_lo < f_hi")
+        if n_points < 3:
+            raise ValueError("need at least 3 sweep points")
+        freqs = np.linspace(f_lo_hz, f_hi_hz, n_points)
+        response = self.response_at(freqs)
+        if rng is not None and self.noise_floor > 0:
+            response = response + rng.normal(0, self.noise_floor, n_points)
+            response = np.maximum(response, 0.0)
+        return SweepResult(freqs, response)
+
+    def calibrate_carrier_hz(
+        self, rng: Optional[np.random.Generator] = None
+    ) -> float:
+        """The full procedure: sweep and lock to the dominant mode."""
+        return self.sweep(rng=rng).peak_frequency_hz()

@@ -1,0 +1,169 @@
+"""Command-line experiment runner: ``python -m repro <experiment>``.
+
+Lets a user regenerate any table or figure without touching pytest:
+
+    python -m repro list
+    python -m repro fig11
+    python -m repro fig15 --trials 20 --seed 3
+    python -m repro all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List
+
+
+def _run_table1(args: argparse.Namespace) -> str:
+    from repro.core.slot_schedule import assign_offsets, schedule_table
+    from repro.experiments.configs import TABLE1_OFFSETS, TABLE1_PERIODS
+
+    result = assign_offsets(TABLE1_PERIODS, TABLE1_OFFSETS)
+    table = schedule_table(result, 8)
+    lines = ["Table 1 — illustrative slot allocation:"]
+    lines.append("  slot: " + " ".join(f"{i}" for i in range(8)))
+    lines.append("  tag:  " + " ".join(slot[0][1] for slot in table))
+    return "\n".join(lines)
+
+
+def _run_table2(args: argparse.Namespace) -> str:
+    from repro.experiments.table2_power import format_table2, run_table2
+
+    return format_table2(run_table2())
+
+
+def _run_fig8(args: argparse.Namespace) -> str:
+    from repro.experiments.fig8_beacon_shift import format_fig8
+
+    return format_fig8()
+
+
+def _run_fig11(args: argparse.Namespace) -> str:
+    from repro.experiments.fig11_energy import format_fig11, run_fig11
+
+    return format_fig11(run_fig11())
+
+
+def _run_fig12(args: argparse.Namespace) -> str:
+    from repro.experiments.fig12_uplink import format_fig12, run_fig12
+
+    return format_fig12(run_fig12())
+
+
+def _run_fig13(args: argparse.Namespace) -> str:
+    from repro.experiments.fig13_downlink import format_fig13, run_fig13
+
+    return format_fig13(run_fig13(seed=args.seed))
+
+
+def _run_fig14(args: argparse.Namespace) -> str:
+    from repro.experiments.fig14_pingpong import format_fig14, run_fig14
+
+    return format_fig14(run_fig14(seed=args.seed))
+
+
+def _run_fig15(args: argparse.Namespace) -> str:
+    from repro.experiments.configs import (
+        FIXED_TAGS_SWEEP,
+        FIXED_UTILIZATION_SWEEP,
+    )
+    from repro.experiments.table3_convergence import format_fig15, run_fig15
+
+    out = ["Fig. 15(a) — fixed 12 tags, utilisation sweep:"]
+    out.append(
+        format_fig15(run_fig15(FIXED_TAGS_SWEEP, n_trials=args.trials, seed=args.seed))
+    )
+    out.append("\nFig. 15(b) — fixed utilisation 0.75, tag-count sweep:")
+    out.append(
+        format_fig15(
+            run_fig15(FIXED_UTILIZATION_SWEEP, n_trials=args.trials, seed=args.seed)
+        )
+    )
+    return "\n".join(out)
+
+
+def _run_fig16(args: argparse.Namespace) -> str:
+    from repro.experiments.fig16_longrun import format_fig16, run_fig16
+
+    return format_fig16(run_fig16(seed=args.seed))
+
+
+def _run_fig17(args: argparse.Namespace) -> str:
+    from repro.experiments.fig17_strain import format_fig17, run_fig17
+
+    return format_fig17(run_fig17())
+
+
+def _run_fig19(args: argparse.Namespace) -> str:
+    from repro.experiments.fig19_aloha import format_fig19, run_fig19
+
+    return format_fig19(run_fig19(seed=args.seed))
+
+
+def _run_appc(args: argparse.Namespace) -> str:
+    from repro.analysis.markov import SlotAllocationChain
+
+    lines = ["Appendix C — convergence-proof verification:"]
+    for periods in [(2, 2), (2, 4), (4, 4), (2, 4, 4), (4, 4, 2)]:
+        chain = SlotAllocationChain(periods)
+        lines.append(
+            f"  {periods}: lemma1={chain.verify_lemma1()} "
+            f"absorbing={chain.verify_absorbing()} "
+            f"E[T]={chain.expected_absorption_time():.2f} slots"
+        )
+    return "\n".join(lines)
+
+
+EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], str]] = {
+    "table1": _run_table1,
+    "fig8": _run_fig8,
+    "table2": _run_table2,
+    "fig11": _run_fig11,
+    "fig12": _run_fig12,
+    "fig13": _run_fig13,
+    "fig14": _run_fig14,
+    "fig15": _run_fig15,
+    "fig16": _run_fig16,
+    "fig17": _run_fig17,
+    "fig19": _run_fig19,
+    "appc": _run_appc,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate ARACHNET's evaluation tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all", "list"],
+        help="which table/figure to run ('all' for everything)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="master RNG seed")
+    parser.add_argument(
+        "--trials", type=int, default=10, help="trials for convergence sweeps"
+    )
+    return parser
+
+
+def main(argv: List[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        print("available experiments:", ", ".join(sorted(EXPERIMENTS)))
+        return 0
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        start = time.perf_counter()
+        output = EXPERIMENTS[name](args)
+        elapsed = time.perf_counter() - start
+        print(f"=== {name} ({elapsed:.1f}s) ===")
+        print(output)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,175 @@
+"""Energy-coupled network simulation.
+
+:class:`SlottedNetwork` treats tag power as solved (the Sec. 6.2
+static argument: duty-cycled consumption < worst-case harvest).  This
+module closes the loop dynamically: every tag owns a
+:class:`~repro.hardware.tag_device.TagDevice` whose supercapacitor is
+charged by its mount's harvest rate and drained by the actual per-slot
+activity (beacon RX every slot, TX airtime in its scheduled slots,
+optional sensor sampling, IDLE otherwise).
+
+Tags begin unpowered and join as their capacitors reach HTH — the
+late-arrival spread of Sec. 5.5 emerges from the physics instead of
+being configured.  A tag whose budget is violated (e.g. sampling its
+strain ADC every slot) browns out at LTH, goes dark, recharges the
+15.2% resume band, and re-joins — the full lifecycle the paper's
+hardware design enables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+from repro.channel.medium import AcousticMedium
+from repro.core.network import NetworkConfig, SlottedNetwork
+from repro.core.reader_protocol import SlotRecord
+from repro.hardware.mcu import McuMode
+from repro.hardware.strain import SAMPLING_POWER_W
+from repro.hardware.tag_device import TagDevice
+from repro.phy.fm0 import fm0_frame_duration_s
+from repro.phy.packets import UL_FRAME_BITS
+
+#: Beacon receive window per slot (s): ~26 raw bits at 250 bps.
+BEACON_RX_S = 0.104
+
+
+@dataclass
+class TagEnergyLog:
+    """Per-tag energy lifecycle statistics."""
+
+    activations: int = 0
+    brownouts: int = 0
+    slots_dark: int = 0
+    slots_lit: int = 0
+
+    @property
+    def availability(self) -> float:
+        total = self.slots_dark + self.slots_lit
+        return self.slots_lit / total if total else 0.0
+
+
+class EnergyAwareNetwork(SlottedNetwork):
+    """Slot allocation with live supercapacitor accounting."""
+
+    def __init__(
+        self,
+        tag_periods: Mapping[str, int],
+        medium: Optional[AcousticMedium] = None,
+        config: Optional[NetworkConfig] = None,
+        sensor_samples_per_slot: float = 0.0,
+        sensor_sample_duration_s: float = 1.0e-3,
+        initial_capacitor_v: float = 0.0,
+    ) -> None:
+        super().__init__(tag_periods, medium, config)
+        if sensor_samples_per_slot < 0:
+            raise ValueError("sample count must be non-negative")
+        self.sensor_samples_per_slot = sensor_samples_per_slot
+        self.sensor_sample_duration_s = sensor_sample_duration_s
+        self.devices: Dict[str, TagDevice] = {}
+        self.energy_log: Dict[str, TagEnergyLog] = {}
+        for name in self.tags:
+            device = TagDevice(
+                self.medium.carrier_amplitude_v(name),
+                initial_capacitor_v=initial_capacitor_v,
+            )
+            self.devices[name] = device
+            self.energy_log[name] = TagEnergyLog()
+            # All tags start below HTH: everyone is a (physics-driven)
+            # late arrival except those pre-charged above threshold.
+            self.tags[name].late_arrival = not device.powered
+        self._ul_airtime_s = fm0_frame_duration_s(
+            UL_FRAME_BITS, self.config.ul_raw_rate_bps
+        )
+
+    # -- energy accounting -----------------------------------------------------
+
+    def _advance_device(self, name: str, transmitted: bool) -> bool:
+        """Advance one tag's device through a slot; returns powered."""
+        device = self.devices[name]
+        log = self.energy_log[name]
+        was_powered = device.powered
+        slot = self.config.slot_duration_s
+        if not was_powered:
+            device.advance(slot)
+            log.slots_dark += 1
+            if device.powered:
+                log.activations += 1
+            return device.powered
+
+        # Powered: beacon RX window, optional sensing, TX if scheduled,
+        # IDLE for the remainder.
+        powered = device.advance(BEACON_RX_S, McuMode.RX)
+        remaining = slot - BEACON_RX_S
+        if powered and self.sensor_samples_per_slot > 0:
+            # The ~1 mW ADC+preamp burst (Sec. 6.5) drawn as a discrete
+            # energy withdrawal.
+            sense_s = self.sensor_samples_per_slot * self.sensor_sample_duration_s
+            powered = device.drain_energy(SAMPLING_POWER_W * sense_s)
+        if powered and transmitted:
+            powered = device.advance(self._ul_airtime_s, McuMode.TX)
+            remaining -= self._ul_airtime_s
+        if powered and remaining > 0:
+            powered = device.advance(remaining, McuMode.IDLE)
+        log.slots_lit += 1
+        if was_powered and not powered:
+            log.brownouts += 1
+            self._reboot_mac(name)
+        return powered
+
+    def _reboot_mac(self, name: str) -> None:
+        """A brown-out is a cold boot: the cutoff disconnects the MCU
+        entirely, so all protocol state (slot counter, settled offset)
+        is lost.  The tag returns as a fresh late arrival — EMPTY-gated
+        and re-competing — exactly the Sec. 5.5 lifecycle."""
+        mac = self.tags[name]
+        mac.machine.reset()
+        mac.slot_counter = 0
+        mac.transmitted_last_slot = False
+        mac.ever_settled = False
+        mac.late_arrival = True
+
+    # -- slot loop ----------------------------------------------------------------
+
+    def step(self) -> SlotRecord:
+        """One slot with live energy state gating participation."""
+        slot = self.reader.slot_index
+        beacon = self.reader.make_beacon()
+        transmitters: List[str] = []
+        decisions: Dict[str, bool] = {}
+        for name, tag in self.tags.items():
+            if not self.devices[name].powered:
+                decisions[name] = False
+                continue
+            lost = self._slot_rng.random() < self._beacon_loss[name]
+            if lost:
+                if self.config.enable_beacon_loss_timer:
+                    tag.on_beacon_loss()
+                else:
+                    tag.beacons_missed += 1
+                    tag.transmitted_last_slot = False
+                decisions[name] = False
+                continue
+            decision = tag.on_beacon(beacon)
+            decisions[name] = decision.transmit
+            if decision.transmit:
+                transmitters.append(name)
+        observation = self._observe(transmitters)
+        record = self.reader.on_slot_observation(observation)
+        self.records.append(record)
+        # Physics after the fact: charge/drain every device.
+        for name in self.tags:
+            powered_after = self._advance_device(name, decisions.get(name, False))
+            if not powered_after and decisions.get(name, False):
+                # Browned out mid-slot: the tag will miss the feedback.
+                self.tags[name].transmitted_last_slot = False
+        return record
+
+    # -- reporting -----------------------------------------------------------------
+
+    def availability(self) -> Dict[str, float]:
+        """Fraction of slots each tag spent powered."""
+        return {n: log.availability for n, log in self.energy_log.items()}
+
+    def total_brownouts(self) -> int:
+        return sum(log.brownouts for log in self.energy_log.values())

@@ -1,0 +1,195 @@
+"""Slot-level network simulator for the full ARACHNET protocol.
+
+Runs reader + tags + channel through the slotted timeline the paper
+evaluates: each slot opens with a DL beacon (per-tag loss draws from
+the channel's PIE model), scheduled tags backscatter, the reader's
+receive chain arbitrates the slot (capture effect + IQ-cluster
+collision detection), and the verdict rides the next beacon.
+
+Supports every experimental lever of Sec. 6.4: the nine c1-c9
+transmission patterns, RESET-triggered first-convergence measurement
+(Fig. 15), long-running slot statistics (Fig. 16), staggered tag
+activation from the charging model, and the ablation switches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.channel.medium import AcousticMedium, SlotObservation
+from repro.core.reader_protocol import ReaderMac, SlotRecord
+from repro.core.state_machine import DEFAULT_NACK_THRESHOLD, TagState
+from repro.core.tag_protocol import TagMac
+from repro.sim.random import RandomStreams
+
+#: Default slot duration (s), Sec. 6.4 ("empirically set to 1 s").
+DEFAULT_SLOT_DURATION_S = 1.0
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Tunable knobs of a slotted simulation run."""
+
+    slot_duration_s: float = DEFAULT_SLOT_DURATION_S
+    ul_raw_rate_bps: float = 375.0
+    dl_raw_rate_bps: float = 250.0
+    nack_threshold: int = DEFAULT_NACK_THRESHOLD
+    enable_empty_flag: bool = True
+    enable_future_avoidance: bool = True
+    enable_beacon_loss_timer: bool = True
+    #: Per-tag per-slot beacon-loss probability override; None derives
+    #: it from the channel's PIE timing model.
+    beacon_loss_probability: Optional[float] = None
+    #: Ideal channel: no UL decode failures, perfect collision
+    #: detection (for protocol-only analysis).
+    ideal_channel: bool = False
+    seed: int = 0
+
+
+class SlottedNetwork:
+    """One deployment of the distributed slot-allocation protocol."""
+
+    def __init__(
+        self,
+        tag_periods: Mapping[str, int],
+        medium: Optional[AcousticMedium] = None,
+        config: Optional[NetworkConfig] = None,
+        activation_slot: Optional[Mapping[str, int]] = None,
+    ) -> None:
+        if not tag_periods:
+            raise ValueError("need at least one tag")
+        self.config = config if config is not None else NetworkConfig()
+        self.medium = medium if medium is not None else AcousticMedium()
+        for tag in tag_periods:
+            if tag not in self.medium.biw.mounts:
+                raise KeyError(f"tag {tag!r} is not mounted on the BiW")
+        self._streams = RandomStreams(self.config.seed)
+        self._slot_rng = self._streams.stream("slots")
+
+        self.reader = ReaderMac(
+            tag_periods,
+            nack_threshold=self.config.nack_threshold,
+            enable_empty_flag=self.config.enable_empty_flag,
+            enable_future_avoidance=self.config.enable_future_avoidance,
+        )
+        self.tags: Dict[str, TagMac] = {}
+        self._beacon_loss: Dict[str, float] = {}
+        self.activation_slot = dict(activation_slot or {})
+        for tid, (name, period) in enumerate(sorted(tag_periods.items())):
+            rng = self._streams.fork(name).stream("offset")
+            self.tags[name] = TagMac(
+                tag_name=name,
+                tid=tid,
+                period=period,
+                offset_picker=lambda p, r=rng: int(r.integers(0, p)),
+                nack_threshold=self.config.nack_threshold,
+                respect_empty_flag=self.config.enable_empty_flag,
+                late_arrival=self.activation_slot.get(name, 0) > 0,
+            )
+            if self.config.beacon_loss_probability is not None:
+                loss = self.config.beacon_loss_probability
+            elif self.config.ideal_channel:
+                loss = 0.0
+            else:
+                loss = self.medium.beacon_loss_probability(
+                    name, self.config.dl_raw_rate_bps
+                )
+            self._beacon_loss[name] = loss
+        self.records: List[SlotRecord] = []
+
+    # -- channel arbitration ---------------------------------------------------
+
+    def _observe(self, transmitters: Sequence[str]) -> SlotObservation:
+        if self.config.ideal_channel:
+            if len(transmitters) == 1:
+                return SlotObservation(tuple(transmitters), transmitters[0], False)
+            if len(transmitters) > 1:
+                return SlotObservation(tuple(transmitters), None, True)
+            return SlotObservation((), None, False)
+        return self.medium.observe_slot(
+            transmitters,
+            self._slot_rng,
+            bit_rate_bps=self.config.ul_raw_rate_bps,
+        )
+
+    # -- execution ---------------------------------------------------------------
+
+    def step(self) -> SlotRecord:
+        """Advance the network by one slot."""
+        slot = self.reader.slot_index
+        beacon = self.reader.make_beacon()
+        transmitters: List[str] = []
+        for name, tag in self.tags.items():
+            if slot < self.activation_slot.get(name, 0):
+                continue  # still charging; not yet part of the network
+            lost = self._slot_rng.random() < self._beacon_loss[name]
+            if lost:
+                if self.config.enable_beacon_loss_timer:
+                    tag.on_beacon_loss()
+                else:
+                    # Ablation: no watchdog — the tag silently skips the
+                    # slot and its counter stalls (vanilla Sec. 5.2
+                    # behaviour under desynchronisation).
+                    tag.beacons_missed += 1
+                    tag.transmitted_last_slot = False
+                continue
+            decision = tag.on_beacon(beacon)
+            if decision.transmit:
+                transmitters.append(name)
+        observation = self._observe(transmitters)
+        record = self.reader.on_slot_observation(observation)
+        self.records.append(record)
+        return record
+
+    def run(self, n_slots: int) -> List[SlotRecord]:
+        """Run ``n_slots`` slots, returning their records."""
+        if n_slots < 0:
+            raise ValueError("slot count must be non-negative")
+        start = len(self.records)
+        for _ in range(n_slots):
+            self.step()
+        return self.records[start:]
+
+    def reset(self) -> None:
+        """Broadcast RESET in the next beacon (Sec. 4.2 CMD)."""
+        self.reader.request_reset()
+
+    def run_until_converged(
+        self, streak: int = 32, max_slots: int = 200_000
+    ) -> Optional[int]:
+        """Slots until the reader sees ``streak`` consecutive
+        collision-free slots — the paper's first-convergence-time metric
+        (Sec. 6.4).  Returns the slot count including the streak, or
+        None if ``max_slots`` elapse first.
+        """
+        if streak < 1:
+            raise ValueError("streak must be >= 1")
+        clean = 0
+        for i in range(max_slots):
+            record = self.step()
+            clean = 0 if record.collision_detected else clean + 1
+            if clean >= streak:
+                return i + 1
+        return None
+
+    # -- state queries -------------------------------------------------------------
+
+    def settled_fraction(self) -> float:
+        """Fraction of activated tags currently in SETTLE."""
+        active = [
+            t
+            for n, t in self.tags.items()
+            if self.reader.slot_index >= self.activation_slot.get(n, 0)
+        ]
+        if not active:
+            return 0.0
+        return sum(1 for t in active if t.state is TagState.SETTLE) / len(active)
+
+    def tag_states(self) -> Dict[str, TagState]:
+        return {n: t.state for n, t in self.tags.items()}
+
+    def tag_offsets(self) -> Dict[str, int]:
+        return {n: t.offset for n, t in self.tags.items()}

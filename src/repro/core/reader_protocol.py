@@ -1,0 +1,292 @@
+"""Reader-side MAC (Sec. 5.3-5.6, reader half).
+
+The reader is the only entity with a ground-truth slot index.  Each
+beacon it broadcasts carries three decisions:
+
+* **ACK/NACK for the previous slot** — ACK only when exactly one packet
+  decoded *and* the IQ-cluster detector saw no collision *and* the
+  transmitter is not being blocked by future-collision avoidance.
+* **EMPTY prediction for the current slot** (Sec. 5.5, Eq. 4) — the
+  slot is predicted free iff, for every period among the tags that have
+  appeared, the slot one period back carried no activity.
+* **RESET** when the experiment requests a cold restart.
+
+Future-collision avoidance (Sec. 5.6): tag periods are provisioned in
+the reader.  When a tag without a committed offset is decoded, the
+reader checks whether *any* conflict-free offset exists for it against
+the currently committed assignments; if not, the newcomer is NACKed
+despite the clean decode, and a committed victim (whose removal makes
+the newcomer viable) is evicted via successive NACKs until it leaves
+SETTLE and re-competes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Set
+
+from repro.channel.medium import SlotObservation
+from repro.core.slot_schedule import (
+    Assignment,
+    find_free_offset,
+    offsets_conflict,
+    validate_period,
+)
+from repro.core.state_machine import DEFAULT_NACK_THRESHOLD
+from repro.phy.packets import DownlinkBeacon
+
+
+@dataclass
+class SlotRecord:
+    """Reader-side log entry for one elapsed slot."""
+
+    slot: int
+    n_transmitters: int
+    decoded: Optional[str]
+    collision_detected: bool
+    acked: bool
+    empty_flag: bool
+
+    @property
+    def occupied(self) -> bool:
+        """Activity in the slot: a decode or a detected collision."""
+        return self.decoded is not None or self.collision_detected
+
+    @property
+    def truly_nonempty(self) -> bool:
+        """Ground truth (simulator-visible): someone transmitted."""
+        return self.n_transmitters > 0
+
+    @property
+    def truly_collided(self) -> bool:
+        return self.n_transmitters > 1
+
+
+class ReaderMac:
+    """Reader protocol engine.
+
+    Parameters
+    ----------
+    tag_periods:
+        Provisioned transmission period per tag name ("all tags periods
+        are known to the reader", Sec. 5.6).
+    enable_empty_flag / enable_future_avoidance:
+        Refinement switches, exposed for the ablation benches.
+    """
+
+    def __init__(
+        self,
+        tag_periods: Mapping[str, int],
+        nack_threshold: int = DEFAULT_NACK_THRESHOLD,
+        enable_empty_flag: bool = True,
+        enable_future_avoidance: bool = True,
+    ) -> None:
+        for tag, period in tag_periods.items():
+            validate_period(period)
+        self.tag_periods = dict(tag_periods)
+        self.nack_threshold = nack_threshold
+        self.enable_empty_flag = enable_empty_flag
+        self.enable_future_avoidance = enable_future_avoidance
+
+        self.slot_index = 0
+        self._pending_ack = False
+        self._pending_reset = False
+        self._appeared: Set[str] = set()
+        self._committed: Dict[str, int] = {}  # tag -> ground-truth offset
+        self._evicting: Dict[str, int] = {}  # tag -> forced NACKs delivered
+        self._activity: Dict[int, bool] = {}  # slot -> any occupation
+        self._slot_decoded: Dict[int, str] = {}  # slot -> attributed tag
+        self._slot_collision: Dict[int, bool] = {}  # slot -> unattributed
+        self.records: List[SlotRecord] = []
+        self._last_empty_flag = True
+
+    # -- beacon composition ---------------------------------------------------
+
+    def request_reset(self) -> None:
+        """Queue a RESET command into the next beacon."""
+        self._pending_reset = True
+
+    def make_beacon(self) -> DownlinkBeacon:
+        """Compose the beacon opening the current slot."""
+        empty = self._compute_empty_flag(self.slot_index)
+        self._last_empty_flag = empty
+        beacon = DownlinkBeacon(
+            ack=self._pending_ack,
+            empty=empty,
+            reset=self._pending_reset,
+        )
+        if self._pending_reset:
+            self._apply_reset()
+        return beacon
+
+    def _apply_reset(self) -> None:
+        self._pending_reset = False
+        self._pending_ack = False
+        self._appeared.clear()
+        self._committed.clear()
+        self._evicting.clear()
+        self._activity.clear()
+        self._slot_decoded.clear()
+        self._slot_collision.clear()
+
+    def _compute_empty_flag(self, slot: int) -> bool:
+        """Eq. 4: EMPTY(s) = prod_i 1(no packet received in slot s-p_i),
+        with each tag's *own* period and per-tag attribution: tag i
+        occupying slot s-p_i means tag i itself returns at slot s.
+
+        Attribution matters: predicting busy whenever *anyone* was
+        active one period back would mark nearly every slot busy in a
+        dense schedule (a period-8 tag seen 4 slots ago is no evidence
+        about this slot), permanently starving EMPTY-gated late
+        arrivals.  Decoded packets carry the TID, so attribution is
+        free; an unattributed *collision* one period back is treated
+        conservatively as potentially-returning for every period.
+        """
+        if not self.enable_empty_flag:
+            return True
+        for tag, period in self.tag_periods.items():
+            back = slot - period
+            if back >= 0 and self._slot_decoded.get(back) == tag:
+                return False
+        for period in set(self.tag_periods.values()):
+            back = slot - period
+            if back >= 0 and self._slot_collision.get(back, False):
+                return False
+        return True
+
+    # -- slot outcome processing -----------------------------------------------
+
+    def on_slot_observation(self, observation: SlotObservation) -> SlotRecord:
+        """Digest the receive chain's verdict for the slot just ended
+        and prepare the ACK/NACK for the next beacon."""
+        slot = self.slot_index
+        decoded = observation.decoded_tag
+        collision = observation.collision_detected
+        occupied = decoded is not None or collision
+        self._activity[slot] = occupied
+        if decoded is not None:
+            self._slot_decoded[slot] = decoded
+        if collision:
+            self._slot_collision[slot] = True
+        # Bounded history: EMPTY only ever looks one max-period back.
+        stale = slot - 2 * max(self.tag_periods.values(), default=1)
+        self._activity.pop(stale, None)
+        self._slot_decoded.pop(stale, None)
+        self._slot_collision.pop(stale, None)
+
+        if not occupied:
+            # A committed tag's scheduled slot passed with no activity at
+            # all: the tag has left that offset (demoted by collisions or
+            # a beacon loss).  Expire the commitment so the viability
+            # check does not hold a phantom slot against newcomers — a
+            # stale commitment would trigger needless evictions.
+            for tag_name in list(self._committed):
+                period = self.tag_periods.get(tag_name)
+                if period is not None and slot % period == self._committed[tag_name]:
+                    del self._committed[tag_name]
+                    self._evicting.pop(tag_name, None)
+
+        ack = False
+        if decoded is not None and not collision:
+            ack = self._decide_ack(decoded, slot)
+        self._pending_ack = ack
+
+        record = SlotRecord(
+            slot=slot,
+            n_transmitters=observation.n_transmitters,
+            decoded=decoded,
+            collision_detected=collision,
+            acked=ack,
+            empty_flag=self._last_empty_flag,
+        )
+        self.records.append(record)
+        self.slot_index += 1
+        return record
+
+    def _decide_ack(self, tag: str, slot: int) -> bool:
+        """Clean single decode: apply Sec. 5.6 placement policy."""
+        self._appeared.add(tag)
+        period = self.tag_periods.get(tag)
+        if period is None:
+            # Unprovisioned tag: acknowledge plainly (no avoidance info).
+            return True
+        offset = slot % period
+
+        if tag in self._evicting:
+            old = self._committed.get(tag)
+            if old is not None and offset == old:
+                # Victim still in its old slot: keep forcing it out.
+                self._evicting[tag] += 1
+                if self._evicting[tag] >= self.nack_threshold:
+                    # It has now absorbed enough NACKs to leave SETTLE;
+                    # stop forcing and forget its old slot.
+                    del self._evicting[tag]
+                    self._committed.pop(tag, None)
+                return False
+            # The victim already migrated: lift the eviction and treat
+            # this decode as a fresh placement attempt below.
+            del self._evicting[tag]
+            self._committed.pop(tag, None)
+
+        committed_offset = self._committed.get(tag)
+        if committed_offset == offset:
+            return True  # settled tag in its usual slot
+        # The tag moved (or is new): treat as a placement attempt.
+        self._committed.pop(tag, None)
+        if not self.enable_future_avoidance:
+            self._committed[tag] = offset
+            return True  # naive ACK-on-decode (ablation baseline)
+        others = [
+            Assignment(t, self.tag_periods[t], o)
+            for t, o in self._committed.items()
+        ]
+        if find_free_offset(period, others) is None:
+            # No viable offset exists at all for this tag: block it and
+            # evict a victim to reopen the competition (Sec. 5.6).
+            self._start_eviction(period, others)
+            return False
+        if any(
+            offsets_conflict(period, offset, o.period, o.offset) for o in others
+        ):
+            # Viable offsets exist, but not this one: the chosen slot is
+            # congruent with a committed tag's pattern and would collide
+            # in a future slot — NACK despite the clean decode.
+            return False
+        self._committed[tag] = offset
+        return True
+
+    def _start_eviction(self, new_period: int, committed: List[Assignment]) -> None:
+        """Pick a committed victim whose removal makes the newcomer
+        viable and begin NACKing it.  Short-period victims are preferred:
+        they transmit (and hence absorb forced NACKs) most often, so the
+        eviction completes fastest.  If an in-flight eviction already
+        unblocks the newcomer, no additional victim is selected — one
+        eviction at a time keeps a thrashing probe from cascading
+        through the whole settled population."""
+        for victim_tag in self._evicting:
+            rest = [a for a in committed if a.tag != victim_tag]
+            if find_free_offset(new_period, rest) is not None:
+                return
+        candidates = []
+        for victim in committed:
+            if victim.tag in self._evicting:
+                continue
+            rest = [a for a in committed if a.tag != victim.tag]
+            if find_free_offset(new_period, rest) is not None:
+                candidates.append(victim)
+        if not candidates:
+            return
+        chosen = min(candidates, key=lambda a: (a.period, a.tag))
+        self._evicting[chosen.tag] = 0
+
+    # -- queries ----------------------------------------------------------------
+
+    @property
+    def committed_assignments(self) -> Dict[str, Assignment]:
+        return {
+            t: Assignment(t, self.tag_periods[t], o)
+            for t, o in self._committed.items()
+        }
+
+    def evicting(self) -> Set[str]:
+        return set(self._evicting)

@@ -1,0 +1,103 @@
+"""Tag state machine (Fig. 7, Appendix C.1).
+
+Two primary states:
+
+* **MIGRATE** — the tag holds a randomly chosen slot offset and probes
+  it.  A NACK (or a detected beacon loss) triggers a fresh random
+  offset; an ACK promotes the tag to SETTLE.
+* **SETTLE** — the tag believes its offset is collision-free.  Isolated
+  NACKs only bump a failure counter (a single lost UL decode must not
+  evict a good offset); ``N`` *consecutive* NACKs — or a detected
+  beacon loss, per the Sec. 5.4 refinement — demote it to MIGRATE with
+  a new random offset.
+
+ACK/NACK events are only delivered to the machine when the tag actually
+transmitted in the slot the feedback refers to; the caller (the tag
+MAC) enforces that gating.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable
+
+#: Consecutive-NACK threshold before a settled tag gives up (Sec. 5.3).
+DEFAULT_NACK_THRESHOLD = 3
+
+
+class TagState(enum.Enum):
+    MIGRATE = "migrate"
+    SETTLE = "settle"
+
+
+class TagStateMachine:
+    """The (z, a, c) automaton of Appendix C.1.
+
+    ``offset_picker`` supplies a random offset in [0, period); it is
+    injected so the network simulator can seed per-tag streams.
+    """
+
+    def __init__(
+        self,
+        period: int,
+        offset_picker: Callable[[int], int],
+        nack_threshold: int = DEFAULT_NACK_THRESHOLD,
+    ) -> None:
+        if period < 1:
+            raise ValueError("period must be >= 1")
+        if nack_threshold < 1:
+            raise ValueError("NACK threshold must be >= 1")
+        self.period = period
+        self._pick = offset_picker
+        self.nack_threshold = nack_threshold
+        self.state = TagState.MIGRATE
+        self.offset = self._pick_offset()
+        self.nack_count = 0
+        self.migrations = 0
+        self.settles = 0
+
+    def _pick_offset(self) -> int:
+        offset = self._pick(self.period)
+        if not 0 <= offset < self.period:
+            raise ValueError(
+                f"offset picker returned {offset} for period {self.period}"
+            )
+        return offset
+
+    @property
+    def settled(self) -> bool:
+        return self.state is TagState.SETTLE
+
+    def on_ack(self) -> None:
+        """Feedback: the reader decoded our last transmission cleanly."""
+        if self.state is TagState.MIGRATE:
+            self.state = TagState.SETTLE
+            self.settles += 1
+        self.nack_count = 0
+
+    def on_nack(self) -> None:
+        """Feedback: our last transmission collided or failed to decode."""
+        if self.state is TagState.MIGRATE:
+            self.offset = self._pick_offset()
+            self.migrations += 1
+            return
+        self.nack_count += 1
+        if self.nack_count >= self.nack_threshold:
+            self._demote()
+
+    def on_beacon_loss(self) -> None:
+        """The watchdog missed an expected beacon: our slot index is now
+        stale, so re-enter MIGRATE pre-emptively (Sec. 5.4 refinement)."""
+        self._demote()
+
+    def reset(self) -> None:
+        """RESET command: back to a fresh MIGRATE state."""
+        self.state = TagState.MIGRATE
+        self.offset = self._pick_offset()
+        self.nack_count = 0
+
+    def _demote(self) -> None:
+        self.state = TagState.MIGRATE
+        self.offset = self._pick_offset()
+        self.nack_count = 0
+        self.migrations += 1

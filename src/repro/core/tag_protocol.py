@@ -1,0 +1,135 @@
+"""Tag-side MAC (Sec. 5.3-5.6, tag half).
+
+Wraps the state machine with everything a deployed tag tracks:
+
+* the local slot counter ``s_i``, incremented per received beacon —
+  never trusted absolutely, only used modulo the period;
+* the transmitted-last-slot gate for the broadcast ACK/NACK (beacons
+  carry no tag ID, so feedback applies only to tags that just spoke);
+* the beacon-loss watchdog (an expected beacon that never arrives sends
+  the tag back to MIGRATE immediately, Sec. 5.4 refinement);
+* the late-arrival EMPTY gate: until a tag has settled at least once,
+  it only transmits in slots the reader has flagged EMPTY (Sec. 5.5),
+  and re-picks its offset instead of transmitting into a predicted-busy
+  slot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.state_machine import DEFAULT_NACK_THRESHOLD, TagState, TagStateMachine
+from repro.phy.packets import DownlinkBeacon
+
+
+@dataclass
+class TagDecision:
+    """What the tag does in the slot a beacon just opened."""
+
+    transmit: bool
+    offset: int
+    state: TagState
+
+
+class TagMac:
+    """The MAC layer of one tag."""
+
+    def __init__(
+        self,
+        tag_name: str,
+        tid: int,
+        period: int,
+        offset_picker: Callable[[int], int],
+        nack_threshold: int = DEFAULT_NACK_THRESHOLD,
+        respect_empty_flag: bool = True,
+        late_arrival: bool = False,
+    ) -> None:
+        self.tag_name = tag_name
+        self.tid = tid
+        self.machine = TagStateMachine(period, offset_picker, nack_threshold)
+        self.slot_counter = 0
+        self.transmitted_last_slot = False
+        self.ever_settled = False
+        self.respect_empty_flag = respect_empty_flag
+        self.late_arrival = late_arrival
+        self.beacons_received = 0
+        self.beacons_missed = 0
+        self.transmissions = 0
+
+    @property
+    def period(self) -> int:
+        return self.machine.period
+
+    @property
+    def state(self) -> TagState:
+        return self.machine.state
+
+    @property
+    def offset(self) -> int:
+        return self.machine.offset
+
+    @property
+    def is_new(self) -> bool:
+        """Only *late-arriving* tags obey the EMPTY flag, and only until
+        their first settle (Sec. 5.5: "only newly arriving tags respond
+        to the EMPTY flag").  Tags present from the start — including
+        everyone after a RESET — compete through the ordinary
+        trial-and-error process (Sec. 5.6: "early-arriving tags select
+        transmission slots through a competitive process")."""
+        return self.late_arrival and not self.ever_settled
+
+    def _scheduled_now(self) -> bool:
+        return self.slot_counter % self.machine.period == self.machine.offset
+
+    def on_beacon(self, beacon: DownlinkBeacon) -> TagDecision:
+        """Process a received beacon; returns this slot's decision.
+
+        Order of operations mirrors the tag firmware: apply last-slot
+        feedback (gated on having transmitted), apply RESET, then decide
+        whether to transmit in the slot this beacon opens.
+        """
+        self.beacons_received += 1
+
+        if self.transmitted_last_slot:
+            if beacon.ack:
+                self.machine.on_ack()
+                self.ever_settled = True
+            else:
+                self.machine.on_nack()
+        self.transmitted_last_slot = False
+
+        if beacon.reset:
+            self.machine.reset()
+            self.ever_settled = False
+            self.slot_counter = 0
+
+        transmit = self._scheduled_now()
+        if transmit and self.is_new and self.respect_empty_flag and not beacon.empty:
+            # Predicted-busy slot: a newcomer defers and immediately
+            # re-rolls its offset rather than provoking a collision.
+            if self.machine.state is TagState.MIGRATE:
+                self.machine.on_nack()  # re-pick without transmitting
+            transmit = False
+
+        if transmit:
+            self.transmissions += 1
+            self.transmitted_last_slot = True
+        self.slot_counter += 1
+        return TagDecision(
+            transmit=transmit, offset=self.machine.offset, state=self.machine.state
+        )
+
+    def on_beacon_loss(self) -> TagDecision:
+        """The watchdog fired: no beacon arrived for this slot.
+
+        The tag cannot transmit (it has no slot-boundary reference) and
+        its counter stops incrementing — the desynchronisation analysed
+        in Sec. 5.4.  The refinement sends it straight back to MIGRATE.
+        """
+        self.beacons_missed += 1
+        self.transmitted_last_slot = False
+        self.machine.on_beacon_loss()
+        return TagDecision(
+            transmit=False, offset=self.machine.offset, state=self.machine.state
+        )

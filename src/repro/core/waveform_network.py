@@ -1,0 +1,125 @@
+"""Waveform-fidelity network execution.
+
+The third and highest fidelity level.  The slot-level simulator draws
+slot outcomes from calibrated probabilities; the real-time variant adds
+physical timing; *this* variant puts the actual signal processing in
+the loop: every slot's uplink is synthesised as a sampled capture
+(carrier leak + per-tag backscatter phasors + receiver noise) and
+arbitrated by the real reader chain — FM0 decoding through
+:class:`~repro.phy.reader_dsp.ReaderReceiveChain` and collision
+detection through :func:`~repro.phy.iq.detect_collision`.
+
+It is 3-4 orders of magnitude slower per slot than the slot-level
+simulator, so it runs tens-to-hundreds of slots, not tens of
+thousands; its job is to certify that the fast simulator's outcome
+model (decode success, capture effect, cluster detection) matches what
+the DSP actually does on this channel (see
+``tests/core/test_waveform_network.py`` and
+``benchmarks/bench_waveform_loop.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.channel.medium import AcousticMedium, SlotObservation
+from repro.core.network import NetworkConfig, SlottedNetwork
+from repro.experiments.fig12_uplink import WAVEFORM_AMPLITUDE_CALIBRATION
+from repro.phy.iq import detect_collision
+from repro.phy.modem import BackscatterUplink
+from repro.phy.packets import UplinkPacket
+from repro.phy.reader_dsp import ReaderReceiveChain
+
+
+@dataclass
+class WaveformSlotLog:
+    """DSP-level detail for one simulated slot."""
+
+    slot: int
+    transmitters: List[str]
+    decoded_tids: List[int]
+    n_clusters: int
+
+
+class WaveformNetwork(SlottedNetwork):
+    """The slot-allocation MAC with the real DSP arbitrating slots."""
+
+    def __init__(
+        self,
+        tag_periods: Mapping[str, int],
+        medium: Optional[AcousticMedium] = None,
+        config: Optional[NetworkConfig] = None,
+        payloads: Optional[Mapping[str, int]] = None,
+    ) -> None:
+        super().__init__(tag_periods, medium, config)
+        self._uplink = BackscatterUplink(pzt=self.medium.pzt)
+        self._chain = ReaderReceiveChain()
+        self._phase_rng = self._streams.stream("phases")
+        self._tid_to_name = {mac.tid: name for name, mac in self.tags.items()}
+        self._payloads = dict(payloads or {})
+        self.slot_logs: List[WaveformSlotLog] = []
+
+    def _payload_for(self, name: str) -> int:
+        return self._payloads.get(name, (hash(name) + self.reader.slot_index) % 4096)
+
+    def _observe(self, transmitters: Sequence[str]) -> SlotObservation:
+        """Synthesise the slot's capture and run the real receive path."""
+        transmitters = list(transmitters)
+        if not transmitters:
+            self.slot_logs.append(
+                WaveformSlotLog(self.reader.slot_index, [], [], 0)
+            )
+            return SlotObservation((), None, False)
+
+        rate = self.config.ul_raw_rate_bps
+        components = []
+        for name in transmitters:
+            mac = self.tags[name]
+            packet = UplinkPacket(tid=mac.tid, payload=self._payload_for(name))
+            components.append(
+                self._uplink.tag_component(
+                    packet.to_bits(),
+                    rate,
+                    WAVEFORM_AMPLITUDE_CALIBRATION
+                    * self.medium.backscatter_amplitude_v(name),
+                    phase_rad=float(self._phase_rng.uniform(0, 2 * np.pi)),
+                    delay_s=self.medium.propagation_delay_s(name),
+                    lead_in_s=0.03,
+                )
+            )
+        capture = self._uplink.capture(
+            components,
+            self.medium.noise.psd_v2_per_hz,
+            self._phase_rng,
+            extra_samples=2000,
+        )
+
+        outcome = self._chain.decode(capture, rate)
+        clusters = detect_collision(capture, raw_rate_bps=rate)
+        decoded_tids = [p.tid for p in outcome.packets]
+        self.slot_logs.append(
+            WaveformSlotLog(
+                self.reader.slot_index,
+                transmitters,
+                decoded_tids,
+                clusters.n_clusters,
+            )
+        )
+
+        decoded_name: Optional[str] = None
+        for tid in decoded_tids:
+            name = self._tid_to_name.get(tid)
+            if name in transmitters:
+                decoded_name = name
+                break
+        collision = clusters.collision
+        if len(transmitters) > 1 and decoded_name is not None and not collision:
+            # The chain decoded through a collision the clusters missed:
+            # physically possible (capture + merged constellation), and
+            # exactly the case the paper's anti-capture rule targets; we
+            # report what the receiver saw.
+            pass
+        return SlotObservation(tuple(transmitters), decoded_name, collision)

@@ -1,0 +1,95 @@
+"""Experiment harness: one runner per table/figure of the evaluation."""
+
+from repro.experiments.configs import (
+    DOWNLINK_BIT_RATES,
+    FIG11_STAGE_COUNTS,
+    FIXED_TAGS_SWEEP,
+    FIXED_UTILIZATION_SWEEP,
+    PHY_PROBE_TAGS,
+    TABLE1_OFFSETS,
+    TABLE1_PERIODS,
+    TABLE3_PATTERNS,
+    TransmissionPattern,
+    UPLINK_BIT_RATES,
+    pattern,
+)
+from repro.experiments.fig8_beacon_shift import (
+    FIG8_ASSIGNMENTS,
+    ShiftOutcome,
+    format_fig8,
+    shift_outcomes,
+    shift_risk,
+)
+from repro.experiments.fig11_energy import Fig11Result, format_fig11, run_fig11
+from repro.experiments.fig12_uplink import (
+    Fig12Result,
+    format_fig12,
+    run_fig12,
+    run_fig12_waveform,
+)
+from repro.experiments.fig13_downlink import Fig13Result, format_fig13, run_fig13
+from repro.experiments.fig14_pingpong import Fig14Result, format_fig14, run_fig14
+from repro.experiments.fig16_longrun import Fig16Result, format_fig16, run_fig16
+from repro.experiments.fig17_strain import Fig17Result, format_fig17, run_fig17
+from repro.experiments.fig19_aloha import (
+    deployment_charge_times,
+    format_fig19,
+    run_fig19,
+)
+from repro.experiments.table2_power import Table2Result, format_table2, run_table2
+from repro.experiments.table3_convergence import (
+    CONVERGENCE_STREAK,
+    ConvergenceResult,
+    format_fig15,
+    measure_convergence,
+    run_fig15,
+)
+
+__all__ = [
+    "DOWNLINK_BIT_RATES",
+    "FIG11_STAGE_COUNTS",
+    "FIXED_TAGS_SWEEP",
+    "FIXED_UTILIZATION_SWEEP",
+    "PHY_PROBE_TAGS",
+    "TABLE1_OFFSETS",
+    "TABLE1_PERIODS",
+    "TABLE3_PATTERNS",
+    "TransmissionPattern",
+    "UPLINK_BIT_RATES",
+    "pattern",
+    "FIG8_ASSIGNMENTS",
+    "ShiftOutcome",
+    "format_fig8",
+    "shift_outcomes",
+    "shift_risk",
+    "Fig11Result",
+    "format_fig11",
+    "run_fig11",
+    "Fig12Result",
+    "format_fig12",
+    "run_fig12",
+    "run_fig12_waveform",
+    "Fig13Result",
+    "format_fig13",
+    "run_fig13",
+    "Fig14Result",
+    "format_fig14",
+    "run_fig14",
+    "Fig16Result",
+    "format_fig16",
+    "run_fig16",
+    "Fig17Result",
+    "format_fig17",
+    "run_fig17",
+    "deployment_charge_times",
+    "format_fig19",
+    "run_fig19",
+    "Table2Result",
+    "format_table2",
+    "run_table2",
+    "CONVERGENCE_STREAK",
+    "ConvergenceResult",
+    "format_fig15",
+    "measure_convergence",
+    "run_fig15",
+]

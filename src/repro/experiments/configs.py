@@ -1,0 +1,116 @@
+"""Experiment configurations: the Fig. 10 deployment and the Table 3
+transmission patterns c1-c9.
+
+Table 3 defines nine patterns over four permissible periods
+(4/8/16/32 slots).  c1-c5 hold the tag count at 12 and sweep slot
+utilisation 0.38 -> 1.00; c2 and c6-c9 hold utilisation at 0.75 and
+shrink the tag count 12 -> 6 (excluding specific tags).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Mapping, Tuple
+
+from repro.channel.biw import TAG_NAMES
+from repro.core.slot_schedule import slot_utilization
+
+
+@dataclass(frozen=True)
+class TransmissionPattern:
+    """One column of Table 3."""
+
+    name: str
+    #: period -> how many tags use it.
+    period_counts: Mapping[int, int]
+    #: tags excluded from the 12-tag deployment (by index, 1-based).
+    excluded_tags: Tuple[int, ...] = ()
+
+    @property
+    def n_tags(self) -> int:
+        return sum(self.period_counts.values())
+
+    @property
+    def utilization(self) -> Fraction:
+        return slot_utilization(self.periods())
+
+    def periods(self) -> List[int]:
+        """Flat period list, shortest first."""
+        out: List[int] = []
+        for period in sorted(self.period_counts):
+            out.extend([period] * self.period_counts[period])
+        return out
+
+    def tag_names(self) -> List[str]:
+        """Participating tags from the 12-tag deployment, in order."""
+        excluded = {f"tag{i}" for i in self.excluded_tags}
+        names = [t for t in TAG_NAMES if t not in excluded]
+        if len(names) != self.n_tags:
+            raise ValueError(
+                f"{self.name}: {len(names)} tags available but pattern "
+                f"needs {self.n_tags}"
+            )
+        return names
+
+    def tag_periods(self) -> Dict[str, int]:
+        """Period assignment per tag name.
+
+        Periods are dealt shortest-first to the participating tags in
+        deployment order; the mapping is deterministic so runs are
+        reproducible.
+        """
+        names = self.tag_names()
+        periods = self.periods()
+        return dict(zip(names, periods))
+
+
+#: The nine patterns of Table 3.  Rows are (period -> tag count).
+TABLE3_PATTERNS: Dict[str, TransmissionPattern] = {
+    "c1": TransmissionPattern("c1", {4: 0, 8: 0, 16: 0, 32: 12}),
+    "c2": TransmissionPattern("c2", {4: 0, 8: 0, 16: 12, 32: 0}),
+    "c3": TransmissionPattern("c3", {4: 1, 8: 2, 16: 2, 32: 7}),
+    "c4": TransmissionPattern("c4", {4: 0, 8: 6, 16: 0, 32: 6}),
+    "c5": TransmissionPattern("c5", {4: 1, 8: 3, 16: 4, 32: 4}),
+    "c6": TransmissionPattern("c6", {4: 0, 8: 1, 16: 10, 32: 0}, excluded_tags=(7,)),
+    "c7": TransmissionPattern(
+        "c7", {4: 1, 8: 1, 16: 4, 32: 4}, excluded_tags=(4, 7)
+    ),
+    "c8": TransmissionPattern(
+        "c8", {4: 1, 8: 1, 16: 6, 32: 0}, excluded_tags=(1, 4, 7, 9)
+    ),
+    "c9": TransmissionPattern(
+        "c9", {4: 2, 8: 0, 16: 4, 32: 0}, excluded_tags=(1, 3, 4, 7, 9, 11)
+    ),
+}
+
+#: Fixed-tag-count sweep (utilisation varies), Fig. 15(a).
+FIXED_TAGS_SWEEP = ("c1", "c2", "c3", "c4", "c5")
+
+#: Fixed-utilisation sweep (tag count varies), Fig. 15(b).
+FIXED_UTILIZATION_SWEEP = ("c2", "c6", "c7", "c8", "c9")
+
+#: Table 1's illustrative four-tag example (Sec. 5.2).
+TABLE1_PERIODS: Dict[str, int] = {"tA": 2, "tB": 4, "tC": 8, "tD": 8}
+TABLE1_OFFSETS: Dict[str, int] = {"tA": 0, "tB": 1, "tC": 7, "tD": 3}
+
+#: Multiplier stage counts evaluated in Fig. 11(a) (ratios 4x-16x).
+FIG11_STAGE_COUNTS = (2, 4, 6, 8)
+
+#: Bit-rate sweeps of Figs. 12-13 (raw bps).
+UPLINK_BIT_RATES = (93.75, 187.5, 375.0, 750.0, 1500.0, 3000.0)
+DOWNLINK_BIT_RATES = (125.0, 250.0, 500.0, 1000.0, 2000.0)
+
+#: The three tags the PHY experiments single out (near / turning-face /
+#: far, Fig. 10).
+PHY_PROBE_TAGS = ("tag8", "tag4", "tag11")
+
+
+def pattern(name: str) -> TransmissionPattern:
+    """Lookup a Table 3 pattern by name (c1..c9)."""
+    try:
+        return TABLE3_PATTERNS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown pattern {name!r}; expected one of {sorted(TABLE3_PATTERNS)}"
+        ) from None

@@ -1,0 +1,126 @@
+"""Fig. 13 — Downlink packet loss and tag time synchronisation.
+
+(a) DL beacon loss out of 1,000 sent vs raw bit rate.  Loss is timing-
+    driven: the 12 kHz MCU timer and the reader's 0.1-0.3 ms software
+    modulation jitter leave ample margin at 125-500 bps but blow
+    through the half-raw-bit decision margin at 1000/2000 bps — the
+    cliff of the paper's figure.
+(b) Beacon reception time offset of each tag relative to Tag 6, from
+    the envelope detector's amplitude-dependent threshold-crossing
+    delay plus per-beacon jitter; the paper measures all offsets under
+    5.0 ms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.channel.medium import AcousticMedium
+from repro.experiments.configs import DOWNLINK_BIT_RATES, PHY_PROBE_TAGS
+from repro.phy.envelope import EnvelopeDetector
+from repro.phy.pie import pie_packet_loss_probability
+from repro.sim.random import RandomStreams
+
+#: Reference tag for the synchronisation-offset measurement (Sec. 6.3).
+SYNC_REFERENCE_TAG = "tag6"
+
+
+@dataclass(frozen=True)
+class DownlinkLossPoint:
+    tag: str
+    bit_rate_bps: float
+    loss_probability: float
+    expected_loss_per_1k: float
+
+
+@dataclass(frozen=True)
+class SyncOffsetSample:
+    tag: str
+    offsets_ms: np.ndarray
+
+    @property
+    def max_abs_ms(self) -> float:
+        return float(np.max(np.abs(self.offsets_ms))) if self.offsets_ms.size else 0.0
+
+    @property
+    def mean_ms(self) -> float:
+        return float(np.mean(self.offsets_ms)) if self.offsets_ms.size else 0.0
+
+
+@dataclass(frozen=True)
+class Fig13Result:
+    loss_points: List[DownlinkLossPoint]
+    sync_offsets: List[SyncOffsetSample]
+
+    def loss(self, tag: str, rate: float) -> float:
+        for p in self.loss_points:
+            if p.tag == tag and p.bit_rate_bps == rate:
+                return p.expected_loss_per_1k
+        raise KeyError((tag, rate))
+
+
+def run_fig13(
+    medium: Optional[AcousticMedium] = None,
+    tags: Sequence[str] = PHY_PROBE_TAGS,
+    bit_rates: Sequence[float] = DOWNLINK_BIT_RATES,
+    packets_sent: int = 1000,
+    n_beacons: int = 200,
+    per_beacon_jitter_ms: float = 0.4,
+    seed: int = 0,
+) -> Fig13Result:
+    """Compute both panels of Fig. 13."""
+    medium = medium if medium is not None else AcousticMedium()
+    streams = RandomStreams(seed)
+    loss_points = [
+        DownlinkLossPoint(
+            tag=tag,
+            bit_rate_bps=rate,
+            loss_probability=pie_packet_loss_probability(
+                rate, downlink_snr_db=medium.downlink_snr_db(tag)
+            ),
+            expected_loss_per_1k=packets_sent
+            * pie_packet_loss_probability(
+                rate, downlink_snr_db=medium.downlink_snr_db(tag)
+            ),
+        )
+        for tag in tags
+        for rate in bit_rates
+    ]
+
+    detector = EnvelopeDetector()
+    ref_delay = detector.threshold_crossing_delay_s(
+        medium.carrier_amplitude_v(SYNC_REFERENCE_TAG)
+    )
+    sync: List[SyncOffsetSample] = []
+    for tag in medium.tag_names():
+        delay = detector.threshold_crossing_delay_s(medium.carrier_amplitude_v(tag))
+        base_ms = (delay - ref_delay) * 1e3
+        prop_ms = (
+            medium.propagation_delay_s(tag)
+            - medium.propagation_delay_s(SYNC_REFERENCE_TAG)
+        ) * 1e3
+        rng = streams.fork(tag).stream("sync")
+        jitter = rng.normal(0.0, per_beacon_jitter_ms, size=n_beacons)
+        sync.append(
+            SyncOffsetSample(tag=tag, offsets_ms=base_ms + prop_ms + jitter)
+        )
+    return Fig13Result(loss_points=loss_points, sync_offsets=sync)
+
+
+def format_fig13(result: Fig13Result) -> str:
+    """Render the Fig. 13 loss grid and sync offsets as text."""
+    rates = sorted({p.bit_rate_bps for p in result.loss_points})
+    tags = sorted({p.tag for p in result.loss_points})
+    lines = ["expected DL loss (out of 1000):"]
+    lines.append(f"{'rate':>8} " + "".join(f"{t:>8}" for t in tags))
+    for r in rates:
+        lines.append(
+            f"{r:>8.5g} " + "".join(f"{result.loss(t, r):>8.1f}" for t in tags)
+        )
+    lines.append("sync offsets vs tag6 (ms):")
+    for s in result.sync_offsets:
+        lines.append(f"{s.tag:<6} mean {s.mean_ms:+6.2f}  max|.| {s.max_abs_ms:5.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,88 @@
+"""Fig. 17 — Case study: metal strain measurement.
+
+Three strain-gauge tags (A, B, C) on a metal bar whose free end is
+displaced from -10 cm to +10 cm.  Each tag's Wheatstone bridge output
+is amplified, digitised by the 10-bit ADC, carried in the UL payload,
+and reconstructed reader-side.  The paper's plot shows a clear,
+tag-dependent monotone voltage/displacement correlation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.hardware.strain import StrainSensorModule
+from repro.phy.packets import UplinkPacket
+
+#: The three case-study tags with distinct gauge positions (strain per
+#: cm of tip displacement falls with distance from the clamp).
+CASE_STUDY_SENSITIVITY = {
+    "tagA": 16.0e-6,
+    "tagB": 12.0e-6,
+    "tagC": 8.0e-6,
+}
+
+
+@dataclass(frozen=True)
+class StrainCurve:
+    tag: str
+    displacement_cm: np.ndarray
+    voltage_v: np.ndarray
+
+    def correlation(self) -> float:
+        """Pearson correlation between displacement and voltage."""
+        return float(np.corrcoef(self.displacement_cm, self.voltage_v)[0, 1])
+
+
+@dataclass(frozen=True)
+class Fig17Result:
+    curves: List[StrainCurve]
+
+    def curve(self, tag: str) -> StrainCurve:
+        for c in self.curves:
+            if c.tag == tag:
+                return c
+        raise KeyError(tag)
+
+
+def run_fig17(
+    displacements_cm: Sequence[float] = tuple(np.linspace(-10, 10, 21)),
+    sensitivities: Dict[str, float] = CASE_STUDY_SENSITIVITY,
+) -> Fig17Result:
+    """Sweep the displacement and record reconstructed voltages.
+
+    Each sample round-trips through an actual UL packet (ADC code as
+    payload) to exercise the full sensing-to-reader path.
+    """
+    curves: List[StrainCurve] = []
+    for tid, (tag, sens) in enumerate(sorted(sensitivities.items())):
+        module = StrainSensorModule(strain_per_cm=sens)
+        voltages: List[float] = []
+        for d in displacements_cm:
+            code = module.sample(float(d))
+            packet = UplinkPacket(tid=tid, payload=code)
+            decoded = UplinkPacket.from_bits(packet.to_bits())
+            voltages.append(module.reconstruct_voltage_v(decoded.payload))
+        curves.append(
+            StrainCurve(
+                tag=tag,
+                displacement_cm=np.asarray(list(displacements_cm), dtype=float),
+                voltage_v=np.asarray(voltages),
+            )
+        )
+    return Fig17Result(curves)
+
+
+def format_fig17(result: Fig17Result) -> str:
+    """Render per-tag voltage endpoints and correlations (Fig. 17)."""
+    lines = []
+    for c in result.curves:
+        lines.append(
+            f"{c.tag}: V(-10cm)={c.voltage_v[0]:.3f}  V(0)="
+            f"{c.voltage_v[len(c.voltage_v) // 2]:.3f}  "
+            f"V(+10cm)={c.voltage_v[-1]:.3f}  corr={c.correlation():.4f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,120 @@
+"""Machine-readable results: run the fast experiments and emit one
+JSON document of paper-vs-measured values.
+
+The CLI prints human tables; CI pipelines and the EXPERIMENTS.md
+curation want structured numbers instead:
+
+    python -m repro.experiments.runner results.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Dict, Optional
+
+from repro.channel.medium import AcousticMedium
+
+
+def collect_results(
+    medium: Optional[AcousticMedium] = None,
+    seed: int = 0,
+    quick: bool = True,
+) -> Dict[str, Any]:
+    """Run every analytic/fast experiment; returns a JSON-able dict.
+
+    ``quick`` keeps the stochastic sweeps small (5 trials, 4000-slot
+    long run); pass False for publication-grade counts.
+    """
+    medium = medium if medium is not None else AcousticMedium()
+    trials = 5 if quick else 10
+    longrun_slots = 4000 if quick else 10_000
+    aloha_s = 4000.0 if quick else 10_000.0
+
+    from repro.experiments.fig11_energy import run_fig11
+    from repro.experiments.fig12_uplink import run_fig12
+    from repro.experiments.fig13_downlink import run_fig13
+    from repro.experiments.fig14_pingpong import run_fig14
+    from repro.experiments.fig16_longrun import run_fig16
+    from repro.experiments.fig17_strain import run_fig17
+    from repro.experiments.fig19_aloha import run_fig19
+    from repro.experiments.table2_power import run_table2
+    from repro.experiments.table3_convergence import run_fig15
+    from repro.experiments.configs import FIXED_TAGS_SWEEP
+
+    out: Dict[str, Any] = {"quick": quick, "seed": seed}
+
+    t2 = run_table2()
+    out["table2_power_uw"] = {
+        mode: t2.table[mode]["total_power_uw"] for mode in ("RX", "TX", "IDLE")
+    }
+    out["table2_sustainable"] = t2.sustainable
+
+    f11 = run_fig11(medium)
+    out["fig11"] = {
+        "all_activate": f11.all_activate_at_8_stages(),
+        "charge_time_range_s": list(f11.charging_time_range_s()),
+        "net_power_range_uw": [p * 1e6 for p in f11.net_power_range_w()],
+        "amplified_16x_v": {
+            r.tag: r.amplified_16x_v for r in f11.rows
+        },
+    }
+
+    f12 = run_fig12(medium)
+    out["fig12_snr_db"] = {
+        tag: {str(p.bit_rate_bps): p.snr_db for p in f12.points if p.tag == tag}
+        for tag in ("tag8", "tag4", "tag11")
+    }
+
+    f13 = run_fig13(medium, seed=seed)
+    out["fig13_loss_per_1k"] = {
+        tag: {
+            str(p.bit_rate_bps): p.expected_loss_per_1k
+            for p in f13.loss_points
+            if p.tag == tag
+        }
+        for tag in ("tag8",)
+    }
+    out["fig13_max_sync_offset_ms"] = max(
+        s.max_abs_ms for s in f13.sync_offsets
+    )
+
+    f14 = run_fig14(seed=seed)
+    out["fig14"] = {
+        "stage2_p99_ms": f14.percentile_stage2_s(99) * 1e3,
+        "software_delay_ms": f14.mean_software_delay_s() * 1e3,
+    }
+
+    f15 = run_fig15(FIXED_TAGS_SWEEP, n_trials=trials, seed=seed, medium=medium)
+    out["fig15_median_slots"] = {name: r.median for name, r in f15.items()}
+
+    f16 = run_fig16(n_slots=longrun_slots, seed=seed + 2, medium=medium)
+    out["fig16"] = {
+        "mean_non_empty": f16.mean_non_empty,
+        "mean_collision": f16.mean_collision,
+        "bound": f16.utilization_bound,
+    }
+
+    f17 = run_fig17()
+    out["fig17_correlations"] = {c.tag: c.correlation() for c in f17.curves}
+
+    f19 = run_fig19(duration_s=aloha_s, seed=seed + 3, medium=medium)
+    out["fig19"] = {
+        "overall_success": f19.overall_success_rate,
+        "tag8_total_tx": f19.per_tag["tag8"].total_tx,
+    }
+    return out
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = argv if argv is not None else sys.argv[1:]
+    target = args[0] if args else "results.json"
+    results = collect_results()
+    with open(target, "w") as fh:
+        json.dump(results, fh, indent=2, sort_keys=True)
+    print(f"wrote {target}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

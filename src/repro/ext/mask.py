@@ -1,0 +1,272 @@
+"""Higher-order backscatter modulation (Sec. 6.3 discussion, after [34]).
+
+Oppermann & Renner [34] demonstrate multi-level modulation for acoustic
+backscatter in metals by switching the tag PZT between more than two
+termination impedances.  An M-level amplitude-shift keying (M-ASK)
+symbol carries log2(M) bits, multiplying throughput at the same symbol
+rate — at the cost of shrunken decision distances, so it only pays off
+on high-SNR links (the near tags of Fig. 12a).
+
+:class:`MultiLevelBackscatter` extends the OOK modem with M reflection
+levels and provides the matching maximum-likelihood slicer; the
+analysis helpers quantify the SNR penalty so the extension bench can
+map which deployment tags could run 4-ASK.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.channel import acoustics
+from repro.channel.pzt import PZTTransducer
+from repro.phy.crc import bits_to_int, int_to_bits
+from repro.phy.modem import carrier
+
+
+def mask_bits_per_symbol(levels: int) -> int:
+    """Bits carried per M-ASK symbol; M must be a power of two >= 2."""
+    if levels < 2 or levels & (levels - 1):
+        raise ValueError("level count must be a power of two >= 2")
+    return levels.bit_length() - 1
+
+
+def mask_symbol_error_rate(snr_db: float, levels: int) -> float:
+    """Symbol error rate of M-ASK with equidistant levels.
+
+    Standard unipolar M-ASK: adjacent-level distance shrinks by
+    (M-1), so SER ~= 2(1-1/M) Q(sqrt(3 SNR / (M^2-1))) — the analytic
+    form the extension bench sweeps.
+    """
+    m = levels
+    if m < 2 or m & (m - 1):
+        raise ValueError("level count must be a power of two >= 2")
+    snr = acoustics.db_to_power_ratio(snr_db)
+    arg = math.sqrt(3.0 * snr / (m * m - 1.0))
+    q = 0.5 * math.erfc(arg / math.sqrt(2.0))
+    return 2.0 * (1.0 - 1.0 / m) * q
+
+
+@dataclass(frozen=True)
+class MultiLevelBackscatter:
+    """M-level ASK backscatter modulator/demodulator.
+
+    The tag switches its PZT termination among M impedances giving M
+    equidistant reflection coefficients between the fully absorptive
+    and fully reflective states of the base transducer.
+    """
+
+    levels: int = 4
+    symbol_rate_baud: float = 187.5  # same symbol rate as 375 bps FM0
+    sample_rate_hz: float = acoustics.READER_SAMPLE_RATE_HZ
+    carrier_hz: float = acoustics.CARRIER_FREQUENCY_HZ
+    pzt: PZTTransducer = PZTTransducer()
+
+    def __post_init__(self) -> None:
+        mask_bits_per_symbol(self.levels)  # validates M
+        if self.symbol_rate_baud <= 0:
+            raise ValueError("symbol rate must be positive")
+
+    @property
+    def bits_per_symbol(self) -> int:
+        return mask_bits_per_symbol(self.levels)
+
+    def reflection_levels(self) -> List[float]:
+        """The M reflection coefficients, absorptive -> reflective."""
+        lo = self.pzt.absorptive_coefficient
+        hi = self.pzt.reflective_coefficient
+        return [lo + (hi - lo) * k / (self.levels - 1) for k in range(self.levels)]
+
+    def bits_to_symbols(self, bits: Sequence[int]) -> List[int]:
+        """Pack bits into M-ASK symbol indices (MSB first, zero-padded)."""
+        k = self.bits_per_symbol
+        padded = list(bits) + [0] * ((-len(bits)) % k)
+        return [
+            bits_to_int(padded[i : i + k]) for i in range(0, len(padded), k)
+        ]
+
+    def symbols_to_bits(self, symbols: Sequence[int]) -> List[int]:
+        k = self.bits_per_symbol
+        out: List[int] = []
+        for s in symbols:
+            out.extend(int_to_bits(s, k))
+        return out
+
+    def modulate(
+        self,
+        bits: Sequence[int],
+        backscatter_amplitude_v: float,
+        phase_rad: float = 0.0,
+        lead_in_s: float = 0.02,
+    ) -> np.ndarray:
+        """Synthesise the tag's reflected waveform for a bit sequence.
+
+        A ``lead_in_s`` stretch of the lowest (absorptive/harvesting)
+        level precedes the symbols, covering the receive filter's
+        settling exactly as in the OOK modem.
+        """
+        symbols = self.bits_to_symbols(bits)
+        refl = self.reflection_levels()
+        per_symbol = [refl[s] / self.pzt.reflective_coefficient for s in symbols]
+        n_per = int(round(self.sample_rate_hz / self.symbol_rate_baud))
+        n_lead = int(round(lead_in_s * self.sample_rate_hz))
+        lead_level = refl[0] / self.pzt.reflective_coefficient
+        scale = np.concatenate(
+            [np.full(n_lead, lead_level), np.repeat(per_symbol, n_per)]
+        )
+        return backscatter_amplitude_v * scale * carrier(
+            len(scale), 1.0, self.sample_rate_hz, self.carrier_hz, phase_rad
+        )
+
+    def demodulate_levels(
+        self, measured: Sequence[float], amplitude_v: float
+    ) -> List[int]:
+        """ML slicing of per-symbol amplitude measurements."""
+        refl = self.reflection_levels()
+        targets = [amplitude_v * r / self.pzt.reflective_coefficient for r in refl]
+        out = []
+        for m in measured:
+            out.append(int(np.argmin([abs(m - t) for t in targets])))
+        return out
+
+    def throughput_bps(self) -> float:
+        """Raw bit throughput: symbol rate x bits per symbol."""
+        return self.symbol_rate_baud * self.bits_per_symbol
+
+    def packet_success(self, snr_db: float, n_symbols: int) -> float:
+        """Frame survival probability at a given link SNR."""
+        if n_symbols <= 0:
+            raise ValueError("need at least one symbol")
+        ser = mask_symbol_error_rate(snr_db, self.levels)
+        return (1.0 - ser) ** n_symbols
+
+
+class MaskReceiver:
+    """Waveform-level M-ASK receive chain.
+
+    Reuses the OOK reader's front end (downconversion, rate-matched
+    LPF, principal-axis projection) and replaces the binary slicer with
+    per-symbol integrate-and-dump followed by maximum-likelihood
+    slicing against the M learned levels (k-means on the per-symbol
+    amplitudes — the receiver does not need the absolute link gain).
+    """
+
+    def __init__(self, modem: "MultiLevelBackscatter") -> None:
+        self.modem = modem
+
+    def decode_symbols(self, waveform: np.ndarray) -> List[int]:
+        """Recover the full symbol stream from a capture.
+
+        Grid phase is chosen to minimise within-cell variance (symbol
+        plateaus are flat); the M amplitude levels are learned by 1-D
+        k-means, so no absolute link gain is needed.
+        """
+        from repro.phy.iq import downconvert
+
+        rate = self.modem.symbol_rate_baud
+        decimation = max(1, int(self.modem.sample_rate_hz // (rate * 12)))
+        baseband_rate = self.modem.sample_rate_hz / decimation
+        iq = downconvert(
+            waveform,
+            self.modem.sample_rate_hz,
+            self.modem.carrier_hz,
+            cutoff_hz=2.0 * rate,
+            decimation=decimation,
+        )
+        settle = int(2.0 * baseband_rate / rate)
+        iq = iq[settle:]
+        if len(iq) < 3 * baseband_rate / rate:
+            return []
+        # Project onto the modulation axis (levels are colinear).
+        z = iq - np.mean(iq)
+        second = np.mean(z**2)
+        theta = 0.5 * np.angle(second) if second != 0 else 0.0
+        projected = np.real(z * np.exp(-1j * theta))
+        spb = baseband_rate / rate
+        margin = int(0.2 * spb)
+
+        def cell_means(offset: float) -> Tuple[np.ndarray, float]:
+            means, variances = [], []
+            start = offset
+            while start + spb <= len(projected):
+                lo, hi = int(start) + margin, int(start + spb) - margin
+                if hi > lo:
+                    cell = projected[lo:hi]
+                    means.append(float(cell.mean()))
+                    variances.append(float(cell.var()))
+                start += spb
+            return np.asarray(means), float(np.mean(variances)) if variances else np.inf
+
+        best_offset, best_var = 0.0, math.inf
+        for step in range(12):
+            offset = step * spb / 12.0
+            _, var = cell_means(offset)
+            if var < best_var:
+                best_offset, best_var = offset, var
+        values, _ = cell_means(best_offset)
+        if values.size < 3:
+            return []
+        # Learn the M levels: 1-D k-means seeded across the value range.
+        m = self.modem.levels
+        centers = np.linspace(values.min(), values.max(), m)
+        for _ in range(12):
+            labels = np.argmin(np.abs(values[:, None] - centers[None, :]), axis=1)
+            for k in range(m):
+                members = values[labels == k]
+                if members.size:
+                    centers[k] = members.mean()
+        order = np.argsort(centers)
+        rank = np.empty_like(order)
+        rank[order] = np.arange(m)
+        labels = np.argmin(np.abs(values[:, None] - centers[None, :]), axis=1)
+        return [int(rank[l]) for l in labels]
+
+    def decode_bits(
+        self, waveform: np.ndarray, n_bits: int, search_window: int = 12
+    ) -> List[List[int]]:
+        """Candidate bit streams for an ``n_bits`` payload.
+
+        The capture's symbol stream includes the lead-in and tail, so
+        candidates are generated for each plausible start position and
+        both projection polarities; a frame-level check (CRC, known
+        pattern) picks the winner — mirroring how the OOK chain scans
+        for preambles.
+        """
+        k = self.modem.bits_per_symbol
+        n_symbols = (n_bits + k - 1) // k
+        stream = self.decode_symbols(waveform)
+        if len(stream) < n_symbols:
+            return []
+        flipped = [self.modem.levels - 1 - s for s in stream]
+        candidates: List[List[int]] = []
+        max_start = min(search_window, len(stream) - n_symbols)
+        for start in range(max_start + 1):
+            for variant in (stream, flipped):
+                window = variant[start : start + n_symbols]
+                bits = self.modem.symbols_to_bits(window)[:n_bits]
+                if bits not in candidates:
+                    candidates.append(bits)
+        return candidates
+
+
+def viable_tags_for_mask(
+    medium, levels: int, symbol_rate_baud: float, target_success: float = 0.99,
+    frame_symbols: int = 16,
+) -> Tuple[List[str], List[str]]:
+    """Partition the deployment: which tags can run M-ASK reliably?
+
+    Returns (viable, not_viable) given each tag's uplink SNR at the
+    bandwidth the symbol rate occupies.
+    """
+    viable, not_viable = [], []
+    mod = MultiLevelBackscatter(levels=levels, symbol_rate_baud=symbol_rate_baud)
+    for tag in medium.tag_names():
+        snr = medium.uplink_snr_db(tag, symbol_rate_baud * 2.0)
+        if mod.packet_success(snr, frame_symbols) >= target_success:
+            viable.append(tag)
+        else:
+            not_viable.append(tag)
+    return viable, not_viable

@@ -1,0 +1,122 @@
+"""Per-tag uplink rate adaptation.
+
+The paper fixes the raw uplink rate at 375 bps for everyone because it
+"provides a promising reliability" at the worst link (Sec. 6.3) — but
+its own Fig. 12 shows the near tags holding healthy SNR at 3000 bps.
+Letting each tag run the fastest rate that still meets a target packet
+success shrinks its airtime: an 8x shorter frame means 8x less TX
+energy per report and 8x less channel time per slot (slack the slot
+could reinvest, e.g. for multiple packets or shorter slots).
+
+The reader knows each tag's SNR from its PSD measurements, so rate
+assignment is a reader-side table broadcast at provisioning time — no
+protocol change, only a per-tag modem parameter.
+
+The default reliability target (99.6%) sits just inside the paper's
+measured <0.5% loss envelope: on this deployment it keeps every tag at
+3000 bps except the two cargo tags (11/12), whose 3000 bps loss
+(~0.5%) grazes the limit — exactly the tags the paper's fixed
+conservative rate exists to protect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.channel.medium import AcousticMedium
+from repro.phy.fm0 import fm0_frame_duration_s
+from repro.phy.packets import UL_FRAME_BITS
+
+#: The MCU clock divides 12 kHz by powers of two (Sec. 6.3): these are
+#: the realisable raw rates.
+AVAILABLE_RATES_BPS: Tuple[float, ...] = (93.75, 187.5, 375.0, 750.0, 1500.0, 3000.0)
+
+#: Tag TX power draw (W) while backscattering — airtime is the lever.
+TX_POWER_W = 51.0e-6
+
+
+@dataclass(frozen=True)
+class RateAssignment:
+    """One tag's adapted uplink configuration."""
+
+    tag: str
+    rate_bps: float
+    packet_success: float
+    airtime_s: float
+    tx_energy_j: float
+
+
+class RateAdapter:
+    """Chooses the fastest reliable rate per tag."""
+
+    def __init__(
+        self,
+        medium: Optional[AcousticMedium] = None,
+        target_success: float = 0.996,
+        rates_bps: Sequence[float] = AVAILABLE_RATES_BPS,
+    ) -> None:
+        if not 0 < target_success < 1:
+            raise ValueError("target success must be in (0, 1)")
+        if not rates_bps:
+            raise ValueError("need at least one candidate rate")
+        self.medium = medium if medium is not None else AcousticMedium()
+        self.target_success = target_success
+        self.rates_bps = tuple(sorted(rates_bps))
+
+    def assign(self, tag: str) -> RateAssignment:
+        """Fastest rate meeting the target; falls back to the slowest."""
+        chosen = self.rates_bps[0]
+        chosen_success = self.medium.uplink_packet_success(
+            tag, chosen, UL_FRAME_BITS * 2
+        )
+        for rate in self.rates_bps:
+            success = self.medium.uplink_packet_success(
+                tag, rate, UL_FRAME_BITS * 2
+            )
+            if success >= self.target_success:
+                chosen, chosen_success = rate, success
+        airtime = fm0_frame_duration_s(UL_FRAME_BITS, chosen)
+        return RateAssignment(
+            tag=tag,
+            rate_bps=chosen,
+            packet_success=chosen_success,
+            airtime_s=airtime,
+            tx_energy_j=TX_POWER_W * airtime,
+        )
+
+    def assign_all(
+        self, tags: Optional[Sequence[str]] = None
+    ) -> Dict[str, RateAssignment]:
+        names = list(tags) if tags is not None else self.medium.tag_names()
+        return {t: self.assign(t) for t in names}
+
+    # -- fleet-level accounting --------------------------------------------------
+
+    def airtime_savings(
+        self, tag_periods: Mapping[str, int], baseline_bps: float = 375.0
+    ) -> Tuple[float, float]:
+        """(baseline, adapted) mean channel airtime per slot (s).
+
+        Weighted by each tag's transmission rate (1/period): what
+        fraction of every slot the channel spends carrying UL frames.
+        """
+        baseline_airtime = fm0_frame_duration_s(UL_FRAME_BITS, baseline_bps)
+        base = sum(baseline_airtime / p for p in tag_periods.values())
+        adapted = sum(
+            self.assign(t).airtime_s / p for t, p in tag_periods.items()
+        )
+        return base, adapted
+
+    def energy_savings_per_report(
+        self, tags: Optional[Sequence[str]] = None, baseline_bps: float = 375.0
+    ) -> Dict[str, float]:
+        """Per-tag TX-energy ratio vs the fixed-rate baseline (<1 is a
+        saving; 1.0 means the tag stayed at/below the baseline rate)."""
+        baseline_energy = TX_POWER_W * fm0_frame_duration_s(
+            UL_FRAME_BITS, baseline_bps
+        )
+        out = {}
+        for t, a in self.assign_all(tags).items():
+            out[t] = min(a.tx_energy_j / baseline_energy, 1.0)
+        return out

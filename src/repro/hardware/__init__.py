@@ -1,0 +1,60 @@
+"""Tag hardware substrate: harvesting, storage, cutoff, MCU, sensing."""
+
+from repro.hardware.cutoff import (
+    CutoffThresholds,
+    LowVoltageCutoff,
+    thresholds_from_divider,
+)
+from repro.hardware.diode import SchottkyDiode, SiliconDiode
+from repro.hardware.harvester import ChargingReport, EnergyHarvester
+from repro.hardware.mcu import Mcu, McuClock, McuMode
+from repro.hardware.multiplier import VoltageMultiplier
+from repro.hardware.power import ModePower, TagPowerModel
+from repro.hardware.strain import (
+    Adc,
+    BridgeAmplifier,
+    StrainGauge,
+    StrainSensorModule,
+    WheatstoneBridge,
+)
+from repro.hardware.supercap import Supercapacitor
+from repro.hardware.firmware import (
+    Fm0ModulatorIsr,
+    InterruptEnergyMeter,
+    PieEdgeDemodulator,
+    rx_mode_current_a,
+    tx_mode_current_a,
+)
+from repro.hardware.tag_device import TagBillOfMaterials, TagDevice
+from repro.hardware.tag_firmware import ScheduledTransmission, TagFirmware
+
+__all__ = [
+    "CutoffThresholds",
+    "LowVoltageCutoff",
+    "thresholds_from_divider",
+    "SchottkyDiode",
+    "SiliconDiode",
+    "ChargingReport",
+    "EnergyHarvester",
+    "Mcu",
+    "McuClock",
+    "McuMode",
+    "VoltageMultiplier",
+    "ModePower",
+    "TagPowerModel",
+    "Adc",
+    "BridgeAmplifier",
+    "StrainGauge",
+    "StrainSensorModule",
+    "WheatstoneBridge",
+    "Supercapacitor",
+    "TagBillOfMaterials",
+    "TagDevice",
+    "Fm0ModulatorIsr",
+    "InterruptEnergyMeter",
+    "PieEdgeDemodulator",
+    "rx_mode_current_a",
+    "tx_mode_current_a",
+    "ScheduledTransmission",
+    "TagFirmware",
+]

@@ -1,0 +1,87 @@
+"""Multi-stage voltage multiplier (charging pump), Sec. 3.2.
+
+Cascaded voltage doublers amplify the rectified PZT output:
+
+    Vdd = 2 N (Vp - Von_eff),
+
+where ``Vp`` is the PZT peak voltage and ``Von_eff`` the effective diode
+drop.  Later stages carry ripple and parasitic losses, so the effective
+drop grows slightly with the stage count — this is why the measured
+amplified voltage "is not proportional to the stage number" (Fig. 11a):
+an 8-stage pump yields less than 4x the 2-stage output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.diode import SchottkyDiode
+
+#: Typical charging current through the pump diodes (A); sets the
+#: operating-point forward drop (~0.137 V for the default Schottky).
+DEFAULT_OPERATING_CURRENT_A = 6.3e-4
+
+#: Additional effective drop per extra stage (V), modelling cumulative
+#: ripple and parasitic losses.
+DEFAULT_PER_STAGE_LOSS_V = 0.004
+
+#: The paper's default configuration (Sec. 3.2): 8 stages = 16x ratio.
+DEFAULT_STAGE_COUNT = 8
+
+
+@dataclass(frozen=True)
+class VoltageMultiplier:
+    """An N-stage Dickson-style voltage doubler cascade."""
+
+    n_stages: int = DEFAULT_STAGE_COUNT
+    diode: SchottkyDiode = field(default_factory=SchottkyDiode)
+    operating_current_a: float = DEFAULT_OPERATING_CURRENT_A
+    per_stage_loss_v: float = DEFAULT_PER_STAGE_LOSS_V
+
+    def __post_init__(self) -> None:
+        if self.n_stages < 1:
+            raise ValueError("need at least one stage")
+        if self.operating_current_a <= 0:
+            raise ValueError("operating current must be positive")
+        if self.per_stage_loss_v < 0:
+            raise ValueError("per-stage loss must be non-negative")
+
+    @property
+    def amplification_ratio(self) -> int:
+        """Ideal voltage gain: 2 per stage (8 stages -> 16x)."""
+        return 2 * self.n_stages
+
+    @property
+    def effective_diode_drop_v(self) -> float:
+        """Operating-point drop including cumulative per-stage losses."""
+        base = self.diode.forward_drop(self.operating_current_a)
+        return base + self.per_stage_loss_v * (self.n_stages - 1)
+
+    def output_voltage(self, pzt_peak_voltage_v: float) -> float:
+        """DC output for a given PZT peak input voltage.
+
+        Clamped at zero: below the diode threshold the pump cannot
+        rectify at all.
+        """
+        if pzt_peak_voltage_v < 0:
+            raise ValueError("input voltage must be non-negative")
+        vdd = self.amplification_ratio * (
+            pzt_peak_voltage_v - self.effective_diode_drop_v
+        )
+        return max(0.0, vdd)
+
+    def minimum_input_voltage(self, required_output_v: float) -> float:
+        """Smallest Vp that still yields ``required_output_v`` at the
+        output — used to check tag activation across the BiW."""
+        if required_output_v < 0:
+            raise ValueError("required output must be non-negative")
+        return required_output_v / self.amplification_ratio + self.effective_diode_drop_v
+
+    def with_stages(self, n_stages: int) -> "VoltageMultiplier":
+        """Copy of this multiplier with a different stage count."""
+        return VoltageMultiplier(
+            n_stages=n_stages,
+            diode=self.diode,
+            operating_current_a=self.operating_current_a,
+            per_stage_loss_v=self.per_stage_loss_v,
+        )

@@ -1,0 +1,130 @@
+"""Whole-tag power accounting (Table 2).
+
+Table 2 splits each mode's budget into the MCU's share and the
+peripherals' share (envelope detector + comparator in RX, MOSFET gate
+drive in TX, cutoff-circuit quiescent draw in IDLE).  This module
+reproduces the table and answers the sustainability question of
+Sec. 6.2: duty-cycled operation must fit inside the worst-case net
+charging power of 47.1 uW.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.hardware.mcu import McuMode, SUPPLY_VOLTAGE_V
+
+#: Total tag current per mode (A), Table 2 ("Total" column / voltage).
+TOTAL_CURRENT_A = {
+    McuMode.RX: 12.4e-6,
+    McuMode.TX: 25.5e-6,
+    McuMode.IDLE: 3.8e-6,
+}
+
+#: MCU-only current per mode (A), Table 2 ("MCU" column).
+MCU_CURRENT_A = {
+    McuMode.RX: 6.4e-6,
+    McuMode.TX: 4.7e-6,
+    McuMode.IDLE: 0.6e-6,
+}
+
+
+@dataclass(frozen=True)
+class ModePower:
+    """One row of Table 2."""
+
+    mode: McuMode
+    mcu_current_a: float
+    total_current_a: float
+    voltage_v: float
+
+    @property
+    def peripheral_current_a(self) -> float:
+        return self.total_current_a - self.mcu_current_a
+
+    @property
+    def total_power_w(self) -> float:
+        return self.total_current_a * self.voltage_v
+
+    @property
+    def mcu_power_w(self) -> float:
+        return self.mcu_current_a * self.voltage_v
+
+
+class TagPowerModel:
+    """Power consumption of a complete tag across its operating modes."""
+
+    def __init__(self, voltage_v: float = SUPPLY_VOLTAGE_V) -> None:
+        if voltage_v <= 0:
+            raise ValueError("voltage must be positive")
+        self.voltage_v = voltage_v
+        self._rows: Dict[McuMode, ModePower] = {
+            mode: ModePower(
+                mode=mode,
+                mcu_current_a=MCU_CURRENT_A[mode],
+                total_current_a=TOTAL_CURRENT_A[mode],
+                voltage_v=voltage_v,
+            )
+            for mode in McuMode
+        }
+
+    def row(self, mode: McuMode) -> ModePower:
+        """The Table 2 row for ``mode``."""
+        return self._rows[mode]
+
+    def power_w(self, mode: McuMode) -> float:
+        """Total tag power in ``mode`` (W): 24.8/51.0/7.6 uW by default."""
+        return self._rows[mode].total_power_w
+
+    def current_a(self, mode: McuMode) -> float:
+        return self._rows[mode].total_current_a
+
+    def energy_j(self, mode: McuMode, duration_s: float) -> float:
+        if duration_s < 0:
+            raise ValueError("duration must be non-negative")
+        return self.power_w(mode) * duration_s
+
+    def table(self) -> Dict[str, Dict[str, float]]:
+        """Table 2 rendered as plain numbers (uA / V / uW)."""
+        out = {}
+        for mode, row in self._rows.items():
+            out[mode.value.upper()] = {
+                "mcu_current_ua": row.mcu_current_a * 1e6,
+                "total_current_ua": row.total_current_a * 1e6,
+                "voltage_v": row.voltage_v,
+                "total_power_uw": row.total_power_w * 1e6,
+            }
+        return out
+
+    def duty_cycled_power_w(
+        self,
+        rx_fraction: float,
+        tx_fraction: float,
+    ) -> float:
+        """Average power of a tag spending the given time fractions in
+        RX and TX and the remainder in IDLE."""
+        if rx_fraction < 0 or tx_fraction < 0 or rx_fraction + tx_fraction > 1:
+            raise ValueError("mode fractions must be non-negative and sum to <= 1")
+        idle_fraction = 1.0 - rx_fraction - tx_fraction
+        return (
+            rx_fraction * self.power_w(McuMode.RX)
+            + tx_fraction * self.power_w(McuMode.TX)
+            + idle_fraction * self.power_w(McuMode.IDLE)
+        )
+
+    def sustainable(
+        self,
+        net_charging_power_w: float,
+        rx_fraction: float,
+        tx_fraction: float,
+    ) -> bool:
+        """Can the harvested power sustain this duty cycle indefinitely?
+
+        This is the Sec. 6.2 continuous-operation argument: even the
+        worst-placed tag's 47.1 uW net charging power exceeds the
+        duty-cycled consumption of the protocol's slot schedule.
+        """
+        return net_charging_power_w >= self.duty_cycled_power_w(
+            rx_fraction, tx_fraction
+        )

@@ -1,0 +1,130 @@
+"""Strain-measurement sensor module (Sec. 6.5 case study).
+
+Each tag carries a full Wheatstone bridge of metal-foil strain gauges
+whose resistance shifts with the bending of the underlying metal.  The
+bridge's differential output is pre-amplified and digitised by the
+MCU's ADC; the 12-bit payload of the UL packet carries the code.
+
+The case study bends a metal bar by displacing one end from -10 cm to
++10 cm; three tags (A, B, C) sit at different distances from the clamp
+and therefore see different strain per unit displacement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Supply rail of the sensor module; the paper adapts the TI reference
+#: design [25] from 3.3 V down to 1.8 V.
+SENSOR_SUPPLY_V = 1.8
+
+#: Combined ADC + pre-amplifier power while sampling (W); ~1 mW per
+#: Sec. 6.5, which is why the tag takes at most one sample per slot.
+SAMPLING_POWER_W = 1.0e-3
+
+
+@dataclass(frozen=True)
+class StrainGauge:
+    """A metal-foil gauge: dR/R = gauge_factor * strain."""
+
+    gauge_factor: float = 2.0
+    nominal_resistance_ohm: float = 350.0
+
+    def __post_init__(self) -> None:
+        if self.gauge_factor <= 0 or self.nominal_resistance_ohm <= 0:
+            raise ValueError("gauge factor and resistance must be positive")
+
+    def resistance_ohm(self, strain: float) -> float:
+        """Resistance under the given strain (dimensionless, e.g. 1e-6
+        per microstrain)."""
+        return self.nominal_resistance_ohm * (1.0 + self.gauge_factor * strain)
+
+
+@dataclass(frozen=True)
+class WheatstoneBridge:
+    """Full bridge: all four arms are active gauges (two in tension,
+    two in compression), so Vout = Vexc * GF * strain."""
+
+    gauge: StrainGauge = StrainGauge()
+    excitation_v: float = SENSOR_SUPPLY_V
+
+    def differential_voltage_v(self, strain: float) -> float:
+        """Bridge differential output for the given strain."""
+        return self.excitation_v * self.gauge.gauge_factor * strain
+
+
+@dataclass(frozen=True)
+class BridgeAmplifier:
+    """Single-supply instrumentation amplifier stage ([25] at 1.8 V).
+
+    Output is offset to mid-rail so both bending directions map into the
+    ADC's unipolar range, then clamped to the rails.
+    """
+
+    gain: float = 400.0
+    offset_v: float = SENSOR_SUPPLY_V / 2.0
+    rail_v: float = SENSOR_SUPPLY_V
+
+    def output_v(self, differential_v: float) -> float:
+        out = self.offset_v + self.gain * differential_v
+        return min(max(out, 0.0), self.rail_v)
+
+
+@dataclass(frozen=True)
+class Adc:
+    """MCU on-board SAR ADC (10-bit on the MSP430G2553)."""
+
+    bits: int = 10
+    reference_v: float = SENSOR_SUPPLY_V
+
+    @property
+    def full_scale(self) -> int:
+        return (1 << self.bits) - 1
+
+    def sample(self, voltage_v: float) -> int:
+        """Quantise a voltage into an ADC code, clamped to range."""
+        code = round(voltage_v / self.reference_v * self.full_scale)
+        return min(max(code, 0), self.full_scale)
+
+    def to_voltage(self, code: int) -> float:
+        """Convert a code back to volts (reader-side reconstruction)."""
+        if not 0 <= code <= self.full_scale:
+            raise ValueError(f"code {code} out of range for {self.bits}-bit ADC")
+        return code / self.full_scale * self.reference_v
+
+
+@dataclass(frozen=True)
+class StrainSensorModule:
+    """The complete sensing chain of one tag: bridge -> amp -> ADC.
+
+    ``strain_per_cm`` converts end-displacement of the case-study bar
+    into strain at this tag's gauge position; tags nearer the clamp see
+    more strain per centimetre of tip displacement.
+    """
+
+    bridge: WheatstoneBridge = WheatstoneBridge()
+    amplifier: BridgeAmplifier = BridgeAmplifier()
+    adc: Adc = Adc()
+    strain_per_cm: float = 12.0e-6
+
+    def strain_at(self, displacement_cm: float) -> float:
+        return self.strain_per_cm * displacement_cm
+
+    def analog_voltage_v(self, displacement_cm: float) -> float:
+        """Amplified bridge voltage for a given end displacement."""
+        diff = self.bridge.differential_voltage_v(self.strain_at(displacement_cm))
+        return self.amplifier.output_v(diff)
+
+    def sample(self, displacement_cm: float) -> int:
+        """ADC code the tag would put in its UL payload."""
+        return self.adc.sample(self.analog_voltage_v(displacement_cm))
+
+    def reconstruct_voltage_v(self, code: int) -> float:
+        """Reader-side: payload code back to volts (what Fig. 17b plots)."""
+        return self.adc.to_voltage(code)
+
+    def sampling_energy_j(self, duration_s: float = 1.0e-3) -> float:
+        """Energy of one sample; kept to one per slot for the budget."""
+        if duration_s < 0:
+            raise ValueError("duration must be non-negative")
+        return SAMPLING_POWER_W * duration_s

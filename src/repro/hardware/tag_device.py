@@ -1,0 +1,166 @@
+"""Integrated battery-free tag device.
+
+Ties the harvesting chain, storage, cutoff, MCU and power model into a
+single energy state machine that the network simulator can advance
+through time.  The device answers, at any instant: is this tag powered,
+what is its capacitor voltage, and how much longer until (re)activation?
+
+This is the component behind the paper's "late-arriving tags" problem
+(Sec. 5.5): tags at different BiW positions harvest at different rates,
+so their first activations spread over 4.5-56.2 s, and a brown-out tag
+rejoins after a ~15% resume charge rather than a full one.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.hardware.cutoff import CutoffThresholds, LowVoltageCutoff
+from repro.hardware.harvester import EnergyHarvester
+from repro.hardware.mcu import Mcu, McuMode
+from repro.hardware.power import TagPowerModel
+from repro.hardware.strain import StrainSensorModule
+
+
+@dataclass(frozen=True)
+class TagBillOfMaterials:
+    """The $6.25 compact-tag BOM (Sec. 6.1), for the record."""
+
+    pcb_usd: float = 1.10
+    mcu_usd: float = 1.60
+    pzt_usd: float = 0.90
+    supercap_usd: float = 1.05
+    passives_usd: float = 0.85
+    strain_bridge_usd: float = 0.75
+
+    @property
+    def total_usd(self) -> float:
+        return (
+            self.pcb_usd
+            + self.mcu_usd
+            + self.pzt_usd
+            + self.supercap_usd
+            + self.passives_usd
+            + self.strain_bridge_usd
+        )
+
+
+class TagDevice:
+    """One battery-free tag's energy state.
+
+    Parameters
+    ----------
+    pzt_voltage_v:
+        Open-circuit PZT peak voltage at this tag's mount (from the
+        channel model); fixes harvesting rate and activation margin.
+    initial_capacitor_v:
+        Starting capacitor voltage (0 for a cold start).
+    """
+
+    def __init__(
+        self,
+        pzt_voltage_v: float,
+        harvester: Optional[EnergyHarvester] = None,
+        power_model: Optional[TagPowerModel] = None,
+        mcu: Optional[Mcu] = None,
+        sensor: Optional[StrainSensorModule] = None,
+        initial_capacitor_v: float = 0.0,
+    ) -> None:
+        if pzt_voltage_v < 0:
+            raise ValueError("PZT voltage must be non-negative")
+        self.pzt_voltage_v = pzt_voltage_v
+        self.harvester = harvester if harvester is not None else EnergyHarvester()
+        self.power = power_model if power_model is not None else TagPowerModel()
+        self.mcu = mcu if mcu is not None else Mcu()
+        self.sensor = sensor if sensor is not None else StrainSensorModule()
+        self.cutoff = LowVoltageCutoff(self.harvester.thresholds)
+        if initial_capacitor_v < 0:
+            raise ValueError("capacitor voltage must be non-negative")
+        self.capacitor_v = initial_capacitor_v
+        self.cutoff.update(self.capacitor_v)
+
+    # -- state queries -------------------------------------------------------
+
+    @property
+    def thresholds(self) -> CutoffThresholds:
+        return self.harvester.thresholds
+
+    @property
+    def powered(self) -> bool:
+        """True while the cutoff connects the MCU rail."""
+        return self.cutoff.powered
+
+    def can_ever_activate(self) -> bool:
+        """Does the harvested voltage clear the activation threshold at
+        all (Fig. 11a's question)?"""
+        return self.harvester.can_activate(self.pzt_voltage_v)
+
+    def time_to_activation_s(self) -> float:
+        """Charging time from the current capacitor voltage to HTH."""
+        if self.powered:
+            return 0.0
+        return self.harvester.charge_time_s(
+            self.pzt_voltage_v, v_from=self.capacitor_v
+        )
+
+    # -- time evolution --------------------------------------------------------
+
+    def advance(self, duration_s: float, mode: McuMode = McuMode.IDLE) -> bool:
+        """Advance the device by ``duration_s`` while the MCU would be in
+        ``mode`` (if powered).  Returns the powered state afterwards.
+
+        While unpowered, the tag only charges (net of standby leakage,
+        already inside the harvester's net-power law).  While powered,
+        consumption per Table 2 is drawn from the same capacitor, and
+        the tag browns out if the voltage hits LTH.
+        """
+        if duration_s < 0:
+            raise ValueError("duration must be non-negative")
+        if duration_s == 0:
+            return self.powered
+        if self.powered:
+            # Powered: energy balance at the actual rail voltage.  The
+            # pump delivers its net power into a ~2.3 V capacitor, so
+            # the charging current is P/V here — smaller than during
+            # the low-voltage ramp.
+            harvest_power = self.harvester.net_charging_power_w(self.pzt_voltage_v)
+            voltage = max(self.capacitor_v, self.thresholds.low_v)
+            net = harvest_power / voltage - self.power.current_a(mode)
+        else:
+            net = self.harvester.charging_current_a(self.pzt_voltage_v)
+        self.capacitor_v = self.harvester.supercap.voltage_after(
+            self.capacitor_v, net, duration_s
+        )
+        # The cutoff flips the instant the ramp reaches HTH, so an
+        # unpowered capacitor never overshoots it; once powered, the
+        # pump cannot push the rail above its own open-circuit output.
+        if not self.powered:
+            ceiling = self.thresholds.high_v
+        else:
+            ceiling = self.harvester.amplified_voltage_v(self.pzt_voltage_v)
+        self.capacitor_v = min(self.capacitor_v, ceiling)
+        return self.cutoff.update(self.capacitor_v)
+
+    def drain_energy(self, energy_j: float) -> bool:
+        """Remove a discrete burst of energy from the capacitor (e.g.
+        the ~1 mW strain-ADC sampling burst of Sec. 6.5).  Returns the
+        powered state afterwards."""
+        if energy_j < 0:
+            raise ValueError("energy must be non-negative")
+        stored = self.harvester.supercap.stored_energy_j(self.capacitor_v)
+        stored = max(0.0, stored - energy_j)
+        self.capacitor_v = math.sqrt(
+            2.0 * stored / self.harvester.supercap.capacitance_f
+        )
+        return self.cutoff.update(self.capacitor_v)
+
+    def sustainable_duty_cycle(self, rx_fraction: float, tx_fraction: float) -> bool:
+        """Whether the given RX/TX duty cycle is indefinitely sustainable
+        at this tag's harvesting rate (the Sec. 6.2 budget check)."""
+        return self.power.sustainable(
+            self.harvester.net_charging_power_w(self.pzt_voltage_v),
+            rx_fraction,
+            tx_fraction,
+        )

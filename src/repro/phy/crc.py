@@ -1,0 +1,82 @@
+"""CRC-8 for uplink packet integrity (Sec. 4.2).
+
+The UL packet carries an 8-bit CRC over the TID and payload fields; the
+DL beacon deliberately has none (it carries slot timing, not data, and
+the protocol tolerates occasional mis-decodes).  Uses the CRC-8/ATM
+polynomial x^8 + x^2 + x + 1 (0x07), MSB-first, zero init — a common
+choice for short sensor frames.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+CRC8_POLY = 0x07
+CRC_BITS = 8
+
+
+def crc8_bytes(data: bytes, init: int = 0x00) -> int:
+    """CRC-8 over a byte string."""
+    crc = init
+    for byte in data:
+        crc ^= byte
+        for _ in range(8):
+            if crc & 0x80:
+                crc = ((crc << 1) ^ CRC8_POLY) & 0xFF
+            else:
+                crc = (crc << 1) & 0xFF
+    return crc
+
+
+def crc8_bits(bits: Sequence[int], init: int = 0x00) -> int:
+    """CRC-8 over an arbitrary bit sequence, MSB-first.
+
+    Packet fields are not byte-aligned (4-bit TID, 12-bit payload), so
+    the CRC runs directly over the bit stream.
+    """
+    crc = init
+    for bit in bits:
+        if bit not in (0, 1):
+            raise ValueError(f"bits must be 0/1, got {bit!r}")
+        top = (crc >> 7) & 1
+        crc = (crc << 1) & 0xFF
+        if top ^ bit:
+            crc ^= CRC8_POLY
+    return crc
+
+
+def append_crc8(bits: Sequence[int]) -> List[int]:
+    """Return ``bits`` with their 8-bit CRC appended."""
+    crc = crc8_bits(bits)
+    return list(bits) + int_to_bits(crc, CRC_BITS)
+
+
+def check_crc8(bits_with_crc: Sequence[int]) -> bool:
+    """Validate a bit sequence whose last 8 bits are the CRC.
+
+    Running the CRC over data+crc yields zero iff the sequence is clean.
+    """
+    if len(bits_with_crc) < CRC_BITS:
+        return False
+    return crc8_bits(bits_with_crc) == 0
+
+
+def int_to_bits(value: int, width: int) -> List[int]:
+    """Big-endian fixed-width bit expansion of a non-negative integer."""
+    if value < 0:
+        raise ValueError("value must be non-negative")
+    if width <= 0:
+        raise ValueError("width must be positive")
+    if value >= (1 << width):
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    return [(value >> (width - 1 - i)) & 1 for i in range(width)]
+
+
+def bits_to_int(bits: Iterable[int]) -> int:
+    """Inverse of :func:`int_to_bits`."""
+    value = 0
+    for bit in bits:
+        if bit not in (0, 1):
+            raise ValueError(f"bits must be 0/1, got {bit!r}")
+        value = (value << 1) | bit
+    return value

@@ -1,0 +1,89 @@
+"""FM0 line coding for the uplink (Sec. 4.1).
+
+FM0 (bi-phase space) inverts the line level at every symbol boundary; a
+data 0 additionally inverts mid-symbol.  Expressed as half-bit ("raw
+bit") pairs — the paper's framing: raw pairs 10/01 encode FM0 bit 0,
+raw pairs 00/11 encode FM0 bit 1.  The quoted 375 bps uplink rate is
+the *raw* (half-bit) rate, so a 32-bit UL frame occupies 64 raw bits ~
+171 ms, consistent with the "~200 ms UL packet" of Sec. 5.1.
+
+Decoding checks the mandatory boundary transition; a violation marks a
+symbol error, which the packet layer surfaces as a decode failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+def fm0_encode(bits: Sequence[int], initial_level: int = 1) -> List[int]:
+    """Encode data bits into raw (half-bit) levels.
+
+    Each data bit produces two raw bits.  The line level always flips
+    entering a new symbol; bit 0 flips again mid-symbol, bit 1 holds.
+    """
+    if initial_level not in (0, 1):
+        raise ValueError("initial level must be 0 or 1")
+    level = initial_level
+    raw: List[int] = []
+    for bit in bits:
+        if bit not in (0, 1):
+            raise ValueError(f"bits must be 0/1, got {bit!r}")
+        level ^= 1  # boundary transition
+        first = level
+        if bit == 0:
+            level ^= 1  # mid-symbol transition
+        raw.append(first)
+        raw.append(level)
+    return raw
+
+
+@dataclass(frozen=True)
+class Fm0DecodeResult:
+    """Decoded bits plus a per-symbol boundary-violation mask."""
+
+    bits: List[int]
+    violations: List[bool]
+
+    @property
+    def clean(self) -> bool:
+        return not any(self.violations)
+
+
+def fm0_decode(raw: Sequence[int], initial_level: int = 1) -> Fm0DecodeResult:
+    """Decode raw half-bit levels back into data bits.
+
+    The half-pair determines the bit (equal halves = 1, differing = 0);
+    the boundary rule (first half must differ from the previous symbol's
+    last half) is verified and violations recorded — they indicate bit
+    slips or noise-flipped halves.
+    """
+    if len(raw) % 2 != 0:
+        raise ValueError("raw length must be even (two halves per symbol)")
+    bits: List[int] = []
+    violations: List[bool] = []
+    prev_last = initial_level
+    for i in range(0, len(raw), 2):
+        first, second = raw[i], raw[i + 1]
+        for half in (first, second):
+            if half not in (0, 1):
+                raise ValueError(f"raw bits must be 0/1, got {half!r}")
+        violations.append(first == prev_last)
+        bits.append(1 if first == second else 0)
+        prev_last = second
+    return Fm0DecodeResult(bits, violations)
+
+
+def fm0_symbol_duration_s(raw_bit_rate_bps: float) -> float:
+    """Duration of one data symbol (= two raw bits) at the given raw rate."""
+    if raw_bit_rate_bps <= 0:
+        raise ValueError("bit rate must be positive")
+    return 2.0 / raw_bit_rate_bps
+
+
+def fm0_frame_duration_s(n_data_bits: int, raw_bit_rate_bps: float) -> float:
+    """Airtime of ``n_data_bits`` FM0-coded at the given raw rate."""
+    if n_data_bits < 0:
+        raise ValueError("bit count must be non-negative")
+    return n_data_bits * fm0_symbol_duration_s(raw_bit_rate_bps)

@@ -1,0 +1,204 @@
+"""Waveform-level modulation: carrier synthesis, OOK backscatter, and
+the reader's FSK-in-OOK-out downlink.
+
+This module builds the sampled signals the reader's DAQ would capture
+(500 kHz sampling, 90 kHz carrier), which the PHY experiments
+(Figs. 12-14) feed through the receive chain of
+:mod:`repro.phy.reader_dsp`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.channel import acoustics
+from repro.channel.pzt import PZTTransducer
+from repro.phy.fm0 import fm0_encode
+from repro.phy.pie import pie_encode
+
+
+def raw_bits_to_levels(
+    raw_bits: Sequence[int],
+    raw_rate_bps: float,
+    sample_rate_hz: float,
+) -> np.ndarray:
+    """Expand raw line bits into a per-sample 0/1 level array.
+
+    Sample counts per bit are accumulated in exact time so long frames
+    do not drift relative to the sample grid.
+    """
+    if raw_rate_bps <= 0 or sample_rate_hz <= 0:
+        raise ValueError("rates must be positive")
+    n_total = int(round(len(raw_bits) * sample_rate_hz / raw_rate_bps))
+    levels = np.zeros(n_total, dtype=float)
+    for i, bit in enumerate(raw_bits):
+        if bit not in (0, 1):
+            raise ValueError(f"raw bits must be 0/1, got {bit!r}")
+        start = int(round(i * sample_rate_hz / raw_rate_bps))
+        end = int(round((i + 1) * sample_rate_hz / raw_rate_bps))
+        levels[start:end] = float(bit)
+    return levels
+
+
+def carrier(
+    n_samples: int,
+    amplitude_v: float,
+    sample_rate_hz: float = acoustics.READER_SAMPLE_RATE_HZ,
+    frequency_hz: float = acoustics.CARRIER_FREQUENCY_HZ,
+    phase_rad: float = 0.0,
+) -> np.ndarray:
+    """A plain sinusoidal carrier."""
+    if n_samples < 0:
+        raise ValueError("sample count must be non-negative")
+    t = np.arange(n_samples) / sample_rate_hz
+    return amplitude_v * np.cos(2 * math.pi * frequency_hz * t + phase_rad)
+
+
+@dataclass(frozen=True)
+class BackscatterUplink:
+    """Synthesises what the reader RX PZT captures while a tag
+    backscatters an FM0 frame.
+
+    The capture is ``leak + sum_i(bs_i) + noise``: the reader's own
+    carrier leaking into its RX transducer, each tag's reflected
+    component toggled between the PZT's reflective and absorptive
+    levels, and the receiver noise.
+    """
+
+    sample_rate_hz: float = acoustics.READER_SAMPLE_RATE_HZ
+    carrier_hz: float = acoustics.CARRIER_FREQUENCY_HZ
+    leak_amplitude_v: float = 0.2
+    pzt: PZTTransducer = PZTTransducer()
+
+    def tag_component(
+        self,
+        data_bits: Sequence[int],
+        raw_rate_bps: float,
+        backscatter_amplitude_v: float,
+        phase_rad: float = 0.0,
+        delay_s: float = 0.0,
+        lead_in_s: float = 0.012,
+        tail_s: float = 0.012,
+    ) -> np.ndarray:
+        """One tag's reflected contribution for an FM0-coded frame.
+
+        ``backscatter_amplitude_v`` is the full reflective-state
+        amplitude at the reader; the absorptive state still reflects a
+        fraction set by the PZT's coefficient ratio, so the OOK contrast
+        is the transducer's modulation depth.  ``lead_in_s`` /
+        ``tail_s`` of absorptive-state reflection bracket the frame —
+        physically the tag idles with its PZT harvesting
+        (open-circuited) before and after it modulates, and the receive
+        filter settles during the lead-in.
+        """
+        raw = fm0_encode(list(data_bits))
+        levels = raw_bits_to_levels(raw, raw_rate_bps, self.sample_rate_hz)
+        lo = self.pzt.absorptive_coefficient / self.pzt.reflective_coefficient
+        n_lead = int(round(lead_in_s * self.sample_rate_hz))
+        n_tail = int(round(tail_s * self.sample_rate_hz))
+        scale = np.concatenate(
+            [np.full(n_lead, lo), lo + (1.0 - lo) * levels, np.full(n_tail, lo)]
+        )
+        n_delay = int(round(delay_s * self.sample_rate_hz))
+        body = backscatter_amplitude_v * scale * carrier(
+            len(scale),
+            1.0,
+            self.sample_rate_hz,
+            self.carrier_hz,
+            phase_rad,
+        )
+        return np.concatenate([np.zeros(n_delay), body])
+
+    def capture(
+        self,
+        components: Sequence[np.ndarray],
+        noise_psd_v2_per_hz: float,
+        rng: np.random.Generator,
+        extra_samples: int = 0,
+    ) -> np.ndarray:
+        """Sum leak + tag components + white noise into one capture."""
+        if not components and extra_samples <= 0:
+            raise ValueError("need at least one component or extra samples")
+        n = max([len(c) for c in components], default=0) + max(extra_samples, 0)
+        total = carrier(n, self.leak_amplitude_v, self.sample_rate_hz, self.carrier_hz)
+        for comp in components:
+            total[: len(comp)] += comp
+        sigma = math.sqrt(noise_psd_v2_per_hz * self.sample_rate_hz / 2.0)
+        total += rng.normal(0.0, sigma, size=n)
+        return total
+
+
+@dataclass(frozen=True)
+class FskOokDownlink:
+    """The reader's downlink modulator (Sec. 4.1).
+
+    To mitigate the ring effect, the OFF level is not silence: the
+    reader keeps transmitting at a *non-resonant* frequency with low
+    amplitude.  The plate's resonance attenuates that frequency, so the
+    tag's envelope detector sees ON/OFF contrast without the long
+    exponential tail that silence would leave — "FSK in, OOK out".
+    """
+
+    sample_rate_hz: float = acoustics.READER_SAMPLE_RATE_HZ
+    resonant_hz: float = acoustics.CARRIER_FREQUENCY_HZ
+    off_frequency_hz: float = 78_000.0
+    on_amplitude_v: float = 1.0
+    off_drive_fraction: float = 0.3
+    pzt: PZTTransducer = PZTTransducer()
+
+    def beacon_waveform(
+        self,
+        pie_bits: Sequence[int],
+        raw_rate_bps: float,
+        link_gain: float = 1.0,
+    ) -> np.ndarray:
+        """Waveform at a tag's PZT for a PIE bit sequence.
+
+        ``link_gain`` scales for the reader→tag path.  The OFF level is
+        the off-frequency drive attenuated by the plate's resonance
+        response — a small residual rather than a ringing tail.
+        """
+        raw = pie_encode(list(pie_bits))
+        levels = raw_bits_to_levels(raw, raw_rate_bps, self.sample_rate_hz)
+        t = np.arange(len(levels)) / self.sample_rate_hz
+        on = self.on_amplitude_v * np.cos(2 * math.pi * self.resonant_hz * t)
+        off_amp = (
+            self.on_amplitude_v
+            * self.off_drive_fraction
+            * self.pzt.frequency_response(self.off_frequency_hz)
+        )
+        off = off_amp * np.cos(2 * math.pi * self.off_frequency_hz * t)
+        return link_gain * (levels * on + (1.0 - levels) * off)
+
+    def naive_ook_waveform(
+        self,
+        pie_bits: Sequence[int],
+        raw_rate_bps: float,
+        link_gain: float = 1.0,
+    ) -> np.ndarray:
+        """Plain OOK (silence for OFF) *with* the ring tail — the
+        baseline the FSK-in-OOK-out trick improves on (ablation)."""
+        raw = pie_encode(list(pie_bits))
+        levels = raw_bits_to_levels(raw, raw_rate_bps, self.sample_rate_hz)
+        t = np.arange(len(levels)) / self.sample_rate_hz
+        on_wave = self.on_amplitude_v * np.cos(2 * math.pi * self.resonant_hz * t)
+        out = levels * on_wave
+        # Append exponential ring tails after each ON->OFF transition.
+        tau = self.pzt.ring_time_constant_s
+        falling = np.flatnonzero(np.diff(levels) < 0) + 1
+        for idx in falling:
+            remaining = len(out) - idx
+            if remaining <= 0:
+                continue
+            tail_t = np.arange(remaining) / self.sample_rate_hz
+            tail = (
+                self.on_amplitude_v
+                * np.exp(-tail_t / tau)
+                * np.cos(2 * math.pi * self.resonant_hz * (t[idx] + tail_t))
+            )
+            out[idx:] += tail
+        return link_gain * out

@@ -1,0 +1,161 @@
+"""Pulse-interval encoding (PIE) for the downlink (Sec. 4.1).
+
+A PIE bit 0 is the raw pattern ``10`` (one raw bit high, one low); a
+PIE bit 1 is ``110`` (two high, one low).  The tag demodulates with two
+edge interrupts (Fig. 6a): a positive edge resets the 12 kHz timer, the
+negative edge reads it — the measured *pulse width* is one raw-bit time
+for a 0 and two for a 1, discriminated against a 1.5-raw-bit threshold.
+
+This module provides both the exact encoder/decoder and the calibrated
+**timing-error model** behind Fig. 13(a): the probability a symbol is
+mis-measured given the reader's software jitter (0.1-0.3 ms per PIE
+symbol, Sec. 6.3), the MCU's tick quantisation, the unregulated-supply
+clock skew, and comparator noise.  At 250 bps errors are negligible; at
+1000/2000 bps the margin shrinks below the jitter and loss explodes —
+exactly the cliff the paper measures.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.hardware.mcu import CLOCK_HZ
+
+#: Default raw downlink rate (bps), Sec. 4.1.
+DEFAULT_DL_RAW_RATE_BPS = 250.0
+
+#: Std-dev of the lumped per-symbol timing error (s).  The paper
+#: attributes the downlink error budget to (a) the tag's 12 kHz timer
+#: running off the unregulated supercapacitor rail ("the timer lacks
+#: precision") and (b) the reader's USB pause/resume jitter of
+#: 0.1-0.3 ms per PIE symbol.  The reader's share alone is ~0.08 ms
+#: (see repro.phy.reader_tx.UsbCommandScheduler.symbol_jitter_std_s);
+#: this constant lumps both, calibrated against the Fig. 13(a) cliff.
+READER_JITTER_STD_S = 0.25e-3
+
+#: Std-dev contribution of supply-induced MCU clock skew, as a fraction
+#: of the measured pulse width (the VLO drifts with the decaying rail).
+CLOCK_SKEW_STD_FRACTION = 0.04
+
+#: Residual packet-loss floor from missed preamble detections.
+DETECTION_FLOOR = 3.0e-4
+
+
+def pie_encode(bits: Sequence[int]) -> List[int]:
+    """Expand PIE bits into raw line bits (0 -> ``10``, 1 -> ``110``)."""
+    raw: List[int] = []
+    for bit in bits:
+        if bit == 0:
+            raw.extend((1, 0))
+        elif bit == 1:
+            raw.extend((1, 1, 0))
+        else:
+            raise ValueError(f"bits must be 0/1, got {bit!r}")
+    return raw
+
+
+def pie_decode(raw: Sequence[int]) -> List[int]:
+    """Decode raw line bits back into PIE bits.
+
+    Walks pulse by pulse: each symbol is a run of highs terminated by a
+    single low.  Raises on malformed runs (no low terminator, >2 highs).
+    """
+    bits: List[int] = []
+    i = 0
+    n = len(raw)
+    while i < n:
+        highs = 0
+        while i < n and raw[i] == 1:
+            highs += 1
+            i += 1
+        if i >= n:
+            raise ValueError("truncated PIE symbol: missing low terminator")
+        if raw[i] != 0:
+            raise ValueError(f"raw bits must be 0/1, got {raw[i]!r}")
+        i += 1  # consume the low
+        if highs == 1:
+            bits.append(0)
+        elif highs == 2:
+            bits.append(1)
+        else:
+            raise ValueError(f"invalid PIE pulse of {highs} raw bits")
+    return bits
+
+
+def pie_duration_s(bits: Sequence[int], raw_rate_bps: float = DEFAULT_DL_RAW_RATE_BPS) -> float:
+    """Airtime of a PIE bit sequence: 2 raw bits per 0, 3 per 1."""
+    if raw_rate_bps <= 0:
+        raise ValueError("bit rate must be positive")
+    raw_bits = sum(3 if b else 2 for b in bits)
+    return raw_bits / raw_rate_bps
+
+
+@dataclass(frozen=True)
+class PieTimingModel:
+    """Gaussian model of pulse-width measurement error at the tag."""
+
+    reader_jitter_std_s: float = READER_JITTER_STD_S
+    clock_hz: float = CLOCK_HZ
+    clock_skew_fraction: float = CLOCK_SKEW_STD_FRACTION
+
+    def quantization_std_s(self) -> float:
+        """Uniform +/- half-tick quantisation: tick / sqrt(12)."""
+        return (1.0 / self.clock_hz) / math.sqrt(12.0)
+
+    def comparator_jitter_std_s(self, downlink_snr_db: float) -> float:
+        """Edge jitter of the envelope-detector comparator.
+
+        Scales inversely with carrier amplitude SNR; ~30 us at 20 dB.
+        """
+        snr_amp = 10.0 ** (downlink_snr_db / 20.0)
+        return 3.0e-4 / max(snr_amp, 1.0)
+
+    def symbol_error_std_s(self, raw_rate_bps: float, downlink_snr_db: float) -> float:
+        """Total std-dev of the measured pulse width (s)."""
+        if raw_rate_bps <= 0:
+            raise ValueError("bit rate must be positive")
+        # Worst-case pulse is the 2-raw-bit "1" symbol.
+        pulse_s = 2.0 / raw_rate_bps
+        skew = self.clock_skew_fraction * pulse_s
+        return math.sqrt(
+            self.reader_jitter_std_s**2
+            + self.quantization_std_s() ** 2
+            + skew**2
+            + self.comparator_jitter_std_s(downlink_snr_db) ** 2
+        )
+
+    def symbol_error_probability(
+        self, raw_rate_bps: float, downlink_snr_db: float = 40.0
+    ) -> float:
+        """Probability one PIE symbol is mis-discriminated.
+
+        The decision margin is half a raw bit (the gap between a 1- and
+        a 2-raw-bit pulse around the 1.5-raw-bit threshold).
+        """
+        margin_s = 0.5 / raw_rate_bps
+        sigma = self.symbol_error_std_s(raw_rate_bps, downlink_snr_db)
+        z = margin_s / sigma
+        # Two-sided Gaussian tail via erfc.
+        return math.erfc(z / math.sqrt(2.0))
+
+
+def pie_packet_loss_probability(
+    raw_rate_bps: float,
+    downlink_snr_db: float = 40.0,
+    n_symbols: int = 10,
+    timing: PieTimingModel | None = None,
+) -> float:
+    """Probability a DL beacon (default 10 symbols: 6 preamble + 4 CMD)
+    fails to decode — the curve of Fig. 13(a).
+
+    Any symbol error kills the packet (no DL CRC by design, but a
+    corrupted preamble or command is simply not matched / acted upon).
+    """
+    if n_symbols <= 0:
+        raise ValueError("packet must contain at least one symbol")
+    model = timing if timing is not None else PieTimingModel()
+    p_sym = model.symbol_error_probability(raw_rate_bps, downlink_snr_db)
+    p_clean = (1.0 - p_sym) ** n_symbols
+    return min(1.0, 1.0 - p_clean * (1.0 - DETECTION_FLOOR))

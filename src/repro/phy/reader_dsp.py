@@ -1,0 +1,243 @@
+"""Reader receive chain (Sec. 6.1).
+
+Mirrors the processing blocks of the paper's real-time C++ software:
+down-conversion, frequency-offset calibration, filtering/decimation,
+Schmitt triggering, raw-bit sampling, FM0 decoding, and packet framing,
+with adjacent blocks connected by bounded back-pressure buffers.
+
+The functional entry point is :class:`ReaderReceiveChain`, which takes
+one slot's RX capture and returns the decoded packets plus the
+intermediate products the experiments inspect.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Generic, List, Optional, TypeVar
+
+import numpy as np
+
+from repro.channel import acoustics
+from repro.phy.fm0 import fm0_decode
+from repro.phy.iq import correct_frequency_offset, downconvert, frequency_offset_estimate
+from repro.phy.packets import UplinkPacket, find_ul_frames
+
+T = TypeVar("T")
+
+
+class BackPressureBuffer(Generic[T]):
+    """Bounded FIFO between two processing blocks.
+
+    ``push`` refuses when full — the upstream block must retry, exactly
+    the back-pressure handshake the paper's pipeline uses to keep the
+    USB streaming real-time without unbounded memory.
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._capacity = capacity
+        self._items: Deque[T] = deque()
+
+    @property
+    def full(self) -> bool:
+        return len(self._items) >= self._capacity
+
+    @property
+    def empty(self) -> bool:
+        return not self._items
+
+    def push(self, item: T) -> bool:
+        """Append if space is available; returns success."""
+        if self.full:
+            return False
+        self._items.append(item)
+        return True
+
+    def pop(self) -> Optional[T]:
+        """Remove and return the oldest item, or None when empty."""
+        if self._items:
+            return self._items.popleft()
+        return None
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+@dataclass
+class DecodeOutcome:
+    """Products of one slot's receive processing."""
+
+    packets: List[UplinkPacket]
+    raw_bits: List[int]
+    baseband: np.ndarray
+    frequency_offset_hz: float
+
+
+class ReaderReceiveChain:
+    """Waveform in, CRC-clean packets out."""
+
+    #: Baseband samples kept per raw bit after decimation.
+    SAMPLES_PER_BIT = 12
+
+    def __init__(
+        self,
+        sample_rate_hz: float = acoustics.READER_SAMPLE_RATE_HZ,
+        carrier_hz: float = acoustics.CARRIER_FREQUENCY_HZ,
+        schmitt_hysteresis: float = 0.3,
+    ) -> None:
+        if not 0 <= schmitt_hysteresis < 1:
+            raise ValueError("hysteresis must be in [0, 1)")
+        self.sample_rate_hz = sample_rate_hz
+        self.carrier_hz = carrier_hz
+        self.schmitt_hysteresis = schmitt_hysteresis
+
+    def _decimation_for(self, raw_rate_bps: float) -> int:
+        return max(
+            1, int(self.sample_rate_hz // (raw_rate_bps * self.SAMPLES_PER_BIT))
+        )
+
+    # -- individual blocks ---------------------------------------------------
+
+    def to_baseband(
+        self, waveform: np.ndarray, raw_rate_bps: float
+    ) -> Tuple[np.ndarray, float, float]:
+        """Down-conversion + rate-matched LPF + decimation + offset
+        calibration.  Returns (iq, baseband_rate_hz, offset_hz).
+
+        The LPF cutoff tracks the modulation bandwidth (2x raw rate):
+        this is the chain's processing gain — the narrower the bit
+        rate, the more noise is integrated away, which is exactly why
+        low rates win SNR in Fig. 12(a).
+        """
+        decimation = self._decimation_for(raw_rate_bps)
+        baseband_rate = self.sample_rate_hz / decimation
+        iq = downconvert(
+            waveform,
+            self.sample_rate_hz,
+            self.carrier_hz,
+            cutoff_hz=2.0 * raw_rate_bps,
+            decimation=decimation,
+        )
+        offset = frequency_offset_estimate(iq, baseband_rate)
+        iq = correct_frequency_offset(iq, offset, baseband_rate)
+        return iq, baseband_rate, offset
+
+    @staticmethod
+    def project(iq: np.ndarray) -> np.ndarray:
+        """Project complex baseband onto its principal modulation axis.
+
+        The static carrier leak is removed as the constellation centre
+        (component-wise median — robust against the filter's settling
+        transient); the surviving backscatter phasor lies, up to noise,
+        along one axis whose angle is half the angle of E[z^2].
+        """
+        center = complex(np.median(iq.real), np.median(iq.imag))
+        z = iq - center
+        second_moment = np.median(np.real(z**2)) + 1j * np.median(np.imag(z**2))
+        theta = 0.5 * np.angle(second_moment) if second_moment != 0 else 0.0
+        projected = np.real(z * np.exp(-1j * theta))
+        # Re-centre between the two OOK levels so zero is the decision
+        # threshold even when the lead-in skews the median.
+        lo, hi = np.percentile(projected, [10.0, 90.0])
+        return projected - (lo + hi) / 2.0
+
+    def schmitt(self, projected: np.ndarray) -> np.ndarray:
+        """Hysteresis slicer around zero, scaled to the signal spread.
+
+        The spread estimate is a median absolute deviation: the filter's
+        settling transient would inflate a plain standard deviation and
+        freeze the slicer.
+        """
+        spread = 1.4826 * float(np.median(np.abs(projected - np.median(projected))))
+        if spread == 0.0:
+            return np.zeros(len(projected), dtype=np.int8)
+        hi = self.schmitt_hysteresis * spread
+        lo = -hi
+        out = np.empty(len(projected), dtype=np.int8)
+        state = 1 if projected[0] > 0 else 0
+        for i, v in enumerate(projected):
+            if state == 0 and v >= hi:
+                state = 1
+            elif state == 1 and v <= lo:
+                state = 0
+            out[i] = state
+        return out
+
+    def sample_raw_bits(
+        self,
+        projected: np.ndarray,
+        binary: np.ndarray,
+        raw_rate_bps: float,
+        baseband_rate_hz: float,
+    ) -> List[int]:
+        """Recover the raw bit sequence: integrate-and-dump per bit.
+
+        Bit-grid phase is estimated from the circular mean of the
+        slicer's transition positions modulo the bit period; each raw
+        bit is then the sign of the *integrated* projected signal over
+        the central 80% of the bit — the matched-filter step that buys
+        back the per-sample noise.
+        """
+        if raw_rate_bps <= 0:
+            raise ValueError("bit rate must be positive")
+        samples_per_bit = baseband_rate_hz / raw_rate_bps
+        transitions = np.flatnonzero(np.diff(binary) != 0) + 1
+        if transitions.size == 0:
+            return []
+        phases = (transitions % samples_per_bit) / samples_per_bit
+        angle = np.angle(np.mean(np.exp(2j * math.pi * phases)))
+        grid_offset = (angle / (2 * math.pi)) % 1.0 * samples_per_bit
+        margin = 0.1 * samples_per_bit
+        bits: List[int] = []
+        start = grid_offset
+        while start + samples_per_bit <= len(projected):
+            lo = int(round(start + margin))
+            hi = int(round(start + samples_per_bit - margin))
+            if hi > lo:
+                bits.append(1 if float(np.mean(projected[lo:hi])) > 0 else 0)
+            start += samples_per_bit
+        return bits
+
+    # -- end-to-end -----------------------------------------------------------
+
+    def decode(
+        self, waveform: np.ndarray, raw_rate_bps: float
+    ) -> DecodeOutcome:
+        """Run the full chain on one capture.
+
+        FM0 half-bit alignment is ambiguous by one raw bit, so both
+        alignments are tried; the one that yields frames (or, failing
+        that, fewer FM0 boundary violations) wins.
+        """
+        iq, baseband_rate, offset = self.to_baseband(waveform, raw_rate_bps)
+        projected = self.project(iq)
+        binary = self.schmitt(projected)
+        raw = self.sample_raw_bits(projected, binary, raw_rate_bps, baseband_rate)
+
+        best_packets: List[UplinkPacket] = []
+        best_raw: List[int] = []
+        best_violations = math.inf
+        for start in (0, 1):
+            candidate = raw[start:]
+            if len(candidate) < 2:
+                continue
+            if len(candidate) % 2:
+                candidate = candidate[:-1]
+            result = fm0_decode(candidate)
+            packets = find_ul_frames(result.bits)
+            violations = sum(result.violations)
+            if len(packets) > len(best_packets) or (
+                len(packets) == len(best_packets) and violations < best_violations
+            ):
+                best_packets = packets
+                best_raw = candidate
+                best_violations = violations
+        return DecodeOutcome(
+            packets=best_packets,
+            raw_bits=best_raw,
+            baseband=iq,
+            frequency_offset_hz=offset,
+        )

@@ -1,0 +1,20 @@
+"""Discrete-event simulation substrate: engine, RNG streams, tracing."""
+
+from repro.sim.engine import (
+    EventHandle,
+    PeriodicTask,
+    SimulationError,
+    Simulator,
+)
+from repro.sim.random import RandomStreams
+from repro.sim.trace import TraceRecord, TraceRecorder
+
+__all__ = [
+    "EventHandle",
+    "PeriodicTask",
+    "SimulationError",
+    "Simulator",
+    "RandomStreams",
+    "TraceRecord",
+    "TraceRecorder",
+]

@@ -1,0 +1,188 @@
+"""Discrete-event simulation engine.
+
+ARACHNET's evaluation spans timescales from microseconds (waveform
+samples) to tens of seconds (supercapacitor charging).  The engine keeps a
+single monotonically-advancing clock and a priority queue of timestamped
+events, so tag charging, beacon broadcasts, slot boundaries, and packet
+transmissions can all be scheduled against the same timeline.
+
+Events are callables.  Scheduling returns an :class:`EventHandle` that can
+be cancelled, which the MAC layer uses for beacon-loss watchdog timers
+(Sec. 5.4 of the paper): a tag arms a timer for the next expected beacon
+and cancels it when the beacon actually arrives.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised when the engine is used inconsistently (e.g. scheduling in
+    the past)."""
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    """Internal heap entry.
+
+    Ordered by (time, sequence) so that events scheduled for the same
+    instant fire in scheduling order, which keeps runs deterministic.
+    """
+
+    time: float
+    seq: int
+    handle: "EventHandle" = field(compare=False)
+
+
+class EventHandle:
+    """Handle to a scheduled event; supports cancellation.
+
+    Cancellation is lazy: the heap entry stays in the queue but is skipped
+    when popped.  This makes :meth:`cancel` O(1), which matters because
+    every received beacon cancels a watchdog timer.
+    """
+
+    __slots__ = ("time", "action", "cancelled")
+
+    def __init__(self, time: float, action: Callable[[], None]) -> None:
+        self.time = time
+        self.action = action
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark this event so the engine skips it."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Event-driven simulation clock and queue.
+
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule_at(1.5, lambda: fired.append(sim.now))
+    >>> sim.run()
+    >>> fired
+    [1.5]
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = start_time
+        self._queue: List[_QueueEntry] = []
+        self._seq = itertools.count()
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def schedule_at(self, time: float, action: Callable[[], None]) -> EventHandle:
+        """Schedule ``action`` to fire at absolute time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time} before current time {self._now}"
+            )
+        handle = EventHandle(time, action)
+        heapq.heappush(self._queue, _QueueEntry(time, next(self._seq), handle))
+        return handle
+
+    def schedule_in(self, delay: float, action: Callable[[], None]) -> EventHandle:
+        """Schedule ``action`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.schedule_at(self._now + delay, action)
+
+    def peek_next_time(self) -> Optional[float]:
+        """Time of the next live event, or None if the queue is drained."""
+        self._drop_cancelled()
+        if not self._queue:
+            return None
+        return self._queue[0].time
+
+    def _drop_cancelled(self) -> None:
+        while self._queue and self._queue[0].handle.cancelled:
+            heapq.heappop(self._queue)
+
+    def step(self) -> bool:
+        """Fire the next event.  Returns False when no events remain."""
+        self._drop_cancelled()
+        if not self._queue:
+            return False
+        entry = heapq.heappop(self._queue)
+        self._now = entry.time
+        entry.handle.action()
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run until the queue drains, ``until`` is reached, or
+        ``max_events`` events have fired.  Returns the number of events
+        processed.
+
+        When stopping at ``until``, the clock is advanced to ``until`` even
+        if the next event lies beyond it, so a subsequent ``run`` resumes
+        from a well-defined instant.
+        """
+        count = 0
+        while True:
+            if max_events is not None and count >= max_events:
+                return count
+            next_time = self.peek_next_time()
+            if next_time is None:
+                if until is not None and until > self._now:
+                    self._now = until
+                return count
+            if until is not None and next_time > until:
+                self._now = until
+                return count
+            self.step()
+            count += 1
+
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for e in self._queue if not e.handle.cancelled)
+
+
+class PeriodicTask:
+    """Re-arms itself every ``period`` seconds until :meth:`stop`.
+
+    The reader uses this to emit beacons at slot boundaries; tags use the
+    same mechanism for their beacon-loss watchdog (with re-arming handled
+    by the MAC instead of automatically).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        period: float,
+        action: Callable[[], None],
+        start_delay: float = 0.0,
+    ) -> None:
+        if period <= 0:
+            raise SimulationError(f"period must be positive, got {period}")
+        self._sim = sim
+        self._period = period
+        self._action = action
+        self._stopped = False
+        self._handle: Optional[EventHandle] = None
+        self._handle = sim.schedule_in(start_delay, self._fire)
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self._action()
+        if not self._stopped:
+            self._handle = self._sim.schedule_in(self._period, self._fire)
+
+    def stop(self) -> None:
+        """Stop re-arming and cancel the pending occurrence."""
+        self._stopped = True
+        if self._handle is not None:
+            self._handle.cancel()
+
+    @property
+    def period(self) -> float:
+        return self._period

@@ -1,0 +1,56 @@
+"""Seeded random-number streams.
+
+Every stochastic component of the simulation (slot-offset selection,
+channel noise, beacon loss, charging-time jitter) draws from its own named
+stream derived from a single master seed.  Independent streams mean a
+change in how one component consumes randomness does not perturb the
+others, which keeps regression tests stable and experiments reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict
+
+import numpy as np
+
+
+class RandomStreams:
+    """A registry of named, independently-seeded numpy Generators.
+
+    >>> rs = RandomStreams(seed=7)
+    >>> a = rs.stream("channel").integers(0, 100)
+    >>> b = RandomStreams(seed=7).stream("channel").integers(0, 100)
+    >>> int(a) == int(b)
+    True
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = int(seed)
+        self._streams: Dict[str, np.random.Generator] = {}
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return (creating if needed) the generator for ``name``.
+
+        The per-stream seed is derived by hashing the master seed with the
+        stream name, so streams are decorrelated but fully determined by
+        (seed, name).
+        """
+        if name not in self._streams:
+            digest = hashlib.sha256(f"{self._seed}:{name}".encode()).digest()
+            child_seed = int.from_bytes(digest[:8], "little")
+            self._streams[name] = np.random.default_rng(child_seed)
+        return self._streams[name]
+
+    def fork(self, salt: str) -> "RandomStreams":
+        """Derive a new independent registry, e.g. one per tag.
+
+        ``fork("tag3").stream("offset")`` differs from
+        ``fork("tag4").stream("offset")`` but both are reproducible.
+        """
+        digest = hashlib.sha256(f"{self._seed}/{salt}".encode()).digest()
+        return RandomStreams(int.from_bytes(digest[:8], "little"))

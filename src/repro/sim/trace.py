@@ -1,0 +1,84 @@
+"""Event tracing and statistics collection.
+
+The experiments in the paper report aggregate quantities over long runs
+(slot utilisation over 10,000 slots, per-tag collision counts over
+10,000 s of ALOHA).  :class:`TraceRecorder` is the common sink: components
+emit typed records, experiments query them afterwards.  Recording can be
+filtered by kind to keep long benchmark runs memory-light.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Set
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One timestamped event emitted by a simulation component."""
+
+    time: float
+    kind: str
+    source: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.fields[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.fields.get(key, default)
+
+
+class TraceRecorder:
+    """Collects :class:`TraceRecord` objects and answers queries on them."""
+
+    def __init__(self, kinds: Optional[Iterable[str]] = None) -> None:
+        """``kinds``: record only these kinds; None records everything."""
+        self._records: List[TraceRecord] = []
+        self._filter: Optional[Set[str]] = set(kinds) if kinds is not None else None
+        self._counts: Dict[str, int] = {}
+
+    def emit(self, time: float, kind: str, source: str, **fields: Any) -> None:
+        """Record an event (subject to the kind filter).
+
+        Counts are always maintained for every kind, even filtered-out
+        ones, so cheap aggregate queries never require full recording.
+        """
+        self._counts[kind] = self._counts.get(kind, 0) + 1
+        if self._filter is not None and kind not in self._filter:
+            return
+        self._records.append(TraceRecord(time, kind, source, dict(fields)))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def count(self, kind: str) -> int:
+        """Total emissions of ``kind`` (including filtered-out ones)."""
+        return self._counts.get(kind, 0)
+
+    def records(
+        self,
+        kind: Optional[str] = None,
+        source: Optional[str] = None,
+        since: Optional[float] = None,
+    ) -> List[TraceRecord]:
+        """Stored records, optionally filtered by kind/source/time."""
+        out = self._records
+        if kind is not None:
+            out = [r for r in out if r.kind == kind]
+        if source is not None:
+            out = [r for r in out if r.source == source]
+        if since is not None:
+            out = [r for r in out if r.time >= since]
+        return list(out)
+
+    def series(self, kind: str, field_name: str) -> List[Any]:
+        """Field values of all stored records of ``kind``, in time order."""
+        return [r.fields[field_name] for r in self._records if r.kind == kind]
+
+    def clear(self) -> None:
+        self._records.clear()
+        self._counts.clear()

@@ -1,0 +1,123 @@
+"""Tests for the Appendix C convergence machinery.
+
+These mechanically verify the paper's proof obligations on small,
+exhaustively-enumerable configurations.
+"""
+
+import pytest
+
+from repro.analysis.markov import SlotAllocationChain, completion_feasible
+
+
+class TestCompletionFeasibility:
+    def test_empty_always_feasible(self):
+        assert completion_feasible([], [])
+        assert completion_feasible([(4, 0)], [])
+
+    def test_simple_fit(self):
+        assert completion_feasible([(4, 0)], [4, 4, 4])
+
+    def test_capacity_exceeded_infeasible(self):
+        assert not completion_feasible([], [2, 2, 2])
+
+    def test_fragmentation_detected(self):
+        # (4,0) and (4,1) occupy both period-2 congruence classes, so a
+        # period-2 tag cannot fit despite total utilisation 1.
+        assert not completion_feasible([(4, 0), (4, 1)], [2])
+
+    def test_compatible_halves_fit(self):
+        # (4,0) and (4,2) share class 0 mod 2; a period-2 tag fits at 1.
+        assert completion_feasible([(4, 0), (4, 2)], [2])
+
+    def test_sec56_example(self):
+        # A and B (period 4) at offsets 2 and 3 block a period-2 tag.
+        assert not completion_feasible([(4, 2), (4, 3)], [2])
+        # Removing either victim reopens the competition.
+        assert completion_feasible([(4, 3)], [2])
+
+
+class TestChainVerification:
+    @pytest.mark.parametrize(
+        "periods",
+        [(2, 2), (2, 4), (4, 4), (4, 4, 4), (2, 4, 4)],
+    )
+    def test_lemma1_all_settled_states_collision_free(self, periods):
+        assert SlotAllocationChain(periods).verify_lemma1()
+
+    @pytest.mark.parametrize(
+        "periods",
+        [(2, 2), (2, 4), (4, 4), (4, 4, 4), (2, 4, 4)],
+    )
+    def test_chain_is_absorbing(self, periods):
+        # Lemmas 2-3 / Theorem 4: absorbing set closed & reachable from
+        # every reachable state.
+        assert SlotAllocationChain(periods).verify_absorbing()
+
+    def test_sec56_configuration_absorbs_via_eviction(self):
+        # (4, 4, 2): without Sec. 5.6's avoidance the period-2 tag could
+        # starve forever; the chain must still absorb.
+        assert SlotAllocationChain((4, 4, 2)).verify_absorbing()
+
+    def test_transitions_are_probability_distributions(self):
+        chain = SlotAllocationChain((2, 4))
+        states, trans = chain.explore()
+        for s in states:
+            total = sum(trans[s].values())
+            assert total == pytest.approx(1.0, abs=1e-12)
+
+    def test_over_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            SlotAllocationChain((2, 2, 2))
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ValueError):
+            SlotAllocationChain((3,))
+
+    def test_state_space_guard(self):
+        with pytest.raises(MemoryError):
+            SlotAllocationChain((4, 4, 4, 4)).explore(max_states=100)
+
+
+class TestAbsorptionTime:
+    def test_single_tag_settles_within_its_period(self):
+        # One tag alone is ACKed at its first transmission.
+        t = SlotAllocationChain((4,)).expected_absorption_time()
+        # Uniform random offset: expected first transmission at slot
+        # (0+1+2+3)/4 = 1.5, absorbed the slot after it transmits.
+        assert t == pytest.approx(2.5, abs=1e-9)
+
+    def test_two_tags_slower_than_one(self):
+        one = SlotAllocationChain((4,)).expected_absorption_time()
+        two = SlotAllocationChain((4, 4)).expected_absorption_time()
+        assert two > one
+
+    def test_contention_grows_with_utilization(self):
+        # At a fixed period, each extra tag raises utilisation and the
+        # expected time to a collision-free allocation — the Fig. 15(a)
+        # effect in miniature.
+        light = SlotAllocationChain((4, 4)).expected_absorption_time()
+        heavy = SlotAllocationChain((4, 4, 4)).expected_absorption_time()
+        assert heavy > light
+
+    def test_simulation_matches_chain_prediction(self):
+        # The slot-level simulator (ideal channel, no EMPTY gating at
+        # start, same feedback rules) should land near the chain's
+        # expected absorption time for a tiny config.
+        import numpy as np
+
+        from repro.core.network import NetworkConfig, SlottedNetwork
+
+        chain_time = SlotAllocationChain((4, 4)).expected_absorption_time()
+        times = []
+        for seed in range(40):
+            net = SlottedNetwork(
+                {"tag5": 4, "tag8": 4},
+                config=NetworkConfig(seed=seed, ideal_channel=True),
+            )
+            # Absorption = both settled; detect via settled_fraction.
+            for slot in range(200):
+                net.step()
+                if net.settled_fraction() == 1.0:
+                    times.append(slot + 1)
+                    break
+        assert np.mean(times) == pytest.approx(chain_time, rel=0.5)

@@ -1,0 +1,97 @@
+"""Tests for long-run slot metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    first_convergence_slot,
+    reader_visible_ratios,
+    settled_throughput,
+    sliding_ratios,
+)
+from repro.core.reader_protocol import SlotRecord
+
+
+def rec(slot, n_tx=0, decoded=None, collision=False):
+    return SlotRecord(
+        slot=slot,
+        n_transmitters=n_tx,
+        decoded=decoded,
+        collision_detected=collision,
+        acked=decoded is not None and not collision,
+        empty_flag=n_tx == 0,
+    )
+
+
+class TestSlidingRatios:
+    def test_all_empty(self):
+        records = [rec(i) for i in range(64)]
+        stats = sliding_ratios(records, window=32)
+        assert stats.mean_non_empty == 0.0
+        assert stats.mean_collision == 0.0
+
+    def test_all_occupied_no_collisions(self):
+        records = [rec(i, n_tx=1, decoded="t") for i in range(64)]
+        stats = sliding_ratios(records, window=32)
+        assert stats.mean_non_empty == 1.0
+        assert stats.mean_collision == 0.0
+
+    def test_half_occupied(self):
+        records = [rec(i, n_tx=i % 2, decoded="t" if i % 2 else None) for i in range(96)]
+        stats = sliding_ratios(records, window=32)
+        assert stats.mean_non_empty == pytest.approx(0.5, abs=0.02)
+
+    def test_collision_ratio_counts_multi_tx(self):
+        records = [rec(i, n_tx=2, collision=True) for i in range(40)]
+        stats = sliding_ratios(records, window=32)
+        assert stats.mean_collision == 1.0
+
+    def test_window_shorter_than_records_empty_series(self):
+        stats = sliding_ratios([rec(0)], window=32)
+        assert stats.non_empty_ratio.size == 0
+        assert stats.mean_non_empty == 0.0
+
+    def test_series_length(self):
+        records = [rec(i, n_tx=1) for i in range(100)]
+        stats = sliding_ratios(records, window=32)
+        assert len(stats.non_empty_ratio) == 100 - 32 + 1
+
+    def test_invalid_window_raises(self):
+        with pytest.raises(ValueError):
+            sliding_ratios([], window=0)
+
+
+class TestReaderVisible:
+    def test_decode_failure_depresses_visible_nonempty_only(self):
+        # A transmission that fails to decode (no collision) is invisible
+        # to the reader but real to the simulator — Sec. 6.4's remark.
+        records = [rec(i, n_tx=1, decoded=None) for i in range(64)]
+        truth = sliding_ratios(records, window=32)
+        visible = reader_visible_ratios(records, window=32)
+        assert truth.mean_non_empty == 1.0
+        assert visible.mean_non_empty == 0.0
+
+
+class TestConvergenceDetection:
+    def test_detects_streak_completion(self):
+        records = [rec(i, n_tx=2, collision=True) for i in range(10)]
+        records += [rec(10 + i, n_tx=1, decoded="t") for i in range(32)]
+        assert first_convergence_slot(records, streak=32) == 42
+
+    def test_streak_reset_by_collision(self):
+        records = [rec(i, n_tx=1) for i in range(31)]
+        records += [rec(31, n_tx=2, collision=True)]
+        records += [rec(32 + i, n_tx=1) for i in range(31)]
+        assert first_convergence_slot(records, streak=32) is None
+
+    def test_empty_records(self):
+        assert first_convergence_slot([], streak=32) is None
+
+
+class TestThroughput:
+    def test_settled_throughput(self):
+        records = [rec(i, n_tx=1, decoded="t" if i % 4 < 3 else None) for i in range(100)]
+        assert settled_throughput(records) == pytest.approx(0.75)
+
+    def test_empty(self):
+        assert settled_throughput([]) == 0.0

@@ -1,0 +1,73 @@
+"""Tests for PSD-based SNR measurement."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.psd import backscatter_snr_db, band_power, waveform_psd
+from repro.channel.noise import VehicleVibration
+from repro.phy.modem import BackscatterUplink
+from repro.phy.packets import UplinkPacket
+
+
+def make_capture(amplitude, rate, rng, noise_psd=2.673e-10):
+    up = BackscatterUplink()
+    comp = up.tag_component(
+        UplinkPacket(1, 77).to_bits(), rate, amplitude, phase_rad=0.9,
+        lead_in_s=max(0.012, 8.0 / rate),
+    )
+    return up.capture([comp], noise_psd, rng, extra_samples=2000)
+
+
+class TestWaveformPsd:
+    def test_peak_at_carrier(self, rng):
+        cap = make_capture(0.01, 375.0, rng)
+        freqs, psd = waveform_psd(cap)
+        assert freqs[np.argmax(psd)] == pytest.approx(90_000.0, abs=200)
+
+    def test_too_short_raises(self):
+        with pytest.raises(ValueError):
+            waveform_psd(np.zeros(4))
+
+
+class TestSnrMeasurement:
+    def test_stronger_backscatter_higher_snr(self, rng):
+        weak = backscatter_snr_db(make_capture(0.005, 375.0, rng), 375.0)
+        strong = backscatter_snr_db(make_capture(0.02, 375.0, rng), 375.0)
+        assert strong > weak + 6.0
+
+    def test_snr_decreases_with_bit_rate(self, rng):
+        snrs = [
+            backscatter_snr_db(make_capture(0.01, r, rng), r)
+            for r in (93.75, 375.0, 1500.0)
+        ]
+        assert snrs[0] > snrs[1] > snrs[2]
+
+    def test_amplitude_doubling_gains_about_6db(self, rng):
+        s1 = backscatter_snr_db(make_capture(0.01, 375.0, rng), 375.0)
+        s2 = backscatter_snr_db(make_capture(0.02, 375.0, rng), 375.0)
+        assert s2 - s1 == pytest.approx(6.0, abs=2.0)
+
+    def test_invalid_rate_raises(self, rng):
+        with pytest.raises(ValueError):
+            backscatter_snr_db(make_capture(0.01, 375.0, rng), 0.0)
+
+
+class TestBandPower:
+    def test_vehicle_vibration_misses_the_carrier_band(self, rng):
+        # The Sec. 2.2 robustness claim: <0.1 kHz self-vibration cannot
+        # reach the 90 kHz communication band.
+        v = VehicleVibration(rms_amplitude_v=1.0)
+        x = v.samples(2**18, 500_000.0, rng)
+        low = band_power(x, 1.0, 150.0)
+        near_carrier = band_power(x, 89_000.0, 91_000.0)
+        assert near_carrier < 1e-6 * low
+
+    def test_band_power_of_tone(self, rng):
+        fs = 500_000.0
+        t = np.arange(2**16) / fs
+        x = np.sqrt(2.0) * np.cos(2 * np.pi * 50_000.0 * t)  # 1 V^2 power
+        assert band_power(x, 49_000.0, 51_000.0, fs) == pytest.approx(1.0, rel=0.1)
+
+    def test_invalid_band_raises(self):
+        with pytest.raises(ValueError):
+            band_power(np.zeros(100), 10.0, 5.0)

@@ -1,0 +1,98 @@
+"""Tests for the text schedule/timeline renderers."""
+
+import pytest
+
+from repro.analysis.render import (
+    render_occupancy_by_tag,
+    render_schedule,
+    render_timeline,
+)
+from repro.core.reader_protocol import SlotRecord
+from repro.core.slot_schedule import Assignment
+
+
+def rec(slot, n_tx=0, decoded=None, collision=False):
+    return SlotRecord(
+        slot=slot,
+        n_transmitters=n_tx,
+        decoded=decoded,
+        collision_detected=collision,
+        acked=decoded is not None and not collision,
+        empty_flag=n_tx == 0,
+    )
+
+
+class TestScheduleRendering:
+    def test_table1_grid(self):
+        from repro.experiments.configs import TABLE1_OFFSETS, TABLE1_PERIODS
+
+        assignments = {
+            t: Assignment(t, TABLE1_PERIODS[t], TABLE1_OFFSETS[t])
+            for t in TABLE1_PERIODS
+        }
+        out = render_schedule(assignments, 8, labels={t: t[-1] for t in assignments})
+        assert "A B A D A B A C" in out
+
+    def test_free_slots_are_dots(self):
+        out = render_schedule({"t": Assignment("t", 4, 1)})
+        assert out.splitlines()[1] == "tx:   . T . ."
+
+    def test_conflicts_marked_x(self):
+        out = render_schedule(
+            {"a": Assignment("a", 2, 0), "b": Assignment("b", 2, 0)}
+        )
+        assert "X" in out
+
+    def test_empty(self):
+        assert "empty" in render_schedule({})
+
+
+class TestTimelineRendering:
+    def test_symbols(self):
+        records = [
+            rec(0),
+            rec(1, n_tx=1, decoded="tag3"),
+            rec(2, n_tx=2, collision=True),
+            rec(3, n_tx=1, decoded=None),
+        ]
+        out = render_timeline(records)
+        assert ".3X?" in out
+
+    def test_wrapping(self):
+        records = [rec(i, n_tx=1, decoded="tag1") for i in range(20)]
+        out = render_timeline(records, width=8)
+        assert out.count("|") == 3
+        assert out.splitlines()[1].startswith("     8 |")
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            render_timeline([], width=2)
+
+    def test_empty(self):
+        assert render_timeline([]) == "(no slots)"
+
+
+class TestOccupancySummary:
+    def test_ratios(self):
+        records = [
+            rec(i, n_tx=1, decoded="a" if i % 4 == 0 else None) for i in range(40)
+        ]
+        out = render_occupancy_by_tag(records, ["a"], {"a": 4})
+        assert "100.0%" in out
+
+    def test_empty(self):
+        assert render_occupancy_by_tag([], ["a"], {"a": 4}) == "(no slots)"
+
+    def test_integrates_with_simulation(self, medium):
+        from repro.core.network import NetworkConfig, SlottedNetwork
+
+        periods = {"tag5": 4, "tag8": 8}
+        net = SlottedNetwork(
+            periods, medium, NetworkConfig(seed=0, ideal_channel=True)
+        )
+        net.run_until_converged()
+        records = net.run(64)
+        out = render_occupancy_by_tag(records, list(periods), periods)
+        assert "tag5" in out and "tag8" in out
+        timeline = render_timeline(records)
+        assert "X" not in timeline  # converged: no collisions

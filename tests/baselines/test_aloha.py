@@ -1,0 +1,93 @@
+"""Tests for the ALOHA baseline (Appendix B)."""
+
+import pytest
+
+from repro.baselines.aloha import (
+    AlohaSimulation,
+    PACKET_DURATION_S,
+    RESUME_FRACTION,
+)
+
+
+class TestMechanics:
+    def test_resume_fraction_is_paper_value(self):
+        # (2.3 - 1.95) / 2.3 = 15.2%.
+        assert RESUME_FRACTION == pytest.approx(0.152, abs=0.001)
+
+    def test_single_tag_never_collides(self):
+        sim = AlohaSimulation({"t": 10.0}, duration_s=1000.0, seed=1)
+        result = sim.run()
+        assert result.per_tag["t"].collided_tx == 0
+        assert result.overall_success_rate == 1.0
+
+    def test_transmission_count_matches_cycle_arithmetic(self):
+        sim = AlohaSimulation({"t": 10.0}, duration_s=1000.0, noise_std=0.0, seed=0)
+        result = sim.run()
+        cycle = 10.0 * RESUME_FRACTION + PACKET_DURATION_S
+        expected = int((1000.0 - 10.0) / cycle) + 1
+        assert result.per_tag["t"].total_tx == pytest.approx(expected, abs=2)
+
+    def test_identical_tags_collide_or_not_consistently(self):
+        # Two tags with identical deterministic cycles start at the same
+        # instant and collide on every transmission.
+        sim = AlohaSimulation({"a": 10.0, "b": 10.0}, duration_s=500.0,
+                              noise_std=0.0, seed=0)
+        result = sim.run()
+        assert result.overall_success_rate == 0.0
+
+    def test_offset_tags_do_not_collide(self):
+        # Very different charge times rarely overlap over a short run.
+        sim = AlohaSimulation({"a": 7.0, "b": 113.0}, duration_s=500.0,
+                              noise_std=0.0, seed=0)
+        result = sim.run()
+        assert result.per_tag["b"].total_tx > 0
+        assert result.overall_success_rate > 0.9
+
+    def test_reproducible_per_seed(self):
+        kwargs = dict(duration_s=2000.0, seed=5)
+        r1 = AlohaSimulation({"a": 5.0, "b": 8.0}, **kwargs).run()
+        r2 = AlohaSimulation({"a": 5.0, "b": 8.0}, **kwargs).run()
+        assert r1.per_tag["a"].total_tx == r2.per_tag["a"].total_tx
+        assert r1.total_collided == r2.total_collided
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AlohaSimulation({})
+        with pytest.raises(ValueError):
+            AlohaSimulation({"a": -1.0})
+        with pytest.raises(ValueError):
+            AlohaSimulation({"a": 1.0}, duration_s=0.0)
+        with pytest.raises(ValueError):
+            AlohaSimulation({"a": 1.0}, resume_fraction=0.0)
+
+
+class TestPaperScale:
+    """Slow-ish (~1 s) checks against the Appendix B findings."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments.fig19_aloha import run_fig19
+
+        return run_fig19(seed=3)
+
+    def test_overall_success_around_one_third(self, result):
+        # Paper: 34.0% collision-free overall.
+        assert 0.25 <= result.overall_success_rate <= 0.40
+
+    def test_fast_tag_transmits_over_11000_times(self, result):
+        # Paper: Tag 8 (4.5 s) transmits >11,000 times in 10,000 s.
+        assert result.per_tag["tag8"].total_tx > 11_000
+
+    def test_fast_tag_collides_over_60_percent(self, result):
+        assert result.per_tag["tag8"].success_rate < 0.45
+
+    def test_slow_tags_collide_over_70_percent(self, result):
+        # Paper: slow tags (Tag 11) exceed 70% collisions.
+        assert result.per_tag["tag11"].success_rate < 0.30
+
+    def test_unfair_access_across_tags(self, result):
+        counts = [s.total_tx for s in result.per_tag.values()]
+        assert max(counts) > 5 * min(counts)
+
+    def test_every_tag_transmits(self, result):
+        assert all(s.total_tx > 0 for s in result.per_tag.values())

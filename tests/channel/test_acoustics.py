@@ -1,0 +1,77 @@
+"""Tests for acoustic physics helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.channel import acoustics
+
+
+class TestDbConversions:
+    def test_amplitude_roundtrip(self):
+        assert acoustics.db_to_amplitude_ratio(20.0) == pytest.approx(10.0)
+        assert acoustics.amplitude_ratio_to_db(10.0) == pytest.approx(20.0)
+
+    def test_power_roundtrip(self):
+        assert acoustics.db_to_power_ratio(10.0) == pytest.approx(10.0)
+        assert acoustics.power_ratio_to_db(100.0) == pytest.approx(20.0)
+
+    def test_zero_db_is_unity(self):
+        assert acoustics.db_to_amplitude_ratio(0.0) == 1.0
+        assert acoustics.db_to_power_ratio(0.0) == 1.0
+
+    def test_nonpositive_ratio_raises(self):
+        with pytest.raises(ValueError):
+            acoustics.amplitude_ratio_to_db(0.0)
+        with pytest.raises(ValueError):
+            acoustics.power_ratio_to_db(-1.0)
+
+    @given(st.floats(min_value=-100, max_value=100))
+    def test_amplitude_db_roundtrip_property(self, db):
+        ratio = acoustics.db_to_amplitude_ratio(db)
+        assert acoustics.amplitude_ratio_to_db(ratio) == pytest.approx(db, abs=1e-9)
+
+    @given(st.floats(min_value=-100, max_value=100))
+    def test_power_is_amplitude_squared(self, db):
+        amp = acoustics.db_to_amplitude_ratio(db)
+        power = acoustics.db_to_power_ratio(db)
+        assert power == pytest.approx(amp * amp, rel=1e-9)
+
+
+class TestLambWaves:
+    def test_phase_velocity_grows_with_sqrt_frequency(self):
+        v1 = acoustics.lamb_a0_phase_velocity(45_000.0)
+        v2 = acoustics.lamb_a0_phase_velocity(180_000.0)
+        assert v2 == pytest.approx(2.0 * v1, rel=1e-9)
+
+    def test_group_velocity_is_twice_phase(self):
+        f = acoustics.CARRIER_FREQUENCY_HZ
+        assert acoustics.lamb_a0_group_velocity(f) == pytest.approx(
+            2.0 * acoustics.lamb_a0_phase_velocity(f)
+        )
+
+    def test_velocity_below_bulk_speeds(self):
+        # At 90 kHz in a 0.8 mm sheet the flexural wave is far slower
+        # than bulk waves — the dispersive thin-plate regime.
+        v = acoustics.lamb_a0_phase_velocity(acoustics.CARRIER_FREQUENCY_HZ)
+        assert 100.0 < v < acoustics.STEEL_SHEAR_SPEED
+
+    def test_wavelength_at_carrier_is_centimetre_scale(self):
+        lam = acoustics.wavelength(acoustics.CARRIER_FREQUENCY_HZ)
+        assert 1e-3 < lam < 0.1
+
+    def test_propagation_delay_linear_in_distance(self):
+        d1 = acoustics.propagation_delay(1.0)
+        d2 = acoustics.propagation_delay(2.0)
+        assert d2 == pytest.approx(2.0 * d1)
+
+    def test_biw_scale_delay_under_10ms(self):
+        # A full-vehicle path (~5 m) must stay well inside a slot.
+        assert acoustics.propagation_delay(5.0) < 0.01
+
+    def test_invalid_inputs_raise(self):
+        with pytest.raises(ValueError):
+            acoustics.lamb_a0_phase_velocity(0.0)
+        with pytest.raises(ValueError):
+            acoustics.propagation_delay(-1.0)

@@ -1,0 +1,181 @@
+"""Tests for the BiW structural graph."""
+
+import pytest
+
+from repro.channel.biw import (
+    BiWModel,
+    JointKind,
+    TAG_NAMES,
+    onvo_l60,
+)
+
+
+@pytest.fixture(scope="module")
+def biw():
+    return onvo_l60()
+
+
+class TestGraphConstruction:
+    def test_duplicate_vertex_raises(self):
+        m = BiWModel()
+        m.add_vertex("a", 0, 0)
+        with pytest.raises(ValueError):
+            m.add_vertex("a", 1, 1)
+
+    def test_member_unknown_vertex_raises(self):
+        m = BiWModel()
+        m.add_vertex("a", 0, 0)
+        with pytest.raises(KeyError):
+            m.add_member("a", "b")
+
+    def test_mount_unknown_vertex_raises(self):
+        m = BiWModel()
+        with pytest.raises(KeyError):
+            m.add_mount("tag", "nowhere")
+
+    def test_duplicate_mount_raises(self):
+        m = BiWModel()
+        m.add_vertex("a", 0, 0)
+        m.add_mount("t", "a")
+        with pytest.raises(ValueError):
+            m.add_mount("t", "a")
+
+    def test_member_length_euclidean(self):
+        m = BiWModel()
+        m.add_vertex("a", 0, 0, 0)
+        m.add_vertex("b", 3, 4, 0)
+        m.add_member("a", "b")
+        member = m._adjacency["a"][0]
+        assert m.member_length(member) == pytest.approx(5.0)
+
+    def test_member_length_override(self):
+        m = BiWModel()
+        m.add_vertex("a", 0, 0, 0)
+        m.add_vertex("b", 3, 4, 0)
+        m.add_member("a", "b", length_m=7.5)
+        assert m.member_length(m._adjacency["a"][0]) == 7.5
+
+    def test_negative_member_length_raises(self):
+        m = BiWModel()
+        m.add_vertex("a", 0, 0)
+        m.add_vertex("b", 1, 0)
+        with pytest.raises(ValueError):
+            m.add_member("a", "b", length_m=-1.0)
+
+    def test_negative_joint_loss_raises(self, biw):
+        with pytest.raises(ValueError):
+            biw.set_joint_loss(JointKind.SEAM, -0.5)
+
+
+class TestPathFinding:
+    def test_path_to_self_is_empty(self, biw):
+        p = biw.path("reader", "reader")
+        assert p.distance_m == 0.0
+        assert p.joints == ()
+
+    def test_no_path_raises(self):
+        m = BiWModel()
+        m.add_vertex("a", 0, 0)
+        m.add_vertex("b", 1, 0)
+        m.add_mount("x", "a")
+        m.add_mount("y", "b")
+        with pytest.raises(ValueError):
+            m.path("x", "y")
+
+    def test_tag8_is_nearest_with_no_joints(self, biw):
+        p = biw.path("reader", "tag8")
+        assert p.distance_m == pytest.approx(0.4, abs=0.05)
+        assert p.joints == ()
+
+    def test_tag4_crosses_perpendicular_junction(self, biw):
+        p = biw.path("reader", "tag4")
+        assert JointKind.PERPENDICULAR in p.joints
+        assert p.distance_m == pytest.approx(0.92, abs=0.05)
+
+    def test_tag11_crosses_two_seams(self, biw):
+        p = biw.path("reader", "tag11")
+        assert p.joints.count(JointKind.SEAM) == 2
+        assert 1.5 < p.distance_m < 2.1
+
+    def test_all_twelve_tags_reachable(self, biw):
+        for tag in TAG_NAMES:
+            p = biw.path("reader", tag)
+            assert p.distance_m >= 0.0
+
+    def test_path_symmetry(self, biw):
+        fwd = biw.path("reader", "tag11")
+        back = biw.path("tag11", "reader")
+        assert fwd.distance_m == pytest.approx(back.distance_m)
+        assert tuple(reversed(back.joints)) == fwd.joints
+
+    def test_joint_loss_db_sums_table(self, biw):
+        p = biw.path("reader", "tag11")
+        expected = 2 * biw.joint_loss_table[JointKind.SEAM]
+        assert p.joint_loss_db(biw.joint_loss_table) == pytest.approx(expected)
+
+    def test_path_vertices_are_connected_route(self, biw):
+        p = biw.path("reader", "tag12")
+        assert p.vertices[0] == "middle_floor"
+        assert p.vertices[-1] == "cargo_left"
+
+
+class TestDeployment:
+    def test_twelve_tags_and_reader(self, biw):
+        mounts = biw.mounts
+        assert set(TAG_NAMES) <= set(mounts)
+        assert "reader" in mounts
+        assert len(mounts) == 13
+
+    def test_tag_names_constant(self):
+        assert len(TAG_NAMES) == 12
+        assert TAG_NAMES[0] == "tag1"
+        assert TAG_NAMES[-1] == "tag12"
+
+    def test_vehicle_footprint_matches_suv(self, biw):
+        # ONVO L60: ~4.8 m long, ~1.9 m wide.
+        xs = [biw.position(v)[0] for v in biw.vertices]
+        ys = [biw.position(v)[1] for v in biw.vertices]
+        assert max(xs) <= 4.8
+        assert min(xs) >= 0.0
+        assert max(ys) <= 1.9
+
+
+class TestMegacasting:
+    """Sec. 1: single-piece casting removes seams, not geometry."""
+
+    def test_no_seams_remain(self):
+        from repro.channel.biw import onvo_l60_megacast
+
+        cast = onvo_l60_megacast()
+        for tag in TAG_NAMES:
+            path = cast.path("reader", tag)
+            assert JointKind.SEAM not in path.joints
+
+    def test_perpendicular_junctions_survive_casting(self):
+        from repro.channel.biw import onvo_l60_megacast
+
+        cast = onvo_l60_megacast()
+        path = cast.path("reader", "tag4")
+        assert JointKind.PERPENDICULAR in path.joints
+
+    def test_same_mounts_and_distances(self, biw):
+        from repro.channel.biw import onvo_l60_megacast
+
+        cast = onvo_l60_megacast()
+        assert set(cast.mounts) == set(biw.mounts)
+        for tag in TAG_NAMES:
+            assert cast.path("reader", tag).distance_m == pytest.approx(
+                biw.path("reader", tag).distance_m
+            )
+
+    def test_cast_paths_never_lossier(self, biw):
+        from repro.channel.biw import onvo_l60_megacast
+        from repro.channel.propagation import PropagationModel
+
+        stamped = PropagationModel(biw)
+        cast = PropagationModel(onvo_l60_megacast())
+        for tag in TAG_NAMES:
+            assert (
+                cast.link("reader", tag).loss_db
+                <= stamped.link("reader", tag).loss_db + 1e-9
+            )

@@ -1,0 +1,126 @@
+"""Tests for the shared-medium abstraction — including the paper's
+Fig. 11/12 anchor values."""
+
+import numpy as np
+import pytest
+
+from repro.channel.medium import AcousticMedium, SlotObservation
+
+
+class TestCarrierAmplitudes:
+    def test_tag8_strongest(self, medium):
+        amps = {t: medium.carrier_amplitude_v(t) for t in medium.tag_names()}
+        assert max(amps, key=amps.get) == "tag8"
+
+    def test_tag11_and_12_weakest(self, medium):
+        amps = {t: medium.carrier_amplitude_v(t) for t in medium.tag_names()}
+        weakest_two = sorted(amps, key=amps.get)[:2]
+        assert set(weakest_two) == {"tag11", "tag12"}
+
+    def test_tag_names_sorted_numerically(self, medium):
+        names = medium.tag_names()
+        assert names[0] == "tag1"
+        assert names[2] == "tag3"
+        assert names[-1] == "tag12"
+
+    def test_unknown_reference_tag_raises(self):
+        with pytest.raises(KeyError):
+            AcousticMedium(reference_tag="tag99")
+
+
+class TestUplinkQuality:
+    def test_snr_ordering_preserved_across_rates(self, medium):
+        for rate in (93.75, 375.0, 3000.0):
+            s8 = medium.uplink_snr_db("tag8", rate)
+            s4 = medium.uplink_snr_db("tag4", rate)
+            s11 = medium.uplink_snr_db("tag11", rate)
+            assert s8 > s4 > s11
+
+    def test_snr_drops_3db_per_doubling(self, medium):
+        s1 = medium.uplink_snr_db("tag8", 375.0)
+        s2 = medium.uplink_snr_db("tag8", 750.0)
+        assert s1 - s2 == pytest.approx(3.01, abs=0.01)
+
+    def test_paper_anchor_tag8_at_3000bps(self, medium):
+        # Paper: "an SNR exceeding 11.7 dB at 3,000 bps".
+        assert medium.uplink_snr_db("tag8", 3000.0) > 11.7
+
+    def test_paper_anchor_tag11_at_750bps(self, medium):
+        # Paper: "about 18.1 dB when the bit rate is no more than 750".
+        assert medium.uplink_snr_db("tag11", 750.0) == pytest.approx(18.1, abs=1.0)
+
+    def test_packet_loss_below_half_percent_at_all_rates(self, medium):
+        # Paper Fig. 12(b): "packet error ratio remains below 0.5%".
+        for tag in ("tag8", "tag4", "tag11"):
+            for rate in (93.75, 187.5, 375.0, 750.0, 1500.0, 3000.0):
+                success = medium.uplink_packet_success(tag, rate, packet_bits=64)
+                assert 1.0 - success < 0.005
+
+    def test_loss_grows_with_rate(self, medium):
+        slow = medium.uplink_packet_success("tag11", 93.75)
+        fast = medium.uplink_packet_success("tag11", 3000.0)
+        assert fast < slow
+
+    def test_invalid_bit_rate_raises(self, medium):
+        with pytest.raises(ValueError):
+            medium.uplink_snr_db("tag8", 0.0)
+
+
+class TestSlotObservation:
+    def test_empty_slot(self, medium, rng):
+        obs = medium.observe_slot([], rng)
+        assert obs.is_empty
+        assert obs.decoded_tag is None
+        assert not obs.collision_detected
+
+    def test_single_transmitter_usually_decodes(self, medium, rng):
+        decoded = sum(
+            1
+            for _ in range(200)
+            if medium.observe_slot(["tag8"], rng).decoded_tag == "tag8"
+        )
+        assert decoded >= 195
+
+    def test_single_transmitter_never_flags_collision(self, medium, rng):
+        for _ in range(50):
+            assert not medium.observe_slot(["tag5"], rng).collision_detected
+
+    def test_collision_detected_with_high_probability(self, medium, rng):
+        detected = sum(
+            1
+            for _ in range(300)
+            if medium.observe_slot(["tag5", "tag9"], rng).collision_detected
+        )
+        assert detected >= 280  # ~98% detection
+
+    def test_capture_effect_decodes_dominant_tag(self, medium, rng):
+        # tag8 is ~6 dB above the cargo tags' sum at the reader.
+        decodes = [
+            medium.observe_slot(["tag8", "tag11"], rng).decoded_tag
+            for _ in range(200)
+        ]
+        assert "tag11" not in decodes
+        assert decodes.count("tag8") > 150
+
+    def test_similar_tags_cannot_capture(self, medium, rng):
+        # tag11 and tag12 are nearly equal: no 6 dB gap, nothing decodes.
+        for _ in range(50):
+            assert medium.observe_slot(["tag11", "tag12"], rng).decoded_tag is None
+
+    def test_n_transmitters_recorded(self, medium, rng):
+        obs = medium.observe_slot(["tag1", "tag2", "tag3"], rng)
+        assert obs.n_transmitters == 3
+
+
+class TestDownlink:
+    def test_downlink_snr_high_everywhere(self, medium):
+        for tag in medium.tag_names():
+            assert medium.downlink_snr_db(tag) > 20.0
+
+    def test_beacon_loss_below_point_one_percent_at_default_rate(self, medium):
+        # Appendix C assumes beacon loss < 0.1% at the default 250 bps.
+        for tag in ("tag8", "tag4", "tag11"):
+            assert medium.beacon_loss_probability(tag, 250.0) < 1e-3
+
+    def test_beacon_loss_explodes_at_2000bps(self, medium):
+        assert medium.beacon_loss_probability("tag8", 2000.0) > 0.5

@@ -1,0 +1,56 @@
+"""Tests for multi-source media (the ``source`` mount parameter)."""
+
+import pytest
+
+from repro.channel.biw import onvo_l60
+from repro.channel.medium import AcousticMedium
+from repro.channel.propagation import PropagationModel
+
+
+@pytest.fixture(scope="module")
+def cargo_medium():
+    biw = onvo_l60()
+    biw.add_mount("reader2", "cargo_front")
+    return AcousticMedium(
+        biw=biw,
+        propagation=PropagationModel(biw),
+        reference_tag="tag10",
+        source="reader2",
+    )
+
+
+class TestAlternateSource:
+    def test_source_property(self, cargo_medium):
+        assert cargo_medium.source == "reader2"
+
+    def test_tag_names_exclude_all_readers(self, cargo_medium):
+        names = cargo_medium.tag_names()
+        assert "reader" not in names and "reader2" not in names
+        assert len(names) == 12
+
+    def test_cargo_tags_hear_the_cargo_reader_better(self, cargo_medium, medium):
+        for tag in ("tag10", "tag11", "tag12"):
+            assert cargo_medium.carrier_amplitude_v(tag) > medium.carrier_amplitude_v(tag)
+
+    def test_front_tags_hear_it_worse(self, cargo_medium, medium):
+        for tag in ("tag1", "tag2", "tag5"):
+            assert cargo_medium.carrier_amplitude_v(tag) < medium.carrier_amplitude_v(tag)
+
+    def test_delays_measured_from_the_new_source(self, cargo_medium):
+        assert cargo_medium.propagation_delay_s("tag10") < cargo_medium.propagation_delay_s("tag1")
+
+    def test_backscatter_reference_is_local(self, cargo_medium):
+        # tag10 (the reference) has the strongest backscatter at reader2.
+        amps = {
+            t: cargo_medium.backscatter_amplitude_v(t)
+            for t in cargo_medium.tag_names()
+        }
+        assert max(amps, key=amps.get) in ("tag10", "tag11")
+
+    def test_unknown_source_raises(self):
+        with pytest.raises(KeyError):
+            AcousticMedium(source="reader9")
+
+    def test_slot_observation_works_from_alternate_source(self, cargo_medium, rng):
+        obs = cargo_medium.observe_slot(["tag11"], rng)
+        assert obs.n_transmitters == 1

@@ -1,0 +1,139 @@
+"""Tests for the multipath impulse-response model."""
+
+import numpy as np
+import pytest
+
+from repro.channel.biw import BiWModel, JointKind, onvo_l60
+from repro.channel.multipath import (
+    Echo,
+    ImpulseResponse,
+    MultipathModel,
+    k_least_lossy_paths,
+)
+from repro.phy.modem import BackscatterUplink
+from repro.phy.packets import UplinkPacket
+from repro.phy.reader_dsp import ReaderReceiveChain
+
+
+@pytest.fixture(scope="module")
+def model():
+    return MultipathModel()
+
+
+class TestImpulseResponse:
+    def test_apply_adds_delayed_copies(self):
+        ir = ImpulseResponse((Echo(delay_s=2e-6, gain=0.5),))
+        x = np.zeros(10)
+        x[0] = 1.0
+        y = ir.apply(x, sample_rate_hz=500_000.0)
+        assert y[0] == 1.0
+        assert y[1] == 0.5  # one-sample echo
+
+    def test_apply_preserves_length(self):
+        ir = ImpulseResponse((Echo(1e-3, 0.3),))
+        x = np.ones(100)
+        assert len(ir.apply(x)) == 100
+
+    def test_echo_energy_fraction(self):
+        ir = ImpulseResponse((Echo(1e-4, 0.3), Echo(2e-4, 0.4)))
+        assert ir.echo_energy_fraction == pytest.approx(0.09 + 0.16)
+
+    def test_delay_spread_zero_without_echoes(self):
+        assert ImpulseResponse(()).rms_delay_spread_s() == 0.0
+
+    def test_delay_spread_grows_with_late_echoes(self):
+        near = ImpulseResponse((Echo(1e-4, 0.5),))
+        far = ImpulseResponse((Echo(1e-3, 0.5),))
+        assert far.rms_delay_spread_s() > near.rms_delay_spread_s()
+
+
+class TestPathEnumeration:
+    def test_tree_graph_has_single_route(self):
+        biw = onvo_l60()
+        routes = k_least_lossy_paths(biw, "reader", "tag11", k=4)
+        assert len(routes) == 1  # the deployment graph is a tree
+
+    def test_cycle_yields_multiple_routes(self):
+        biw = BiWModel()
+        for name, x in (("a", 0.0), ("b", 1.0), ("c", 2.0)):
+            biw.add_vertex(name, x, 0.0)
+        biw.add_vertex("d", 1.0, 1.0)
+        biw.add_member("a", "b", JointKind.NONE)
+        biw.add_member("b", "c", JointKind.NONE)
+        biw.add_member("a", "d", JointKind.SEAM)
+        biw.add_member("d", "c", JointKind.SEAM)
+        biw.add_mount("src", "a")
+        biw.add_mount("dst", "c")
+        routes = k_least_lossy_paths(biw, "src", "dst", k=4)
+        assert len(routes) == 2
+        assert routes[0][1] < routes[1][1]  # direct first
+
+    def test_invalid_k_raises(self):
+        with pytest.raises(ValueError):
+            k_least_lossy_paths(onvo_l60(), "reader", "tag8", k=0)
+
+
+class TestDeploymentResponses:
+    def test_every_tag_has_a_response(self, model):
+        for tag in [f"tag{i}" for i in range(1, 13)]:
+            ir = model.impulse_response(tag)
+            assert len(ir.echoes) >= model.n_tail_taps
+
+    def test_echo_energy_below_direct(self, model):
+        for tag in ("tag8", "tag4", "tag11"):
+            assert model.impulse_response(tag).echo_energy_fraction < 0.5
+
+    def test_delay_spread_sub_raw_bit_at_default_rate(self, model):
+        # The physical basis of the 375 bps design point: delay spreads
+        # (~100-200 us) are tiny against the 2.67 ms raw bit.
+        for tag in ("tag8", "tag4", "tag11"):
+            spread = model.impulse_response(tag).rms_delay_spread_s()
+            assert spread < 0.1 * (1.0 / 375.0)
+
+    def test_echoes_sorted_by_delay(self, model):
+        ir = model.impulse_response("tag4")
+        delays = [e.delay_s for e in ir.echoes]
+        assert delays == sorted(delays)
+
+
+class TestDecodingUnderMultipath:
+    def test_default_rate_robust(self, model, rng):
+        uplink = BackscatterUplink()
+        chain = ReaderReceiveChain()
+        ir = model.impulse_response("tag4")
+        decoded = 0
+        for k in range(10):
+            pkt = UplinkPacket(2, 100 + k)
+            comp = uplink.tag_component(
+                pkt.to_bits(), 375.0, 0.025, phase_rad=0.5 * k, lead_in_s=0.03
+            )
+            cap = uplink.capture(
+                [ir.apply(comp)], 2.673e-10, rng, extra_samples=2000
+            )
+            decoded += pkt in chain.decode(cap, 375.0).packets
+        assert decoded == 10
+
+    def test_heavy_multipath_breaks_high_rates_first(self, rng):
+        # Push the delay spread toward a raw bit: 3000 bps suffers
+        # before 375 bps does — the ISI argument for conservative rates.
+        ir = ImpulseResponse(
+            (Echo(0.15e-3, 0.6), Echo(0.3e-3, 0.45), Echo(0.6e-3, 0.3))
+        )
+        uplink = BackscatterUplink()
+        chain = ReaderReceiveChain()
+        results = {}
+        for rate in (375.0, 3000.0):
+            ok = 0
+            for k in range(8):
+                pkt = UplinkPacket(1, 55 + k)
+                comp = uplink.tag_component(
+                    pkt.to_bits(), rate, 0.025, phase_rad=0.7 * k,
+                    lead_in_s=max(0.012, 8.0 / rate),
+                )
+                cap = uplink.capture(
+                    [ir.apply(comp)], 2.673e-10, rng, extra_samples=2000
+                )
+                ok += pkt in chain.decode(cap, rate).packets
+            results[rate] = ok
+        assert results[375.0] > results[3000.0]
+        assert results[375.0] >= 7

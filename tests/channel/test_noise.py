@@ -1,0 +1,79 @@
+"""Tests for noise sources."""
+
+import numpy as np
+import pytest
+
+from repro.channel.noise import ReceiverNoise, ReverberationField, VehicleVibration
+
+
+class TestReceiverNoise:
+    def test_power_in_band_scales_linearly(self):
+        n = ReceiverNoise(psd_v2_per_hz=1e-10)
+        assert n.power_in_band(2000.0) == pytest.approx(2 * n.power_in_band(1000.0))
+
+    def test_samples_variance_matches_psd(self, rng):
+        n = ReceiverNoise(psd_v2_per_hz=1e-8)
+        fs = 500_000.0
+        x = n.samples(200_000, fs, rng)
+        expected_var = 1e-8 * fs / 2.0
+        assert np.var(x) == pytest.approx(expected_var, rel=0.05)
+
+    def test_samples_zero_mean(self, rng):
+        n = ReceiverNoise(psd_v2_per_hz=1e-8)
+        x = n.samples(100_000, 500_000.0, rng)
+        assert abs(np.mean(x)) < 5 * np.std(x) / np.sqrt(len(x))
+
+    def test_invalid_psd_raises(self):
+        with pytest.raises(ValueError):
+            ReceiverNoise(psd_v2_per_hz=0.0)
+
+    def test_invalid_bandwidth_raises(self):
+        with pytest.raises(ValueError):
+            ReceiverNoise().power_in_band(-1.0)
+
+
+class TestVehicleVibration:
+    def test_all_energy_below_100hz(self, rng):
+        v = VehicleVibration()
+        fs = 500_000.0
+        x = v.samples(2 ** 18, fs, rng)
+        # Hann window keeps rectangular-window leakage skirts from
+        # masquerading as high-frequency content.
+        x = x * np.hanning(len(x))
+        spectrum = np.abs(np.fft.rfft(x)) ** 2
+        freqs = np.fft.rfftfreq(len(x), 1 / fs)
+        low = spectrum[freqs <= 100.0].sum()
+        high = spectrum[freqs > 100.0].sum()
+        assert high < 1e-5 * low
+
+    def test_rms_amplitude_respected(self, rng):
+        v = VehicleVibration(rms_amplitude_v=0.5)
+        x = v.samples(2 ** 18, 50_000.0, rng)
+        assert np.sqrt(np.mean(x**2)) == pytest.approx(0.5, rel=0.1)
+
+    def test_harmonic_above_limit_raises(self):
+        with pytest.raises(ValueError):
+            VehicleVibration(harmonic_frequencies_hz=(150.0,))
+
+    def test_no_harmonics_is_silent(self, rng):
+        v = VehicleVibration(harmonic_frequencies_hz=())
+        assert np.all(v.samples(100, 1000.0, rng) == 0.0)
+
+
+class TestReverberationField:
+    def test_psd_scales_with_carrier_power(self):
+        r = ReverberationField()
+        assert r.in_band_psd(2.0) == pytest.approx(4 * r.in_band_psd(1.0))
+
+    def test_zero_carrier_zero_reverb(self):
+        assert ReverberationField().in_band_psd(0.0) == 0.0
+
+    def test_negative_carrier_raises(self):
+        with pytest.raises(ValueError):
+            ReverberationField().in_band_psd(-1.0)
+
+    def test_floor_is_well_below_carrier(self):
+        r = ReverberationField()
+        carrier_power = 1.0**2 / 2
+        total_reverb = r.in_band_psd(1.0) * r.spread_bandwidth_hz
+        assert total_reverb < 1e-3 * carrier_power

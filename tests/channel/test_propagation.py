@@ -1,0 +1,73 @@
+"""Tests for the propagation / path-loss model."""
+
+import pytest
+
+from repro.channel.biw import BiWModel, JointKind, onvo_l60
+from repro.channel.propagation import PropagationModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return PropagationModel(onvo_l60())
+
+
+class TestPathLoss:
+    def test_loss_increases_with_distance(self, model):
+        near = model.link("reader", "tag8").loss_db
+        far = model.link("reader", "tag11").loss_db
+        assert far > near
+
+    def test_tag8_loss_matches_calibration(self, model):
+        # 0.4 m, no joints: spreading + absorption ~ 6.8 dB.
+        assert model.link("reader", "tag8").loss_db == pytest.approx(6.8, abs=0.3)
+
+    def test_perpendicular_joint_dominates_tag4(self, model):
+        p = model.biw.path("reader", "tag4")
+        joint_part = p.joint_loss_db(model.biw.joint_loss_table)
+        total = model.path_loss_db(p)
+        assert joint_part > 0.3 * total
+
+    def test_amplitude_positive_and_below_source(self, model):
+        for tag in model.biw.mounts:
+            if tag == "reader":
+                continue
+            amp = model.carrier_amplitude_at(tag)
+            assert 0.0 < amp < 3.073
+
+    def test_roundtrip_is_twice_oneway(self, model):
+        one = model.link("reader", "tag11").loss_db
+        assert model.roundtrip_loss_db("tag11") == pytest.approx(2 * one)
+
+    def test_delay_positive_and_small(self, model):
+        d = model.link("reader", "tag11").delay_s
+        assert 0.0 < d < 0.01
+
+    def test_link_is_cached(self, model):
+        assert model.link("reader", "tag8") is model.link("reader", "tag8")
+
+    def test_cache_invalidation_reflects_model_change(self):
+        biw = onvo_l60()
+        m = PropagationModel(biw)
+        before = m.link("reader", "tag11").loss_db
+        biw.set_joint_loss(JointKind.SEAM, 5.0)
+        m.invalidate_cache()
+        after = m.link("reader", "tag11").loss_db
+        assert after > before
+
+    def test_minimum_distance_clamps_spreading(self):
+        biw = BiWModel()
+        biw.add_vertex("a", 0, 0)
+        biw.add_vertex("b", 0.01, 0)  # closer than the reference distance
+        biw.add_member("a", "b", JointKind.NONE)
+        biw.add_mount("src", "a")
+        biw.add_mount("dst", "b")
+        m = PropagationModel(biw)
+        # Spreading cannot become a gain at sub-reference distances.
+        assert m.link("src", "dst").loss_db >= 0.0
+
+    def test_invalid_constructor_args(self):
+        biw = onvo_l60()
+        with pytest.raises(ValueError):
+            PropagationModel(biw, alpha_db_per_m=-1.0)
+        with pytest.raises(ValueError):
+            PropagationModel(biw, source_amplitude_v=0.0)

@@ -1,0 +1,78 @@
+"""Tests for the PZT transducer model."""
+
+import numpy as np
+import pytest
+
+from repro.channel.pzt import PZTState, PZTTransducer
+
+
+@pytest.fixture()
+def pzt():
+    return PZTTransducer()
+
+
+class TestStates:
+    def test_reflective_exceeds_absorptive(self, pzt):
+        r = pzt.reflection_coefficient(PZTState.REFLECTIVE)
+        a = pzt.reflection_coefficient(PZTState.ABSORPTIVE)
+        assert r > a
+
+    def test_modulation_depth(self, pzt):
+        assert pzt.modulation_depth == pytest.approx(
+            pzt.reflective_coefficient - pzt.absorptive_coefficient
+        )
+
+    def test_invalid_coefficient_ordering_raises(self):
+        with pytest.raises(ValueError):
+            PZTTransducer(reflective_coefficient=0.2, absorptive_coefficient=0.5)
+
+    def test_invalid_q_raises(self):
+        with pytest.raises(ValueError):
+            PZTTransducer(q_factor=0.0)
+
+
+class TestResonance:
+    def test_unity_response_at_resonance(self, pzt):
+        assert pzt.frequency_response(pzt.resonant_frequency_hz) == pytest.approx(1.0)
+
+    def test_response_attenuates_off_resonance(self, pzt):
+        assert pzt.frequency_response(78_000.0) < 0.5
+        assert pzt.frequency_response(110_000.0) < 0.5
+
+    def test_response_symmetric_falloff(self, pzt):
+        below = pzt.frequency_response(80_000.0)
+        above = pzt.frequency_response(100_000.0)
+        assert below < 1.0 and above < 1.0
+
+    def test_nonpositive_frequency_raises(self, pzt):
+        with pytest.raises(ValueError):
+            pzt.frequency_response(0.0)
+
+
+class TestRingEffect:
+    def test_ring_time_constant_formula(self, pzt):
+        expected = pzt.q_factor / (np.pi * pzt.resonant_frequency_hz)
+        assert pzt.ring_time_constant_s == pytest.approx(expected)
+
+    def test_ring_tail_decays_exponentially(self, pzt):
+        tail = pzt.ring_tail(1.0, duration_s=5 * pzt.ring_time_constant_s)
+        # Envelope at the end should be under e^-4 ~ 2% of the start.
+        end_peak = np.max(np.abs(tail[-50:]))
+        assert end_peak < 0.05
+
+    def test_ring_tail_starts_at_amplitude(self, pzt):
+        tail = pzt.ring_tail(0.7, duration_s=1e-4)
+        assert abs(tail[0]) == pytest.approx(0.7, rel=1e-6)
+
+    def test_ring_tail_duration_controls_length(self, pzt):
+        tail = pzt.ring_tail(1.0, duration_s=1e-3, sample_rate_hz=500_000.0)
+        assert len(tail) == 500
+
+    def test_negative_duration_raises(self, pzt):
+        with pytest.raises(ValueError):
+            pzt.ring_tail(1.0, duration_s=-1.0)
+
+    def test_fsk_off_level_is_small(self, pzt):
+        # The FSK-in-OOK-out OFF level rides the attenuated resonance
+        # response, so it stays well below the ON level.
+        assert pzt.effective_off_amplitude(78_000.0) < 0.3

@@ -1,0 +1,24 @@
+"""Shared fixtures: the stock deployment is expensive enough to build
+once per session (propagation caches warm up as tests touch links)."""
+
+import numpy as np
+import pytest
+
+from repro.channel.medium import AcousticMedium
+from repro.hardware.harvester import EnergyHarvester
+
+
+@pytest.fixture(scope="session")
+def medium() -> AcousticMedium:
+    """The ONVO L60 deployment with default channel models."""
+    return AcousticMedium()
+
+
+@pytest.fixture(scope="session")
+def harvester() -> EnergyHarvester:
+    return EnergyHarvester()
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

@@ -1,0 +1,135 @@
+"""Tests for the event-driven real-time network execution."""
+
+import numpy as np
+import pytest
+
+from repro.core.network import NetworkConfig, SlottedNetwork
+from repro.core.realtime import RealtimeNetwork
+from repro.core.state_machine import TagState
+from repro.experiments.configs import pattern
+
+
+def make(periods, seed=0, **cfg):
+    return RealtimeNetwork(
+        periods, config=NetworkConfig(seed=seed, ideal_channel=True, **cfg)
+    )
+
+
+class TestEquivalenceWithSlotted:
+    """The real-time execution must validate the slot abstraction."""
+
+    def test_identical_convergence_on_ideal_channel(self):
+        periods = pattern("c2").tag_periods()
+        for seed in (0, 1, 2):
+            rt = make(periods, seed=seed)
+            sl = SlottedNetwork(
+                periods, config=NetworkConfig(seed=seed, ideal_channel=True)
+            )
+            t_rt = rt.run_until_converged(max_slots=20_000)
+            t_sl = sl.run_until_converged(max_slots=20_000)
+            rt.stop()
+            assert t_rt == t_sl
+
+    def test_identical_slot_records(self):
+        periods = {"tag5": 4, "tag6": 4, "tag8": 8}
+        rt = make(periods, seed=3)
+        sl = SlottedNetwork(
+            periods, config=NetworkConfig(seed=3, ideal_channel=True)
+        )
+        rt.run(100)
+        rt.stop()
+        sl.run(100)
+        for a, b in zip(rt.records, sl.records):
+            assert (a.decoded, a.collision_detected, a.n_transmitters) == (
+                b.decoded,
+                b.collision_detected,
+                b.n_transmitters,
+            )
+
+
+class TestPhysicalTiming:
+    def test_slots_advance_physical_time(self):
+        rt = make({"tag8": 4})
+        rt.run(10)
+        rt.stop()
+        assert rt.sim.now == pytest.approx(10 * rt.slot_duration_s)
+        assert len(rt.records) == 10
+
+    def test_ul_fits_inside_slot(self):
+        # Beacon (~0.1 s) + turnaround (20 ms) + UL (171 ms) < 1 s slot.
+        rt = make({"tag8": 4})
+        beacon_events = []
+        rt.run(8)
+        rt.stop()
+        uls = rt.trace.records(kind="ul")
+        beacons = rt.trace.records(kind="beacon")
+        assert beacons
+        for ul in uls:
+            slot_start = max(b.time for b in beacons if b.time <= ul.time)
+            assert ul.time - slot_start < rt.slot_duration_s - rt.ul_airtime_s
+
+    def test_propagation_delay_differentiates_tags(self):
+        rt = make({"tag8": 4, "tag11": 4})
+        assert rt.tags["tag8"].rx_delay_s < rt.tags["tag11"].rx_delay_s
+
+
+class TestWatchdog:
+    def test_beacon_loss_fires_watchdog(self):
+        rt = RealtimeNetwork(
+            {"tag5": 4, "tag8": 4},
+            config=NetworkConfig(seed=1, beacon_loss_probability=0.3),
+        )
+        rt.run(60)
+        rt.stop()
+        missed = sum(t.mac.beacons_missed for t in rt.tags.values())
+        assert missed > 0
+
+    def test_no_watchdog_firings_without_loss(self):
+        rt = make({"tag5": 4, "tag8": 4}, seed=2)
+        rt.run(50)
+        rt.stop()
+        assert all(t.mac.beacons_missed == 0 for t in rt.tags.values())
+
+    def test_network_recovers_from_heavy_loss(self):
+        rt = RealtimeNetwork(
+            {"tag5": 8, "tag8": 8},
+            config=NetworkConfig(seed=5, beacon_loss_probability=0.05),
+        )
+        rt.run(800)
+        rt.stop()
+        tail = rt.records[-100:]
+        collided = sum(1 for r in tail if r.truly_collided)
+        assert collided < 20
+
+
+class TestActivationTiming:
+    def test_tags_silent_before_activation(self):
+        rt = RealtimeNetwork(
+            {"tag5": 4, "tag8": 4},
+            config=NetworkConfig(seed=0, ideal_channel=True),
+            activation_time_s={"tag5": 20.0},
+        )
+        rt.run(60)
+        rt.stop()
+        early_uls = [
+            r for r in rt.trace.records(kind="ul", source="tag5") if r.time < 20.0
+        ]
+        assert early_uls == []
+        assert rt.tags["tag5"].mac.late_arrival
+        assert rt.tags["tag5"].mac.state is TagState.SETTLE
+
+
+class TestValidation:
+    def test_empty_tags_raises(self):
+        with pytest.raises(ValueError):
+            RealtimeNetwork({})
+
+    def test_unmounted_tag_raises(self):
+        with pytest.raises(KeyError):
+            RealtimeNetwork({"tag99": 4})
+
+    def test_negative_run_raises(self):
+        rt = make({"tag8": 4})
+        with pytest.raises(ValueError):
+            rt.run(-1)
+        rt.stop()

@@ -1,0 +1,122 @@
+"""Tests for the tag state machine (Fig. 7)."""
+
+import itertools
+
+import pytest
+
+from repro.core.state_machine import TagState, TagStateMachine
+
+
+def make_machine(period=8, offsets=None, nack_threshold=3):
+    """Machine with a scripted (or cycling) offset picker."""
+    if offsets is None:
+        counter = itertools.count()
+        picker = lambda p: next(counter) % p
+    else:
+        it = iter(offsets)
+        picker = lambda p: next(it)
+    return TagStateMachine(period, picker, nack_threshold)
+
+
+class TestMigrate:
+    def test_starts_in_migrate(self):
+        assert make_machine().state is TagState.MIGRATE
+
+    def test_ack_settles(self):
+        m = make_machine()
+        m.on_ack()
+        assert m.state is TagState.SETTLE
+        assert m.settles == 1
+
+    def test_nack_repicks_offset(self):
+        m = make_machine(offsets=[1, 5, 2])
+        assert m.offset == 1
+        m.on_nack()
+        assert m.offset == 5
+        assert m.state is TagState.MIGRATE
+        assert m.migrations == 1
+
+    def test_beacon_loss_repicks_in_migrate(self):
+        m = make_machine(offsets=[0, 3])
+        m.on_beacon_loss()
+        assert m.state is TagState.MIGRATE
+        assert m.offset == 3
+
+
+class TestSettle:
+    def test_single_nack_does_not_demote(self):
+        # Sec. 5.3: "a single NACK does not immediately trigger a state
+        # change" — it tolerates isolated UL decode failures.
+        m = make_machine()
+        m.on_ack()
+        m.on_nack()
+        assert m.state is TagState.SETTLE
+        assert m.nack_count == 1
+
+    def test_n_consecutive_nacks_demote(self):
+        m = make_machine(nack_threshold=3)
+        m.on_ack()
+        m.on_nack()
+        m.on_nack()
+        assert m.state is TagState.SETTLE
+        m.on_nack()
+        assert m.state is TagState.MIGRATE
+        assert m.nack_count == 0
+
+    def test_ack_resets_failure_counter(self):
+        m = make_machine(nack_threshold=3)
+        m.on_ack()
+        m.on_nack()
+        m.on_nack()
+        m.on_ack()  # counter back to zero
+        m.on_nack()
+        m.on_nack()
+        assert m.state is TagState.SETTLE
+
+    def test_offset_stable_while_settled(self):
+        m = make_machine(offsets=[4, 7])
+        m.on_ack()
+        offset = m.offset
+        m.on_nack()
+        assert m.offset == offset  # keeps its slot through lone NACKs
+
+    def test_beacon_loss_demotes_immediately(self):
+        # Sec. 5.4 refinement: no waiting for N NACKs.
+        m = make_machine()
+        m.on_ack()
+        m.on_beacon_loss()
+        assert m.state is TagState.MIGRATE
+
+    def test_custom_threshold_one(self):
+        m = make_machine(nack_threshold=1)
+        m.on_ack()
+        m.on_nack()
+        assert m.state is TagState.MIGRATE
+
+
+class TestReset:
+    def test_reset_returns_to_migrate(self):
+        m = make_machine()
+        m.on_ack()
+        m.reset()
+        assert m.state is TagState.MIGRATE
+        assert m.nack_count == 0
+
+    def test_reset_repicks_offset(self):
+        m = make_machine(offsets=[2, 6])
+        m.reset()
+        assert m.offset == 6
+
+
+class TestValidation:
+    def test_invalid_period_raises(self):
+        with pytest.raises(ValueError):
+            make_machine(period=0)
+
+    def test_invalid_threshold_raises(self):
+        with pytest.raises(ValueError):
+            make_machine(nack_threshold=0)
+
+    def test_out_of_range_pick_raises(self):
+        with pytest.raises(ValueError):
+            TagStateMachine(4, lambda p: p)  # picker returns period itself

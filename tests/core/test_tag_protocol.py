@@ -1,0 +1,137 @@
+"""Tests for the tag-side MAC."""
+
+import itertools
+
+import pytest
+
+from repro.core.state_machine import TagState
+from repro.core.tag_protocol import TagMac
+from repro.phy.packets import DownlinkBeacon
+
+
+def make_tag(period=4, offsets=None, late_arrival=False, **kwargs):
+    if offsets is None:
+        counter = itertools.count()
+        picker = lambda p: next(counter) % p
+    else:
+        it = iter(offsets)
+        picker = lambda p: next(it)
+    return TagMac("tagX", tid=1, period=period, offset_picker=picker,
+                  late_arrival=late_arrival, **kwargs)
+
+
+BEACON = DownlinkBeacon(ack=False, empty=True)
+ACK = DownlinkBeacon(ack=True, empty=True)
+
+
+class TestSlotCounting:
+    def test_counter_increments_per_beacon(self):
+        tag = make_tag()
+        for _ in range(5):
+            tag.on_beacon(BEACON)
+        assert tag.slot_counter == 5
+
+    def test_transmits_at_matching_slot(self):
+        tag = make_tag(period=4, offsets=[2])
+        first = [tag.on_beacon(BEACON).transmit for _ in range(3)]  # slots 0-2
+        assert first == [False, False, True]
+        tag.on_beacon(ACK)  # slot 3: feedback settles the tag at offset 2
+        rest = [tag.on_beacon(ACK).transmit for _ in range(8)]  # slots 4-11
+        assert rest == [False, False, True, False] * 2
+
+    def test_counter_stalls_on_beacon_loss(self):
+        # Sec. 5.4: a missed beacon shifts the effective offset by one.
+        tag = make_tag(period=4, offsets=[2, 2])
+        tag.on_beacon(BEACON)
+        tag.on_beacon_loss()
+        assert tag.slot_counter == 1
+        assert tag.beacons_missed == 1
+
+
+class TestFeedbackGating:
+    def test_ack_ignored_if_did_not_transmit(self):
+        # "Tags respond to ACK/NACK only if they transmitted at the
+        # last slot."
+        tag = make_tag(period=4, offsets=[2])
+        tag.on_beacon(ACK)  # slot 0: not our slot, ACK must be ignored
+        assert tag.state is TagState.MIGRATE
+
+    def test_ack_after_transmission_settles(self):
+        tag = make_tag(period=4, offsets=[0])
+        assert tag.on_beacon(BEACON).transmit  # slot 0: transmits
+        tag.on_beacon(ACK)  # feedback for slot 0
+        assert tag.state is TagState.SETTLE
+        assert tag.ever_settled
+
+    def test_nack_after_transmission_migrates(self):
+        tag = make_tag(period=4, offsets=[0, 3])
+        tag.on_beacon(BEACON)
+        tag.on_beacon(BEACON)  # NACK (no ack flag)
+        assert tag.state is TagState.MIGRATE
+        assert tag.offset == 3
+
+    def test_transmitted_flag_cleared_after_feedback(self):
+        tag = make_tag(period=4, offsets=[0])
+        tag.on_beacon(BEACON)
+        assert tag.transmitted_last_slot
+        tag.on_beacon(ACK)
+        # Settled at offset 0 -> transmits again at slot 4, not slot 1.
+        assert not tag.on_beacon(ACK).transmit or tag.slot_counter % 4 == 0
+
+
+class TestReset:
+    def test_reset_clears_state_and_counter(self):
+        tag = make_tag(period=4, offsets=[0, 1])
+        tag.on_beacon(BEACON)
+        tag.on_beacon(ACK)
+        tag.on_beacon(DownlinkBeacon(reset=True, empty=True))
+        assert tag.state is TagState.MIGRATE
+        assert tag.slot_counter == 1  # counts restart from the RESET beacon
+        assert not tag.ever_settled
+
+
+class TestEmptyFlagGating:
+    def test_late_tag_defers_when_slot_predicted_busy(self):
+        tag = make_tag(period=4, offsets=[0, 2], late_arrival=True)
+        decision = tag.on_beacon(DownlinkBeacon(empty=False))
+        assert not decision.transmit
+        assert tag.offset == 2  # re-rolled instead of colliding
+
+    def test_late_tag_transmits_when_empty(self):
+        tag = make_tag(period=4, offsets=[0], late_arrival=True)
+        assert tag.on_beacon(DownlinkBeacon(empty=True)).transmit
+
+    def test_early_tag_ignores_empty_flag(self):
+        # Sec. 5.5: "only newly arriving tags respond to the EMPTY flag".
+        tag = make_tag(period=4, offsets=[0], late_arrival=False)
+        assert tag.on_beacon(DownlinkBeacon(empty=False)).transmit
+
+    def test_late_tag_stops_obeying_after_first_settle(self):
+        tag = make_tag(period=4, offsets=[0], late_arrival=True)
+        tag.on_beacon(DownlinkBeacon(empty=True))  # slot 0: transmits
+        tag.on_beacon(DownlinkBeacon(ack=True, empty=True))  # slot 1: settles
+        assert not tag.is_new
+        tag.on_beacon(DownlinkBeacon(empty=True))  # slot 2
+        tag.on_beacon(DownlinkBeacon(empty=True))  # slot 3
+        # Slot 4 is the tag's scheduled slot; settled tags transmit
+        # regardless of the EMPTY prediction.
+        assert tag.on_beacon(DownlinkBeacon(empty=False)).transmit
+
+    def test_gating_can_be_disabled(self):
+        tag = make_tag(period=4, offsets=[0], late_arrival=True,
+                       respect_empty_flag=False)
+        assert tag.on_beacon(DownlinkBeacon(empty=False)).transmit
+
+
+class TestBeaconLoss:
+    def test_watchdog_demotes_settled_tag(self):
+        tag = make_tag(period=4, offsets=[0, 1])
+        tag.on_beacon(BEACON)
+        tag.on_beacon(ACK)
+        assert tag.state is TagState.SETTLE
+        tag.on_beacon_loss()
+        assert tag.state is TagState.MIGRATE
+
+    def test_no_transmission_during_loss(self):
+        tag = make_tag(period=4, offsets=[0, 0])
+        assert not tag.on_beacon_loss().transmit

@@ -1,0 +1,82 @@
+"""Tests for the Table 3 / Table 1 experiment configurations."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.slot_schedule import assign_offsets, slot_utilization
+from repro.experiments.configs import (
+    FIXED_TAGS_SWEEP,
+    FIXED_UTILIZATION_SWEEP,
+    TABLE1_OFFSETS,
+    TABLE1_PERIODS,
+    TABLE3_PATTERNS,
+    pattern,
+)
+
+
+class TestTable3:
+    def test_nine_patterns(self):
+        assert len(TABLE3_PATTERNS) == 9
+
+    @pytest.mark.parametrize(
+        "name,util",
+        [
+            ("c1", Fraction(3, 8)),
+            ("c2", Fraction(3, 4)),
+            ("c3", Fraction(27, 32)),
+            ("c4", Fraction(15, 16)),
+            ("c5", Fraction(1)),
+            ("c6", Fraction(3, 4)),
+            ("c7", Fraction(3, 4)),
+            ("c8", Fraction(3, 4)),
+            ("c9", Fraction(3, 4)),
+        ],
+    )
+    def test_utilizations_match_paper(self, name, util):
+        assert pattern(name).utilization == util
+
+    @pytest.mark.parametrize(
+        "name,n",
+        [("c1", 12), ("c2", 12), ("c3", 12), ("c4", 12), ("c5", 12),
+         ("c6", 11), ("c7", 10), ("c8", 8), ("c9", 6)],
+    )
+    def test_tag_counts_match_paper(self, name, n):
+        p = pattern(name)
+        assert p.n_tags == n
+        assert len(p.tag_names()) == n
+        assert len(p.tag_periods()) == n
+
+    def test_fixed_tag_sweep_utilization_monotone(self):
+        utils = [float(pattern(n).utilization) for n in FIXED_TAGS_SWEEP]
+        assert utils == sorted(utils)
+
+    def test_fixed_utilization_sweep_constant(self):
+        assert {pattern(n).utilization for n in FIXED_UTILIZATION_SWEEP} == {
+            Fraction(3, 4)
+        }
+
+    def test_exclusions_match_footnotes(self):
+        assert pattern("c6").excluded_tags == (7,)
+        assert pattern("c7").excluded_tags == (4, 7)
+        assert pattern("c8").excluded_tags == (1, 4, 7, 9)
+        assert pattern("c9").excluded_tags == (1, 3, 4, 7, 9, 11)
+
+    def test_every_pattern_schedulable(self):
+        # All nine have utilisation <= 1 and must admit a conflict-free
+        # static assignment.
+        for name in TABLE3_PATTERNS:
+            assign_offsets(pattern(name).tag_periods())
+
+    def test_unknown_pattern_raises(self):
+        with pytest.raises(KeyError):
+            pattern("c99")
+
+
+class TestTable1:
+    def test_saturating_utilization(self):
+        assert slot_utilization(TABLE1_PERIODS.values()) == 1
+
+    def test_paper_offsets_are_a_perfect_schedule(self):
+        result = assign_offsets(TABLE1_PERIODS, preassigned=TABLE1_OFFSETS)
+        assert len(result) == 4

@@ -1,0 +1,263 @@
+"""End-to-end checks of every experiment runner against the paper's
+reported numbers (shape and, where the paper is explicit, values)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig11_energy import format_fig11, run_fig11
+from repro.experiments.fig12_uplink import format_fig12, run_fig12
+from repro.experiments.fig13_downlink import format_fig13, run_fig13
+from repro.experiments.fig14_pingpong import format_fig14, run_fig14
+from repro.experiments.fig16_longrun import format_fig16, run_fig16
+from repro.experiments.fig17_strain import format_fig17, run_fig17
+from repro.experiments.fig19_aloha import deployment_charge_times
+from repro.experiments.table2_power import format_table2, run_table2
+from repro.experiments.table3_convergence import measure_convergence
+from repro.experiments.configs import pattern
+
+
+class TestFig11:
+    @pytest.fixture(scope="class")
+    def result(self, medium):
+        return run_fig11(medium)
+
+    def test_all_tags_activate_at_8_stages(self, result):
+        assert result.all_activate_at_8_stages()
+
+    def test_tag4_anchor(self, result):
+        row = next(r for r in result.rows if r.tag == "tag4")
+        assert row.amplified_16x_v == pytest.approx(4.74, abs=0.1)
+
+    def test_tag11_anchor(self, result):
+        row = next(r for r in result.rows if r.tag == "tag11")
+        assert row.amplified_16x_v == pytest.approx(2.70, abs=0.05)
+
+    def test_charging_time_range(self, result):
+        lo, hi = result.charging_time_range_s()
+        assert lo == pytest.approx(4.5, abs=0.1)
+        assert hi == pytest.approx(56.2, rel=0.03)
+
+    def test_net_power_range(self, result):
+        lo, hi = result.net_power_range_w()
+        assert lo == pytest.approx(47.1e-6, rel=0.03)
+        assert hi == pytest.approx(587.8e-6, rel=0.01)
+
+    def test_voltage_monotone_in_stage_count(self, result):
+        for row in result.rows:
+            vals = [row.amplified_v_by_stage[n] for n in result.stage_counts]
+            assert vals == sorted(vals)
+
+    def test_formatting_mentions_all_tags(self, result):
+        text = format_fig11(result)
+        assert "tag4" in text and "tag11" in text
+
+
+class TestTable2:
+    def test_power_rows(self):
+        r = run_table2()
+        assert r.table["RX"]["total_power_uw"] == pytest.approx(24.8)
+        assert r.table["TX"]["total_power_uw"] == pytest.approx(51.0)
+        assert r.table["IDLE"]["total_power_uw"] == pytest.approx(7.6)
+
+    def test_savings_over_80_percent(self):
+        r = run_table2()
+        assert r.rx_savings_vs_active > 0.8
+        assert r.tx_savings_vs_active > 0.8
+
+    def test_protocol_duty_cycle_sustainable(self):
+        assert run_table2().sustainable
+
+    def test_formatting(self):
+        assert "sustainable" in format_table2(run_table2())
+
+
+class TestFig12:
+    @pytest.fixture(scope="class")
+    def result(self, medium):
+        return run_fig12(medium)
+
+    def test_snr_ordering(self, result):
+        for rate in (93.75, 375.0, 3000.0):
+            assert result.snr("tag8", rate) > result.snr("tag4", rate)
+            assert result.snr("tag4", rate) > result.snr("tag11", rate)
+
+    def test_snr_monotone_decreasing_in_rate(self, result):
+        for tag in ("tag8", "tag4", "tag11"):
+            snrs = [result.snr(tag, r) for r in (93.75, 187.5, 375.0, 750.0, 1500.0, 3000.0)]
+            assert snrs == sorted(snrs, reverse=True)
+
+    def test_paper_anchors(self, result):
+        assert result.snr("tag8", 3000.0) > 11.7
+        assert result.snr("tag11", 750.0) == pytest.approx(18.1, abs=1.0)
+
+    def test_loss_below_5_per_1000(self, result):
+        for tag in ("tag8", "tag4", "tag11"):
+            for rate in (93.75, 375.0, 3000.0):
+                assert result.loss(tag, rate) <= 5.0
+
+    def test_loss_increases_with_rate(self, result):
+        for tag in ("tag8", "tag4", "tag11"):
+            assert result.loss(tag, 3000.0) > result.loss(tag, 93.75)
+
+    def test_formatting(self, result):
+        assert "SNR" in format_fig12(result)
+
+
+class TestFig13:
+    @pytest.fixture(scope="class")
+    def result(self, medium):
+        return run_fig13(medium)
+
+    def test_loss_cliff_at_1000_and_2000(self, result):
+        for tag in ("tag8", "tag4", "tag11"):
+            assert result.loss(tag, 250.0) < 5.0
+            assert result.loss(tag, 500.0) < 30.0
+            assert result.loss(tag, 1000.0) > 200.0
+            assert result.loss(tag, 2000.0) > 800.0
+
+    def test_all_sync_offsets_under_5ms(self, result):
+        # Paper: "time offsets less than 5.0 ms".
+        for s in result.sync_offsets:
+            assert s.max_abs_ms < 5.0
+
+    def test_reference_tag_near_zero(self, result):
+        ref = next(s for s in result.sync_offsets if s.tag == "tag6")
+        assert abs(ref.mean_ms) < 0.5
+
+    def test_formatting(self, result):
+        assert "sync offsets" in format_fig13(result)
+
+
+class TestFig14:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig14(seed=1)
+
+    def test_stage2_99th_percentile_near_paper(self, result):
+        # Paper: 99% of stage-2 delays under 281.9 ms.
+        assert result.percentile_stage2_s(99) * 1e3 == pytest.approx(281.9, abs=15.0)
+
+    def test_mean_software_delay(self, result):
+        assert result.mean_software_delay_s() * 1e3 == pytest.approx(58.9, abs=3.0)
+
+    def test_software_under_30_percent_of_packet(self, result):
+        assert result.software_delay_fraction_of_ul() < 0.30
+
+    def test_stage1_is_beacon_airtime(self, result):
+        for s in result.samples[:10]:
+            assert 0.08 <= s.stage1_s <= 0.12
+
+    def test_formatting(self, result):
+        assert "99th" in format_fig14(result)
+
+
+class TestFig15:
+    def test_convergence_grows_with_utilization(self, medium):
+        lo = measure_convergence(pattern("c1"), n_trials=5, medium=medium, seed=0)
+        hi = measure_convergence(pattern("c4"), n_trials=5, medium=medium, seed=0)
+        assert hi.median > lo.median
+
+    def test_fixed_utilization_patterns_comparable(self, medium):
+        # Fig. 15(b): at fixed U=0.75 the spread across tag counts is
+        # small compared to the utilisation effect.
+        meds = [
+            measure_convergence(pattern(n), n_trials=5, medium=medium, seed=1).median
+            for n in ("c2", "c9")
+        ]
+        assert max(meds) < 10 * max(min(meds), 1)
+
+
+class TestFig16:
+    @pytest.fixture(scope="class")
+    def result(self, medium):
+        return run_fig16(n_slots=4000, seed=2, medium=medium)
+
+    def test_non_empty_near_bound(self, result):
+        # Paper: 81.2% average against the 0.84375 bound.
+        assert 0.74 <= result.mean_non_empty <= result.utilization_bound + 0.01
+
+    def test_collision_ratio_small(self, result):
+        # Paper: 0.056 average.
+        assert result.mean_collision < 0.12
+
+    def test_ratio_fluctuates_but_recovers(self, result):
+        series = result.stats.non_empty_ratio
+        # Not a flat line (disruptions) yet mostly near the bound.
+        assert series.std() > 0.0
+        frac_near = np.mean(series > result.utilization_bound - 0.25)
+        assert frac_near > 0.8
+
+    def test_formatting(self, result):
+        assert "non-empty" in format_fig16(result)
+
+
+class TestFig17:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig17()
+
+    def test_three_tags(self, result):
+        assert len(result.curves) == 3
+
+    def test_clear_correlation(self, result):
+        # Paper: "a clear correlation between voltage and displacement".
+        for c in result.curves:
+            assert c.correlation() > 0.99
+
+    def test_distinct_sensitivities(self, result):
+        slopes = [
+            (c.voltage_v[-1] - c.voltage_v[0]) / 20.0 for c in result.curves
+        ]
+        assert len({round(s, 4) for s in slopes}) == 3
+
+    def test_voltages_within_rail(self, result):
+        for c in result.curves:
+            assert np.all(c.voltage_v >= 0.0)
+            assert np.all(c.voltage_v <= 1.8)
+
+    def test_formatting(self, result):
+        assert "corr" in format_fig17(result)
+
+
+class TestFig19Inputs:
+    def test_charge_times_span_paper_range(self, medium):
+        times = deployment_charge_times(medium)
+        assert min(times.values()) == pytest.approx(4.5, abs=0.1)
+        assert max(times.values()) == pytest.approx(56.2, rel=0.03)
+        assert min(times, key=times.get) == "tag8"
+
+
+class TestFig14Waveform:
+    """Fig. 14(a): the raw ping-pong capture."""
+
+    @pytest.fixture(scope="class")
+    def capture(self):
+        from repro.experiments.fig14_pingpong import synthesize_pingpong_waveform
+
+        return synthesize_pingpong_waveform(seed=1)
+
+    def test_dl_burst_dominates_the_opening(self, capture):
+        t, w = capture
+
+        def rms(a, b):
+            m = (t >= a) & (t < b)
+            return float(np.sqrt(np.mean(w[m] ** 2)))
+
+        assert rms(0.0, 0.09) > 2 * rms(0.115, 0.13)
+
+    def test_total_duration_matches_figure_window(self, capture):
+        t, _ = capture
+        # Paper's Fig. 14(a) spans ~0-400 ms: beacon + 20 ms + UL frame.
+        assert 0.25 < t[-1] < 0.45
+
+    def test_ul_packet_decodable_from_the_rx_window(self, capture):
+        # The reader software gates its receive processing to the slot's
+        # UL window (it knows when its own beacon ended): decode from
+        # just after beacon + turnaround.
+        from repro.phy.packets import UplinkPacket
+        from repro.phy.reader_dsp import ReaderReceiveChain
+
+        t, w = capture
+        window = w[t >= 0.118]
+        packets = ReaderReceiveChain().decode(window, 375.0).packets
+        assert UplinkPacket(tid=3, payload=1234) in packets

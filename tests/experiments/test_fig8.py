@@ -1,0 +1,65 @@
+"""Tests for the Fig. 8 beacon-shift reconstruction."""
+
+import pytest
+
+from repro.core.slot_schedule import Assignment, schedule_table
+from repro.experiments.fig8_beacon_shift import (
+    FIG8_ASSIGNMENTS,
+    FIG8_VICTIM,
+    format_fig8,
+    shift_outcomes,
+    shift_risk,
+)
+
+
+class TestPaperPanels:
+    def test_slots_2_and_6_free(self):
+        table = schedule_table(FIG8_ASSIGNMENTS, 8)
+        free = [i for i, slot in enumerate(table) if not slot]
+        assert free == [2, 6]
+
+    def test_c_originally_in_slot_1(self):
+        assert FIG8_ASSIGNMENTS["C"].transmits_in(1)
+
+    def test_first_miss_is_harmless(self):
+        outcomes = shift_outcomes(FIG8_ASSIGNMENTS, FIG8_VICTIM)
+        assert outcomes[1].effective_offset == 2
+        assert outcomes[1].harmless
+
+    def test_second_miss_collides_with_b(self):
+        outcomes = shift_outcomes(FIG8_ASSIGNMENTS, FIG8_VICTIM)
+        assert outcomes[2].effective_offset == 3
+        assert outcomes[2].collides_with == ("B",)
+
+    def test_zero_misses_is_the_original(self):
+        outcomes = shift_outcomes(FIG8_ASSIGNMENTS, FIG8_VICTIM)
+        assert outcomes[0].effective_offset == 1
+        assert outcomes[0].harmless
+
+    def test_rendered_panels(self):
+        text = format_fig8()
+        assert "Fig. 8(b)" in text and "Fig. 8(c)" in text
+        assert "collision with B" in text
+
+
+class TestShiftAnalysis:
+    def test_risk_binary_on_first_shift(self):
+        harmless, collides = shift_risk(FIG8_ASSIGNMENTS, FIG8_VICTIM)
+        assert (harmless, collides) == (1.0, 0.0)
+
+    def test_risk_collision_case(self):
+        tight = {
+            "A": Assignment("A", 4, 0),
+            "B": Assignment("B", 4, 1),  # directly after A: any shift hits
+            "C": Assignment("C", 4, 2),
+        }
+        harmless, collides = shift_risk(tight, "A")
+        assert collides == 1.0
+
+    def test_unknown_victim_raises(self):
+        with pytest.raises(KeyError):
+            shift_outcomes(FIG8_ASSIGNMENTS, "Z")
+
+    def test_shift_wraps_modulo_period(self):
+        outcomes = shift_outcomes(FIG8_ASSIGNMENTS, "A", max_missed=4)
+        assert outcomes[4].effective_offset == 0  # period 4 wraps

@@ -1,0 +1,58 @@
+"""Tests for the machine-readable results runner."""
+
+import json
+
+import pytest
+
+from repro.experiments.runner import collect_results, main
+
+
+class TestCollectResults:
+    @pytest.fixture(scope="class")
+    def results(self, medium):
+        return collect_results(medium, quick=True)
+
+    def test_json_serialisable(self, results):
+        text = json.dumps(results)
+        assert json.loads(text) == json.loads(text)
+
+    def test_contains_every_experiment(self, results):
+        for key in (
+            "table2_power_uw",
+            "fig11",
+            "fig12_snr_db",
+            "fig13_loss_per_1k",
+            "fig14",
+            "fig15_median_slots",
+            "fig16",
+            "fig17_correlations",
+            "fig19",
+        ):
+            assert key in results, key
+
+    def test_paper_anchor_values_present(self, results):
+        assert results["table2_power_uw"]["TX"] == pytest.approx(51.0)
+        assert results["fig11"]["all_activate"] is True
+        assert results["fig11"]["amplified_16x_v"]["tag11"] == pytest.approx(
+            2.70, abs=0.05
+        )
+        assert results["fig16"]["bound"] == pytest.approx(0.84375)
+
+    def test_fig15_sweep_monotone(self, results):
+        meds = results["fig15_median_slots"]
+        assert meds["c5"] > meds["c1"]
+
+    def test_main_writes_file(self, tmp_path, medium, monkeypatch):
+        # main() builds its own medium; patch collect_results to reuse
+        # the session fixture and keep the test fast.
+        import repro.experiments.runner as runner_mod
+
+        monkeypatch.setattr(
+            runner_mod,
+            "collect_results",
+            lambda: collect_results(medium, quick=True),
+        )
+        target = tmp_path / "out.json"
+        assert main([str(target)]) == 0
+        data = json.loads(target.read_text())
+        assert data["table2_sustainable"] is True

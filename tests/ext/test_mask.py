@@ -1,0 +1,159 @@
+"""Tests for higher-order backscatter modulation (M-ASK extension)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ext.mask import (
+    MultiLevelBackscatter,
+    mask_bits_per_symbol,
+    mask_symbol_error_rate,
+    viable_tags_for_mask,
+)
+
+bit_lists = st.lists(st.integers(min_value=0, max_value=1), min_size=2, max_size=40)
+
+
+class TestAnalysis:
+    def test_bits_per_symbol(self):
+        assert mask_bits_per_symbol(2) == 1
+        assert mask_bits_per_symbol(4) == 2
+        assert mask_bits_per_symbol(8) == 3
+
+    def test_invalid_levels_raise(self):
+        for m in (1, 3, 6):
+            with pytest.raises(ValueError):
+                mask_bits_per_symbol(m)
+
+    def test_ser_grows_with_order(self):
+        for snr in (10.0, 15.0, 20.0):
+            assert mask_symbol_error_rate(snr, 4) > mask_symbol_error_rate(snr, 2)
+            assert mask_symbol_error_rate(snr, 8) > mask_symbol_error_rate(snr, 4)
+
+    def test_ser_falls_with_snr(self):
+        assert mask_symbol_error_rate(25.0, 4) < mask_symbol_error_rate(15.0, 4)
+
+    def test_ser_bounded(self):
+        for snr in (-10.0, 0.0, 40.0):
+            ser = mask_symbol_error_rate(snr, 4)
+            assert 0.0 <= ser <= 1.0
+
+
+class TestModem:
+    def test_throughput_doubles_with_4ask(self):
+        ook = MultiLevelBackscatter(levels=2)
+        four = MultiLevelBackscatter(levels=4)
+        assert four.throughput_bps() == 2 * ook.throughput_bps()
+
+    def test_reflection_levels_equidistant(self):
+        mod = MultiLevelBackscatter(levels=4)
+        levels = mod.reflection_levels()
+        gaps = np.diff(levels)
+        assert np.allclose(gaps, gaps[0])
+        assert levels[0] == mod.pzt.absorptive_coefficient
+        assert levels[-1] == mod.pzt.reflective_coefficient
+
+    @given(bit_lists)
+    def test_bits_symbols_roundtrip(self, bits):
+        mod = MultiLevelBackscatter(levels=4)
+        symbols = mod.bits_to_symbols(bits)
+        back = mod.symbols_to_bits(symbols)
+        assert back[: len(bits)] == list(bits)
+
+    def test_modulate_produces_m_amplitude_plateaus(self):
+        mod = MultiLevelBackscatter(levels=4)
+        wave = mod.modulate([0, 0, 0, 1, 1, 0, 1, 1], 0.01, lead_in_s=0.0)
+        n_per = int(mod.sample_rate_hz / mod.symbol_rate_baud)
+        peaks = [
+            np.max(np.abs(wave[i * n_per : (i + 1) * n_per]))
+            for i in range(4)
+        ]
+        assert peaks == sorted(peaks)  # 00 < 01 < 10 < 11
+        assert len({round(p, 5) for p in peaks}) == 4
+
+    def test_ml_slicer_recovers_clean_symbols(self):
+        mod = MultiLevelBackscatter(levels=4)
+        refl = mod.reflection_levels()
+        amp = 0.01
+        measured = [amp * r / mod.pzt.reflective_coefficient for r in refl]
+        assert mod.demodulate_levels(measured, amp) == [0, 1, 2, 3]
+
+    def test_packet_success_monotone_in_snr(self):
+        mod = MultiLevelBackscatter(levels=4)
+        assert mod.packet_success(25.0, 16) > mod.packet_success(12.0, 16)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            MultiLevelBackscatter(levels=3)
+        with pytest.raises(ValueError):
+            MultiLevelBackscatter(symbol_rate_baud=0.0)
+        with pytest.raises(ValueError):
+            MultiLevelBackscatter().packet_success(10.0, 0)
+
+
+class TestDeploymentViability:
+    def test_low_rate_everyone_viable(self, medium):
+        viable, not_viable = viable_tags_for_mask(medium, 4, 187.5)
+        assert not_viable == []
+
+    def test_high_rate_far_tags_drop_out(self, medium):
+        viable, not_viable = viable_tags_for_mask(medium, 4, 1500.0)
+        assert "tag8" in viable
+        assert "tag11" in not_viable or "tag12" in not_viable
+
+    def test_8ask_harder_than_4ask(self, medium):
+        v4, _ = viable_tags_for_mask(medium, 4, 750.0)
+        v8, _ = viable_tags_for_mask(medium, 8, 750.0)
+        assert set(v8) <= set(v4)
+
+
+class TestWaveformReceiver:
+    """The M-ASK chain on real captures (leak + noise + random phase)."""
+
+    def _roundtrip(self, rng, levels, amplitude, noise=2.673e-10, n_bits=40):
+        from repro.ext.mask import MaskReceiver
+        from repro.phy.modem import BackscatterUplink
+
+        modem = MultiLevelBackscatter(levels=levels, symbol_rate_baud=187.5)
+        rx = MaskReceiver(modem)
+        uplink = BackscatterUplink()
+        bits = [int(b) for b in rng.integers(0, 2, size=n_bits)]
+        wave = modem.modulate(
+            bits, amplitude, phase_rad=float(rng.uniform(0, 2 * np.pi))
+        )
+        cap = uplink.capture([wave], noise, rng, extra_samples=2000)
+        return bits, rx.decode_bits(cap, n_bits)
+
+    def test_4ask_roundtrip_at_strong_amplitude(self, rng):
+        hits = 0
+        for _ in range(5):
+            bits, candidates = self._roundtrip(rng, 4, 0.02)
+            hits += any(c == bits for c in candidates)
+        assert hits == 5
+
+    def test_8ask_needs_more_amplitude(self, rng):
+        # Same link: 8-ASK's halved decision distances fail where 4-ASK
+        # passed; tripling the amplitude restores it.
+        weak = sum(
+            any(c == b for c in cands)
+            for b, cands in (self._roundtrip(rng, 8, 0.008) for _ in range(4))
+        )
+        strong = sum(
+            any(c == b for c in cands)
+            for b, cands in (self._roundtrip(rng, 8, 0.03) for _ in range(4))
+        )
+        assert strong > weak
+
+    def test_noise_only_returns_no_confident_stream(self, rng):
+        from repro.ext.mask import MaskReceiver
+        from repro.phy.modem import BackscatterUplink
+
+        modem = MultiLevelBackscatter(levels=4, symbol_rate_baud=187.5)
+        rx = MaskReceiver(modem)
+        uplink = BackscatterUplink()
+        cap = uplink.capture([], 2.673e-10, rng, extra_samples=120_000)
+        # Candidates may exist (k-means always labels) but none should
+        # match any specific payload reliably; just assert no crash and
+        # bounded output.
+        candidates = rx.decode_bits(cap, 40)
+        assert len(candidates) <= 2 * 13

@@ -1,0 +1,127 @@
+"""Tests for the parallel collision decoder (FlipTracer-style)."""
+
+import numpy as np
+import pytest
+
+from repro.ext.parallel import (
+    LatticeFit,
+    ParallelCollisionDecoder,
+    fit_lattice,
+)
+from repro.phy.modem import BackscatterUplink
+from repro.phy.packets import UplinkPacket
+
+
+@pytest.fixture(scope="module")
+def uplink():
+    return BackscatterUplink()
+
+
+@pytest.fixture(scope="module")
+def decoder():
+    return ParallelCollisionDecoder()
+
+
+def two_tag_capture(uplink, rng, p1, p2, phase1=0.8, phase2=2.9):
+    c1 = uplink.tag_component(p1.to_bits(), 375.0, 0.02, phase_rad=phase1)
+    c2 = uplink.tag_component(
+        p2.to_bits(), 375.0, 0.011, phase_rad=phase2, delay_s=0.004
+    )
+    return uplink.capture([c1, c2], 2.673e-10, rng, extra_samples=3000)
+
+
+class TestLatticeFit:
+    def test_perfect_parallelogram(self):
+        o, v1, v2 = 1 + 1j, 0.5 + 0.1j, -0.2 + 0.6j
+        centers = [o, o + v1, o + v2, o + v1 + v2]
+        fit = fit_lattice(centers)
+        assert fit is not None
+        assert fit.residual < 1e-9
+        # The four lattice points reproduce the centers.
+        points = {
+            fit.origin + b1 * fit.v1 + b2 * fit.v2
+            for b1 in (0, 1)
+            for b2 in (0, 1)
+        }
+        for c in centers:
+            assert min(abs(c - p) for p in points) < 1e-9
+
+    def test_labels_recover_coordinates(self):
+        o, v1, v2 = 0j, 1 + 0j, 0 + 1j
+        fit = fit_lattice([o, o + v1, o + v2, o + v1 + v2])
+        assert fit.label(fit.origin + fit.v1 + 0.05j) in ((1, 0), (0, 1))
+        mapped = {fit.label(o), fit.label(o + v1), fit.label(o + v2),
+                  fit.label(o + v1 + v2)}
+        assert mapped == {(0, 0), (1, 0), (0, 1), (1, 1)}
+
+    def test_rejects_collinear(self):
+        centers = [0j, 1 + 0j, 2 + 0j, 3.5 + 0j]
+        assert fit_lattice(centers) is None
+
+    def test_subset_search_tolerates_spurious_cluster(self):
+        o, v1, v2 = 1 + 1j, 0.5 + 0.1j, -0.2 + 0.6j
+        centers = [o, o + v1, o + v2, o + v1 + v2, o + 0.9 * v1 + 0.4 * v2]
+        fit = fit_lattice(centers)
+        assert fit is not None
+        assert fit.residual < 1e-6
+
+    def test_wrong_count_returns_none(self):
+        assert fit_lattice([0j, 1j]) is None
+        assert fit_lattice([0j] * 7) is None
+
+
+class TestParallelDecode:
+    def test_recovers_both_packets_favourable_phases(self, uplink, decoder):
+        rng = np.random.default_rng(0)
+        p1, p2 = UplinkPacket(1, 111), UplinkPacket(2, 2222)
+        cap = two_tag_capture(uplink, rng, p1, p2, phase1=0.8, phase2=2.9)
+        got = decoder.decode(cap, 375.0)
+        assert p1 in got and p2 in got
+
+    def test_usually_recovers_at_least_one(self, uplink, decoder):
+        # With uniformly random relative phases, ~1/4 of collisions are
+        # geometrically degenerate (near-collinear phasors) and cannot
+        # be separated; the rest should yield at least one clean packet.
+        rng = np.random.default_rng(5)
+        at_least_one = 0
+        trials = 12
+        for t in range(trials):
+            p1, p2 = UplinkPacket(1, 100 + t), UplinkPacket(2, 2000 + t)
+            cap = two_tag_capture(
+                uplink,
+                rng,
+                p1,
+                p2,
+                phase1=float(rng.uniform(0, 2 * np.pi)),
+                phase2=float(rng.uniform(0, 2 * np.pi)),
+            )
+            got = decoder.decode(cap, 375.0)
+            at_least_one += any(p in got for p in (p1, p2))
+        assert at_least_one >= trials // 2 + 2
+
+    def test_never_hallucinate_packets(self, uplink, decoder):
+        rng = np.random.default_rng(9)
+        p1, p2 = UplinkPacket(1, 77), UplinkPacket(3, 888)
+        cap = two_tag_capture(uplink, rng, p1, p2)
+        got = decoder.decode(cap, 375.0)
+        for packet in got:
+            assert packet in (p1, p2)  # CRC keeps fabrications out
+
+    def test_single_tag_capture_falls_through(self, uplink, decoder):
+        # Two clusters only: the decoder declines (the ordinary chain
+        # handles that case).
+        rng = np.random.default_rng(1)
+        c1 = uplink.tag_component(UplinkPacket(1, 5).to_bits(), 375.0, 0.02)
+        cap = uplink.capture([c1], 2.673e-10, rng, extra_samples=3000)
+        assert decoder.decode(cap, 375.0) == []
+
+    def test_noise_only_falls_through(self, uplink, decoder):
+        rng = np.random.default_rng(2)
+        cap = uplink.capture([], 2.673e-10, rng, extra_samples=80_000)
+        assert decoder.decode(cap, 375.0) == []
+
+    def test_invalid_args(self, decoder):
+        with pytest.raises(ValueError):
+            decoder.decode(np.zeros(1000), 0.0)
+        with pytest.raises(ValueError):
+            ParallelCollisionDecoder(samples_per_bit=2)

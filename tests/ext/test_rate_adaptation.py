@@ -1,0 +1,77 @@
+"""Tests for per-tag uplink rate adaptation."""
+
+import pytest
+
+from repro.ext.rate_adaptation import (
+    AVAILABLE_RATES_BPS,
+    RateAdapter,
+    RateAssignment,
+)
+from repro.phy.fm0 import fm0_frame_duration_s
+from repro.phy.packets import UL_FRAME_BITS
+
+
+@pytest.fixture(scope="module")
+def adapter(medium):
+    return RateAdapter(medium)
+
+
+class TestAssignment:
+    def test_near_tag_gets_fast_rate(self, adapter):
+        a = adapter.assign("tag8")
+        assert a.rate_bps >= 1500.0
+
+    def test_far_tag_stays_conservative(self, adapter):
+        # The cargo tags' ~0.5% loss at 3000 bps grazes the target, so
+        # they back off while the near tags run flat out.
+        a11 = adapter.assign("tag11")
+        a8 = adapter.assign("tag8")
+        assert a11.rate_bps < a8.rate_bps
+
+    def test_every_assignment_meets_target_or_is_floor(self, adapter):
+        for tag, a in adapter.assign_all().items():
+            assert (
+                a.packet_success >= adapter.target_success
+                or a.rate_bps == min(AVAILABLE_RATES_BPS)
+            )
+
+    def test_rates_from_clock_divider_set(self, adapter):
+        for a in adapter.assign_all().values():
+            assert a.rate_bps in AVAILABLE_RATES_BPS
+
+    def test_airtime_matches_rate(self, adapter):
+        a = adapter.assign("tag8")
+        assert a.airtime_s == pytest.approx(
+            fm0_frame_duration_s(UL_FRAME_BITS, a.rate_bps)
+        )
+
+    def test_stricter_target_slows_rates(self, medium):
+        lax = RateAdapter(medium, target_success=0.99)
+        strict = RateAdapter(medium, target_success=0.9999)
+        for tag in ("tag8", "tag4", "tag11"):
+            assert strict.assign(tag).rate_bps <= lax.assign(tag).rate_bps
+
+    def test_validation(self, medium):
+        with pytest.raises(ValueError):
+            RateAdapter(medium, target_success=1.5)
+        with pytest.raises(ValueError):
+            RateAdapter(medium, rates_bps=())
+
+
+class TestFleetAccounting:
+    def test_airtime_shrinks_vs_fixed_rate(self, adapter):
+        periods = {"tag5": 4, "tag8": 4, "tag9": 8, "tag11": 8}
+        base, adapted = adapter.airtime_savings(periods)
+        assert adapted < base
+        # The near tags dominate the schedule here: expect >2x saving.
+        assert adapted < 0.5 * base
+
+    def test_energy_ratio_bounded_by_one(self, adapter):
+        ratios = adapter.energy_savings_per_report()
+        for tag, ratio in ratios.items():
+            assert 0.0 < ratio <= 1.0
+
+    def test_near_tag_saves_most_energy(self, adapter):
+        ratios = adapter.energy_savings_per_report()
+        assert ratios["tag8"] < ratios["tag11"]
+        assert ratios["tag8"] <= 0.25  # >= 4x faster than the baseline

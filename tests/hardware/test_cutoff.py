@@ -1,0 +1,90 @@
+"""Tests for the low-voltage cutoff circuit (Appendix A)."""
+
+import pytest
+
+from repro.hardware.cutoff import (
+    CutoffThresholds,
+    LowVoltageCutoff,
+    thresholds_from_divider,
+)
+
+
+class TestDividerAlgebra:
+    def test_paper_values_give_2p3_and_1p95(self):
+        # R1=680k, R2=180k, R3=1M, Vref=1.24 V (Appendix A).
+        th = thresholds_from_divider()
+        assert th.high_v == pytest.approx(2.3, abs=0.01)
+        assert th.low_v == pytest.approx(1.95, abs=0.01)
+
+    def test_hysteresis_width(self):
+        th = thresholds_from_divider()
+        assert th.hysteresis_v == pytest.approx(0.35, abs=0.02)
+
+    def test_larger_r2_widens_hysteresis(self):
+        narrow = thresholds_from_divider(r2_ohm=90e3)
+        wide = thresholds_from_divider(r2_ohm=360e3)
+        assert wide.hysteresis_v > narrow.hysteresis_v
+
+    def test_invalid_resistors_raise(self):
+        with pytest.raises(ValueError):
+            thresholds_from_divider(r1_ohm=0.0)
+        with pytest.raises(ValueError):
+            thresholds_from_divider(vref_v=-1.0)
+
+    def test_thresholds_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            CutoffThresholds(high_v=1.0, low_v=2.0)
+
+
+class TestHysteresisBehaviour:
+    def test_starts_unpowered(self):
+        assert not LowVoltageCutoff().powered
+
+    def test_powers_on_at_high_threshold(self):
+        c = LowVoltageCutoff()
+        assert not c.update(2.29)
+        assert c.update(2.31)
+
+    def test_stays_on_inside_band(self):
+        c = LowVoltageCutoff()
+        c.update(2.31)
+        assert c.update(2.0)  # inside hysteresis band: still on
+        assert c.update(1.96)
+
+    def test_powers_off_at_low_threshold(self):
+        c = LowVoltageCutoff()
+        c.update(2.31)
+        assert not c.update(1.94)
+
+    def test_does_not_reactivate_until_high_threshold(self):
+        c = LowVoltageCutoff()
+        c.update(2.31)
+        c.update(1.9)
+        assert not c.update(2.2)  # between LTH and HTH: stays off
+        assert c.update(2.31)
+
+    def test_activation_callback_fires_once_per_edge(self):
+        c = LowVoltageCutoff()
+        events = []
+        c.on_activate(lambda: events.append("on"))
+        c.on_deactivate(lambda: events.append("off"))
+        for v in (1.0, 2.4, 2.4, 2.0, 1.9, 1.0, 2.4):
+            c.update(v)
+        assert events == ["on", "off", "on"]
+
+    def test_reset_returns_to_unpowered_silently(self):
+        c = LowVoltageCutoff()
+        events = []
+        c.on_deactivate(lambda: events.append("off"))
+        c.update(2.4)
+        c.reset()
+        assert not c.powered
+        assert events == []
+
+    def test_negative_voltage_raises(self):
+        with pytest.raises(ValueError):
+            LowVoltageCutoff().update(-0.1)
+
+    def test_quiescent_current_under_1uA(self):
+        # Appendix A: "maintaining circuit leakage below 1 uA".
+        assert LowVoltageCutoff.QUIESCENT_CURRENT_A < 1e-6

@@ -1,0 +1,52 @@
+"""Tests for diode models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hardware.diode import SchottkyDiode, SiliconDiode
+
+
+class TestSchottky:
+    def test_datasheet_anchor_150mV_at_1mA(self):
+        # CDBU0130L: "less than 0.15 V when the current is below 1 mA".
+        d = SchottkyDiode()
+        assert d.forward_drop(1e-3) == pytest.approx(0.150, abs=0.002)
+
+    def test_drop_below_150mV_under_1mA(self):
+        d = SchottkyDiode()
+        for current in (1e-5, 1e-4, 5e-4, 9.9e-4):
+            assert d.forward_drop(current) < 0.15
+
+    def test_drop_monotone_in_current(self):
+        d = SchottkyDiode()
+        drops = [d.forward_drop(i) for i in (1e-6, 1e-5, 1e-4, 1e-3)]
+        assert drops == sorted(drops)
+
+    def test_zero_current_zero_drop(self):
+        assert SchottkyDiode().forward_drop(0.0) == 0.0
+
+    def test_negative_current_raises(self):
+        with pytest.raises(ValueError):
+            SchottkyDiode().forward_drop(-1e-3)
+
+    @given(st.floats(min_value=1e-9, max_value=1e-2))
+    def test_current_at_inverts_forward_drop(self, current):
+        d = SchottkyDiode()
+        v = d.forward_drop(current)
+        assert d.current_at(v) == pytest.approx(current, rel=1e-6)
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ValueError):
+            SchottkyDiode(saturation_current_a=0.0)
+        with pytest.raises(ValueError):
+            SchottkyDiode(ideality=-1.0)
+
+
+class TestSilicon:
+    def test_silicon_drops_much_more(self):
+        si = SiliconDiode()
+        sch = SchottkyDiode()
+        assert si.forward_drop(1e-3) > 3 * sch.forward_drop(1e-3)
+
+    def test_silicon_around_0p7V_at_1mA(self):
+        assert SiliconDiode().forward_drop(1e-3) == pytest.approx(0.7, abs=0.12)

@@ -1,0 +1,76 @@
+"""Tests for the energy-harvesting chain — the Fig. 11 anchors."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hardware.harvester import EnergyHarvester
+
+
+class TestActivation:
+    def test_tag8_level_activates(self, harvester):
+        assert harvester.can_activate(1.40)
+
+    def test_below_threshold_does_not_activate(self, harvester):
+        assert not harvester.can_activate(0.25)
+
+    def test_activation_boundary_matches_multiplier(self, harvester):
+        v_min = harvester.multiplier.minimum_input_voltage(harvester.thresholds.high_v)
+        assert harvester.can_activate(v_min + 1e-6)
+        assert not harvester.can_activate(v_min - 1e-3)
+
+
+class TestChargingAnchors:
+    def test_best_tag_charges_in_4p5_seconds(self, harvester):
+        # Paper Fig. 11(b): fastest tag 4.5 s at 587.8 uW net.
+        report = harvester.report(1.4013)
+        assert report.full_charge_time_s == pytest.approx(4.5, abs=0.1)
+        assert report.net_charging_power_w == pytest.approx(587.8e-6, rel=0.01)
+
+    def test_worst_tag_charges_in_56_seconds(self, harvester):
+        # Paper Fig. 11(b): slowest tag 56.2 s at 47.1 uW net.
+        report = harvester.report(0.334)
+        assert report.full_charge_time_s == pytest.approx(56.2, rel=0.03)
+        assert report.net_charging_power_w == pytest.approx(47.1e-6, rel=0.03)
+
+    def test_resume_is_15percent_of_full(self, harvester):
+        # Constant-current charging: resume/full = (2.3-1.95)/2.3.
+        r = harvester.report(0.6)
+        assert r.resume_charge_time_s / r.full_charge_time_s == pytest.approx(
+            0.152, abs=0.001
+        )
+
+    def test_resume_under_10_seconds_for_all_activating_levels(self, harvester):
+        # Sec. 6.2 footnote: "re-activation within 10 s".
+        for vp in (0.334, 0.46, 0.7, 1.4):
+            assert harvester.resume_time_s(vp) < 10.0
+
+    def test_non_activating_tag_never_charges(self, harvester):
+        assert harvester.charge_time_s(0.2) == math.inf
+        assert harvester.net_charging_power_w(0.2) == 0.0
+
+    def test_charge_time_consistent_with_energy(self, harvester):
+        # Average power x time must equal the stored energy (the
+        # self-consistency the paper's own numbers satisfy).
+        vp = 1.0
+        r = harvester.report(vp)
+        energy = harvester.supercap.stored_energy_j(harvester.thresholds.high_v)
+        assert r.net_charging_power_w * r.full_charge_time_s == pytest.approx(
+            energy, rel=1e-6
+        )
+
+    @given(st.floats(min_value=0.31, max_value=2.0))
+    def test_more_voltage_charges_faster(self, vp):
+        h = EnergyHarvester()
+        assert h.charge_time_s(vp + 0.05) < h.charge_time_s(vp)
+
+    def test_negative_voltage_raises(self, harvester):
+        with pytest.raises(ValueError):
+            harvester.net_charging_power_w(-0.1)
+
+    def test_invalid_constructor_args(self):
+        with pytest.raises(ValueError):
+            EnergyHarvester(harvest_coefficient_w=0.0)
+        with pytest.raises(ValueError):
+            EnergyHarvester(standby_leakage_w=-1.0)

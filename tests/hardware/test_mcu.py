@@ -1,0 +1,87 @@
+"""Tests for the MCU power/clock model."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.mcu import (
+    ACTIVE_CURRENT_A,
+    Mcu,
+    McuClock,
+    McuMode,
+    SLEEP_CURRENT_A,
+)
+
+
+class TestPowerModel:
+    def test_mode_currents_match_table2(self):
+        mcu = Mcu()
+        assert mcu.average_current_a(McuMode.RX) == pytest.approx(6.4e-6)
+        assert mcu.average_current_a(McuMode.TX) == pytest.approx(4.7e-6)
+        assert mcu.average_current_a(McuMode.IDLE) == pytest.approx(0.6e-6)
+
+    def test_savings_over_80_percent(self):
+        # Sec. 4.3: "over 80% less than continuous active mode".
+        mcu = Mcu()
+        assert mcu.savings_vs_active(McuMode.RX) > 0.80
+        assert mcu.savings_vs_active(McuMode.TX) > 0.80
+
+    def test_duty_cycle_between_zero_and_one(self):
+        mcu = Mcu()
+        for mode in McuMode:
+            assert 0.0 <= mcu.duty_cycle(mode) <= 1.0
+
+    def test_duty_cycle_reconstructs_average(self):
+        mcu = Mcu()
+        d = mcu.duty_cycle(McuMode.RX)
+        reconstructed = d * ACTIVE_CURRENT_A + (1 - d) * SLEEP_CURRENT_A
+        assert reconstructed == pytest.approx(mcu.average_current_a(McuMode.RX))
+
+    def test_energy_linear_in_duration(self):
+        mcu = Mcu()
+        assert mcu.energy_j(McuMode.TX, 2.0) == pytest.approx(
+            2 * mcu.energy_j(McuMode.TX, 1.0)
+        )
+
+    def test_negative_duration_raises(self):
+        with pytest.raises(ValueError):
+            Mcu().energy_j(McuMode.RX, -1.0)
+
+    def test_invalid_supply_raises(self):
+        with pytest.raises(ValueError):
+            Mcu(supply_voltage_v=0.0)
+
+
+class TestClock:
+    def test_nominal_12khz(self):
+        assert McuClock().frequency_hz(2.0) == pytest.approx(12_000.0)
+
+    def test_tick_period(self):
+        assert McuClock().tick_s == pytest.approx(1 / 12_000.0)
+
+    def test_supply_skew(self):
+        clk = McuClock()
+        # The unregulated rail rides 1.95-2.3 V; the clock drifts with it.
+        assert clk.frequency_hz(2.3) > clk.frequency_hz(1.95)
+        drift = clk.frequency_hz(2.3) / clk.frequency_hz(1.95) - 1.0
+        assert 0.005 < drift < 0.05
+
+    def test_interval_measurement_quantised(self):
+        clk = McuClock()
+        # A 4 ms pulse (250 bps raw bit) is ~48 ticks.
+        ticks = clk.measure_interval_ticks(4e-3)
+        assert ticks in (47, 48, 49)
+
+    def test_interval_measurement_phase_jitter(self, rng):
+        clk = McuClock()
+        counts = {clk.measure_interval_ticks(4.02e-3, rng=rng) for _ in range(200)}
+        assert len(counts) >= 2  # random tick phase gives +/-1 spread
+
+    def test_ticks_roundtrip(self):
+        clk = McuClock()
+        assert clk.ticks_to_seconds(12) == pytest.approx(1e-3)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            McuClock().frequency_hz(0.0)
+        with pytest.raises(ValueError):
+            McuClock().measure_interval_ticks(-1.0)

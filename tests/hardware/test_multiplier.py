@@ -1,0 +1,76 @@
+"""Tests for the multi-stage voltage multiplier."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hardware.diode import SiliconDiode
+from repro.hardware.multiplier import VoltageMultiplier
+
+
+class TestAmplification:
+    def test_eight_stages_is_16x(self):
+        assert VoltageMultiplier(n_stages=8).amplification_ratio == 16
+
+    def test_stage_counts_map_to_paper_ratios(self):
+        # Fig. 11(a): stages 2/4/6/8 <-> ratios 4x/8x/12x/16x.
+        for stages, ratio in [(2, 4), (4, 8), (6, 12), (8, 16)]:
+            assert VoltageMultiplier(n_stages=stages).amplification_ratio == ratio
+
+    def test_output_formula(self):
+        m = VoltageMultiplier(n_stages=8)
+        vp = 0.5
+        expected = 16 * (vp - m.effective_diode_drop_v)
+        assert m.output_voltage(vp) == pytest.approx(expected)
+
+    def test_output_clamped_at_zero_below_threshold(self):
+        m = VoltageMultiplier(n_stages=8)
+        assert m.output_voltage(0.05) == 0.0
+
+    def test_sub_proportional_growth(self):
+        # Fig. 11(a): "the rise is not proportional to the stage number".
+        m2 = VoltageMultiplier(n_stages=2)
+        m8 = VoltageMultiplier(n_stages=8)
+        vp = 0.46
+        assert m8.output_voltage(vp) < 4.0 * m2.output_voltage(vp)
+        assert m8.output_voltage(vp) > m2.output_voltage(vp)
+
+    def test_effective_drop_grows_with_stages(self):
+        assert (
+            VoltageMultiplier(n_stages=8).effective_diode_drop_v
+            > VoltageMultiplier(n_stages=2).effective_diode_drop_v
+        )
+
+    def test_silicon_diode_kills_low_voltage_harvest(self):
+        # The ablation the paper motivates: 0.7 V drops swallow the
+        # whole input at BiW-scale amplitudes.
+        si = VoltageMultiplier(n_stages=8, diode=SiliconDiode())
+        assert si.output_voltage(0.46) == 0.0
+
+    @given(st.floats(min_value=0.0, max_value=5.0))
+    def test_output_monotone_in_input(self, vp):
+        m = VoltageMultiplier()
+        assert m.output_voltage(vp + 0.1) >= m.output_voltage(vp)
+
+    @given(
+        st.floats(min_value=0.2, max_value=3.0),
+        st.integers(min_value=1, max_value=12),
+    )
+    def test_minimum_input_inverts_output(self, vp, stages):
+        m = VoltageMultiplier(n_stages=stages)
+        out = m.output_voltage(vp)
+        if out > 0:
+            assert m.minimum_input_voltage(out) == pytest.approx(vp, rel=1e-9)
+
+    def test_with_stages_preserves_other_params(self):
+        m = VoltageMultiplier(n_stages=8, per_stage_loss_v=0.01)
+        m2 = m.with_stages(4)
+        assert m2.n_stages == 4
+        assert m2.per_stage_loss_v == 0.01
+
+    def test_invalid_args_raise(self):
+        with pytest.raises(ValueError):
+            VoltageMultiplier(n_stages=0)
+        with pytest.raises(ValueError):
+            VoltageMultiplier(operating_current_a=0.0)
+        with pytest.raises(ValueError):
+            VoltageMultiplier().output_voltage(-0.1)

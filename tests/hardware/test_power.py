@@ -1,0 +1,63 @@
+"""Tests for whole-tag power accounting (Table 2)."""
+
+import pytest
+
+from repro.hardware.mcu import McuMode
+from repro.hardware.power import TagPowerModel
+
+
+@pytest.fixture()
+def power():
+    return TagPowerModel()
+
+
+class TestTable2:
+    def test_rx_power_24p8_uw(self, power):
+        assert power.power_w(McuMode.RX) == pytest.approx(24.8e-6)
+
+    def test_tx_power_51_uw(self, power):
+        assert power.power_w(McuMode.TX) == pytest.approx(51.0e-6)
+
+    def test_idle_power_7p6_uw(self, power):
+        assert power.power_w(McuMode.IDLE) == pytest.approx(7.6e-6)
+
+    def test_peripheral_split(self, power):
+        # TX peripherals (MOSFET gate drive) dominate the TX budget.
+        row = power.row(McuMode.TX)
+        assert row.peripheral_current_a == pytest.approx(20.8e-6)
+        assert row.peripheral_current_a > row.mcu_current_a
+
+    def test_table_rendering(self, power):
+        table = power.table()
+        assert table["RX"]["total_power_uw"] == pytest.approx(24.8)
+        assert table["TX"]["mcu_current_ua"] == pytest.approx(4.7)
+        assert table["IDLE"]["voltage_v"] == 2.0
+
+    def test_energy_accounting(self, power):
+        assert power.energy_j(McuMode.TX, 0.2) == pytest.approx(51.0e-6 * 0.2)
+
+
+class TestSustainability:
+    def test_idle_dominated_duty_cycle_fits_worst_budget(self, power):
+        # Sec. 6.2: consumption must fit under 47.1 uW net charging.
+        # One beacon (~0.1 s RX) per 1 s slot; one TX every 4 slots.
+        rx_frac = 0.104
+        tx_frac = 0.171 / 4.0
+        assert power.sustainable(47.1e-6, rx_frac, tx_frac)
+
+    def test_continuous_tx_not_sustainable_at_worst_budget(self, power):
+        assert not power.sustainable(47.1e-6, 0.0, 1.0)
+
+    def test_duty_cycled_power_bounds(self, power):
+        p = power.duty_cycled_power_w(0.1, 0.05)
+        assert power.power_w(McuMode.IDLE) < p < power.power_w(McuMode.TX)
+
+    def test_invalid_fractions_raise(self, power):
+        with pytest.raises(ValueError):
+            power.duty_cycled_power_w(0.6, 0.6)
+        with pytest.raises(ValueError):
+            power.duty_cycled_power_w(-0.1, 0.0)
+
+    def test_invalid_voltage_raises(self):
+        with pytest.raises(ValueError):
+            TagPowerModel(voltage_v=0.0)

@@ -1,0 +1,102 @@
+"""Tests for the strain sensing chain (Sec. 6.5)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hardware.strain import (
+    Adc,
+    BridgeAmplifier,
+    StrainGauge,
+    StrainSensorModule,
+    WheatstoneBridge,
+)
+
+
+class TestGaugeAndBridge:
+    def test_gauge_resistance_shifts_with_strain(self):
+        g = StrainGauge()
+        assert g.resistance_ohm(1e-3) > g.nominal_resistance_ohm
+        assert g.resistance_ohm(-1e-3) < g.nominal_resistance_ohm
+
+    def test_full_bridge_output_formula(self):
+        b = WheatstoneBridge()
+        strain = 100e-6
+        assert b.differential_voltage_v(strain) == pytest.approx(
+            b.excitation_v * b.gauge.gauge_factor * strain
+        )
+
+    def test_zero_strain_zero_output(self):
+        assert WheatstoneBridge().differential_voltage_v(0.0) == 0.0
+
+    def test_1p8V_supply(self):
+        # The paper adapts the TI design from 3.3 V to 1.8 V.
+        assert WheatstoneBridge().excitation_v == 1.8
+
+
+class TestAmplifierAndAdc:
+    def test_amplifier_offsets_to_midrail(self):
+        a = BridgeAmplifier()
+        assert a.output_v(0.0) == pytest.approx(0.9)
+
+    def test_amplifier_clamps_to_rails(self):
+        a = BridgeAmplifier()
+        assert a.output_v(1.0) == a.rail_v
+        assert a.output_v(-1.0) == 0.0
+
+    def test_adc_full_scale_10bit(self):
+        assert Adc().full_scale == 1023
+
+    def test_adc_roundtrip(self):
+        adc = Adc()
+        for v in (0.0, 0.45, 0.9, 1.35, 1.8):
+            code = adc.sample(v)
+            assert adc.to_voltage(code) == pytest.approx(v, abs=1.8 / 1023)
+
+    def test_adc_clamps_out_of_range(self):
+        adc = Adc()
+        assert adc.sample(-5.0) == 0
+        assert adc.sample(99.0) == adc.full_scale
+
+    def test_adc_invalid_code_raises(self):
+        with pytest.raises(ValueError):
+            Adc().to_voltage(5000)
+
+    @given(st.floats(min_value=0.0, max_value=1.8))
+    def test_adc_code_in_range(self, v):
+        adc = Adc()
+        assert 0 <= adc.sample(v) <= adc.full_scale
+
+
+class TestSensorModule:
+    def test_voltage_monotone_in_displacement(self):
+        m = StrainSensorModule()
+        vs = [m.analog_voltage_v(d) for d in range(-10, 11, 2)]
+        assert vs == sorted(vs)
+
+    def test_payload_fits_12_bits(self):
+        m = StrainSensorModule()
+        for d in (-10.0, 0.0, 10.0):
+            assert 0 <= m.sample(d) < (1 << 12)
+
+    def test_sensitivity_scales_slope(self):
+        lo = StrainSensorModule(strain_per_cm=8e-6)
+        hi = StrainSensorModule(strain_per_cm=16e-6)
+        slope_lo = lo.analog_voltage_v(10) - lo.analog_voltage_v(-10)
+        slope_hi = hi.analog_voltage_v(10) - hi.analog_voltage_v(-10)
+        assert slope_hi == pytest.approx(2 * slope_lo, rel=1e-6)
+
+    def test_reconstruction_matches_analog(self):
+        m = StrainSensorModule()
+        code = m.sample(5.0)
+        assert m.reconstruct_voltage_v(code) == pytest.approx(
+            m.analog_voltage_v(5.0), abs=2 * 1.8 / 1023
+        )
+
+    def test_sampling_energy_about_1mW(self):
+        # ~1 mW sampling power motivates one sample per slot (Sec. 6.5).
+        m = StrainSensorModule()
+        assert m.sampling_energy_j(1e-3) == pytest.approx(1e-6)
+
+    def test_negative_duration_raises(self):
+        with pytest.raises(ValueError):
+            StrainSensorModule().sampling_energy_j(-1.0)

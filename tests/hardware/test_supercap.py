@@ -1,0 +1,83 @@
+"""Tests for the supercapacitor model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hardware.supercap import Supercapacitor
+
+
+@pytest.fixture()
+def cap():
+    return Supercapacitor()
+
+
+class TestEnergy:
+    def test_full_charge_energy_matches_paper_arithmetic(self, cap):
+        # 1 mF to 2.3 V stores 2.645 mJ — the figure that, divided by
+        # the paper's 4.5 s / 56.2 s charge times, yields exactly the
+        # reported 587.8 / 47.1 uW net charging powers.
+        assert cap.stored_energy_j(2.3) == pytest.approx(2.645e-3, rel=1e-6)
+
+    def test_energy_between_is_difference(self, cap):
+        e = cap.energy_between_j(1.95, 2.3)
+        assert e == pytest.approx(cap.stored_energy_j(2.3) - cap.stored_energy_j(1.95))
+
+    def test_energy_between_symmetric(self, cap):
+        assert cap.energy_between_j(1.0, 2.0) == cap.energy_between_j(2.0, 1.0)
+
+    @given(st.floats(min_value=0.0, max_value=6.0))
+    def test_energy_nonnegative(self, v):
+        assert Supercapacitor().stored_energy_j(v) >= 0.0
+
+
+class TestCharging:
+    def test_charge_time_linear_in_delta_v(self, cap):
+        t_full = cap.charge_time_s(0.0, 2.3, 1e-3)
+        t_resume = cap.charge_time_s(1.95, 2.3, 1e-3)
+        # Resume fraction (2.3-1.95)/2.3 = 15.2% — the Appendix B figure.
+        assert t_resume / t_full == pytest.approx(0.152, abs=0.001)
+
+    def test_charge_time_inverse_in_current(self, cap):
+        assert cap.charge_time_s(0, 2.3, 2e-3) == pytest.approx(
+            cap.charge_time_s(0, 2.3, 1e-3) / 2
+        )
+
+    def test_charge_time_invalid_args(self, cap):
+        with pytest.raises(ValueError):
+            cap.charge_time_s(0, 2.3, 0.0)
+        with pytest.raises(ValueError):
+            cap.charge_time_s(2.3, 1.0, 1e-3)
+
+    def test_voltage_after_charging(self, cap):
+        v = cap.voltage_after(1.0, 1e-3, 0.5)
+        assert v == pytest.approx(1.5)
+
+    def test_voltage_after_discharge_clamps_at_zero(self, cap):
+        assert cap.voltage_after(0.1, -1e-3, 1000.0) == 0.0
+
+    def test_voltage_clamps_at_rated(self, cap):
+        assert cap.voltage_after(5.9, 1e-3, 1e6) == cap.rated_voltage_v
+
+    @given(
+        st.floats(min_value=0.0, max_value=3.0),
+        st.floats(min_value=-1e-3, max_value=1e-3),
+        st.floats(min_value=0.0, max_value=100.0),
+    )
+    def test_voltage_after_always_in_range(self, v0, i, dt):
+        cap = Supercapacitor()
+        v = cap.voltage_after(v0, i, dt)
+        assert 0.0 <= v <= cap.rated_voltage_v
+
+
+class TestLeakage:
+    def test_leakage_proportional_to_voltage(self, cap):
+        assert cap.leakage_current_a(2.0) == pytest.approx(2 * cap.leakage_current_a(1.0))
+
+    def test_leakage_under_datasheet_bound(self, cap):
+        # KEMET bound: 0.01 * C(uF) * V uA; settled leakage is far less.
+        v = 2.3
+        assert cap.leakage_current_a(v) < cap.datasheet_leakage_bound_a(v)
+
+    def test_invalid_capacitance_raises(self):
+        with pytest.raises(ValueError):
+            Supercapacitor(capacitance_f=0.0)

@@ -1,0 +1,81 @@
+"""Tests for the integrated tag device."""
+
+import pytest
+
+from repro.hardware.mcu import McuMode
+from repro.hardware.tag_device import TagBillOfMaterials, TagDevice
+
+
+class TestColdStart:
+    def test_starts_unpowered(self):
+        assert not TagDevice(pzt_voltage_v=1.4).powered
+
+    def test_charges_to_activation(self):
+        dev = TagDevice(pzt_voltage_v=1.4013)
+        t = dev.time_to_activation_s()
+        assert t == pytest.approx(4.5, abs=0.1)
+        dev.advance(t + 0.01)
+        assert dev.powered
+
+    def test_weak_tag_never_activates(self):
+        dev = TagDevice(pzt_voltage_v=0.2)
+        assert not dev.can_ever_activate()
+        dev.advance(1000.0)
+        assert not dev.powered
+
+    def test_capacitor_capped_at_hth_before_activation(self):
+        dev = TagDevice(pzt_voltage_v=1.4)
+        dev.advance(100.0)
+        assert dev.capacitor_v <= dev.thresholds.high_v + 1e-9
+
+    def test_initial_voltage_respected(self):
+        dev = TagDevice(pzt_voltage_v=1.4, initial_capacitor_v=2.4)
+        assert dev.powered
+
+    def test_invalid_args_raise(self):
+        with pytest.raises(ValueError):
+            TagDevice(pzt_voltage_v=-0.1)
+        with pytest.raises(ValueError):
+            TagDevice(pzt_voltage_v=1.0, initial_capacitor_v=-1.0)
+        with pytest.raises(ValueError):
+            TagDevice(pzt_voltage_v=1.0).advance(-1.0)
+
+
+class TestSteadyState:
+    def test_idle_operation_sustainable_everywhere(self):
+        # Even the worst-placed tag harvests more than IDLE draws.
+        dev = TagDevice(pzt_voltage_v=0.334, initial_capacitor_v=2.3)
+        powered = dev.advance(600.0, McuMode.IDLE)
+        assert powered
+
+    def test_continuous_tx_browns_out_weak_tag(self):
+        # TX draws 51 uW; the worst tag only harvests 47.1 uW, so
+        # continuous transmission cannot be sustained.
+        dev = TagDevice(pzt_voltage_v=0.334, initial_capacitor_v=2.3)
+        assert not dev.sustainable_duty_cycle(0.0, 1.0)
+        for _ in range(4000):
+            powered = dev.advance(1.0, McuMode.TX)
+            if not powered:
+                break
+        assert not dev.powered
+
+    def test_brownout_resumes_from_lth(self):
+        dev = TagDevice(pzt_voltage_v=0.334, initial_capacitor_v=2.3)
+        while dev.advance(1.0, McuMode.TX):
+            pass
+        # After brown-out the capacitor sits near LTH, not zero.
+        assert dev.capacitor_v >= dev.thresholds.low_v * 0.95
+        t_resume = dev.time_to_activation_s()
+        t_full = dev.harvester.charge_time_s(dev.pzt_voltage_v)
+        assert t_resume < 0.2 * t_full
+
+    def test_protocol_duty_cycle_sustainable_for_worst_tag(self):
+        dev = TagDevice(pzt_voltage_v=0.334)
+        # One beacon RX per slot, one packet TX every 4 slots.
+        assert dev.sustainable_duty_cycle(0.104, 0.171 / 4.0)
+
+
+class TestBom:
+    def test_bom_matches_paper_price(self):
+        # Sec. 6.1: "the BOM cost for this compact tag is $6.25".
+        assert TagBillOfMaterials().total_usd == pytest.approx(6.25)

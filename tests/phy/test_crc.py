@@ -1,0 +1,79 @@
+"""Tests for CRC-8 and bit packing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.phy.crc import (
+    append_crc8,
+    bits_to_int,
+    check_crc8,
+    crc8_bits,
+    crc8_bytes,
+    int_to_bits,
+)
+
+bit_lists = st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=64)
+
+
+class TestCrc8:
+    def test_known_vector(self):
+        # CRC-8/ATM of "123456789" is 0xF4.
+        assert crc8_bytes(b"123456789") == 0xF4
+
+    def test_bits_and_bytes_agree(self):
+        data = b"\xa5\x3c"
+        bits = []
+        for byte in data:
+            bits.extend(int_to_bits(byte, 8))
+        assert crc8_bits(bits) == crc8_bytes(data)
+
+    def test_empty_is_init(self):
+        assert crc8_bits([]) == 0
+
+    def test_invalid_bit_raises(self):
+        with pytest.raises(ValueError):
+            crc8_bits([0, 2, 1])
+
+    @given(bit_lists)
+    def test_append_then_check_passes(self, bits):
+        assert check_crc8(append_crc8(bits))
+
+    @given(bit_lists, st.integers(min_value=0))
+    def test_single_bit_flip_detected(self, bits, pos):
+        framed = append_crc8(bits)
+        framed[pos % len(framed)] ^= 1
+        assert not check_crc8(framed)
+
+    def test_burst_error_detected(self):
+        framed = append_crc8([1, 0, 1, 1, 0, 0, 1, 0] * 3)
+        for i in range(4, 9):  # 5-bit burst
+            framed[i] ^= 1
+        assert not check_crc8(framed)
+
+    def test_too_short_fails(self):
+        assert not check_crc8([1, 0, 1])
+
+
+class TestBitPacking:
+    @given(st.integers(min_value=0, max_value=4095))
+    def test_roundtrip_12bit(self, value):
+        assert bits_to_int(int_to_bits(value, 12)) == value
+
+    def test_msb_first(self):
+        assert int_to_bits(0b1000, 4) == [1, 0, 0, 0]
+
+    def test_width_overflow_raises(self):
+        with pytest.raises(ValueError):
+            int_to_bits(16, 4)
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            int_to_bits(-1, 4)
+
+    def test_zero_width_raises(self):
+        with pytest.raises(ValueError):
+            int_to_bits(0, 0)
+
+    def test_bits_to_int_validates(self):
+        with pytest.raises(ValueError):
+            bits_to_int([0, 1, 3])

@@ -1,0 +1,89 @@
+"""Tests for the envelope detector and comparator."""
+
+import numpy as np
+import pytest
+
+from repro.phy.envelope import EnvelopeDetector, HysteresisComparator, edges
+
+
+class TestEnvelopeDetector:
+    def test_tracks_carrier_amplitude(self, rng):
+        fs = 500_000.0
+        t = np.arange(int(0.05 * fs)) / fs
+        wave = 0.8 * np.cos(2 * np.pi * 90_000 * t)
+        env = EnvelopeDetector().detect(wave, fs)
+        # After settling, the envelope sits near the peak amplitude.
+        assert np.mean(env[-1000:]) == pytest.approx(0.8, rel=0.1)
+
+    def test_follows_amplitude_steps(self):
+        fs = 500_000.0
+        t = np.arange(int(0.04 * fs)) / fs
+        amp = np.where(t < 0.02, 1.0, 0.2)
+        wave = amp * np.cos(2 * np.pi * 90_000 * t)
+        env = EnvelopeDetector().detect(wave, fs)
+        assert np.mean(env[9_000:10_000]) > 3 * np.mean(env[-1000:])
+
+    def test_crossing_delay_closed_form(self):
+        d = EnvelopeDetector(rc_s=2e-3)
+        delay = d.threshold_crossing_delay_s(1.0, threshold_v=0.15)
+        assert delay == pytest.approx(2e-3 * np.log(1 / 0.85), rel=1e-9)
+
+    def test_weaker_carrier_crosses_later(self):
+        d = EnvelopeDetector()
+        assert d.threshold_crossing_delay_s(0.3) > d.threshold_crossing_delay_s(1.4)
+
+    def test_subthreshold_carrier_never_crosses(self):
+        assert EnvelopeDetector().threshold_crossing_delay_s(0.1) == float("inf")
+
+    def test_sync_offsets_within_5ms_for_deployment(self, medium):
+        # Fig. 13(b): all tags' beacon-arrival offsets under 5 ms.
+        d = EnvelopeDetector()
+        delays = [
+            d.threshold_crossing_delay_s(medium.carrier_amplitude_v(t))
+            for t in medium.tag_names()
+        ]
+        spread = max(delays) - min(delays)
+        assert spread < 5e-3
+
+    def test_invalid_rc_raises(self):
+        with pytest.raises(ValueError):
+            EnvelopeDetector(rc_s=0.0)
+
+
+class TestComparator:
+    def test_slices_with_hysteresis(self):
+        c = HysteresisComparator(threshold_v=0.5, hysteresis_v=0.2)
+        env = np.array([0.0, 0.55, 0.65, 0.45, 0.35, 0.65])
+        out = c.slice(env)
+        # 0.55 < rising threshold 0.6: stays low; 0.65 flips high;
+        # 0.45 > falling threshold 0.4: stays high; 0.35 flips low.
+        assert list(out) == [0, 0, 1, 1, 0, 1]
+
+    def test_ripple_inside_band_does_not_chatter(self):
+        c = HysteresisComparator(threshold_v=0.5, hysteresis_v=0.2)
+        env = 0.5 + 0.05 * np.sin(np.linspace(0, 50, 500))
+        out = c.slice(env)
+        assert len(set(out)) == 1  # never toggles
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ValueError):
+            HysteresisComparator(threshold_v=0.0)
+        with pytest.raises(ValueError):
+            HysteresisComparator(threshold_v=0.1, hysteresis_v=0.5)
+
+
+class TestEdges:
+    def test_extracts_transitions(self):
+        binary = np.array([0, 0, 1, 1, 0, 1])
+        result = edges(binary, sample_rate_hz=10.0)
+        assert result == [(0.2, 1), (0.4, 0), (0.5, 1)]
+
+    def test_constant_signal_no_edges(self):
+        assert edges(np.ones(100), 10.0) == []
+
+    def test_empty_signal(self):
+        assert edges(np.array([]), 10.0) == []
+
+    def test_invalid_rate_raises(self):
+        with pytest.raises(ValueError):
+            edges(np.array([0, 1]), 0.0)

@@ -1,0 +1,86 @@
+"""Tests for FM0 line coding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.phy.fm0 import (
+    fm0_decode,
+    fm0_encode,
+    fm0_frame_duration_s,
+    fm0_symbol_duration_s,
+)
+
+bit_lists = st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=64)
+
+
+class TestEncoding:
+    def test_two_raw_bits_per_symbol(self):
+        assert len(fm0_encode([1, 0, 1])) == 6
+
+    def test_bit0_has_mid_symbol_transition(self):
+        raw = fm0_encode([0])
+        assert raw[0] != raw[1]
+
+    def test_bit1_holds_level_mid_symbol(self):
+        raw = fm0_encode([1])
+        assert raw[0] == raw[1]
+
+    def test_boundary_always_transitions(self):
+        raw = fm0_encode([1, 1, 0, 0, 1, 0])
+        for i in range(2, len(raw), 2):
+            assert raw[i] != raw[i - 1], f"no transition at symbol boundary {i}"
+
+    def test_invalid_bit_raises(self):
+        with pytest.raises(ValueError):
+            fm0_encode([0, 2])
+
+    def test_invalid_initial_level_raises(self):
+        with pytest.raises(ValueError):
+            fm0_encode([0], initial_level=5)
+
+
+class TestDecoding:
+    @given(bit_lists)
+    def test_roundtrip(self, bits):
+        result = fm0_decode(fm0_encode(bits))
+        assert result.bits == list(bits)
+        assert result.clean
+
+    @given(bit_lists)
+    def test_roundtrip_is_polarity_invariant(self, bits):
+        # The reader's slicer has an unknown polarity; FM0 data decisions
+        # depend only on half-pair equality, so inversion is harmless.
+        raw = [1 - b for b in fm0_encode(bits)]
+        result = fm0_decode(raw, initial_level=0)
+        assert result.bits == list(bits)
+        assert result.clean
+
+    def test_violation_detected_on_missing_boundary_transition(self):
+        raw = fm0_encode([1, 1])
+        raw[2] = raw[1]  # break the boundary rule
+        result = fm0_decode(raw)
+        assert not result.clean
+
+    def test_odd_length_raises(self):
+        with pytest.raises(ValueError):
+            fm0_decode([1, 0, 1])
+
+    def test_invalid_raw_bit_raises(self):
+        with pytest.raises(ValueError):
+            fm0_decode([1, 2])
+
+
+class TestTiming:
+    def test_symbol_duration(self):
+        assert fm0_symbol_duration_s(375.0) == pytest.approx(2 / 375)
+
+    def test_ul_frame_duration_near_200ms(self):
+        # 32-bit UL frame at 375 bps raw: ~171 ms, the paper's "~200 ms
+        # UL packet" once the turnaround margin is included.
+        assert fm0_frame_duration_s(32, 375.0) == pytest.approx(0.1707, abs=0.001)
+
+    def test_invalid_rate_raises(self):
+        with pytest.raises(ValueError):
+            fm0_symbol_duration_s(0.0)
+        with pytest.raises(ValueError):
+            fm0_frame_duration_s(-1, 375.0)

@@ -1,0 +1,118 @@
+"""Tests for waveform synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.channel import acoustics
+from repro.phy.modem import (
+    BackscatterUplink,
+    FskOokDownlink,
+    carrier,
+    raw_bits_to_levels,
+)
+
+
+class TestLevels:
+    def test_sample_counts(self):
+        levels = raw_bits_to_levels([1, 0, 1], 1000.0, 10_000.0)
+        assert len(levels) == 30
+        assert list(levels[:10]) == [1.0] * 10
+        assert list(levels[10:20]) == [0.0] * 10
+
+    def test_no_cumulative_drift(self):
+        # 1000 bits at an awkward ratio must still land on the exact
+        # total length.
+        levels = raw_bits_to_levels([1] * 1000, 375.0, 500_000.0)
+        assert len(levels) == round(1000 * 500_000 / 375)
+
+    def test_invalid_bit_raises(self):
+        with pytest.raises(ValueError):
+            raw_bits_to_levels([2], 1000.0, 10_000.0)
+
+    def test_invalid_rates_raise(self):
+        with pytest.raises(ValueError):
+            raw_bits_to_levels([1], 0.0, 10.0)
+
+
+class TestCarrier:
+    def test_amplitude_and_frequency(self):
+        fs = 500_000.0
+        wave = carrier(5000, 0.5, fs, 90_000.0)
+        assert np.max(np.abs(wave)) == pytest.approx(0.5, rel=1e-3)
+        spectrum = np.abs(np.fft.rfft(wave))
+        peak = np.fft.rfftfreq(5000, 1 / fs)[np.argmax(spectrum)]
+        assert peak == pytest.approx(90_000.0, abs=200)
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            carrier(-1, 1.0)
+
+
+class TestBackscatterUplink:
+    def test_component_has_two_amplitude_levels(self):
+        up = BackscatterUplink()
+        comp = up.tag_component([1, 0, 1, 1], 1000.0, 0.01, lead_in_s=0.0)
+        env = np.abs(comp)
+        hi = np.percentile(env, 98)
+        ratio = up.pzt.absorptive_coefficient / up.pzt.reflective_coefficient
+        assert hi == pytest.approx(0.01, rel=0.05)
+        # The OFF level is the absorptive reflection, not silence.
+        assert np.min(np.abs(comp[np.abs(comp) > 1e-6])) < 0.01 * ratio * 1.2
+
+    def test_delay_prepends_silence(self):
+        up = BackscatterUplink()
+        comp = up.tag_component([1], 1000.0, 0.01, delay_s=1e-3, lead_in_s=0.0)
+        n_delay = int(1e-3 * up.sample_rate_hz)
+        assert np.all(comp[:n_delay] == 0.0)
+
+    def test_lead_in_is_absorptive_level(self):
+        up = BackscatterUplink()
+        comp = up.tag_component([1], 1000.0, 0.01, lead_in_s=0.005)
+        lead = comp[: int(0.004 * up.sample_rate_hz)]
+        ratio = up.pzt.absorptive_coefficient / up.pzt.reflective_coefficient
+        assert np.max(np.abs(lead)) == pytest.approx(0.01 * ratio, rel=0.05)
+
+    def test_capture_sums_components_and_leak(self, rng):
+        up = BackscatterUplink(leak_amplitude_v=0.2)
+        c1 = up.tag_component([1, 0], 1000.0, 0.01, lead_in_s=0.0)
+        cap = up.capture([c1], 1e-14, rng)
+        assert np.max(np.abs(cap)) > 0.19  # leak dominates
+
+    def test_capture_empty_raises_without_extra(self, rng):
+        with pytest.raises(ValueError):
+            BackscatterUplink().capture([], 1e-10, rng)
+
+    def test_capture_noise_floor(self, rng):
+        up = BackscatterUplink(leak_amplitude_v=0.0)
+        cap = up.capture([], 1e-8, rng, extra_samples=100_000)
+        expected_var = 1e-8 * up.sample_rate_hz / 2
+        assert np.var(cap) == pytest.approx(expected_var, rel=0.05)
+
+
+class TestFskOokDownlink:
+    def test_on_off_contrast_at_envelope(self):
+        dl = FskOokDownlink()
+        wave = dl.beacon_waveform([1, 0, 1], 250.0)
+        # ON segments reach the full amplitude; OFF segments sit at the
+        # attenuated off-frequency drive.
+        assert np.max(np.abs(wave)) == pytest.approx(1.0, rel=0.01)
+        raw_bit = int(dl.sample_rate_hz / 250.0)
+        off_segment = wave[2 * raw_bit + raw_bit // 4 : 3 * raw_bit - raw_bit // 4]
+        assert np.max(np.abs(off_segment)) < 0.15
+
+    def test_naive_ook_rings_longer_than_fsk(self):
+        dl = FskOokDownlink()
+        bits = [1, 0]
+        fsk = dl.beacon_waveform(bits, 250.0)
+        naive = dl.naive_ook_waveform(bits, 250.0)
+        raw_bit = int(dl.sample_rate_hz / 250.0)
+        # Look just after the first ON->OFF transition (~0.4 ms in).
+        start = 2 * raw_bit + int(0.0002 * dl.sample_rate_hz)
+        window = slice(start, start + 200)
+        assert np.max(np.abs(naive[window])) > np.max(np.abs(fsk[window]))
+
+    def test_link_gain_scales(self):
+        dl = FskOokDownlink()
+        full = dl.beacon_waveform([1], 250.0, link_gain=1.0)
+        half = dl.beacon_waveform([1], 250.0, link_gain=0.5)
+        assert np.max(np.abs(half)) == pytest.approx(np.max(np.abs(full)) / 2)

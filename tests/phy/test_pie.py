@@ -1,0 +1,106 @@
+"""Tests for PIE coding and the downlink timing-error model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.phy.pie import (
+    PieTimingModel,
+    pie_decode,
+    pie_duration_s,
+    pie_encode,
+    pie_packet_loss_probability,
+)
+
+bit_lists = st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=40)
+
+
+class TestCoding:
+    def test_bit0_is_10(self):
+        assert pie_encode([0]) == [1, 0]
+
+    def test_bit1_is_110(self):
+        assert pie_encode([1]) == [1, 1, 0]
+
+    @given(bit_lists)
+    def test_roundtrip(self, bits):
+        assert pie_decode(pie_encode(bits)) == list(bits)
+
+    def test_invalid_bit_raises(self):
+        with pytest.raises(ValueError):
+            pie_encode([2])
+
+    def test_truncated_symbol_raises(self):
+        with pytest.raises(ValueError):
+            pie_decode([1, 1])  # missing low terminator
+
+    def test_overlong_pulse_raises(self):
+        with pytest.raises(ValueError):
+            pie_decode([1, 1, 1, 0])
+
+    @given(bit_lists)
+    def test_duration_formula(self, bits):
+        raw = pie_encode(bits)
+        assert pie_duration_s(bits, 250.0) == pytest.approx(len(raw) / 250.0)
+
+    def test_dl_beacon_airtime_around_100ms(self):
+        # 10-bit beacon at 250 bps raw: 20-30 raw bits = 80-120 ms.
+        dur = pie_duration_s([1, 1, 1, 0, 1, 0, 1, 0, 1, 0], 250.0)
+        assert 0.08 <= dur <= 0.12
+
+
+class TestTimingModel:
+    def test_error_grows_with_rate(self):
+        m = PieTimingModel()
+        probs = [m.symbol_error_probability(r) for r in (125, 250, 500, 1000, 2000)]
+        assert probs == sorted(probs)
+
+    def test_negligible_at_250bps(self):
+        # The default DL rate must be nearly error-free (Sec. 6.3).
+        assert PieTimingModel().symbol_error_probability(250.0) < 1e-4
+
+    def test_severe_at_2000bps(self):
+        assert PieTimingModel().symbol_error_probability(2000.0) > 0.2
+
+    def test_quantization_is_tick_over_sqrt12(self):
+        m = PieTimingModel()
+        assert m.quantization_std_s() == pytest.approx((1 / 12000) / (12**0.5))
+
+    def test_comparator_jitter_shrinks_with_snr(self):
+        m = PieTimingModel()
+        assert m.comparator_jitter_std_s(40.0) < m.comparator_jitter_std_s(10.0)
+
+    def test_invalid_rate_raises(self):
+        with pytest.raises(ValueError):
+            PieTimingModel().symbol_error_std_s(0.0, 40.0)
+
+
+class TestPacketLoss:
+    def test_fig13a_cliff_shape(self):
+        # Near-zero through 500 bps, then the cliff: ~45% at 1000 and
+        # ~98% at 2000 (paper Fig. 13a).
+        loss = {r: pie_packet_loss_probability(r) for r in (125, 250, 500, 1000, 2000)}
+        assert loss[125] < 0.001
+        assert loss[250] < 0.001
+        assert loss[500] < 0.02
+        assert 0.2 < loss[1000] < 0.7
+        assert loss[2000] > 0.9
+
+    def test_beacon_loss_matches_appendix_c_assumption(self):
+        # Appendix C leans on "beacon loss rate ... less than 0.1%".
+        assert pie_packet_loss_probability(250.0) < 1e-3
+
+    def test_loss_monotone_in_symbols(self):
+        short = pie_packet_loss_probability(1000.0, n_symbols=5)
+        long = pie_packet_loss_probability(1000.0, n_symbols=20)
+        assert long > short
+
+    def test_invalid_symbols_raise(self):
+        with pytest.raises(ValueError):
+            pie_packet_loss_probability(250.0, n_symbols=0)
+
+    def test_custom_timing_model(self):
+        perfect = PieTimingModel(
+            reader_jitter_std_s=1e-9, clock_hz=1e9, clock_skew_fraction=0.0
+        )
+        loss = pie_packet_loss_probability(2000.0, timing=perfect)
+        assert loss < 1e-3  # only the detection floor remains

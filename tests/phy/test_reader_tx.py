@@ -1,0 +1,115 @@
+"""Tests for the reader transmit chain."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.firmware import PieEdgeDemodulator
+from repro.phy.packets import DownlinkBeacon
+from repro.phy.reader_tx import (
+    JitteredPieTransmitter,
+    PwmCarrierSynth,
+    UsbCommandScheduler,
+)
+
+
+class TestPwmSynth:
+    def test_resonator_suppresses_harmonics(self):
+        synth = PwmCarrierSynth()
+        # PWM alone has THD ~48% (odd harmonics 1/k); the resonance
+        # must crush it to a few percent of the fundamental.
+        assert synth.total_harmonic_distortion() < 0.05
+
+    def test_fundamental_dominates_waveform_spectrum(self):
+        synth = PwmCarrierSynth()
+        wave = synth.waveform(0.02)
+        spectrum = np.abs(np.fft.rfft(wave))
+        freqs = np.fft.rfftfreq(len(wave), 1 / 500_000.0)
+        peak = freqs[np.argmax(spectrum)]
+        assert peak == pytest.approx(90_000.0, abs=200)
+
+    def test_harmonics_at_odd_multiples(self):
+        harmonics = PwmCarrierSynth().harmonic_amplitudes()
+        freqs = [f for f, _ in harmonics]
+        assert freqs[0] == 90_000.0
+        assert freqs[1] == 270_000.0  # 3rd
+
+    def test_invalid_duration_raises(self):
+        with pytest.raises(ValueError):
+            PwmCarrierSynth().waveform(0.0)
+
+
+class TestUsbScheduler:
+    def test_delays_within_paper_band(self, rng):
+        # Sec. 6.3: "about 0.1-0.3 ms time offset to each PIE symbol".
+        sched = UsbCommandScheduler()
+        intended = list(np.arange(0.0, 0.1, 0.004))
+        actual = sched.realize(intended, rng)
+        delays = np.array(actual) - np.array(intended)
+        lo, hi = sched.delay_bounds_s()
+        assert np.all(delays >= lo - 1e-12)
+        assert np.all(delays <= hi + 1e-12)
+
+    def test_ordering_preserved(self, rng):
+        sched = UsbCommandScheduler()
+        intended = [0.0, 0.0001, 0.001, 0.0015]
+        actual = sched.realize(intended, rng)
+        assert actual == sorted(actual)
+
+    def test_jitter_std_formula(self):
+        sched = UsbCommandScheduler(service_interval_s=0.6e-3)
+        assert sched.symbol_jitter_std_s() == pytest.approx(0.6e-3 / 6**0.5)
+
+    def test_empirical_delay_distribution_uniform(self, rng):
+        sched = UsbCommandScheduler()
+        delays = []
+        for _ in range(200):
+            intended = [float(rng.uniform(0, 1))]
+            actual = sched.realize(intended, rng)
+            delays.append(actual[0] - intended[0])
+        delays = np.array(delays)
+        lo, hi = sched.delay_bounds_s()
+        assert delays.mean() == pytest.approx((lo + hi) / 2, rel=0.15)
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ValueError):
+            UsbCommandScheduler(service_interval_s=0.0)
+
+
+class TestEndToEndJitteredDownlink:
+    def test_beacon_survives_usb_jitter_at_default_rate(self, rng):
+        # At 250 bps the margin (2 ms) dwarfs the USB jitter: every
+        # beacon must decode through the firmware demodulator.
+        tx = JitteredPieTransmitter(raw_rate_bps=250.0)
+        beacon = DownlinkBeacon(ack=True, empty=True)
+        decoded = 0
+        for _ in range(20):
+            demod = PieEdgeDemodulator(raw_rate_bps=250.0, rng=rng)
+            for t, level in tx.transmit(beacon.to_bits(), rng):
+                demod.on_edge(t, level)
+            decoded += demod.beacons == [beacon]
+        assert decoded == 20
+
+    def test_loss_grows_with_rate_under_same_jitter(self, rng):
+        # The reader's contribution alone already separates slow from
+        # fast rates (the tag-side terms make the full Fig. 13a cliff).
+        beacon = DownlinkBeacon(ack=True)
+        losses = {}
+        for rate in (250.0, 4000.0):
+            tx = JitteredPieTransmitter(raw_rate_bps=rate)
+            lost = 0
+            for _ in range(30):
+                demod = PieEdgeDemodulator(raw_rate_bps=rate, rng=rng)
+                for t, level in tx.transmit(beacon.to_bits(), rng):
+                    demod.on_edge(t, level)
+                lost += demod.beacons != [beacon]
+            losses[rate] = lost
+        assert losses[4000.0] > losses[250.0]
+
+    def test_intended_edges_match_pie_structure(self):
+        tx = JitteredPieTransmitter(raw_rate_bps=250.0)
+        edges = tx.intended_edges([1, 0])
+        # PIE "110" + "10": rises at 0 and 3 raw bits, falls at 2 and 4.
+        times = [round(t * 250.0) for t, _ in edges]
+        levels = [lvl for _, lvl in edges]
+        assert times == [0, 2, 3, 4]
+        assert levels == [1, 0, 1, 0]

@@ -1,0 +1,167 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.engine import PeriodicTask, SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_custom_start_time(self):
+        assert Simulator(start_time=5.0).now == 5.0
+
+    def test_event_fires_at_scheduled_time(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(1.5, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [1.5]
+
+    def test_schedule_in_is_relative(self):
+        sim = Simulator(start_time=10.0)
+        fired = []
+        sim.schedule_in(2.5, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [12.5]
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule_at(3.0, lambda: order.append(3))
+        sim.schedule_at(1.0, lambda: order.append(1))
+        sim.schedule_at(2.0, lambda: order.append(2))
+        sim.run()
+        assert order == [1, 2, 3]
+
+    def test_same_time_events_fire_in_scheduling_order(self):
+        sim = Simulator()
+        order = []
+        for i in range(5):
+            sim.schedule_at(1.0, lambda i=i: order.append(i))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_scheduling_in_past_raises(self):
+        sim = Simulator(start_time=5.0)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(4.9, lambda: None)
+
+    def test_negative_delay_raises(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule_in(-1.0, lambda: None)
+
+    def test_event_can_schedule_followup(self):
+        sim = Simulator()
+        fired = []
+
+        def first():
+            fired.append(sim.now)
+            sim.schedule_in(1.0, lambda: fired.append(sim.now))
+
+        sim.schedule_at(1.0, first)
+        sim.run()
+        assert fired == [1.0, 2.0]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule_at(1.0, lambda: fired.append(1))
+        handle.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        handle = sim.schedule_at(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert sim.run() == 0
+
+    def test_pending_excludes_cancelled(self):
+        sim = Simulator()
+        h1 = sim.schedule_at(1.0, lambda: None)
+        sim.schedule_at(2.0, lambda: None)
+        h1.cancel()
+        assert sim.pending() == 1
+
+    def test_peek_skips_cancelled(self):
+        sim = Simulator()
+        h1 = sim.schedule_at(1.0, lambda: None)
+        sim.schedule_at(2.0, lambda: None)
+        h1.cancel()
+        assert sim.peek_next_time() == 2.0
+
+
+class TestRunControl:
+    def test_run_until_stops_clock_at_boundary(self):
+        sim = Simulator()
+        sim.schedule_at(5.0, lambda: None)
+        sim.run(until=3.0)
+        assert sim.now == 3.0
+        assert sim.pending() == 1
+
+    def test_run_until_advances_clock_with_empty_queue(self):
+        sim = Simulator()
+        sim.run(until=7.0)
+        assert sim.now == 7.0
+
+    def test_run_respects_max_events(self):
+        sim = Simulator()
+        for i in range(10):
+            sim.schedule_at(float(i + 1), lambda: None)
+        assert sim.run(max_events=4) == 4
+        assert sim.pending() == 6
+
+    def test_run_returns_event_count(self):
+        sim = Simulator()
+        for i in range(3):
+            sim.schedule_at(float(i + 1), lambda: None)
+        assert sim.run() == 3
+
+    def test_step_on_empty_queue_returns_false(self):
+        assert Simulator().step() is False
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50))
+    def test_clock_is_monotonic(self, times):
+        sim = Simulator()
+        observed = []
+        for t in times:
+            sim.schedule_at(t, lambda: observed.append(sim.now))
+        sim.run()
+        assert observed == sorted(observed)
+        assert len(observed) == len(times)
+
+
+class TestPeriodicTask:
+    def test_fires_periodically(self):
+        sim = Simulator()
+        fired = []
+        task = PeriodicTask(sim, period=1.0, action=lambda: fired.append(sim.now))
+        sim.run(until=3.5)
+        assert fired == [0.0, 1.0, 2.0, 3.0]
+        task.stop()
+
+    def test_start_delay(self):
+        sim = Simulator()
+        fired = []
+        PeriodicTask(sim, period=1.0, action=lambda: fired.append(sim.now), start_delay=0.5)
+        sim.run(until=2.6)
+        assert fired == [0.5, 1.5, 2.5]
+
+    def test_stop_halts_rearming(self):
+        sim = Simulator()
+        fired = []
+        task = PeriodicTask(sim, period=1.0, action=lambda: fired.append(sim.now))
+        sim.run(until=1.5)
+        task.stop()
+        sim.run(until=10.0)
+        assert fired == [0.0, 1.0]
+
+    def test_non_positive_period_raises(self):
+        with pytest.raises(SimulationError):
+            PeriodicTask(Simulator(), period=0.0, action=lambda: None)

@@ -1,0 +1,46 @@
+"""Tests for seeded random streams."""
+
+from repro.sim.random import RandomStreams
+
+
+class TestRandomStreams:
+    def test_same_seed_same_draws(self):
+        a = RandomStreams(7).stream("x").integers(0, 1 << 30, size=10)
+        b = RandomStreams(7).stream("x").integers(0, 1 << 30, size=10)
+        assert list(a) == list(b)
+
+    def test_different_names_decorrelated(self):
+        rs = RandomStreams(7)
+        a = rs.stream("a").integers(0, 1 << 30, size=10)
+        b = rs.stream("b").integers(0, 1 << 30, size=10)
+        assert list(a) != list(b)
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(1).stream("x").integers(0, 1 << 30, size=10)
+        b = RandomStreams(2).stream("x").integers(0, 1 << 30, size=10)
+        assert list(a) != list(b)
+
+    def test_stream_is_cached(self):
+        rs = RandomStreams(0)
+        assert rs.stream("x") is rs.stream("x")
+
+    def test_fork_is_deterministic(self):
+        a = RandomStreams(5).fork("tag3").stream("offset").integers(0, 100, size=5)
+        b = RandomStreams(5).fork("tag3").stream("offset").integers(0, 100, size=5)
+        assert list(a) == list(b)
+
+    def test_fork_salts_differ(self):
+        rs = RandomStreams(5)
+        a = rs.fork("tag3").stream("offset").integers(0, 1 << 30, size=10)
+        b = rs.fork("tag4").stream("offset").integers(0, 1 << 30, size=10)
+        assert list(a) != list(b)
+
+    def test_fork_independent_of_parent_usage(self):
+        rs1 = RandomStreams(5)
+        rs1.stream("noise").random(100)  # consume parent entropy
+        a = rs1.fork("t").stream("x").integers(0, 1 << 30, size=5)
+        b = RandomStreams(5).fork("t").stream("x").integers(0, 1 << 30, size=5)
+        assert list(a) == list(b)
+
+    def test_seed_property(self):
+        assert RandomStreams(42).seed == 42

@@ -1,0 +1,53 @@
+"""Tests for the trace recorder."""
+
+from repro.sim.trace import TraceRecorder
+
+
+class TestTraceRecorder:
+    def test_records_events(self):
+        tr = TraceRecorder()
+        tr.emit(1.0, "tx", "tag1", slot=4)
+        tr.emit(2.0, "rx", "reader")
+        assert len(tr) == 2
+        assert tr.records()[0]["slot"] == 4
+
+    def test_kind_filter_drops_but_counts(self):
+        tr = TraceRecorder(kinds=["tx"])
+        tr.emit(1.0, "tx", "tag1")
+        tr.emit(2.0, "rx", "reader")
+        assert len(tr) == 1
+        assert tr.count("rx") == 1
+        assert tr.count("tx") == 1
+
+    def test_records_query_by_kind_and_source(self):
+        tr = TraceRecorder()
+        tr.emit(1.0, "tx", "tag1")
+        tr.emit(2.0, "tx", "tag2")
+        tr.emit(3.0, "rx", "tag1")
+        assert len(tr.records(kind="tx")) == 2
+        assert len(tr.records(source="tag1")) == 2
+        assert len(tr.records(kind="tx", source="tag1")) == 1
+
+    def test_records_query_since(self):
+        tr = TraceRecorder()
+        for t in (1.0, 2.0, 3.0):
+            tr.emit(t, "tick", "sim")
+        assert len(tr.records(since=2.0)) == 2
+
+    def test_series_extracts_field_values(self):
+        tr = TraceRecorder()
+        for i in range(4):
+            tr.emit(float(i), "tx", "tag", slot=i * 10)
+        assert tr.series("tx", "slot") == [0, 10, 20, 30]
+
+    def test_record_get_with_default(self):
+        tr = TraceRecorder()
+        tr.emit(0.0, "tx", "tag")
+        assert tr.records()[0].get("missing", -1) == -1
+
+    def test_clear(self):
+        tr = TraceRecorder()
+        tr.emit(0.0, "tx", "tag")
+        tr.clear()
+        assert len(tr) == 0
+        assert tr.count("tx") == 0

@@ -1,0 +1,54 @@
+"""Tests for the command-line experiment runner."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_every_experiment_is_a_choice(self):
+        parser = build_parser()
+        for name in EXPERIMENTS:
+            args = parser.parse_args([name])
+            assert args.experiment == name
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_options(self):
+        args = build_parser().parse_args(["fig15", "--trials", "3", "--seed", "9"])
+        assert args.trials == 3
+        assert args.seed == 9
+
+
+class TestExecution:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig11" in out and "table2" in out
+
+    def test_table1_output(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "slot" in out
+
+    def test_table2_output(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "24.8" in out and "51.0" in out
+
+    def test_fig11_output(self, capsys):
+        assert main(["fig11"]) == 0
+        out = capsys.readouterr().out
+        assert "tag11" in out
+
+    def test_appc_output(self, capsys):
+        assert main(["appc"]) == 0
+        out = capsys.readouterr().out
+        assert "absorbing=True" in out
+
+    def test_fig16_respects_seed(self, capsys):
+        assert main(["fig16", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "non-empty ratio" in out

@@ -1,0 +1,160 @@
+"""Robustness and edge-case scenarios across the stack.
+
+Adversarial-but-legal configurations: capacity saturation, the 16-tag
+TID limit, RESET storms, extreme beacon loss, degenerate periods —
+things a deployment could plausibly hit that the example-based tests do
+not cover.
+"""
+
+import numpy as np
+import pytest
+
+from repro.channel.medium import AcousticMedium
+from repro.core.network import NetworkConfig, SlottedNetwork
+from repro.core.state_machine import TagState
+from repro.experiments.configs import pattern
+from repro.phy.packets import MAX_TID, UplinkPacket
+
+
+class TestCapacityEdges:
+    def test_period_one_tag_owns_the_channel(self):
+        # p=1 is permissible (P = {2^k}, k=0): the tag transmits every
+        # slot and nothing else can fit.
+        net = SlottedNetwork(
+            {"tag8": 1}, config=NetworkConfig(seed=0, ideal_channel=True)
+        )
+        t = net.run_until_converged(streak=8)
+        assert t is not None
+        records = net.run(20)
+        assert all(r.decoded == "tag8" for r in records)
+
+    def test_two_period_one_tags_never_converge(self):
+        # Utilisation 2.0: they collide in every slot, forever.
+        net = SlottedNetwork(
+            {"tag5": 1, "tag8": 1},
+            config=NetworkConfig(seed=0, ideal_channel=True),
+        )
+        result = net.run_until_converged(streak=8, max_slots=500)
+        assert result is None
+
+    def test_twelve_tags_at_full_capacity_eventually_converge(self):
+        net = SlottedNetwork(
+            pattern("c5").tag_periods(),
+            config=NetworkConfig(seed=4, ideal_channel=True),
+        )
+        assert net.run_until_converged(max_slots=150_000) is not None
+
+    def test_oversubscription_keeps_running_without_converging(self):
+        # Demand 1.5x capacity: the protocol must stay live (no crash,
+        # no livelock exception), merely never settle everyone.
+        periods = {f"tag{i}": 4 for i in range(1, 7)}  # U = 1.5
+        net = SlottedNetwork(
+            periods, config=NetworkConfig(seed=1, ideal_channel=True)
+        )
+        net.run(2000)
+        assert net.settled_fraction() < 1.0
+        assert len(net.records) == 2000
+
+
+class TestResetStorms:
+    def test_repeated_resets_always_reconverge(self):
+        net = SlottedNetwork(
+            pattern("c9").tag_periods(),
+            config=NetworkConfig(seed=2, ideal_channel=True),
+        )
+        for round_ in range(4):
+            assert net.run_until_converged(max_slots=50_000) is not None
+            net.reset()
+            net.step()
+            assert all(
+                t.state is TagState.MIGRATE for t in net.tags.values()
+            ), f"round {round_}: tags kept state through RESET"
+
+    def test_reset_mid_convergence_is_harmless(self):
+        net = SlottedNetwork(
+            pattern("c2").tag_periods(),
+            config=NetworkConfig(seed=3, ideal_channel=True),
+        )
+        net.run(10)
+        net.reset()
+        assert net.run_until_converged(max_slots=50_000) is not None
+
+
+class TestExtremeChannel:
+    def test_fifty_percent_beacon_loss_survival(self):
+        # Half of all beacons lost: the network cannot hold a settled
+        # state, but it must keep operating and occasionally deliver.
+        net = SlottedNetwork(
+            {"tag5": 4, "tag8": 4},
+            config=NetworkConfig(seed=5, beacon_loss_probability=0.5),
+        )
+        records = net.run(2000)
+        delivered = sum(1 for r in records if r.decoded is not None)
+        assert delivered > 50
+        assert len(records) == 2000
+
+    def test_total_beacon_loss_means_total_silence(self):
+        net = SlottedNetwork(
+            {"tag5": 4, "tag8": 4},
+            config=NetworkConfig(seed=5, beacon_loss_probability=1.0),
+        )
+        records = net.run(100)
+        # Reader-talks-first: no beacons received, no transmissions ever.
+        assert all(r.n_transmitters == 0 for r in records)
+
+    def test_single_tag_with_loss_recovers_repeatedly(self):
+        net = SlottedNetwork(
+            {"tag8": 4},
+            config=NetworkConfig(seed=6, beacon_loss_probability=0.1),
+        )
+        records = net.run(2000)
+        tail = records[-200:]
+        decoded = sum(1 for r in tail if r.decoded is not None)
+        # One tag, period 4: ideal 50 decodes per 200 slots; with 10%
+        # beacon loss and re-migrations, still a solid majority arrive.
+        assert decoded > 25
+
+
+class TestTidLimits:
+    def test_sixteen_tags_supported_by_tid_field(self):
+        assert MAX_TID == 15  # 4-bit TID: up to 16 tags (Sec. 4.2)
+        for tid in range(16):
+            UplinkPacket(tid, 0)
+
+    def test_network_assigns_distinct_tids(self, medium):
+        net = SlottedNetwork(
+            pattern("c3").tag_periods(),
+            medium=medium,
+            config=NetworkConfig(seed=0, ideal_channel=True),
+        )
+        tids = [t.tid for t in net.tags.values()]
+        assert len(set(tids)) == len(tids)
+        assert max(tids) <= MAX_TID
+
+
+class TestDeterminism:
+    def test_experiments_reproduce_exactly_per_seed(self, medium):
+        from repro.experiments.fig16_longrun import run_fig16
+
+        a = run_fig16(n_slots=1500, seed=7, medium=medium)
+        b = run_fig16(n_slots=1500, seed=7, medium=medium)
+        assert a.mean_non_empty == b.mean_non_empty
+        assert a.mean_collision == b.mean_collision
+
+    def test_aloha_reproduces_exactly_per_seed(self, medium):
+        from repro.experiments.fig19_aloha import run_fig19
+
+        a = run_fig19(duration_s=1000.0, seed=9, medium=medium)
+        b = run_fig19(duration_s=1000.0, seed=9, medium=medium)
+        assert a.total_tx == b.total_tx
+        assert a.total_collided == b.total_collided
+
+    def test_different_seeds_differ(self, medium):
+        from repro.experiments.fig16_longrun import run_fig16
+
+        a = run_fig16(n_slots=1500, seed=1, medium=medium)
+        b = run_fig16(n_slots=1500, seed=2, medium=medium)
+        assert (a.mean_non_empty, a.mean_collision) != (
+            b.mean_non_empty,
+            b.mean_collision,
+        )
