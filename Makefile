@@ -1,0 +1,25 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench bench-smoke bench-compare results api-index
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks -q
+
+# Quick smoke subset (all three fidelity tiers + event engine + DSP
+# loop), snapshotted to BENCH_<git-rev>.json for bench-compare.
+bench-smoke:
+	$(PYTHON) tools/bench_smoke.py
+
+# Usage: make bench-compare BEFORE=BENCH_old.json AFTER=BENCH_new.json
+bench-compare:
+	$(PYTHON) tools/bench_compare.py $(BEFORE) $(AFTER)
+
+results:
+	$(PYTHON) -m repro results --out results.json
+
+api-index:
+	$(PYTHON) tools/gen_api_index.py

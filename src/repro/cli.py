@@ -102,6 +102,31 @@ def _run_fig19(args: argparse.Namespace) -> str:
     return format_fig19(run_fig19(seed=args.seed))
 
 
+def _run_results(args: argparse.Namespace) -> str:
+    import json
+
+    from repro.experiments.runner import collect_results, default_jobs
+
+    if args.serial:
+        jobs = 1
+    elif args.jobs is not None:
+        jobs = args.jobs
+    else:
+        jobs = default_jobs()
+    results = collect_results(
+        seed=args.seed, quick=not args.full, jobs=jobs, perf=args.perf
+    )
+    text = json.dumps(results, indent=2, sort_keys=True)
+    if args.out:
+        try:
+            with open(args.out, "w") as fh:
+                fh.write(text + "\n")
+        except OSError as exc:
+            raise SystemExit(f"error: cannot write {args.out}: {exc}")
+        return f"wrote {args.out} ({jobs} job{'s' if jobs != 1 else ''})"
+    return text
+
+
 def _run_appc(args: argparse.Namespace) -> str:
     from repro.analysis.markov import SlotAllocationChain
 
@@ -129,6 +154,7 @@ EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "fig17": _run_fig17,
     "fig19": _run_fig19,
     "appc": _run_appc,
+    "results": _run_results,
 }
 
 
@@ -146,6 +172,35 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--trials", type=int, default=10, help="trials for convergence sweeps"
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="('results') fan experiments out over N processes "
+        "(default: one per CPU)",
+    )
+    parser.add_argument(
+        "--serial",
+        action="store_true",
+        help="('results') force serial execution, overriding --jobs",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="('results') publication-grade counts instead of quick ones",
+    )
+    parser.add_argument(
+        "--perf",
+        action="store_true",
+        help="('results') embed per-experiment wall times and counters",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="('results') write the JSON document here instead of stdout",
+    )
     return parser
 
 
@@ -154,7 +209,12 @@ def main(argv: List[str] | None = None) -> int:
     if args.experiment == "list":
         print("available experiments:", ", ".join(sorted(EXPERIMENTS)))
         return 0
-    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    if args.experiment == "all":
+        # 'results' re-runs every experiment for its JSON document;
+        # keep 'all' to the human-readable tables.
+        names = sorted(n for n in EXPERIMENTS if n != "results")
+    else:
+        names = [args.experiment]
     for name in names:
         start = time.perf_counter()
         output = EXPERIMENTS[name](args)

@@ -7,31 +7,53 @@ the loop: every slot's uplink is synthesised as a sampled capture
 (carrier leak + per-tag backscatter phasors + receiver noise) and
 arbitrated by the real reader chain — FM0 decoding through
 :class:`~repro.phy.reader_dsp.ReaderReceiveChain` and collision
-detection through :func:`~repro.phy.iq.detect_collision`.
+detection through :func:`~repro.phy.iq.detect_collision_iq`.
 
-It is 3-4 orders of magnitude slower per slot than the slot-level
+It is orders of magnitude slower per slot than the slot-level
 simulator, so it runs tens-to-hundreds of slots, not tens of
 thousands; its job is to certify that the fast simulator's outcome
 model (decode success, capture effect, cluster detection) matches what
 the DSP actually does on this channel (see
 ``tests/core/test_waveform_network.py`` and
 ``benchmarks/bench_waveform_loop.py``).
+
+Per-slot cost is kept down three ways: the capture is downconverted
+*once* and the rate-matched baseband shared between the FM0 decoder
+and the IQ-cluster detector; link-budget quantities (backscatter
+amplitude, propagation delay) are computed per tag at construction
+instead of re-walking the medium graph every slot (see
+:meth:`WaveformNetwork.invalidate_link_cache` for when the medium
+mutates); and the synthesis primitives draw on
+:mod:`repro.phy.cache`.
 """
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
-from typing import List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import perf
 from repro.channel.medium import AcousticMedium, SlotObservation
 from repro.core.network import NetworkConfig, SlottedNetwork
 from repro.experiments.fig12_uplink import WAVEFORM_AMPLITUDE_CALIBRATION
-from repro.phy.iq import detect_collision
+from repro.phy.iq import detect_collision_iq
 from repro.phy.modem import BackscatterUplink
 from repro.phy.packets import UplinkPacket
 from repro.phy.reader_dsp import ReaderReceiveChain
+
+
+def stable_name_hash(name: str) -> int:
+    """Deterministic 32-bit hash of a tag name.
+
+    ``hash(str)`` varies with ``PYTHONHASHSEED`` across interpreter
+    runs, which made default waveform payloads — and therefore whole
+    captures — irreproducible run-to-run.  CRC-32 is stable
+    everywhere.
+    """
+    return zlib.crc32(name.encode("utf-8"))
 
 
 @dataclass
@@ -60,10 +82,38 @@ class WaveformNetwork(SlottedNetwork):
         self._phase_rng = self._streams.stream("phases")
         self._tid_to_name = {mac.tid: name for name, mac in self.tags.items()}
         self._payloads = dict(payloads or {})
+        self._link_cache: Dict[str, Tuple[float, float]] = {}
         self.slot_logs: List[WaveformSlotLog] = []
 
+    # -- link-budget cache -------------------------------------------------
+
+    def _link_budget(self, name: str) -> Tuple[float, float]:
+        """(calibrated backscatter amplitude, propagation delay) for a
+        tag, computed on first use and cached — the medium graph walk
+        dominated per-slot synthesis cost before caching."""
+        cached = self._link_cache.get(name)
+        if cached is None:
+            cached = (
+                WAVEFORM_AMPLITUDE_CALIBRATION
+                * self.medium.backscatter_amplitude_v(name),
+                self.medium.propagation_delay_s(name),
+            )
+            self._link_cache[name] = cached
+        return cached
+
+    def invalidate_link_cache(self) -> None:
+        """Drop cached per-tag link budgets.
+
+        Call after mutating the medium in place (e.g. strain sweeps
+        that re-tension joints or move mounts); subsequent slots
+        re-derive amplitudes and delays from the updated graph.
+        """
+        self._link_cache.clear()
+
     def _payload_for(self, name: str) -> int:
-        return self._payloads.get(name, (hash(name) + self.reader.slot_index) % 4096)
+        return self._payloads.get(
+            name, (stable_name_hash(name) + self.reader.slot_index) % 4096
+        )
 
     def _observe(self, transmitters: Sequence[str]) -> SlotObservation:
         """Synthesise the slot's capture and run the real receive path."""
@@ -75,30 +125,38 @@ class WaveformNetwork(SlottedNetwork):
             return SlotObservation((), None, False)
 
         rate = self.config.ul_raw_rate_bps
-        components = []
-        for name in transmitters:
-            mac = self.tags[name]
-            packet = UplinkPacket(tid=mac.tid, payload=self._payload_for(name))
-            components.append(
-                self._uplink.tag_component(
-                    packet.to_bits(),
-                    rate,
-                    WAVEFORM_AMPLITUDE_CALIBRATION
-                    * self.medium.backscatter_amplitude_v(name),
-                    phase_rad=float(self._phase_rng.uniform(0, 2 * np.pi)),
-                    delay_s=self.medium.propagation_delay_s(name),
-                    lead_in_s=0.03,
+        with perf.timed("waveform.synthesize"):
+            components = []
+            for name in transmitters:
+                mac = self.tags[name]
+                packet = UplinkPacket(tid=mac.tid, payload=self._payload_for(name))
+                amplitude_v, delay_s = self._link_budget(name)
+                components.append(
+                    self._uplink.tag_component(
+                        packet.to_bits(),
+                        rate,
+                        amplitude_v,
+                        phase_rad=float(self._phase_rng.uniform(0, 2 * np.pi)),
+                        delay_s=delay_s,
+                        lead_in_s=0.03,
+                    )
                 )
+            capture = self._uplink.capture(
+                components,
+                self.medium.noise.psd_v2_per_hz,
+                self._phase_rng,
+                extra_samples=2000,
             )
-        capture = self._uplink.capture(
-            components,
-            self.medium.noise.psd_v2_per_hz,
-            self._phase_rng,
-            extra_samples=2000,
-        )
 
-        outcome = self._chain.decode(capture, rate)
-        clusters = detect_collision(capture, raw_rate_bps=rate)
+        # One downconversion feeds both the decoder and the cluster
+        # detector; they consumed identical rate-matched basebands when
+        # each ran the mixer privately.
+        with perf.timed("waveform.demodulate"):
+            iq, baseband_rate = self._chain.raw_baseband(capture, rate)
+            outcome = self._chain.decode_baseband(iq, baseband_rate, rate)
+            clusters = detect_collision_iq(iq)
+        perf.count("waveform.slots")
+
         decoded_tids = [p.tid for p in outcome.packets]
         self.slot_logs.append(
             WaveformSlotLog(

@@ -5,114 +5,295 @@ The CLI prints human tables; CI pipelines and the EXPERIMENTS.md
 curation want structured numbers instead:
 
     python -m repro.experiments.runner results.json
+    python -m repro.experiments.runner results.json --jobs 4
+    python -m repro.experiments.runner results.json --serial --full
+
+The nine figure/table experiments are independent of one another, so
+:func:`collect_results` can fan them out over a
+``ProcessPoolExecutor``.  Each experiment derives its own seed from the
+master seed *inside its job function*, exactly as the serial path does,
+so the merged document is identical byte-for-byte whichever way it was
+produced (the determinism test in ``tests/experiments/test_runner.py``
+holds the two paths equal).
 """
 
 from __future__ import annotations
 
+import argparse
 import json
+import os
+import pickle
 import sys
-from typing import Any, Dict, Optional
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.channel.medium import AcousticMedium
+
+#: Counts used by ``quick`` runs (CI) vs publication-grade runs.
+QUICK_TRIALS, FULL_TRIALS = 5, 10
+QUICK_LONGRUN_SLOTS, FULL_LONGRUN_SLOTS = 4000, 10_000
+QUICK_ALOHA_S, FULL_ALOHA_S = 4000.0, 10_000.0
+
+
+# -- per-experiment jobs ----------------------------------------------------
+#
+# Each job is a module-level function (picklable for the process pool)
+# taking (medium, seed, quick) and returning its fragment of the output
+# document.  Seed derivations are part of the job so serial and parallel
+# execution consume identical randomness.
+
+
+def _job_table2(medium: AcousticMedium, seed: int, quick: bool) -> Dict[str, Any]:
+    from repro.experiments.table2_power import run_table2
+
+    t2 = run_table2()
+    return {
+        "table2_power_uw": {
+            mode: t2.table[mode]["total_power_uw"] for mode in ("RX", "TX", "IDLE")
+        },
+        "table2_sustainable": t2.sustainable,
+    }
+
+
+def _job_fig11(medium: AcousticMedium, seed: int, quick: bool) -> Dict[str, Any]:
+    from repro.experiments.fig11_energy import run_fig11
+
+    f11 = run_fig11(medium)
+    return {
+        "fig11": {
+            "all_activate": f11.all_activate_at_8_stages(),
+            "charge_time_range_s": list(f11.charging_time_range_s()),
+            "net_power_range_uw": [p * 1e6 for p in f11.net_power_range_w()],
+            "amplified_16x_v": {r.tag: r.amplified_16x_v for r in f11.rows},
+        }
+    }
+
+
+def _job_fig12(medium: AcousticMedium, seed: int, quick: bool) -> Dict[str, Any]:
+    from repro.experiments.fig12_uplink import run_fig12
+
+    f12 = run_fig12(medium)
+    return {
+        "fig12_snr_db": {
+            tag: {str(p.bit_rate_bps): p.snr_db for p in f12.points if p.tag == tag}
+            for tag in ("tag8", "tag4", "tag11")
+        }
+    }
+
+
+def _job_fig13(medium: AcousticMedium, seed: int, quick: bool) -> Dict[str, Any]:
+    from repro.experiments.fig13_downlink import run_fig13
+
+    f13 = run_fig13(medium, seed=seed)
+    return {
+        "fig13_loss_per_1k": {
+            tag: {
+                str(p.bit_rate_bps): p.expected_loss_per_1k
+                for p in f13.loss_points
+                if p.tag == tag
+            }
+            for tag in ("tag8",)
+        },
+        "fig13_max_sync_offset_ms": max(s.max_abs_ms for s in f13.sync_offsets),
+    }
+
+
+def _job_fig14(medium: AcousticMedium, seed: int, quick: bool) -> Dict[str, Any]:
+    from repro.experiments.fig14_pingpong import run_fig14
+
+    f14 = run_fig14(seed=seed)
+    return {
+        "fig14": {
+            "stage2_p99_ms": f14.percentile_stage2_s(99) * 1e3,
+            "software_delay_ms": f14.mean_software_delay_s() * 1e3,
+        }
+    }
+
+
+def _job_fig15(medium: AcousticMedium, seed: int, quick: bool) -> Dict[str, Any]:
+    from repro.experiments.configs import FIXED_TAGS_SWEEP
+    from repro.experiments.table3_convergence import run_fig15
+
+    trials = QUICK_TRIALS if quick else FULL_TRIALS
+    f15 = run_fig15(FIXED_TAGS_SWEEP, n_trials=trials, seed=seed, medium=medium)
+    return {"fig15_median_slots": {name: r.median for name, r in f15.items()}}
+
+
+def _job_fig16(medium: AcousticMedium, seed: int, quick: bool) -> Dict[str, Any]:
+    from repro.experiments.fig16_longrun import run_fig16
+
+    slots = QUICK_LONGRUN_SLOTS if quick else FULL_LONGRUN_SLOTS
+    f16 = run_fig16(n_slots=slots, seed=seed + 2, medium=medium)
+    return {
+        "fig16": {
+            "mean_non_empty": f16.mean_non_empty,
+            "mean_collision": f16.mean_collision,
+            "bound": f16.utilization_bound,
+        }
+    }
+
+
+def _job_fig17(medium: AcousticMedium, seed: int, quick: bool) -> Dict[str, Any]:
+    from repro.experiments.fig17_strain import run_fig17
+
+    f17 = run_fig17()
+    return {"fig17_correlations": {c.tag: c.correlation() for c in f17.curves}}
+
+
+def _job_fig19(medium: AcousticMedium, seed: int, quick: bool) -> Dict[str, Any]:
+    from repro.experiments.fig19_aloha import run_fig19
+
+    duration = QUICK_ALOHA_S if quick else FULL_ALOHA_S
+    f19 = run_fig19(duration_s=duration, seed=seed + 3, medium=medium)
+    return {
+        "fig19": {
+            "overall_success": f19.overall_success_rate,
+            "tag8_total_tx": f19.per_tag["tag8"].total_tx,
+        }
+    }
+
+
+#: Canonical experiment order; the output document is merged in this
+#: order regardless of parallel completion order.
+EXPERIMENT_JOBS: List[Tuple[str, Callable[..., Dict[str, Any]]]] = [
+    ("table2", _job_table2),
+    ("fig11", _job_fig11),
+    ("fig12", _job_fig12),
+    ("fig13", _job_fig13),
+    ("fig14", _job_fig14),
+    ("fig15", _job_fig15),
+    ("fig16", _job_fig16),
+    ("fig17", _job_fig17),
+    ("fig19", _job_fig19),
+]
+
+_JOBS_BY_NAME = dict(EXPERIMENT_JOBS)
+
+
+def _run_job(
+    name: str, medium: AcousticMedium, seed: int, quick: bool
+) -> Tuple[str, Dict[str, Any], float]:
+    """Pool entry point: run one experiment, return its fragment and
+    wall time."""
+    start = time.perf_counter()
+    fragment = _JOBS_BY_NAME[name](medium, seed, quick)
+    return name, fragment, time.perf_counter() - start
+
+
+def default_jobs() -> int:
+    """Worker count when ``--jobs`` is requested without a number."""
+    return max(1, os.cpu_count() or 1)
 
 
 def collect_results(
     medium: Optional[AcousticMedium] = None,
     seed: int = 0,
     quick: bool = True,
+    jobs: int = 1,
+    perf: bool = False,
 ) -> Dict[str, Any]:
     """Run every analytic/fast experiment; returns a JSON-able dict.
 
     ``quick`` keeps the stochastic sweeps small (5 trials, 4000-slot
-    long run); pass False for publication-grade counts.
+    long run); pass False for publication-grade counts.  ``jobs`` > 1
+    fans the independent experiments out over a process pool; the
+    result document is identical to the serial one for the same seeds
+    (each experiment derives its seed inside its own job).  ``perf``
+    appends a ``"perf"`` section with per-experiment wall times and the
+    in-process stage/counter report — omitted by default so the
+    document stays byte-stable across executions.
     """
     medium = medium if medium is not None else AcousticMedium()
-    trials = 5 if quick else 10
-    longrun_slots = 4000 if quick else 10_000
-    aloha_s = 4000.0 if quick else 10_000.0
-
-    from repro.experiments.fig11_energy import run_fig11
-    from repro.experiments.fig12_uplink import run_fig12
-    from repro.experiments.fig13_downlink import run_fig13
-    from repro.experiments.fig14_pingpong import run_fig14
-    from repro.experiments.fig16_longrun import run_fig16
-    from repro.experiments.fig17_strain import run_fig17
-    from repro.experiments.fig19_aloha import run_fig19
-    from repro.experiments.table2_power import run_table2
-    from repro.experiments.table3_convergence import run_fig15
-    from repro.experiments.configs import FIXED_TAGS_SWEEP
 
     out: Dict[str, Any] = {"quick": quick, "seed": seed}
+    timings: Dict[str, float] = {}
 
-    t2 = run_table2()
-    out["table2_power_uw"] = {
-        mode: t2.table[mode]["total_power_uw"] for mode in ("RX", "TX", "IDLE")
-    }
-    out["table2_sustainable"] = t2.sustainable
+    if jobs > 1:
+        try:
+            pickle.dumps(medium)
+        except Exception:
+            jobs = 1  # custom media that can't cross a process boundary
 
-    f11 = run_fig11(medium)
-    out["fig11"] = {
-        "all_activate": f11.all_activate_at_8_stages(),
-        "charge_time_range_s": list(f11.charging_time_range_s()),
-        "net_power_range_uw": [p * 1e6 for p in f11.net_power_range_w()],
-        "amplified_16x_v": {
-            r.tag: r.amplified_16x_v for r in f11.rows
-        },
-    }
+    if jobs > 1:
+        names = [name for name, _ in EXPERIMENT_JOBS]
+        with ProcessPoolExecutor(max_workers=min(jobs, len(names))) as pool:
+            futures = [
+                pool.submit(_run_job, name, medium, seed, quick) for name in names
+            ]
+            fragments: Dict[str, Dict[str, Any]] = {}
+            for future in futures:
+                name, fragment, elapsed = future.result()
+                fragments[name] = fragment
+                timings[name] = elapsed
+        for name, _ in EXPERIMENT_JOBS:
+            out.update(fragments[name])
+    else:
+        for name, job in EXPERIMENT_JOBS:
+            start = time.perf_counter()
+            out.update(job(medium, seed, quick))
+            timings[name] = time.perf_counter() - start
 
-    f12 = run_fig12(medium)
-    out["fig12_snr_db"] = {
-        tag: {str(p.bit_rate_bps): p.snr_db for p in f12.points if p.tag == tag}
-        for tag in ("tag8", "tag4", "tag11")
-    }
+    if perf:
+        from repro import perf as perf_mod
+        from repro.phy import cache as phy_cache
 
-    f13 = run_fig13(medium, seed=seed)
-    out["fig13_loss_per_1k"] = {
-        tag: {
-            str(p.bit_rate_bps): p.expected_loss_per_1k
-            for p in f13.loss_points
-            if p.tag == tag
+        out["perf"] = {
+            "jobs": jobs,
+            "experiment_wall_s": {k: timings[k] for k in sorted(timings)},
+            "process": perf_mod.report(),
+            "cache_sizes": phy_cache.cache_sizes(),
         }
-        for tag in ("tag8",)
-    }
-    out["fig13_max_sync_offset_ms"] = max(
-        s.max_abs_ms for s in f13.sync_offsets
-    )
-
-    f14 = run_fig14(seed=seed)
-    out["fig14"] = {
-        "stage2_p99_ms": f14.percentile_stage2_s(99) * 1e3,
-        "software_delay_ms": f14.mean_software_delay_s() * 1e3,
-    }
-
-    f15 = run_fig15(FIXED_TAGS_SWEEP, n_trials=trials, seed=seed, medium=medium)
-    out["fig15_median_slots"] = {name: r.median for name, r in f15.items()}
-
-    f16 = run_fig16(n_slots=longrun_slots, seed=seed + 2, medium=medium)
-    out["fig16"] = {
-        "mean_non_empty": f16.mean_non_empty,
-        "mean_collision": f16.mean_collision,
-        "bound": f16.utilization_bound,
-    }
-
-    f17 = run_fig17()
-    out["fig17_correlations"] = {c.tag: c.correlation() for c in f17.curves}
-
-    f19 = run_fig19(duration_s=aloha_s, seed=seed + 3, medium=medium)
-    out["fig19"] = {
-        "overall_success": f19.overall_success_rate,
-        "tag8_total_tx": f19.per_tag["tag8"].total_tx,
-    }
     return out
 
 
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.runner",
+        description="Emit the machine-readable results document.",
+    )
+    parser.add_argument(
+        "target", nargs="?", default="results.json", help="output JSON path"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="master RNG seed")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run experiments on an N-process pool (default: serial)",
+    )
+    parser.add_argument(
+        "--serial",
+        action="store_true",
+        help="force serial execution (overrides --jobs)",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="publication-grade trial counts instead of quick CI counts",
+    )
+    parser.add_argument(
+        "--perf",
+        action="store_true",
+        help="embed per-experiment wall times and perf counters",
+    )
+    return parser
+
+
 def main(argv: Optional[list] = None) -> int:
-    args = argv if argv is not None else sys.argv[1:]
-    target = args[0] if args else "results.json"
-    results = collect_results()
-    with open(target, "w") as fh:
-        json.dump(results, fh, indent=2, sort_keys=True)
-    print(f"wrote {target}")
+    args = build_parser().parse_args(argv if argv is not None else sys.argv[1:])
+    jobs = 1 if args.serial else (args.jobs if args.jobs is not None else 1)
+    results = collect_results(
+        seed=args.seed, quick=not args.full, jobs=jobs, perf=args.perf
+    )
+    try:
+        with open(args.target, "w") as fh:
+            json.dump(results, fh, indent=2, sort_keys=True)
+    except OSError as exc:
+        print(f"error: cannot write {args.target}: {exc}", file=sys.stderr)
+        return 2
+    print(f"wrote {args.target}")
     return 0
 
 

@@ -1,0 +1,29 @@
+"""Lightweight timing/profiling harness for the repro stack.
+
+The benchmarks measure end-to-end wall clock; this package provides the
+*in-process* per-stage view: ``timed()`` spans accumulate wall time per
+named stage, ``count()`` tracks event counters (cache hits, slots
+synthesised, ...), and ``report()`` snapshots everything as a
+JSON-able dict that the experiment runner can embed in its results
+document (``collect_results(..., perf=True)``).
+"""
+
+from repro.perf.timing import (
+    PerfRegistry,
+    StageStats,
+    count,
+    registry,
+    report,
+    reset,
+    timed,
+)
+
+__all__ = [
+    "PerfRegistry",
+    "StageStats",
+    "count",
+    "registry",
+    "report",
+    "reset",
+    "timed",
+]

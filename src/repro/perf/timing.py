@@ -1,0 +1,107 @@
+"""Per-stage timing spans and counters.
+
+A :class:`PerfRegistry` is a thread-safe accumulator of named stages.
+Wrapping a block in ``with registry.timed("phy.downconvert"):`` adds one
+span to that stage; ``registry.count("cache.carrier.hit")`` bumps an
+event counter.  The module-level :data:`registry` is what the library
+instruments by default — cheap enough to leave enabled (a span costs
+two ``perf_counter`` calls and a dict update).
+
+The registry is process-local.  The parallel experiment runner
+therefore reports per-experiment wall times measured in the parent
+instead of merging child registries.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+
+@dataclass
+class StageStats:
+    """Accumulated wall-clock statistics for one named stage."""
+
+    calls: int = 0
+    total_s: float = 0.0
+    min_s: float = math.inf
+    max_s: float = 0.0
+
+    def record(self, elapsed_s: float) -> None:
+        self.calls += 1
+        self.total_s += elapsed_s
+        if elapsed_s < self.min_s:
+            self.min_s = elapsed_s
+        if elapsed_s > self.max_s:
+            self.max_s = elapsed_s
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.calls if self.calls else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "calls": self.calls,
+            "total_s": self.total_s,
+            "mean_s": self.mean_s,
+            "min_s": self.min_s if self.calls else 0.0,
+            "max_s": self.max_s,
+        }
+
+
+class PerfRegistry:
+    """Thread-safe collection of stage timings and event counters."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._stages: Dict[str, StageStats] = {}
+        self._counters: Dict[str, int] = {}
+
+    @contextmanager
+    def timed(self, stage: str) -> Iterator[None]:
+        """Time a block and credit it to ``stage``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            with self._lock:
+                stats = self._stages.get(stage)
+                if stats is None:
+                    stats = self._stages[stage] = StageStats()
+                stats.record(elapsed)
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to the named event counter."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + n
+
+    def report(self) -> Dict[str, object]:
+        """Snapshot all stages and counters as a JSON-able dict."""
+        with self._lock:
+            return {
+                "stages": {
+                    name: stats.as_dict()
+                    for name, stats in sorted(self._stages.items())
+                },
+                "counters": dict(sorted(self._counters.items())),
+            }
+
+    def reset(self) -> None:
+        """Drop all accumulated stages and counters."""
+        with self._lock:
+            self._stages.clear()
+            self._counters.clear()
+
+
+#: The default process-wide registry the library instruments.
+registry = PerfRegistry()
+
+timed = registry.timed
+count = registry.count
+report = registry.report
+reset = registry.reset

@@ -20,6 +20,7 @@ from repro.phy.iq import (
     ClusterResult,
     cluster_iq,
     detect_collision,
+    detect_collision_iq,
     downconvert,
 )
 from repro.phy.modem import BackscatterUplink, FskOokDownlink, raw_bits_to_levels
@@ -61,6 +62,7 @@ __all__ = [
     "ClusterResult",
     "cluster_iq",
     "detect_collision",
+    "detect_collision_iq",
     "downconvert",
     "BackscatterUplink",
     "FskOokDownlink",

@@ -1,0 +1,237 @@
+"""Synthesis caches for the waveform hot path.
+
+The waveform-fidelity loop synthesises and demodulates ~10^5-sample
+captures every slot, and almost all of that work is identical from slot
+to slot: the carrier oscillator on the same sample grid, the complex
+local oscillator used for downconversion, the Butterworth low-pass
+design, and the FM0/PIE expansions of short bit sequences.  This module
+memoises each of those:
+
+* :func:`carrier_quadrature` — grow-once cos/sin tables per
+  ``(sample_rate, frequency)``; an arbitrary-phase carrier block is two
+  scalar-vector multiplies over prefix views (``cos(wt+p) =
+  cos(p)cos(wt) - sin(p)sin(wt)``), bit-exact at phase 0.
+* :func:`mixer` — the cached ``exp(-j w t)`` oscillator for
+  :func:`repro.phy.iq.downconvert`.
+* :func:`butter_lowpass_sos` — cached filter designs (the design step
+  costs more than the filtering for short captures).
+* :func:`cached_fm0_encode` / :func:`cached_pie_encode` — memoised line
+  codes keyed by bit tuple.
+
+Everything here is content-addressed by immutable keys, so the caches
+never go stale; :func:`clear_caches` exists for tests and for bounding
+memory, not for correctness.  Hit/miss counts feed
+:mod:`repro.perf`'s counters so cache efficacy shows up in perf
+reports.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from functools import lru_cache
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+from scipy.signal import butter
+
+from repro import perf
+from repro.phy.fm0 import fm0_encode
+from repro.phy.pie import pie_encode
+
+#: Tables longer than this are computed on demand and not retained
+#: (bounds worst-case memory at ~64 MiB per cached frequency).
+MAX_TABLE_SAMPLES = 4_000_000
+
+
+class _QuadratureTable:
+    """Lazily-grown cos/sin lookup for one (sample_rate, frequency)."""
+
+    __slots__ = ("omega", "sample_rate_hz", "cos", "sin", "_lock")
+
+    def __init__(self, sample_rate_hz: float, frequency_hz: float) -> None:
+        self.sample_rate_hz = sample_rate_hz
+        # Match the scalar-path evaluation order exactly:
+        # 2 * math.pi * frequency_hz, applied to t = arange(n) / fs.
+        self.omega = 2 * math.pi * frequency_hz
+        self.cos = np.empty(0)
+        self.sin = np.empty(0)
+        self._lock = threading.Lock()
+
+    def ensure(self, n_samples: int) -> None:
+        if n_samples <= len(self.cos):
+            return
+        with self._lock:
+            if n_samples <= len(self.cos):
+                return
+            size = max(n_samples, 2 * len(self.cos), 4096)
+            t = np.arange(size) / self.sample_rate_hz
+            theta = self.omega * t
+            cos = np.cos(theta)
+            sin = np.sin(theta)
+            cos.setflags(write=False)
+            sin.setflags(write=False)
+            self.cos = cos
+            self.sin = sin
+
+
+_tables: Dict[Tuple[float, float], _QuadratureTable] = {}
+_tables_lock = threading.Lock()
+
+
+def _table(sample_rate_hz: float, frequency_hz: float) -> _QuadratureTable:
+    key = (float(sample_rate_hz), float(frequency_hz))
+    table = _tables.get(key)
+    if table is None:
+        with _tables_lock:
+            table = _tables.get(key)
+            if table is None:
+                table = _tables[key] = _QuadratureTable(*key)
+    return table
+
+
+def carrier_quadrature(
+    n_samples: int, sample_rate_hz: float, frequency_hz: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Read-only ``(cos(wt), sin(wt))`` views over ``n_samples``.
+
+    Each element of the table is computed independently from its sample
+    index, so a prefix view of a longer table is bit-identical to a
+    freshly computed shorter one.
+    """
+    if n_samples < 0:
+        raise ValueError("sample count must be non-negative")
+    if n_samples > MAX_TABLE_SAMPLES:
+        perf.count("cache.carrier.bypass")
+        t = np.arange(n_samples) / sample_rate_hz
+        theta = (2 * math.pi * frequency_hz) * t
+        return np.cos(theta), np.sin(theta)
+    table = _table(sample_rate_hz, frequency_hz)
+    if n_samples <= len(table.cos):
+        perf.count("cache.carrier.hit")
+    else:
+        perf.count("cache.carrier.miss")
+        table.ensure(n_samples)
+    return table.cos[:n_samples], table.sin[:n_samples]
+
+
+def carrier_block(
+    n_samples: int,
+    amplitude_v: float,
+    sample_rate_hz: float,
+    frequency_hz: float,
+    phase_rad: float = 0.0,
+) -> np.ndarray:
+    """``amplitude * cos(w t + phase)`` from the cached tables.
+
+    Phase 0 reproduces the direct ``np.cos`` evaluation bit-exactly;
+    non-zero phases go through the angle-sum identity and agree to
+    ~1 ulp, which is far below the receiver noise floor.
+    """
+    cos_t, sin_t = carrier_quadrature(n_samples, sample_rate_hz, frequency_hz)
+    if phase_rad == 0.0:
+        return amplitude_v * cos_t
+    out = (amplitude_v * math.cos(phase_rad)) * cos_t
+    out -= (amplitude_v * math.sin(phase_rad)) * sin_t
+    return out
+
+
+_mixers: Dict[Tuple[float, float], np.ndarray] = {}
+_mixers_lock = threading.Lock()
+
+
+def mixer(n_samples: int, sample_rate_hz: float, carrier_hz: float) -> np.ndarray:
+    """Cached complex local oscillator ``exp(-j w t)`` (read-only view).
+
+    Built as ``cos(wt) - j sin(wt)`` from the quadrature tables — the
+    same decomposition ``np.exp`` of a purely imaginary argument uses
+    internally.
+    """
+    if n_samples < 0:
+        raise ValueError("sample count must be non-negative")
+    key = (float(sample_rate_hz), float(carrier_hz))
+    lo = _mixers.get(key)
+    if lo is None or n_samples > len(lo):
+        if n_samples > MAX_TABLE_SAMPLES:
+            perf.count("cache.mixer.bypass")
+            cos_t, sin_t = carrier_quadrature(
+                n_samples, sample_rate_hz, carrier_hz
+            )
+            return cos_t - 1j * sin_t
+        perf.count("cache.mixer.miss")
+        table = _table(sample_rate_hz, carrier_hz)
+        table.ensure(n_samples)
+        with _mixers_lock:
+            lo = _mixers.get(key)
+            if lo is None or len(table.cos) > len(lo):
+                lo = table.cos - 1j * table.sin
+                lo.setflags(write=False)
+                _mixers[key] = lo
+    else:
+        perf.count("cache.mixer.hit")
+    return lo[:n_samples]
+
+
+@lru_cache(maxsize=256)
+def butter_lowpass_sos(order: int, normalized_cutoff: float) -> np.ndarray:
+    """Memoised Butterworth low-pass design in SOS form.
+
+    ``normalized_cutoff`` is the cutoff as a fraction of Nyquist.  The
+    returned array is read-only; ``sosfilt`` never mutates its design
+    argument.
+    """
+    perf.count("cache.butter.miss")
+    sos = butter(order, normalized_cutoff, output="sos")
+    sos.setflags(write=False)
+    return sos
+
+
+@lru_cache(maxsize=4096)
+def cached_fm0_encode(bits: Tuple[int, ...], initial_level: int = 1) -> Tuple[int, ...]:
+    """Memoised :func:`repro.phy.fm0.fm0_encode` keyed by bit tuple."""
+    return tuple(fm0_encode(list(bits), initial_level))
+
+
+@lru_cache(maxsize=4096)
+def cached_pie_encode(bits: Tuple[int, ...]) -> Tuple[int, ...]:
+    """Memoised :func:`repro.phy.pie.pie_encode` keyed by bit tuple."""
+    return tuple(pie_encode(list(bits)))
+
+
+def fm0_raw(bits: Sequence[int], initial_level: int = 1) -> Tuple[int, ...]:
+    """FM0-encode through the memo table (accepts any bit sequence)."""
+    return cached_fm0_encode(tuple(bits), initial_level)
+
+
+def pie_raw(bits: Sequence[int]) -> Tuple[int, ...]:
+    """PIE-encode through the memo table (accepts any bit sequence)."""
+    return cached_pie_encode(tuple(bits))
+
+
+def clear_caches() -> None:
+    """Invalidate every synthesis cache.
+
+    The caches are keyed purely by value, so this is never required for
+    correctness — it exists to bound memory in long-lived processes and
+    to isolate tests.
+    """
+    with _tables_lock:
+        _tables.clear()
+    with _mixers_lock:
+        _mixers.clear()
+    butter_lowpass_sos.cache_clear()
+    cached_fm0_encode.cache_clear()
+    cached_pie_encode.cache_clear()
+
+
+def cache_sizes() -> Dict[str, int]:
+    """Entry counts per cache (diagnostics / perf reports)."""
+    return {
+        "quadrature_tables": len(_tables),
+        "quadrature_samples": sum(len(t.cos) for t in _tables.values()),
+        "mixers": len(_mixers),
+        "mixer_samples": sum(len(m) for m in _mixers.values()),
+        "butter_designs": butter_lowpass_sos.cache_info().currsize,
+        "fm0_encodings": cached_fm0_encode.cache_info().currsize,
+        "pie_encodings": cached_pie_encode.cache_info().currsize,
+    }

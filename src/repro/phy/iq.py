@@ -17,9 +17,10 @@ from dataclasses import dataclass
 from typing import List, Sequence
 
 import numpy as np
-from scipy.signal import butter, sosfilt
+from scipy.signal import sosfilt
 
 from repro.channel import acoustics
+from repro.phy import cache as phy_cache
 
 
 def downconvert(
@@ -37,14 +38,17 @@ def downconvert(
     processing gain, so an over-wide cutoff costs sensitivity.  The
     filter runs as second-order sections: narrow normalised cutoffs are
     numerically fragile in transfer-function form.
+
+    The local oscillator and the filter design are served from
+    :mod:`repro.phy.cache`; the per-call work is the mix, the filter
+    run, and the decimating view.
     """
     if decimation < 1:
         raise ValueError("decimation must be >= 1")
     x = np.asarray(waveform, dtype=float)
-    t = np.arange(len(x)) / sample_rate_hz
-    lo = np.exp(-2j * math.pi * carrier_hz * t)
+    lo = phy_cache.mixer(len(x), sample_rate_hz, carrier_hz)
     mixed = x * lo
-    sos = butter(4, cutoff_hz / (sample_rate_hz / 2.0), output="sos")
+    sos = phy_cache.butter_lowpass_sos(4, cutoff_hz / (sample_rate_hz / 2.0))
     filtered = sosfilt(sos, mixed)
     if decimation == 1:
         return filtered
@@ -158,6 +162,18 @@ def detect_collision(
         cutoff_hz=2.0 * raw_rate_bps,
         decimation=decimation,
     )
+    return detect_collision_iq(iq)
+
+
+def detect_collision_iq(iq: np.ndarray) -> ClusterResult:
+    """Collision detection on an already-downconverted baseband.
+
+    Identical to :func:`detect_collision` after its mixing stage; split
+    out so callers that also *decode* the same capture (the
+    waveform-fidelity network) can share one downconversion between the
+    FM0 chain and the cluster detector — the rate-matched baseband is
+    the same signal in both paths.
+    """
     # Drop the filter's settling transient.
     settle = min(len(iq) // 10, 200)
     iq = iq[settle:]

@@ -5,20 +5,27 @@ This module builds the sampled signals the reader's DAQ would capture
 (500 kHz sampling, 90 kHz carrier), which the PHY experiments
 (Figs. 12-14) feed through the receive chain of
 :mod:`repro.phy.reader_dsp`.
+
+The synthesis path is vectorised and backed by the lookup tables of
+:mod:`repro.phy.cache` — carrier blocks come from grow-once cos/sin
+tables, line codes are memoised, and per-frame buffers are filled in
+place instead of concatenated.  The original scalar implementations of
+the two loop-heavy kernels are kept (``raw_bits_to_levels_reference``
+and ``FskOokDownlink.naive_ook_waveform_reference``) as executable
+specifications for the equivalence tests.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
 import numpy as np
 
 from repro.channel import acoustics
 from repro.channel.pzt import PZTTransducer
-from repro.phy.fm0 import fm0_encode
-from repro.phy.pie import pie_encode
+from repro.phy import cache as phy_cache
 
 
 def raw_bits_to_levels(
@@ -29,7 +36,37 @@ def raw_bits_to_levels(
     """Expand raw line bits into a per-sample 0/1 level array.
 
     Sample counts per bit are accumulated in exact time so long frames
-    do not drift relative to the sample grid.
+    do not drift relative to the sample grid.  Vectorised: bit
+    boundaries are rounded onto the sample grid in one pass and the
+    bits repeated to their per-bit sample counts — bit-exact with
+    :func:`raw_bits_to_levels_reference`.
+    """
+    if raw_rate_bps <= 0 or sample_rate_hz <= 0:
+        raise ValueError("rates must be positive")
+    bits = np.asarray(raw_bits, dtype=float)
+    if bits.ndim != 1:
+        raise ValueError("raw bits must be a flat sequence")
+    if bits.size and not np.all((bits == 0.0) | (bits == 1.0)):
+        offender = int(np.flatnonzero((bits != 0.0) & (bits != 1.0))[0])
+        raise ValueError(f"raw bits must be 0/1, got {raw_bits[offender]!r}")
+    n_total = int(round(len(bits) * sample_rate_hz / raw_rate_bps))
+    # int(round(i * fs / rate)) uses round-half-even, as does np.rint.
+    edges = np.rint(
+        np.arange(len(bits) + 1, dtype=float) * sample_rate_hz / raw_rate_bps
+    ).astype(np.int64)
+    np.clip(edges, 0, n_total, out=edges)
+    return np.repeat(bits, np.diff(edges))
+
+
+def raw_bits_to_levels_reference(
+    raw_bits: Sequence[int],
+    raw_rate_bps: float,
+    sample_rate_hz: float,
+) -> np.ndarray:
+    """Scalar reference implementation of :func:`raw_bits_to_levels`.
+
+    Kept as the executable specification the vectorised kernel is
+    tested bit-exact against; not used on the hot path.
     """
     if raw_rate_bps <= 0 or sample_rate_hz <= 0:
         raise ValueError("rates must be positive")
@@ -51,11 +88,12 @@ def carrier(
     frequency_hz: float = acoustics.CARRIER_FREQUENCY_HZ,
     phase_rad: float = 0.0,
 ) -> np.ndarray:
-    """A plain sinusoidal carrier."""
+    """A plain sinusoidal carrier (served from the quadrature cache)."""
     if n_samples < 0:
         raise ValueError("sample count must be non-negative")
-    t = np.arange(n_samples) / sample_rate_hz
-    return amplitude_v * np.cos(2 * math.pi * frequency_hz * t + phase_rad)
+    return phy_cache.carrier_block(
+        n_samples, amplitude_v, sample_rate_hz, frequency_hz, phase_rad
+    )
 
 
 @dataclass(frozen=True)
@@ -72,7 +110,7 @@ class BackscatterUplink:
     sample_rate_hz: float = acoustics.READER_SAMPLE_RATE_HZ
     carrier_hz: float = acoustics.CARRIER_FREQUENCY_HZ
     leak_amplitude_v: float = 0.2
-    pzt: PZTTransducer = PZTTransducer()
+    pzt: PZTTransducer = field(default_factory=PZTTransducer)
 
     def tag_component(
         self,
@@ -94,24 +132,39 @@ class BackscatterUplink:
         physically the tag idles with its PZT harvesting
         (open-circuited) before and after it modulates, and the receive
         filter settles during the lead-in.
+
+        The frame is synthesised into one preallocated buffer: the
+        delay gap, the lead/levels/tail scale profile, and the
+        scale-and-modulate product are fused instead of concatenated.
         """
-        raw = fm0_encode(list(data_bits))
+        raw = phy_cache.fm0_raw(data_bits)
         levels = raw_bits_to_levels(raw, raw_rate_bps, self.sample_rate_hz)
         lo = self.pzt.absorptive_coefficient / self.pzt.reflective_coefficient
         n_lead = int(round(lead_in_s * self.sample_rate_hz))
         n_tail = int(round(tail_s * self.sample_rate_hz))
-        scale = np.concatenate(
-            [np.full(n_lead, lo), lo + (1.0 - lo) * levels, np.full(n_tail, lo)]
-        )
         n_delay = int(round(delay_s * self.sample_rate_hz))
-        body = backscatter_amplitude_v * scale * carrier(
-            len(scale),
-            1.0,
-            self.sample_rate_hz,
-            self.carrier_hz,
-            phase_rad,
+        n_body = n_lead + len(levels) + n_tail
+
+        out = np.empty(n_delay + n_body)
+        out[:n_delay] = 0.0
+        scale = out[n_delay:]
+        scale[:n_lead] = lo
+        np.multiply(levels, 1.0 - lo, out=scale[n_lead : n_lead + len(levels)])
+        scale[n_lead : n_lead + len(levels)] += lo
+        scale[n_lead + len(levels) :] = lo
+
+        cos_t, sin_t = phy_cache.carrier_quadrature(
+            n_body, self.sample_rate_hz, self.carrier_hz
         )
-        return np.concatenate([np.zeros(n_delay), body])
+        # body = amplitude * scale * cos(w t + phase), via the angle sum.
+        scale *= backscatter_amplitude_v
+        if phase_rad == 0.0:
+            scale *= cos_t
+        else:
+            mod = math.cos(phase_rad) * cos_t
+            mod -= math.sin(phase_rad) * sin_t
+            scale *= mod
+        return out
 
     def capture(
         self,
@@ -124,7 +177,9 @@ class BackscatterUplink:
         if not components and extra_samples <= 0:
             raise ValueError("need at least one component or extra samples")
         n = max([len(c) for c in components], default=0) + max(extra_samples, 0)
-        total = carrier(n, self.leak_amplitude_v, self.sample_rate_hz, self.carrier_hz)
+        total = phy_cache.carrier_block(
+            n, self.leak_amplitude_v, self.sample_rate_hz, self.carrier_hz
+        )
         for comp in components:
             total[: len(comp)] += comp
         sigma = math.sqrt(noise_psd_v2_per_hz * self.sample_rate_hz / 2.0)
@@ -148,7 +203,7 @@ class FskOokDownlink:
     off_frequency_hz: float = 78_000.0
     on_amplitude_v: float = 1.0
     off_drive_fraction: float = 0.3
-    pzt: PZTTransducer = PZTTransducer()
+    pzt: PZTTransducer = field(default_factory=PZTTransducer)
 
     def beacon_waveform(
         self,
@@ -162,16 +217,22 @@ class FskOokDownlink:
         the off-frequency drive attenuated by the plate's resonance
         response — a small residual rather than a ringing tail.
         """
-        raw = pie_encode(list(pie_bits))
+        raw = phy_cache.pie_raw(pie_bits)
         levels = raw_bits_to_levels(raw, raw_rate_bps, self.sample_rate_hz)
-        t = np.arange(len(levels)) / self.sample_rate_hz
-        on = self.on_amplitude_v * np.cos(2 * math.pi * self.resonant_hz * t)
+        n = len(levels)
+        on_cos, _ = phy_cache.carrier_quadrature(
+            n, self.sample_rate_hz, self.resonant_hz
+        )
+        off_cos, _ = phy_cache.carrier_quadrature(
+            n, self.sample_rate_hz, self.off_frequency_hz
+        )
+        on = self.on_amplitude_v * on_cos
         off_amp = (
             self.on_amplitude_v
             * self.off_drive_fraction
             * self.pzt.frequency_response(self.off_frequency_hz)
         )
-        off = off_amp * np.cos(2 * math.pi * self.off_frequency_hz * t)
+        off = off_amp * off_cos
         return link_gain * (levels * on + (1.0 - levels) * off)
 
     def naive_ook_waveform(
@@ -181,13 +242,59 @@ class FskOokDownlink:
         link_gain: float = 1.0,
     ) -> np.ndarray:
         """Plain OOK (silence for OFF) *with* the ring tail — the
-        baseline the FSK-in-OOK-out trick improves on (ablation)."""
-        raw = pie_encode(list(pie_bits))
+        baseline the FSK-in-OOK-out trick improves on (ablation).
+
+        The per-edge exponential tails are accumulated segment-wise:
+        between consecutive ON→OFF transitions the superposition of all
+        live tails is a single decaying envelope, so each segment costs
+        one vector operation instead of one full-length tail per edge
+        (the reference implementation is O(n * edges); this is O(n)).
+        """
+        raw = phy_cache.pie_raw(pie_bits)
         levels = raw_bits_to_levels(raw, raw_rate_bps, self.sample_rate_hz)
+        n = len(levels)
+        cos_t, sin_t = phy_cache.carrier_quadrature(
+            n, self.sample_rate_hz, self.resonant_hz
+        )
+        out = levels * (self.on_amplitude_v * cos_t)
+        tau = self.pzt.ring_time_constant_s
+        omega = 2 * math.pi * self.resonant_hz
+        falling = np.flatnonzero(np.diff(levels) < 0) + 1
+        envelope = 0.0  # summed tail amplitude, in units of on_amplitude_v
+        prev_idx = None
+        for j, idx in enumerate(falling):
+            idx = int(idx)
+            if prev_idx is not None:
+                envelope *= math.exp(-((idx - prev_idx) / self.sample_rate_hz) / tau)
+            envelope += 1.0
+            prev_idx = idx
+            end = int(falling[j + 1]) if j + 1 < len(falling) else n
+            seg_t = np.arange(end - idx) / self.sample_rate_hz
+            t_edge = idx / self.sample_rate_hz
+            out[idx:end] += (
+                self.on_amplitude_v
+                * envelope
+                * np.exp(-seg_t / tau)
+                * np.cos(omega * (t_edge + seg_t))
+            )
+        return link_gain * out
+
+    def naive_ook_waveform_reference(
+        self,
+        pie_bits: Sequence[int],
+        raw_rate_bps: float,
+        link_gain: float = 1.0,
+    ) -> np.ndarray:
+        """Scalar reference for :meth:`naive_ook_waveform`: one
+        independent full-length tail per ON→OFF edge.  Kept as the
+        executable specification for the equivalence tests."""
+        raw = list(phy_cache.pie_raw(pie_bits))
+        levels = raw_bits_to_levels_reference(
+            raw, raw_rate_bps, self.sample_rate_hz
+        )
         t = np.arange(len(levels)) / self.sample_rate_hz
         on_wave = self.on_amplitude_v * np.cos(2 * math.pi * self.resonant_hz * t)
         out = levels * on_wave
-        # Append exponential ring tails after each ON->OFF transition.
         tau = self.pzt.ring_time_constant_s
         falling = np.flatnonzero(np.diff(levels) < 0) + 1
         for idx in falling:

@@ -15,7 +15,7 @@ from __future__ import annotations
 import math
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Generic, List, Optional, TypeVar
+from typing import Deque, Generic, List, Optional, Tuple, TypeVar
 
 import numpy as np
 
@@ -101,6 +101,28 @@ class ReaderReceiveChain:
 
     # -- individual blocks ---------------------------------------------------
 
+    def raw_baseband(
+        self, waveform: np.ndarray, raw_rate_bps: float
+    ) -> Tuple[np.ndarray, float]:
+        """Down-conversion + rate-matched LPF + decimation, *before*
+        frequency-offset calibration.  Returns (iq, baseband_rate_hz).
+
+        This is the product shared between decoding and IQ-cluster
+        collision detection: both consume the same rate-matched
+        baseband, so the waveform-fidelity network downconverts each
+        slot capture exactly once.
+        """
+        decimation = self._decimation_for(raw_rate_bps)
+        baseband_rate = self.sample_rate_hz / decimation
+        iq = downconvert(
+            waveform,
+            self.sample_rate_hz,
+            self.carrier_hz,
+            cutoff_hz=2.0 * raw_rate_bps,
+            decimation=decimation,
+        )
+        return iq, baseband_rate
+
     def to_baseband(
         self, waveform: np.ndarray, raw_rate_bps: float
     ) -> Tuple[np.ndarray, float, float]:
@@ -112,15 +134,7 @@ class ReaderReceiveChain:
         rate, the more noise is integrated away, which is exactly why
         low rates win SNR in Fig. 12(a).
         """
-        decimation = self._decimation_for(raw_rate_bps)
-        baseband_rate = self.sample_rate_hz / decimation
-        iq = downconvert(
-            waveform,
-            self.sample_rate_hz,
-            self.carrier_hz,
-            cutoff_hz=2.0 * raw_rate_bps,
-            decimation=decimation,
-        )
+        iq, baseband_rate = self.raw_baseband(waveform, raw_rate_bps)
         offset = frequency_offset_estimate(iq, baseband_rate)
         iq = correct_frequency_offset(iq, offset, baseband_rate)
         return iq, baseband_rate, offset
@@ -156,15 +170,21 @@ class ReaderReceiveChain:
             return np.zeros(len(projected), dtype=np.int8)
         hi = self.schmitt_hysteresis * spread
         lo = -hi
-        out = np.empty(len(projected), dtype=np.int8)
-        state = 1 if projected[0] > 0 else 0
-        for i, v in enumerate(projected):
-            if state == 0 and v >= hi:
-                state = 1
-            elif state == 1 and v <= lo:
-                state = 0
-            out[i] = state
-        return out
+        # Vectorised hysteresis: samples at/above +hi force state 1,
+        # at/below -hi force state 0, anything in the dead band holds
+        # the previous forced state (forward fill); the initial state is
+        # the sign of the first sample.  hi > 0 > lo, so the two forcing
+        # conditions are mutually exclusive and this reproduces the
+        # sequential slicer exactly.
+        n = len(projected)
+        marks = np.full(n, -1, dtype=np.int8)
+        marks[projected >= hi] = 1
+        marks[projected <= lo] = 0
+        forced = np.where(marks >= 0, np.arange(n), -1)
+        np.maximum.accumulate(forced, out=forced)
+        initial = np.int8(1 if projected[0] > 0 else 0)
+        out = np.where(forced >= 0, marks[np.maximum(forced, 0)], initial)
+        return out.astype(np.int8)
 
     def sample_raw_bits(
         self,
@@ -197,7 +217,9 @@ class ReaderReceiveChain:
             lo = int(round(start + margin))
             hi = int(round(start + samples_per_bit - margin))
             if hi > lo:
-                bits.append(1 if float(np.mean(projected[lo:hi])) > 0 else 0)
+                # Sign of the sum == sign of the mean (same pairwise
+                # summation, positive divisor), minus the divide.
+                bits.append(1 if float(np.add.reduce(projected[lo:hi])) > 0 else 0)
             start += samples_per_bit
         return bits
 
@@ -212,7 +234,18 @@ class ReaderReceiveChain:
         alignments are tried; the one that yields frames (or, failing
         that, fewer FM0 boundary violations) wins.
         """
-        iq, baseband_rate, offset = self.to_baseband(waveform, raw_rate_bps)
+        iq, baseband_rate = self.raw_baseband(waveform, raw_rate_bps)
+        return self.decode_baseband(iq, baseband_rate, raw_rate_bps)
+
+    def decode_baseband(
+        self, iq: np.ndarray, baseband_rate_hz: float, raw_rate_bps: float
+    ) -> DecodeOutcome:
+        """Run the chain from an uncalibrated baseband (the output of
+        :meth:`raw_baseband`) — lets a caller that also runs collision
+        detection reuse one downconversion per capture."""
+        baseband_rate = baseband_rate_hz
+        offset = frequency_offset_estimate(iq, baseband_rate)
+        iq = correct_frequency_offset(iq, offset, baseband_rate)
         projected = self.project(iq)
         binary = self.schmitt(projected)
         raw = self.sample_raw_bits(projected, binary, raw_rate_bps, baseband_rate)

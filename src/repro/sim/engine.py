@@ -42,20 +42,34 @@ class EventHandle:
     """Handle to a scheduled event; supports cancellation.
 
     Cancellation is lazy: the heap entry stays in the queue but is skipped
-    when popped.  This makes :meth:`cancel` O(1), which matters because
-    every received beacon cancels a watchdog timer.
+    when popped.  This makes :meth:`cancel` O(1) amortised, which matters
+    because every received beacon cancels a watchdog timer.  The owning
+    :class:`Simulator` counts live cancellations and compacts its heap
+    when they exceed half the queue, so armed-then-cancelled timers
+    cannot grow the queue without bound over long runs.
     """
 
-    __slots__ = ("time", "action", "cancelled")
+    __slots__ = ("time", "action", "cancelled", "_sim", "_popped")
 
-    def __init__(self, time: float, action: Callable[[], None]) -> None:
+    def __init__(
+        self,
+        time: float,
+        action: Callable[[], None],
+        sim: "Optional[Simulator]" = None,
+    ) -> None:
         self.time = time
         self.action = action
         self.cancelled = False
+        self._sim = sim
+        self._popped = False
 
     def cancel(self) -> None:
         """Mark this event so the engine skips it."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._sim is not None and not self._popped:
+            self._sim._note_cancelled()
 
 
 class Simulator:
@@ -69,11 +83,16 @@ class Simulator:
     [1.5]
     """
 
+    #: Queues smaller than this are never compacted — rebuilding a tiny
+    #: heap costs more than skipping its few dead entries.
+    MIN_COMPACT_SIZE = 64
+
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = start_time
         self._queue: List[_QueueEntry] = []
         self._seq = itertools.count()
         self._running = False
+        self._n_cancelled = 0
 
     @property
     def now(self) -> float:
@@ -86,7 +105,7 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule event at {time} before current time {self._now}"
             )
-        handle = EventHandle(time, action)
+        handle = EventHandle(time, action, sim=self)
         heapq.heappush(self._queue, _QueueEntry(time, next(self._seq), handle))
         return handle
 
@@ -103,9 +122,27 @@ class Simulator:
             return None
         return self._queue[0].time
 
+    def _note_cancelled(self) -> None:
+        """Account for a lazily-cancelled entry; compact when more than
+        half the heap is dead weight (keeps :meth:`pending` O(1) and the
+        queue bounded even when every slot arms-then-cancels timers)."""
+        self._n_cancelled += 1
+        if (
+            len(self._queue) >= self.MIN_COMPACT_SIZE
+            and self._n_cancelled * 2 > len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled entries (O(live))."""
+        self._queue = [e for e in self._queue if not e.handle.cancelled]
+        heapq.heapify(self._queue)
+        self._n_cancelled = 0
+
     def _drop_cancelled(self) -> None:
         while self._queue and self._queue[0].handle.cancelled:
             heapq.heappop(self._queue)
+            self._n_cancelled -= 1
 
     def step(self) -> bool:
         """Fire the next event.  Returns False when no events remain."""
@@ -113,6 +150,7 @@ class Simulator:
         if not self._queue:
             return False
         entry = heapq.heappop(self._queue)
+        entry.handle._popped = True
         self._now = entry.time
         entry.handle.action()
         return True
@@ -142,8 +180,13 @@ class Simulator:
             count += 1
 
     def pending(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for e in self._queue if not e.handle.cancelled)
+        """Number of live (non-cancelled) events still queued.
+
+        O(1): the queue length minus the cancellation count the handles
+        maintain (every cancelled-but-queued entry is counted exactly
+        once).
+        """
+        return len(self._queue) - self._n_cancelled
 
 
 class PeriodicTask:

@@ -1,10 +1,12 @@
 """Tests for the waveform-fidelity network (DSP-in-the-loop MAC)."""
 
+import zlib
+
 import pytest
 
 from repro.core.network import NetworkConfig, SlottedNetwork
 from repro.core.state_machine import TagState
-from repro.core.waveform_network import WaveformNetwork
+from repro.core.waveform_network import WaveformNetwork, stable_name_hash
 
 
 @pytest.fixture(scope="module")
@@ -93,3 +95,75 @@ class TestCrossFidelityAgreement:
         assert any(
             log.decoded_tids for log in net.slot_logs
         )  # the tag's frames decode through the chain
+
+
+class TestStablePayloads:
+    def test_name_hash_is_crc32(self):
+        assert stable_name_hash("tag8") == zlib.crc32(b"tag8")
+
+    def test_name_hash_independent_of_pythonhashseed(self):
+        import subprocess
+        import sys
+
+        cmd = (
+            "from repro.core.waveform_network import stable_name_hash;"
+            "print(stable_name_hash('tag11'))"
+        )
+        values = {
+            subprocess.run(
+                [sys.executable, "-c", cmd],
+                capture_output=True,
+                text=True,
+                check=True,
+                env={"PYTHONPATH": "src", "PYTHONHASHSEED": seed},
+            ).stdout.strip()
+            for seed in ("0", "1", "31337")
+        }
+        assert len(values) == 1
+
+    def test_default_payloads_reproducible_across_instances(self, medium):
+        def payloads(seed):
+            net = WaveformNetwork(
+                {"tag8": 2}, medium=medium, config=NetworkConfig(seed=seed)
+            )
+            return [net._payload_for("tag8") for _ in range(3)]
+
+        assert payloads(5) == payloads(5)
+
+
+class TestLinkBudgetCache:
+    def test_cached_after_first_use(self, medium):
+        net = WaveformNetwork(
+            {"tag8": 2}, medium=medium, config=NetworkConfig(seed=0)
+        )
+        assert net._link_cache == {}
+        first = net._link_budget("tag8")
+        assert net._link_cache["tag8"] == first
+
+    def test_serves_stale_value_until_invalidated(self, medium, monkeypatch):
+        net = WaveformNetwork(
+            {"tag8": 2}, medium=medium, config=NetworkConfig(seed=0)
+        )
+        before = net._link_budget("tag8")
+        monkeypatch.setattr(
+            type(medium),
+            "backscatter_amplitude_v",
+            lambda self, name: 123.0,
+        )
+        assert net._link_budget("tag8") == before  # cache still serving
+        net.invalidate_link_cache()
+        amplitude_v, _ = net._link_budget("tag8")
+        assert amplitude_v != before[0]
+
+    def test_matches_direct_medium_walk(self, medium):
+        from repro.experiments.fig12_uplink import WAVEFORM_AMPLITUDE_CALIBRATION
+
+        net = WaveformNetwork(
+            {"tag8": 2}, medium=medium, config=NetworkConfig(seed=0)
+        )
+        amplitude_v, delay_s = net._link_budget("tag8")
+        assert amplitude_v == pytest.approx(
+            WAVEFORM_AMPLITUDE_CALIBRATION
+            * medium.backscatter_amplitude_v("tag8")
+        )
+        assert delay_s == pytest.approx(medium.propagation_delay_s("tag8"))

@@ -50,9 +50,50 @@ class TestCollectResults:
         monkeypatch.setattr(
             runner_mod,
             "collect_results",
-            lambda: collect_results(medium, quick=True),
+            lambda **kwargs: collect_results(medium, quick=True),
         )
         target = tmp_path / "out.json"
         assert main([str(target)]) == 0
         data = json.loads(target.read_text())
         assert data["table2_sustainable"] is True
+
+
+class TestParallelExecution:
+    def test_parallel_matches_serial_byte_for_byte(self, medium):
+        serial = collect_results(medium, seed=7, quick=True, jobs=1)
+        parallel = collect_results(medium, seed=7, quick=True, jobs=3)
+        assert json.dumps(serial, sort_keys=True) == json.dumps(
+            parallel, sort_keys=True
+        )
+
+    def test_key_order_is_canonical(self, medium):
+        serial = collect_results(medium, seed=1, quick=True, jobs=1)
+        parallel = collect_results(medium, seed=1, quick=True, jobs=2)
+        assert list(serial.keys()) == list(parallel.keys())
+
+    def test_perf_section_opt_in(self, medium):
+        plain = collect_results(medium, quick=True)
+        assert "perf" not in plain
+        with_perf = collect_results(medium, quick=True, perf=True)
+        perf = with_perf["perf"]
+        assert set(perf["experiment_wall_s"]) == {
+            "table2",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "fig15",
+            "fig16",
+            "fig17",
+            "fig19",
+        }
+        assert all(t >= 0 for t in perf["experiment_wall_s"].values())
+        json.dumps(with_perf)  # still serialisable with the perf section
+
+    def test_unpicklable_medium_falls_back_to_serial(self, medium):
+        class Unpicklable(type(medium)):
+            def __reduce__(self):
+                raise TypeError("not today")
+
+        results = collect_results(Unpicklable(), seed=0, quick=True, jobs=2)
+        assert results["table2_sustainable"] is True

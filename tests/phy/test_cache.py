@@ -1,0 +1,136 @@
+"""Tests for the waveform synthesis caches."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.phy import cache as phy_cache
+from repro.phy.fm0 import fm0_encode
+from repro.phy.pie import pie_encode
+
+
+@pytest.fixture(autouse=True)
+def isolated_caches():
+    phy_cache.clear_caches()
+    yield
+    phy_cache.clear_caches()
+
+
+class TestCarrierQuadrature:
+    def test_matches_direct_evaluation_bit_exact(self):
+        fs, f0 = 500_000.0, 90_000.0
+        cos_t, sin_t = phy_cache.carrier_quadrature(5000, fs, f0)
+        t = np.arange(5000) / fs
+        np.testing.assert_array_equal(cos_t, np.cos(2 * math.pi * f0 * t))
+        np.testing.assert_array_equal(sin_t, np.sin(2 * math.pi * f0 * t))
+
+    def test_prefix_of_grown_table_is_stable(self):
+        fs, f0 = 500_000.0, 90_000.0
+        small, _ = phy_cache.carrier_quadrature(100, fs, f0)
+        small = small.copy()
+        # Force a regrow well past the first allocation.
+        phy_cache.carrier_quadrature(50_000, fs, f0)
+        regrown, _ = phy_cache.carrier_quadrature(100, fs, f0)
+        np.testing.assert_array_equal(small, regrown)
+
+    def test_views_are_read_only(self):
+        cos_t, _ = phy_cache.carrier_quadrature(64, 500_000.0, 90_000.0)
+        with pytest.raises(ValueError):
+            cos_t[0] = 0.0
+
+    def test_oversize_request_bypasses_cache(self):
+        n = phy_cache.MAX_TABLE_SAMPLES + 1
+        cos_t, _ = phy_cache.carrier_quadrature(n, 500_000.0, 90_000.0)
+        assert len(cos_t) == n
+        assert phy_cache.cache_sizes()["quadrature_tables"] == 0
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            phy_cache.carrier_quadrature(-1, 500_000.0, 90_000.0)
+
+
+class TestCarrierBlock:
+    def test_zero_phase_bit_exact(self):
+        fs, f0 = 500_000.0, 90_000.0
+        block = phy_cache.carrier_block(3000, 0.25, fs, f0)
+        t = np.arange(3000) / fs
+        np.testing.assert_array_equal(block, 0.25 * np.cos(2 * math.pi * f0 * t))
+
+    def test_nonzero_phase_close_to_direct(self):
+        fs, f0 = 500_000.0, 90_000.0
+        block = phy_cache.carrier_block(3000, 1.0, fs, f0, phase_rad=1.1)
+        t = np.arange(3000) / fs
+        direct = np.cos(2 * math.pi * f0 * t + 1.1)
+        np.testing.assert_allclose(block, direct, rtol=0, atol=1e-12)
+
+    def test_result_is_writable_copy(self):
+        block = phy_cache.carrier_block(64, 1.0, 500_000.0, 90_000.0)
+        block[0] = 42.0  # must not poison the shared table
+        fresh = phy_cache.carrier_block(64, 1.0, 500_000.0, 90_000.0)
+        assert fresh[0] == 1.0
+
+
+class TestMixer:
+    def test_matches_exp(self):
+        fs, f0 = 500_000.0, 90_000.0
+        lo = phy_cache.mixer(4000, fs, f0)
+        t = np.arange(4000) / fs
+        direct = np.exp(-2j * math.pi * f0 * t)
+        np.testing.assert_allclose(lo, direct, rtol=0, atol=1e-12)
+
+    def test_prefix_reuse(self):
+        big = phy_cache.mixer(8192, 500_000.0, 90_000.0)
+        small = phy_cache.mixer(100, 500_000.0, 90_000.0)
+        np.testing.assert_array_equal(small, big[:100])
+        assert phy_cache.cache_sizes()["mixers"] == 1
+
+
+class TestLineCodeMemo:
+    def test_fm0_matches_plain_encode(self):
+        bits = [1, 0, 1, 1, 0]
+        assert list(phy_cache.fm0_raw(bits)) == list(fm0_encode(bits))
+        assert list(phy_cache.fm0_raw(bits, initial_level=0)) == list(
+            fm0_encode(bits, 0)
+        )
+
+    def test_pie_matches_plain_encode(self):
+        bits = [0, 1, 1, 0]
+        assert list(phy_cache.pie_raw(bits)) == list(pie_encode(bits))
+
+    def test_memo_counts_distinct_keys(self):
+        phy_cache.fm0_raw([1, 0])
+        phy_cache.fm0_raw([1, 0])  # same key — no new entry
+        phy_cache.fm0_raw([0, 1])
+        assert phy_cache.cache_sizes()["fm0_encodings"] == 2
+
+
+class TestInvalidation:
+    def test_clear_caches_empties_everything(self):
+        phy_cache.carrier_quadrature(1000, 500_000.0, 90_000.0)
+        phy_cache.mixer(1000, 500_000.0, 90_000.0)
+        phy_cache.butter_lowpass_sos(4, 0.1)
+        phy_cache.fm0_raw([1, 0, 1])
+        phy_cache.pie_raw([1, 0])
+        assert any(phy_cache.cache_sizes().values())
+        phy_cache.clear_caches()
+        assert not any(phy_cache.cache_sizes().values())
+
+    def test_results_identical_after_clear(self):
+        before = phy_cache.carrier_block(2048, 0.5, 500_000.0, 90_000.0)
+        phy_cache.clear_caches()
+        after = phy_cache.carrier_block(2048, 0.5, 500_000.0, 90_000.0)
+        np.testing.assert_array_equal(before, after)
+
+
+class TestButterCache:
+    def test_design_matches_scipy(self):
+        from scipy.signal import butter
+
+        sos = phy_cache.butter_lowpass_sos(4, 0.12)
+        np.testing.assert_array_equal(sos, butter(4, 0.12, output="sos"))
+
+    def test_design_cached_once(self):
+        phy_cache.butter_lowpass_sos(4, 0.12)
+        phy_cache.butter_lowpass_sos(4, 0.12)
+        assert phy_cache.cache_sizes()["butter_designs"] == 1

@@ -97,6 +97,65 @@ class TestCancellation:
         assert sim.peek_next_time() == 2.0
 
 
+class TestHeapCompaction:
+    """Armed-then-cancelled timers must not grow the queue without
+    bound (the beacon-watchdog pattern runs for millions of slots)."""
+
+    def test_queue_stays_bounded_under_arm_cancel_churn(self):
+        sim = Simulator()
+        for i in range(10_000):
+            handle = sim.schedule_at(float(i + 1), lambda: None)
+            handle.cancel()
+        # Lazy cancellation plus compaction keeps the raw heap within a
+        # small multiple of the live count (zero here), not O(churn).
+        assert len(sim._queue) < 2 * Simulator.MIN_COMPACT_SIZE
+        assert sim.pending() == 0
+
+    def test_live_events_survive_compaction(self):
+        sim = Simulator()
+        fired = []
+        for i in range(50):
+            sim.schedule_at(float(i + 1), lambda i=i: fired.append(i))
+        doomed = [
+            sim.schedule_at(1000.0 + i, lambda: fired.append(-1))
+            for i in range(500)
+        ]
+        for handle in doomed:
+            handle.cancel()
+        sim.run(until=100.0)
+        assert fired == list(range(50))
+        assert sim.pending() == 0
+
+    def test_pending_is_exact_through_churn(self):
+        sim = Simulator()
+        handles = [sim.schedule_at(float(i + 1), lambda: None) for i in range(200)]
+        for handle in handles[::2]:
+            handle.cancel()
+        assert sim.pending() == 100
+        for handle in handles[::2]:
+            handle.cancel()  # double-cancel must not skew the count
+        assert sim.pending() == 100
+        sim.run()
+        assert sim.pending() == 0
+
+    def test_cancel_after_fire_does_not_skew_count(self):
+        sim = Simulator()
+        handle = sim.schedule_at(1.0, lambda: None)
+        sim.schedule_at(2.0, lambda: None)
+        sim.run(until=1.5)
+        handle.cancel()  # already popped; not in the queue any more
+        assert sim.pending() == 1
+
+    def test_small_queue_never_compacts(self):
+        sim = Simulator()
+        keep = sim.schedule_at(5.0, lambda: None)
+        for _ in range(Simulator.MIN_COMPACT_SIZE // 2):
+            sim.schedule_at(1.0, lambda: None).cancel()
+        assert sim.pending() == 1
+        assert sim.peek_next_time() == 5.0
+        keep.cancel()
+
+
 class TestRunControl:
     def test_run_until_stops_clock_at_boundary(self):
         sim = Simulator()

@@ -1,0 +1,92 @@
+"""Tests for the perf instrumentation registry."""
+
+import json
+import threading
+
+import pytest
+
+from repro.perf import PerfRegistry, StageStats
+
+
+class TestStageStats:
+    def test_record_accumulates(self):
+        stats = StageStats()
+        stats.record(0.5)
+        stats.record(1.5)
+        assert stats.calls == 2
+        assert stats.total_s == pytest.approx(2.0)
+        assert stats.mean_s == pytest.approx(1.0)
+        assert stats.min_s == pytest.approx(0.5)
+        assert stats.max_s == pytest.approx(1.5)
+
+    def test_empty_as_dict_has_finite_min(self):
+        d = StageStats().as_dict()
+        assert d["calls"] == 0
+        assert d["min_s"] == 0.0
+        json.dumps(d)
+
+
+class TestPerfRegistry:
+    def test_timed_records_span(self):
+        reg = PerfRegistry()
+        with reg.timed("stage.a"):
+            pass
+        report = reg.report()
+        assert report["stages"]["stage.a"]["calls"] == 1
+        assert report["stages"]["stage.a"]["total_s"] >= 0.0
+
+    def test_timed_records_on_exception(self):
+        reg = PerfRegistry()
+        with pytest.raises(RuntimeError):
+            with reg.timed("stage.boom"):
+                raise RuntimeError("x")
+        assert reg.report()["stages"]["stage.boom"]["calls"] == 1
+
+    def test_counters(self):
+        reg = PerfRegistry()
+        reg.count("hits")
+        reg.count("hits", 4)
+        assert reg.report()["counters"]["hits"] == 5
+
+    def test_reset(self):
+        reg = PerfRegistry()
+        reg.count("hits")
+        with reg.timed("s"):
+            pass
+        reg.reset()
+        assert reg.report() == {"stages": {}, "counters": {}}
+
+    def test_report_is_json_serialisable(self):
+        reg = PerfRegistry()
+        with reg.timed("s"):
+            reg.count("c", 3)
+        json.dumps(reg.report())
+
+    def test_thread_safety_of_counters(self):
+        reg = PerfRegistry()
+
+        def bump():
+            for _ in range(1000):
+                reg.count("n")
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.report()["counters"]["n"] == 4000
+
+    def test_module_level_registry_instrumented_by_waveform_loop(self, medium):
+        from repro import perf
+        from repro.core.network import NetworkConfig
+        from repro.core.waveform_network import WaveformNetwork
+
+        perf.reset()
+        net = WaveformNetwork(
+            {"tag8": 2}, medium=medium, config=NetworkConfig(seed=0)
+        )
+        net.run(4)
+        report = perf.report()
+        assert report["stages"]["waveform.synthesize"]["calls"] >= 1
+        assert report["stages"]["waveform.demodulate"]["calls"] >= 1
+        assert report["counters"]["waveform.slots"] >= 1

@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Compare two pytest-benchmark JSON files.
+
+Usage:
+    python tools/bench_compare.py BENCH_before.json BENCH_after.json
+    python tools/bench_compare.py old.json new.json --threshold 1.10
+
+Matches benchmarks by fullname, reports the ratio of mean runtimes
+(after / before), and exits non-zero if any shared benchmark regressed
+by more than ``--threshold`` (default 1.25, i.e. 25% slower).  Use the
+smoke target to produce the inputs:
+
+    make bench-smoke            # writes BENCH_<git-rev>.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Tuple
+
+
+def load_means(path: str) -> Dict[str, float]:
+    """Map benchmark fullname -> mean seconds from a pytest-benchmark
+    JSON document."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    means: Dict[str, float] = {}
+    for bench in doc.get("benchmarks", []):
+        name = bench.get("fullname") or bench.get("name")
+        stats = bench.get("stats", {})
+        if name and "mean" in stats:
+            means[name] = float(stats["mean"])
+    return means
+
+
+def compare(
+    before: Dict[str, float], after: Dict[str, float], threshold: float
+) -> Tuple[List[str], List[str]]:
+    """Return (report lines, regression lines) for the shared names."""
+    lines: List[str] = []
+    regressions: List[str] = []
+    shared = sorted(set(before) & set(after))
+    width = max((len(n) for n in shared), default=4)
+    for name in shared:
+        old, new = before[name], after[name]
+        ratio = new / old if old > 0 else float("inf")
+        marker = ""
+        if ratio > threshold:
+            marker = "  REGRESSION"
+            regressions.append(name)
+        elif ratio < 1.0 / threshold:
+            marker = "  improved"
+        lines.append(
+            f"{name:<{width}}  {old * 1e3:>10.3f} ms -> {new * 1e3:>10.3f} ms"
+            f"  x{ratio:.2f}{marker}"
+        )
+    for name in sorted(set(before) - set(after)):
+        lines.append(f"{name:<{width}}  (removed)")
+    for name in sorted(set(after) - set(before)):
+        lines.append(f"{name:<{width}}  (new: {after[name] * 1e3:.3f} ms)")
+    return lines, regressions
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Diff two pytest-benchmark JSON snapshots."
+    )
+    parser.add_argument("before", help="baseline BENCH_*.json")
+    parser.add_argument("after", help="candidate BENCH_*.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=1.25,
+        help="flag mean-runtime ratios above this as regressions "
+        "(default: 1.25)",
+    )
+    args = parser.parse_args(argv)
+    if args.threshold <= 1.0:
+        parser.error("--threshold must be > 1.0")
+
+    before = load_means(args.before)
+    after = load_means(args.after)
+    if not before or not after:
+        print("error: no benchmarks found in one of the inputs", file=sys.stderr)
+        return 2
+    if not set(before) & set(after):
+        print("error: the two files share no benchmark names", file=sys.stderr)
+        return 2
+    lines, regressions = compare(before, after, args.threshold)
+    print(f"mean runtime, {args.before} -> {args.after}:")
+    for line in lines:
+        print(" ", line)
+    if regressions:
+        print(
+            f"\n{len(regressions)} regression(s) beyond x{args.threshold:.2f}:",
+            file=sys.stderr,
+        )
+        for name in regressions:
+            print(f"  {name}", file=sys.stderr)
+        return 1
+    print("\nno regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Quick benchmark smoke run: the fidelity-tier benchmarks that gate
+the waveform hot path, written to a BENCH_*.json snapshot.
+
+Usage:
+    python tools/bench_smoke.py                 # BENCH_<git-rev>.json
+    python tools/bench_smoke.py --out my.json
+    python tools/bench_smoke.py --keep 5        # prune older snapshots
+
+Runs the subset that covers all three fidelity tiers plus the event
+engine (bench_simulator_performance.py) and the end-to-end DSP loop
+(bench_waveform_loop.py) — a couple of minutes, not the full suite.
+Compare two snapshots with:
+
+    python tools/bench_compare.py BENCH_old.json BENCH_new.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+from typing import List
+
+SMOKE_BENCHMARKS = [
+    "benchmarks/bench_simulator_performance.py",
+    "benchmarks/bench_waveform_loop.py",
+]
+
+
+def repo_root() -> str:
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def default_out() -> str:
+    try:
+        rev = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            cwd=repo_root(),
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        rev = "worktree"
+    return f"BENCH_{rev}.json"
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run the benchmark smoke subset into a JSON snapshot."
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="snapshot path (default: BENCH_<git-rev>.json in the repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    root = repo_root()
+    out = args.out or os.path.join(root, default_out())
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (os.path.join(root, "src"), env.get("PYTHONPATH")) if p
+    )
+    cmd = [
+        sys.executable,
+        "-m",
+        "pytest",
+        *SMOKE_BENCHMARKS,
+        "-q",
+        f"--benchmark-json={out}",
+    ]
+    print("+", " ".join(cmd))
+    proc = subprocess.run(cmd, cwd=root, env=env)
+    if proc.returncode == 0:
+        print(f"wrote {out}")
+    return proc.returncode
+
+
+if __name__ == "__main__":
+    sys.exit(main())
