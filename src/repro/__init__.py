@@ -48,6 +48,7 @@ from repro.hardware import (
     TagPowerModel,
     VoltageMultiplier,
 )
+from repro.faults import FaultController, FaultEvent, FaultSchedule
 from repro.phy import (
     DownlinkBeacon,
     ReaderReceiveChain,
@@ -58,7 +59,7 @@ from repro.phy import (
     pie_encode,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AlohaResult",
@@ -87,6 +88,9 @@ __all__ = [
     "TagDevice",
     "TagPowerModel",
     "VoltageMultiplier",
+    "FaultController",
+    "FaultEvent",
+    "FaultSchedule",
     "DownlinkBeacon",
     "ReaderReceiveChain",
     "UplinkPacket",

@@ -21,6 +21,12 @@ from repro.analysis.theory import (
     expected_goodput,
     minimum_slot_duration_s,
 )
+from repro.analysis.recovery import (
+    DEFAULT_RECONVERGE_STREAK,
+    RecoveryReport,
+    recovery_report,
+    slots_to_reconverge,
+)
 from repro.analysis.render import (
     render_occupancy_by_tag,
     render_schedule,
@@ -40,6 +46,10 @@ __all__ = [
     "backscatter_snr_db",
     "band_power",
     "waveform_psd",
+    "DEFAULT_RECONVERGE_STREAK",
+    "RecoveryReport",
+    "recovery_report",
+    "slots_to_reconverge",
     "render_occupancy_by_tag",
     "render_schedule",
     "render_timeline",

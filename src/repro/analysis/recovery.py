@@ -1,0 +1,96 @@
+"""Post-fault recovery metrics.
+
+The fault-injection subsystem (:mod:`repro.faults`) perturbs a running
+network; these helpers quantify how quickly the slot-allocation MAC
+heals afterwards.  The headline metric is **slots-to-reconverge**: the
+number of slots between the last fault clearing and the reader seeing a
+sustained streak of collision-free slots again — the fault-recovery
+analogue of the paper's first-convergence-time metric (Sec. 6.4).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.reader_protocol import SlotRecord
+
+#: Consecutive collision-free slots that count as "reconverged".  The
+#: default matches ``SlottedNetwork.run_until_converged``'s streak so
+#: the two metrics are directly comparable.
+DEFAULT_RECONVERGE_STREAK = 32
+
+
+def slots_to_reconverge(
+    records: Sequence[SlotRecord],
+    clear_slot: int,
+    streak: int = DEFAULT_RECONVERGE_STREAK,
+) -> Optional[int]:
+    """Slots from ``clear_slot`` until the network is stable again.
+
+    Scans the records from ``clear_slot`` (the first slot with no fault
+    active) for the first run of ``streak`` consecutive slots without a
+    detected collision, and returns the offset of that run's *first*
+    slot from ``clear_slot`` — the number of disturbed slots the MAC
+    needed before becoming stably clean.  An undisturbed network
+    reports 0.  Slots before ``clear_slot`` are ignored entirely: a
+    fault window can be deceptively quiet (e.g. nobody transmits during
+    a beacon-loss burst), so pre-clear quiet must not count as
+    recovery.  Returns None if the records end before any full streak.
+    """
+    if streak < 1:
+        raise ValueError("streak must be >= 1")
+    clean = 0
+    for record in records:
+        if record.slot < clear_slot:
+            continue
+        clean = 0 if record.collision_detected else clean + 1
+        if clean >= streak:
+            return record.slot - streak + 1 - clear_slot
+    return None
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """Summary of one fault run's disruption and healing."""
+
+    clear_slot: int
+    slots_to_reconverge: Optional[int]
+    collisions_during_faults: int
+    collisions_after_clear: int
+    decoded_fraction_after_clear: float
+
+    def to_jsonable(self) -> Dict[str, object]:
+        return {
+            "clear_slot": self.clear_slot,
+            "slots_to_reconverge": self.slots_to_reconverge,
+            "collisions_during_faults": self.collisions_during_faults,
+            "collisions_after_clear": self.collisions_after_clear,
+            "decoded_fraction_after_clear": self.decoded_fraction_after_clear,
+        }
+
+
+def recovery_report(
+    records: Sequence[SlotRecord],
+    clear_slot: int,
+    streak: int = DEFAULT_RECONVERGE_STREAK,
+) -> RecoveryReport:
+    """Full disruption/recovery summary for one faulted run."""
+    during = sum(
+        1 for r in records if r.slot < clear_slot and r.collision_detected
+    )
+    after = [r for r in records if r.slot >= clear_slot]
+    collisions_after = sum(1 for r in after if r.collision_detected)
+    decoded_after = sum(1 for r in after if r.decoded is not None)
+    occupied_after = sum(1 for r in after if r.truly_nonempty)
+    decoded_fraction = (
+        decoded_after / occupied_after if occupied_after else math.nan
+    )
+    return RecoveryReport(
+        clear_slot=clear_slot,
+        slots_to_reconverge=slots_to_reconverge(records, clear_slot, streak),
+        collisions_during_faults=during,
+        collisions_after_clear=collisions_after,
+        decoded_fraction_after_clear=decoded_fraction,
+    )

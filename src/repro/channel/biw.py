@@ -102,6 +102,7 @@ class BiWModel:
         self._adjacency: Dict[str, List[Member]] = {}
         self._mounts: Dict[str, MountPoint] = {}
         self._joint_loss_db = dict(DEFAULT_JOINT_LOSS_DB)
+        self._joint_offset_db = 0.0
 
     # -- construction -----------------------------------------------------
 
@@ -145,6 +146,30 @@ class BiWModel:
             raise ValueError("joint loss must be non-negative")
         self._joint_loss_db[kind] = loss_db
 
+    def set_joint_loss_offset_db(self, extra_db: float) -> None:
+        """Uniform extra attenuation on every real joint crossing.
+
+        Models structural change (a weld crack, a clamped fixture, a
+        junction-loss fault step): each SEAM/PERPENDICULAR crossing pays
+        ``extra_db`` on top of its calibrated loss; NONE edges stay
+        free.  Callers that hold a :class:`PropagationModel` must
+        invalidate its cache afterwards — path losses *and* the Dijkstra
+        routing both depend on the effective joint table.
+        """
+        if extra_db < 0:
+            raise ValueError("joint loss offset must be non-negative")
+        self._joint_offset_db = float(extra_db)
+
+    @property
+    def joint_loss_offset_db(self) -> float:
+        return self._joint_offset_db
+
+    def effective_joint_loss_db(self, kind: JointKind) -> float:
+        """Per-joint loss including the current offset (0 for NONE)."""
+        if kind is JointKind.NONE:
+            return self._joint_loss_db[kind]
+        return self._joint_loss_db[kind] + self._joint_offset_db
+
     # -- queries ----------------------------------------------------------
 
     @property
@@ -157,7 +182,7 @@ class BiWModel:
 
     @property
     def joint_loss_table(self) -> Dict[JointKind, float]:
-        return dict(self._joint_loss_db)
+        return {k: self.effective_joint_loss_db(k) for k in self._joint_loss_db}
 
     def position(self, vertex: str) -> Tuple[float, float, float]:
         return self._positions[vertex]
@@ -193,7 +218,7 @@ class BiWModel:
                 break
             for m in self._adjacency[v]:
                 w = m.other(v)
-                step = self.member_length(m) + self._joint_loss_db[m.joint]
+                step = self.member_length(m) + self.effective_joint_loss_db(m.joint)
                 new_cost = cost + step
                 if new_cost < best.get(w, math.inf):
                     best[w] = new_cost

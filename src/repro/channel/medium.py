@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -103,6 +103,19 @@ class AcousticMedium:
             reference_tag, source
         )
 
+    def invalidate_channel_cache(self) -> None:
+        """Recompute derived channel state after a structural change.
+
+        Fault injection can mutate the underlying BiW (junction-loss
+        steps); this drops the propagation model's memoised paths and
+        re-anchors the reference round-trip loss so subsequent link
+        queries see the modified structure.
+        """
+        self._propagation.invalidate_cache()
+        self._reference_rt_loss = self._propagation.roundtrip_loss_db(
+            self._reference_tag, self._source
+        )
+
     # -- basic link quantities ---------------------------------------------
 
     @property
@@ -167,12 +180,18 @@ class AcousticMedium:
 
     # -- uplink quality -----------------------------------------------------
 
-    def uplink_snr_db(self, tag: str, bit_rate_bps: float) -> float:
+    def uplink_snr_db(
+        self, tag: str, bit_rate_bps: float, penalty_db: float = 0.0
+    ) -> float:
         """SNR of the tag's backscatter at the reader (paper Fig. 12a).
 
         Signal power is the backscatter component's power; noise is the
         receiver PSD integrated over the FM0 occupied bandwidth (~ the
         bit rate), matching the paper's PSD-ratio definition.
+
+        ``penalty_db`` subtracts a transient SNR degradation (fault
+        injection: noise bursts, attenuation drift); 0 on the normal
+        path.
         """
         if bit_rate_bps <= 0:
             raise ValueError("bit rate must be positive")
@@ -180,9 +199,11 @@ class AcousticMedium:
         signal_power = amplitude**2 / 2.0
         bandwidth = FM0_BANDWIDTH_PER_BPS * bit_rate_bps
         noise_power = self._noise.power_in_band(bandwidth)
-        return acoustics.power_ratio_to_db(signal_power / noise_power)
+        return acoustics.power_ratio_to_db(signal_power / noise_power) - penalty_db
 
-    def uplink_bit_error_rate(self, tag: str, bit_rate_bps: float) -> float:
+    def uplink_bit_error_rate(
+        self, tag: str, bit_rate_bps: float, penalty_db: float = 0.0
+    ) -> float:
         """Per-bit error probability for FM0 OOK at the given rate.
 
         The reader's matched half-bit integration makes detection
@@ -191,11 +212,17 @@ class AcousticMedium:
         is dominated by the burst floor — the paper's <0.5% regime —
         and only becomes visible for the far tags at 3000 bps.
         """
-        snr_linear = acoustics.db_to_power_ratio(self.uplink_snr_db(tag, bit_rate_bps))
+        snr_linear = acoustics.db_to_power_ratio(
+            self.uplink_snr_db(tag, bit_rate_bps, penalty_db)
+        )
         return 0.5 * math.erfc(math.sqrt(snr_linear / 2.0))
 
     def uplink_packet_success(
-        self, tag: str, bit_rate_bps: float, packet_bits: int = 64
+        self,
+        tag: str,
+        bit_rate_bps: float,
+        packet_bits: int = 64,
+        penalty_db: float = 0.0,
     ) -> float:
         """Probability an uplink packet decodes cleanly (Fig. 12b).
 
@@ -205,7 +232,7 @@ class AcousticMedium:
         """
         if packet_bits <= 0:
             raise ValueError("packet must contain at least one bit")
-        ber = self.uplink_bit_error_rate(tag, bit_rate_bps)
+        ber = self.uplink_bit_error_rate(tag, bit_rate_bps, penalty_db)
         clean_bits = (1.0 - ber) ** packet_bits
         burst = BASE_BURST_LOSS * (1.0 + bit_rate_bps / 1500.0)
         return clean_bits * (1.0 - min(burst, 1.0))
@@ -218,6 +245,7 @@ class AcousticMedium:
         rng: np.random.Generator,
         bit_rate_bps: float = 375.0,
         packet_bits: int = 64,
+        penalty_db: Optional[Mapping[str, float]] = None,
     ) -> SlotObservation:
         """Resolve one uplink slot: who (if anyone) the reader decodes,
         and whether its IQ-cluster detector flags a collision.
@@ -229,17 +257,28 @@ class AcousticMedium:
           by :data:`CAPTURE_THRESHOLD_DB`; independently, the IQ-domain
           cluster count exposes the collision with high probability
           (Sec. 5.3 "Reader Feedback Mechanism").
+
+        ``penalty_db`` maps tag -> transient SNR penalty (dB) from fault
+        injection; None (the normal path) means no penalties.
         """
         tags = list(transmitters)
         if not tags:
             return SlotObservation((), None, False)
         if len(tags) == 1:
             tag = tags[0]
-            success = self.uplink_packet_success(tag, bit_rate_bps, packet_bits)
+            pen = penalty_db.get(tag, 0.0) if penalty_db else 0.0
+            success = self.uplink_packet_success(
+                tag, bit_rate_bps, packet_bits, penalty_db=pen
+            )
             decoded = tag if rng.random() < success else None
             return SlotObservation(tuple(tags), decoded, False)
 
         amplitudes = {t: self.backscatter_amplitude_v(t) for t in tags}
+        if penalty_db:
+            for t in tags:
+                pen = penalty_db.get(t, 0.0)
+                if pen:
+                    amplitudes[t] *= acoustics.db_to_amplitude_ratio(-pen)
         strongest = max(tags, key=lambda t: amplitudes[t])
         interference = math.sqrt(
             sum(amplitudes[t] ** 2 for t in tags if t != strongest)
@@ -250,7 +289,10 @@ class AcousticMedium:
 
         decoded = None
         if gap_db >= CAPTURE_THRESHOLD_DB:
-            success = self.uplink_packet_success(strongest, bit_rate_bps, packet_bits)
+            pen = penalty_db.get(strongest, 0.0) if penalty_db else 0.0
+            success = self.uplink_packet_success(
+                strongest, bit_rate_bps, packet_bits, penalty_db=pen
+            )
             if rng.random() < success:
                 decoded = strongest
         collision_detected = rng.random() < CLUSTER_DETECTION_PROBABILITY

@@ -127,6 +127,63 @@ def _run_results(args: argparse.Namespace) -> str:
     return text
 
 
+def _run_figR(args: argparse.Namespace) -> str:
+    from repro.experiments.figR_recovery import format_figR, run_figR
+
+    return format_figR(run_figR(seed=args.seed))
+
+
+def _run_faults(args: argparse.Namespace) -> str:
+    from repro.analysis.recovery import recovery_report
+    from repro.core.network import NetworkConfig, SlottedNetwork
+    from repro.faults.scenarios import SCENARIO_PERIODS
+    from repro.faults.schedule import FaultSchedule
+
+    schedule = FaultSchedule.generate(
+        seed=args.seed,
+        n_slots=max(1, args.slots - 200),
+        tags=sorted(SCENARIO_PERIODS),
+        n_faults=args.n_faults,
+        start_slot=min(200, max(0, args.slots - 201)),
+    )
+    net = SlottedNetwork(
+        SCENARIO_PERIODS,
+        config=NetworkConfig(seed=args.seed, ideal_channel=True),
+        faults=schedule,
+    )
+    net.run(args.slots)
+    ctl = net.faults
+    lines = [
+        f"fault schedule (seed={args.seed}, signature "
+        f"{schedule.signature()[:16]}):"
+    ]
+    for e in schedule:
+        lines.append(
+            f"  #{e.fault_id} slot {e.slot:>5} +{e.duration:<3} "
+            f"{e.kind:<18} target={e.target:<8} magnitude={e.magnitude:g}"
+        )
+    lines.append("")
+    lines.append(f"injected over {args.slots} slots; fault trace:")
+    for r in ctl.trace.records():
+        if r.kind.startswith("fault."):
+            lines.append(
+                f"  slot {int(r.time):>5} {r.kind:<12} #{r['fault_id']} "
+                f"{r['fault_kind']} -> {r['target']}"
+            )
+    report = recovery_report(net.records, schedule.last_clear_slot)
+    lines.append("")
+    lines.append(f"trace signature:            {ctl.trace.signature()}")
+    lines.append(f"last fault clears at slot:  {report.clear_slot}")
+    reconverge = report.slots_to_reconverge
+    lines.append(
+        "slots to reconverge:        "
+        + (str(reconverge) if reconverge is not None else "not within the run")
+    )
+    lines.append(f"collisions during faults:   {report.collisions_during_faults}")
+    lines.append(f"collisions after clearing:  {report.collisions_after_clear}")
+    return "\n".join(lines)
+
+
 def _run_appc(args: argparse.Namespace) -> str:
     from repro.analysis.markov import SlotAllocationChain
 
@@ -153,6 +210,8 @@ EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "fig16": _run_fig16,
     "fig17": _run_fig17,
     "fig19": _run_fig19,
+    "figR": _run_figR,
+    "faults": _run_faults,
     "appc": _run_appc,
     "results": _run_results,
 }
@@ -196,6 +255,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="('results') embed per-experiment wall times and counters",
     )
     parser.add_argument(
+        "--slots",
+        type=int,
+        default=2000,
+        help="('faults') number of slots to simulate",
+    )
+    parser.add_argument(
+        "--n-faults",
+        type=int,
+        default=6,
+        help="('faults') number of fault events to generate",
+    )
+    parser.add_argument(
         "--out",
         default=None,
         metavar="PATH",
@@ -210,9 +281,10 @@ def main(argv: List[str] | None = None) -> int:
         print("available experiments:", ", ".join(sorted(EXPERIMENTS)))
         return 0
     if args.experiment == "all":
-        # 'results' re-runs every experiment for its JSON document;
-        # keep 'all' to the human-readable tables.
-        names = sorted(n for n in EXPERIMENTS if n != "results")
+        # 'results' re-runs every experiment for its JSON document, and
+        # 'faults' is an interactive demo of the injection subsystem;
+        # keep 'all' to the human-readable paper tables and figures.
+        names = sorted(n for n in EXPERIMENTS if n not in ("results", "faults"))
     else:
         names = [args.experiment]
     for name in names:

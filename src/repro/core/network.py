@@ -15,7 +15,7 @@ activation from the charging model, and the ablation switches.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -24,6 +24,11 @@ from repro.core.reader_protocol import ReaderMac, SlotRecord
 from repro.core.state_machine import DEFAULT_NACK_THRESHOLD, TagState
 from repro.core.tag_protocol import TagMac
 from repro.sim.random import RandomStreams
+
+if TYPE_CHECKING:  # avoid importing the fault layer unless it is used
+    from repro.faults.controller import FaultController
+    from repro.faults.schedule import FaultSchedule
+    from repro.sim.trace import TraceRecorder
 
 #: Default slot duration (s), Sec. 6.4 ("empirically set to 1 s").
 DEFAULT_SLOT_DURATION_S = 1.0
@@ -58,6 +63,8 @@ class SlottedNetwork:
         medium: Optional[AcousticMedium] = None,
         config: Optional[NetworkConfig] = None,
         activation_slot: Optional[Mapping[str, int]] = None,
+        faults: "Optional[FaultSchedule]" = None,
+        fault_recorder: "Optional[TraceRecorder]" = None,
     ) -> None:
         if not tag_periods:
             raise ValueError("need at least one tag")
@@ -89,16 +96,47 @@ class SlottedNetwork:
                 respect_empty_flag=self.config.enable_empty_flag,
                 late_arrival=self.activation_slot.get(name, 0) > 0,
             )
-            if self.config.beacon_loss_probability is not None:
-                loss = self.config.beacon_loss_probability
-            elif self.config.ideal_channel:
-                loss = 0.0
-            else:
-                loss = self.medium.beacon_loss_probability(
-                    name, self.config.dl_raw_rate_bps
-                )
-            self._beacon_loss[name] = loss
+            self._beacon_loss[name] = self._derive_beacon_loss(name)
         self.records: List[SlotRecord] = []
+
+        # Fault injection is strictly opt-in: with no schedule the
+        # controller is never created, its RNG stream never instantiated,
+        # and step() takes a single always-false branch — the fault-free
+        # run is byte-identical to a build without this subsystem.
+        self._faults: "Optional[FaultController]" = None
+        if faults is not None:
+            from repro.faults.controller import FaultController
+
+            self._faults = FaultController(
+                faults,
+                self,
+                self._streams.stream("faults"),
+                recorder=fault_recorder,
+            )
+
+    @property
+    def faults(self) -> "Optional[FaultController]":
+        """The bound fault controller, or None on the normal path."""
+        return self._faults
+
+    # -- beacon loss bookkeeping -------------------------------------------
+
+    def _derive_beacon_loss(self, name: str) -> float:
+        if self.config.beacon_loss_probability is not None:
+            return self.config.beacon_loss_probability
+        if self.config.ideal_channel:
+            return 0.0
+        return self.medium.beacon_loss_probability(name, self.config.dl_raw_rate_bps)
+
+    def beacon_loss_probability_for(self, name: str) -> float:
+        """Current per-slot beacon-loss probability for one tag."""
+        return self._beacon_loss[name]
+
+    def refresh_beacon_loss(self) -> None:
+        """Re-derive the per-tag beacon-loss table from the channel
+        (after a fault injector mutated the medium)."""
+        for name in self._beacon_loss:
+            self._beacon_loss[name] = self._derive_beacon_loss(name)
 
     # -- channel arbitration ---------------------------------------------------
 
@@ -109,10 +147,16 @@ class SlottedNetwork:
             if len(transmitters) > 1:
                 return SlotObservation(tuple(transmitters), None, True)
             return SlotObservation((), None, False)
+        penalties = (
+            self._faults.penalties_for(transmitters)
+            if self._faults is not None
+            else None
+        )
         return self.medium.observe_slot(
             transmitters,
             self._slot_rng,
             bit_rate_bps=self.config.ul_raw_rate_bps,
+            penalty_db=penalties,
         )
 
     # -- execution ---------------------------------------------------------------
@@ -120,12 +164,24 @@ class SlottedNetwork:
     def step(self) -> SlotRecord:
         """Advance the network by one slot."""
         slot = self.reader.slot_index
+        ctl = self._faults
+        if ctl is not None:
+            ctl.on_slot_start(slot)
         beacon = self.reader.make_beacon()
         transmitters: List[str] = []
         for name, tag in self.tags.items():
             if slot < self.activation_slot.get(name, 0):
                 continue  # still charging; not yet part of the network
             lost = self._slot_rng.random() < self._beacon_loss[name]
+            if ctl is not None:
+                if ctl.tag_offline(name):
+                    # Brownout: the MCU is dark — no reception, no
+                    # watchdog; the counter simply stalls.  (The loss
+                    # draw above still happens, keeping the shared slot
+                    # stream aligned across fault scenarios.)
+                    tag.transmitted_last_slot = False
+                    continue
+                lost = ctl.beacon_lost(name, lost)
             if lost:
                 if self.config.enable_beacon_loss_timer:
                     tag.on_beacon_loss()
@@ -136,12 +192,18 @@ class SlottedNetwork:
                     tag.beacons_missed += 1
                     tag.transmitted_last_slot = False
                 continue
-            decision = tag.on_beacon(beacon)
-            if decision.transmit:
+            decision = tag.on_beacon(
+                beacon if ctl is None else ctl.beacon_for(name, beacon)
+            )
+            if decision.transmit and (ctl is None or ctl.transmit_allowed(name)):
                 transmitters.append(name)
         observation = self._observe(transmitters)
+        if ctl is not None:
+            observation = ctl.transform_observation(observation)
         record = self.reader.on_slot_observation(observation)
         self.records.append(record)
+        if ctl is not None:
+            ctl.on_slot_end(slot, record)
         return record
 
     def run(self, n_slots: int) -> List[SlotRecord]:

@@ -129,6 +129,19 @@ class ReaderMac:
         self._slot_decoded.clear()
         self._slot_collision.clear()
 
+    def restart(self) -> None:
+        """Reboot the reader mid-run (fault injection).
+
+        All learned soft state — commitments, the eviction ledger, the
+        per-slot activity history behind the EMPTY flag — is lost, as on
+        a real power cycle.  The slot cadence survives: beacons come
+        from the timing generator, so tags keep their counters and the
+        reader must re-learn the allocation from observed traffic.
+        Unlike :meth:`request_reset`, no RESET command reaches the tags.
+        """
+        self._apply_reset()
+        self._last_empty_flag = True
+
     def _compute_empty_flag(self, slot: int) -> bool:
         """Eq. 4: EMPTY(s) = prod_i 1(no packet received in slot s-p_i),
         with each tag's *own* period and per-tag attribution: tag i

@@ -120,6 +120,21 @@ class TagMac:
             transmit=transmit, offset=self.machine.offset, state=self.machine.state
         )
 
+    def power_cycle(self) -> None:
+        """Cold-restart the MAC after a brownout (fault injection).
+
+        The MCU rebooted, so all protocol state is gone: the state
+        machine re-rolls a fresh offset, the slot counter restarts at
+        zero, and the tag rejoins as a *late-arriving* tag — it defers
+        to the EMPTY flag until its first settle, exactly like a tag
+        whose first charge completed mid-run (Sec. 5.5).
+        """
+        self.machine.reset()
+        self.slot_counter = 0
+        self.transmitted_last_slot = False
+        self.ever_settled = False
+        self.late_arrival = True
+
     def on_beacon_loss(self) -> TagDecision:
         """The watchdog fired: no beacon arrived for this slot.
 

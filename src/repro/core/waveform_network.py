@@ -75,8 +75,16 @@ class WaveformNetwork(SlottedNetwork):
         medium: Optional[AcousticMedium] = None,
         config: Optional[NetworkConfig] = None,
         payloads: Optional[Mapping[str, int]] = None,
+        faults=None,
+        fault_recorder=None,
     ) -> None:
-        super().__init__(tag_periods, medium, config)
+        super().__init__(
+            tag_periods,
+            medium,
+            config,
+            faults=faults,
+            fault_recorder=fault_recorder,
+        )
         self._uplink = BackscatterUplink(pzt=self.medium.pzt)
         self._chain = ReaderReceiveChain()
         self._phase_rng = self._streams.stream("phases")
@@ -125,20 +133,35 @@ class WaveformNetwork(SlottedNetwork):
             return SlotObservation((), None, False)
 
         rate = self.config.ul_raw_rate_bps
+        ctl = self.faults
         with perf.timed("waveform.synthesize"):
             components = []
             for name in transmitters:
                 mac = self.tags[name]
                 packet = UplinkPacket(tid=mac.tid, payload=self._payload_for(name))
                 amplitude_v, delay_s = self._link_budget(name)
+                if ctl is not None:
+                    # Faults reach the DSP as physics: SNR penalties
+                    # shrink the synthesised backscatter, bit flips
+                    # corrupt the frame before line coding — the real
+                    # receive chain then fails (or survives) on its own.
+                    penalty_db = ctl.snr_penalty_for(name)
+                    if penalty_db:
+                        amplitude_v *= 10.0 ** (-penalty_db / 20.0)
+                    bits = packet.to_bits()
+                    flips = ctl.uplink_bit_flips(name, len(bits))
+                else:
+                    bits = packet.to_bits()
+                    flips = ()
                 components.append(
                     self._uplink.tag_component(
-                        packet.to_bits(),
+                        bits,
                         rate,
                         amplitude_v,
                         phase_rad=float(self._phase_rng.uniform(0, 2 * np.pi)),
                         delay_s=delay_s,
                         lead_in_s=0.03,
+                        bit_flips=flips,
                     )
                 )
             capture = self._uplink.capture(

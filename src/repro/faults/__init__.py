@@ -1,0 +1,71 @@
+"""Deterministic fault injection for the ARACHNET reproduction.
+
+The paper's central robustness claim is that the slot-allocation MAC
+self-heals from collisions, beacon loss, and power dropouts using only
+the broadcast ACK/NACK/EMPTY feedback.  This package turns that claim
+into a measurable surface: a :class:`FaultSchedule` (seed-derived,
+replayable byte-for-byte) drives pluggable injectors that corrupt the
+channel, the PHY, the hardware energy state, and the MAC exchange at
+precise slots, while every applied/cleared fault is recorded into a
+:class:`~repro.sim.trace.TraceRecorder` for post-hoc analysis.
+
+Layering: this package imports only :mod:`repro.sim`, :mod:`repro.phy`
+(packet types) and :mod:`repro.channel` (observation type); the network
+layers import *it* lazily, so the non-fault path pays a single
+``is None`` check per slot and nothing else.
+
+Quick start::
+
+    from repro.core.network import NetworkConfig, SlottedNetwork
+    from repro.faults import FaultEvent, FaultSchedule
+
+    schedule = FaultSchedule([
+        FaultEvent(slot=200, duration=4, kind="beacon_loss", target="*"),
+    ])
+    net = SlottedNetwork(
+        {"tag8": 4, "tag4": 8, "tag11": 8},
+        config=NetworkConfig(seed=0, ideal_channel=True),
+        faults=schedule,
+    )
+    net.run(600)
+    print(net.faults.trace.records(kind="fault.apply"))
+"""
+
+from repro.faults.controller import FaultController, FaultState
+from repro.faults.injectors import (
+    ChannelFaultInjector,
+    FaultInjector,
+    HardwareFaultInjector,
+    MacFaultInjector,
+    PhyFaultInjector,
+    default_injectors,
+    flip_bits,
+)
+from repro.faults.schedule import (
+    ALL_KINDS,
+    CHANNEL_KINDS,
+    HARDWARE_KINDS,
+    MAC_KINDS,
+    PHY_KINDS,
+    FaultEvent,
+    FaultSchedule,
+)
+
+__all__ = [
+    "ALL_KINDS",
+    "CHANNEL_KINDS",
+    "HARDWARE_KINDS",
+    "MAC_KINDS",
+    "PHY_KINDS",
+    "ChannelFaultInjector",
+    "FaultController",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSchedule",
+    "FaultState",
+    "HardwareFaultInjector",
+    "MacFaultInjector",
+    "PhyFaultInjector",
+    "default_injectors",
+    "flip_bits",
+]

@@ -1,0 +1,105 @@
+"""Canonical fault scenarios for golden-trace regression.
+
+Three fixed (seed, topology, schedule) combinations exercise the three
+regimes the network simulator distinguishes:
+
+* ``ideal`` — ideal channel, empty schedule: pure protocol dynamics.
+* ``lossy`` — the calibrated acoustic channel with its PIE beacon-loss
+  and uplink-decode models, still fault-free.
+* ``fault_burst`` — ideal channel plus a hand-written multi-layer fault
+  burst (beacon loss, ACK corruption, brownout, CRC corruption, a
+  reader restart) hitting a converged network.
+
+Each scenario's slot-by-slot trace is canonically serialisable
+(:meth:`~repro.sim.trace.TraceRecorder.canonical_bytes`), so a stored
+golden file pins the complete observable behaviour of the MAC, channel
+model, and fault subsystem — any byte of drift fails the regression
+suite (``tests/faults/test_golden.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+from repro.core.network import NetworkConfig, SlottedNetwork
+from repro.faults.schedule import FaultEvent, FaultSchedule
+from repro.sim.trace import TraceRecorder
+
+#: Scenario names, in canonical order.
+SCENARIO_NAMES: Tuple[str, ...] = ("ideal", "lossy", "fault_burst")
+
+#: Shared topology: six tags, utilisation 11/16 = 0.6875 — high enough
+#: that faults visibly disturb the allocation, low enough that every
+#: scenario converges quickly.
+SCENARIO_PERIODS: Dict[str, int] = {
+    "tag1": 4,
+    "tag2": 8,
+    "tag3": 8,
+    "tag4": 16,
+    "tag5": 16,
+    "tag6": 16,
+}
+
+#: Slots each scenario runs.
+SCENARIO_SLOTS = 240
+
+#: Fixed seed for every golden scenario.
+SCENARIO_SEED = 7
+
+
+def scenario_schedule(name: str) -> FaultSchedule:
+    """The fault schedule for one canonical scenario."""
+    if name in ("ideal", "lossy"):
+        return FaultSchedule([])
+    if name == "fault_burst":
+        return FaultSchedule(
+            [
+                FaultEvent(slot=120, duration=4, kind="beacon_loss", target="*"),
+                FaultEvent(slot=140, duration=6, kind="ack_corrupt", target="tag1"),
+                FaultEvent(slot=150, duration=8, kind="brownout", target="tag4"),
+                FaultEvent(slot=160, duration=5, kind="crc_corrupt", target="tag2"),
+                FaultEvent(slot=170, duration=1, kind="reader_restart", target="reader"),
+            ]
+        )
+    raise KeyError(f"unknown scenario {name!r}; expected one of {SCENARIO_NAMES}")
+
+
+def scenario_config(name: str) -> NetworkConfig:
+    """The network configuration for one canonical scenario."""
+    if name not in SCENARIO_NAMES:
+        raise KeyError(f"unknown scenario {name!r}; expected one of {SCENARIO_NAMES}")
+    return NetworkConfig(seed=SCENARIO_SEED, ideal_channel=(name != "lossy"))
+
+
+@dataclass(frozen=True)
+class ScenarioRun:
+    """One executed scenario: its network and the canonical trace."""
+
+    name: str
+    network: SlottedNetwork
+    trace: TraceRecorder
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        """The golden-file document for this run."""
+        return {
+            "scenario": self.name,
+            "seed": SCENARIO_SEED,
+            "n_slots": SCENARIO_SLOTS,
+            "schedule_signature": scenario_schedule(self.name).signature(),
+            "trace_signature": self.trace.signature(),
+            "trace": self.trace.to_jsonable(),
+        }
+
+
+def run_scenario(name: str) -> ScenarioRun:
+    """Execute one canonical scenario and return its trace."""
+    recorder = TraceRecorder()
+    network = SlottedNetwork(
+        SCENARIO_PERIODS,
+        config=scenario_config(name),
+        faults=scenario_schedule(name),
+        fault_recorder=recorder,
+    )
+    network.run(SCENARIO_SLOTS)
+    return ScenarioRun(name=name, network=network, trace=recorder)

@@ -74,6 +74,27 @@ class EnergyHarvester:
         self._gamma = harvest_exponent
         self._leak = standby_leakage_w
 
+    def derated(self, efficiency: float) -> "EnergyHarvester":
+        """A copy of this chain with the net-power law scaled by
+        ``efficiency`` in [0, 1] (fault injection: a delaminating PZT
+        bond or a damaged multiplier stage collapses the harvest).
+
+        ``efficiency=1`` reproduces this harvester exactly; ``0`` is a
+        dead chain (the coefficient is floored at a tiny positive value
+        to satisfy the constructor, which still yields zero net power
+        after leakage).
+        """
+        if not 0.0 <= efficiency <= 1.0:
+            raise ValueError("efficiency must be in [0, 1]")
+        return EnergyHarvester(
+            multiplier=self.multiplier,
+            supercap=self.supercap,
+            thresholds=self.thresholds,
+            harvest_coefficient_w=max(self._k * efficiency, 1e-30),
+            harvest_exponent=self._gamma,
+            standby_leakage_w=self._leak,
+        )
+
     def amplified_voltage_v(self, pzt_voltage_v: float) -> float:
         """Multiplier DC output for a given PZT peak voltage (Fig. 11a)."""
         return self.multiplier.output_voltage(pzt_voltage_v)

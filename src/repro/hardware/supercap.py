@@ -63,6 +63,20 @@ class Supercapacitor:
             raise ValueError("v_to must be >= v_from")
         return self.capacitance_f * (v_to - v_from) / current_a
 
+    def discharge_time_s(self, v_from: float, v_to: float, current_a: float) -> float:
+        """Time for a constant drain to drop the voltage from ``v_from``
+        to ``v_to``: C * dV / I.
+
+        The brownout-window model: with the harvester collapsed, the
+        standby load drains the capacitor from the operating point down
+        to the low cutoff in this time.
+        """
+        if current_a <= 0:
+            raise ValueError("discharge current must be positive")
+        if v_to > v_from:
+            raise ValueError("v_to must be <= v_from")
+        return self.capacitance_f * (v_from - v_to) / current_a
+
     def voltage_after(
         self, v_start: float, current_a: float, duration_s: float
     ) -> float:

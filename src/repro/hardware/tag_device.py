@@ -143,6 +143,30 @@ class TagDevice:
         self.capacitor_v = min(self.capacitor_v, ceiling)
         return self.cutoff.update(self.capacitor_v)
 
+    # -- fault transitions -----------------------------------------------------
+
+    def brownout(self) -> None:
+        """Collapse the capacitor rail to zero (fault injection: a
+        shorted rail or a load spike).  The cutoff disconnects the MCU;
+        recovery requires a full recharge to HTH."""
+        self.capacitor_v = 0.0
+        self.cutoff.update(self.capacitor_v)
+
+    def power_cycle(self) -> None:
+        """Cold-restart the device at the activation threshold: the rail
+        just reconnected after a brownout window during which the
+        harvester recharged the capacitor to HTH."""
+        self.capacitor_v = self.thresholds.high_v
+        self.cutoff.update(self.capacitor_v)
+
+    def derate_harvester(self, efficiency: float) -> None:
+        """Swap in a harvesting chain derated to ``efficiency`` (fault
+        injection: harvester collapse).  ``efficiency=1`` restores the
+        nominal law only if the original chain was nominal — callers
+        that need exact restoration should keep and reassign the
+        original ``harvester``."""
+        self.harvester = self.harvester.derated(efficiency)
+
     def drain_energy(self, energy_j: float) -> bool:
         """Remove a discrete burst of energy from the capacitor (e.g.
         the ~1 mW strain-ADC sampling burst of Sec. 6.5).  Returns the

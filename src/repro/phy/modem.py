@@ -121,6 +121,7 @@ class BackscatterUplink:
         delay_s: float = 0.0,
         lead_in_s: float = 0.012,
         tail_s: float = 0.012,
+        bit_flips: Sequence[int] = (),
     ) -> np.ndarray:
         """One tag's reflected contribution for an FM0-coded frame.
 
@@ -133,10 +134,18 @@ class BackscatterUplink:
         (open-circuited) before and after it modulates, and the receive
         filter settles during the lead-in.
 
+        ``bit_flips`` inverts the given data-bit positions before line
+        coding (fault injection: a glitching modulator driver);
+        positions past the frame end are ignored.
+
         The frame is synthesised into one preallocated buffer: the
         delay gap, the lead/levels/tail scale profile, and the
         scale-and-modulate product are fused instead of concatenated.
         """
+        if bit_flips:
+            from repro.faults.injectors import flip_bits
+
+            data_bits = flip_bits(data_bits, bit_flips)
         raw = phy_cache.fm0_raw(data_bits)
         levels = raw_bits_to_levels(raw, raw_rate_bps, self.sample_rate_hz)
         lo = self.pzt.absorptive_coefficient / self.pzt.reflective_coefficient

@@ -87,12 +87,18 @@ class ReaderReceiveChain:
         sample_rate_hz: float = acoustics.READER_SAMPLE_RATE_HZ,
         carrier_hz: float = acoustics.CARRIER_FREQUENCY_HZ,
         schmitt_hysteresis: float = 0.3,
+        threshold_drift: float = 0.0,
     ) -> None:
         if not 0 <= schmitt_hysteresis < 1:
             raise ValueError("hysteresis must be in [0, 1)")
+        if not -1 < threshold_drift < 1:
+            raise ValueError("threshold drift must be in (-1, 1)")
         self.sample_rate_hz = sample_rate_hz
         self.carrier_hz = carrier_hz
         self.schmitt_hysteresis = schmitt_hysteresis
+        #: Comparator offset as a fraction of the signal spread (fault
+        #: injection: envelope-threshold drift).  0 on the normal path.
+        self.threshold_drift = threshold_drift
 
     def _decimation_for(self, raw_rate_bps: float) -> int:
         return max(
@@ -168,8 +174,9 @@ class ReaderReceiveChain:
         spread = 1.4826 * float(np.median(np.abs(projected - np.median(projected))))
         if spread == 0.0:
             return np.zeros(len(projected), dtype=np.int8)
-        hi = self.schmitt_hysteresis * spread
-        lo = -hi
+        center = self.threshold_drift * spread
+        hi = center + self.schmitt_hysteresis * spread
+        lo = center - self.schmitt_hysteresis * spread
         # Vectorised hysteresis: samples at/above +hi force state 1,
         # at/below -hi force state 0, anything in the dead band holds
         # the previous forced state (forward fill); the initial state is
@@ -182,7 +189,7 @@ class ReaderReceiveChain:
         marks[projected <= lo] = 0
         forced = np.where(marks >= 0, np.arange(n), -1)
         np.maximum.accumulate(forced, out=forced)
-        initial = np.int8(1 if projected[0] > 0 else 0)
+        initial = np.int8(1 if projected[0] > center else 0)
         out = np.where(forced >= 0, marks[np.maximum(forced, 0)], initial)
         return out.astype(np.int8)
 

@@ -9,6 +9,8 @@ filtered by kind to keep long benchmark runs memory-light.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Set
 
@@ -82,3 +84,28 @@ class TraceRecorder:
     def clear(self) -> None:
         self._records.clear()
         self._counts.clear()
+
+    # -- canonical serialisation (golden-trace regression files) ---------
+
+    def to_jsonable(self) -> List[Dict[str, Any]]:
+        """Stored records as plain JSON-able dicts, in emission order."""
+        return [
+            {"time": r.time, "kind": r.kind, "source": r.source, "fields": r.fields}
+            for r in self._records
+        ]
+
+    def canonical_bytes(self) -> bytes:
+        """Canonical JSON encoding of the stored records.
+
+        Sorted keys and fixed separators make the bytes identical for
+        identical event sequences on any platform and under any
+        ``PYTHONHASHSEED`` — the property the golden-trace tests and the
+        fault-replay acceptance check assert on.
+        """
+        return json.dumps(
+            self.to_jsonable(), sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+
+    def signature(self) -> str:
+        """SHA-256 hex digest of :meth:`canonical_bytes`."""
+        return hashlib.sha256(self.canonical_bytes()).hexdigest()

@@ -8,6 +8,22 @@ from repro.channel.medium import AcousticMedium
 from repro.hardware.harvester import EnergyHarvester
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/*.json from the current code instead of "
+        "comparing against it (review the diff before committing!)",
+    )
+
+
+@pytest.fixture(scope="session")
+def regen_golden(request) -> bool:
+    """True when the run should regenerate golden-trace files."""
+    return bool(request.config.getoption("--regen-golden"))
+
+
 @pytest.fixture(scope="session")
 def medium() -> AcousticMedium:
     """The ONVO L60 deployment with default channel models."""

@@ -1,0 +1,143 @@
+"""Chaos suite: hypothesis-generated fault schedules against the full
+network, asserting the safety invariants that must hold under ANY
+injection — clean teardown, replay determinism, pre-fault transparency,
+and protocol-state sanity."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.network import NetworkConfig, SlottedNetwork
+from repro.faults.schedule import ALL_KINDS, FaultEvent, FaultSchedule
+
+PERIODS = {"tag1": 4, "tag2": 8, "tag3": 8, "tag4": 16}
+TAGS = tuple(sorted(PERIODS))
+N_SLOTS = 120
+
+CHAOS = settings(max_examples=20, deadline=None, derandomize=True)
+
+
+@st.composite
+def fault_events(draw) -> FaultEvent:
+    kind = draw(st.sampled_from(ALL_KINDS))
+    slot = draw(st.integers(0, N_SLOTS - 1))
+    if kind == "reader_restart":
+        duration, target = 1, "reader"
+    else:
+        duration = draw(st.integers(1, 12))
+        if kind in ("noise_burst", "junction_loss"):
+            target = "*"
+        else:
+            target = draw(st.sampled_from(TAGS + ("*",)))
+    if kind == "bit_flip":
+        magnitude = float(draw(st.integers(1, 4)))
+    elif kind in ("noise_burst", "attenuation", "junction_loss"):
+        magnitude = draw(
+            st.floats(0.1, 30.0, allow_nan=False, allow_infinity=False)
+        )
+    elif kind == "envelope_drift":
+        magnitude = draw(
+            st.floats(1.0, 500.0, allow_nan=False, allow_infinity=False)
+        )
+    else:
+        magnitude = None
+    return FaultEvent(
+        slot=slot, duration=duration, kind=kind, target=target, magnitude=magnitude
+    )
+
+
+schedules = st.lists(fault_events(), min_size=0, max_size=6).map(FaultSchedule)
+
+
+def run_with(schedule: FaultSchedule, seed: int = 0, n_slots: int = None):
+    net = SlottedNetwork(
+        PERIODS,
+        config=NetworkConfig(seed=seed, ideal_channel=True),
+        faults=schedule,
+    )
+    net.run(n_slots if n_slots is not None else N_SLOTS + schedule.last_clear_slot)
+    return net
+
+
+class TestChaosInvariants:
+    @CHAOS
+    @given(schedules)
+    def test_run_completes_with_one_record_per_slot(self, schedule):
+        net = run_with(schedule)
+        n = N_SLOTS + schedule.last_clear_slot
+        assert len(net.records) == n
+        assert [r.slot for r in net.records] == list(range(n))
+        assert net.faults.trace.count("slot") == n
+
+    @CHAOS
+    @given(schedules)
+    def test_all_fault_state_clears_after_last_event(self, schedule):
+        net = run_with(schedule)
+        state = net.faults.state
+        assert not state.any_active()
+        assert net.faults.active_events() == []
+        # Float state restored to exactly zero — no residue.
+        assert state.noise_penalty_db == 0.0
+        assert net.medium.biw.joint_loss_offset_db == 0.0
+
+    @CHAOS
+    @given(schedules)
+    def test_every_applied_event_is_cleared(self, schedule):
+        net = run_with(schedule)
+        trace = net.faults.trace
+        applied = [r["fault_id"] for r in trace.records(kind="fault.apply")]
+        cleared = [r["fault_id"] for r in trace.records(kind="fault.clear")]
+        assert sorted(applied) == sorted(cleared)
+        assert len(set(applied)) == len(applied)
+        expected = [e.fault_id for e in schedule]
+        assert sorted(applied) == sorted(expected)
+
+    @CHAOS
+    @given(schedules, st.integers(0, 3))
+    def test_same_seed_replays_byte_identically(self, schedule, seed):
+        a = run_with(schedule, seed=seed)
+        b = run_with(schedule, seed=seed)
+        assert a.faults.trace.signature() == b.faults.trace.signature()
+        assert a.faults.trace.canonical_bytes() == b.faults.trace.canonical_bytes()
+        assert a.records == b.records
+
+    @CHAOS
+    @given(schedules)
+    def test_transparent_before_first_fault(self, schedule):
+        """Slots before the first event match the fault-free run exactly:
+        the fault layer consumes nothing from the shared slot stream."""
+        baseline = SlottedNetwork(
+            PERIODS, config=NetworkConfig(seed=0, ideal_channel=True)
+        )
+        baseline.run(N_SLOTS)
+        net = run_with(schedule, n_slots=N_SLOTS)
+        first = min((e.slot for e in schedule), default=N_SLOTS)
+        assert net.records[:first] == baseline.records[:first]
+
+    @CHAOS
+    @given(schedules)
+    def test_tag_protocol_state_stays_sane(self, schedule):
+        net = run_with(schedule)
+        for tag in net.tags.values():
+            assert 0 <= tag.offset < tag.period
+            assert tag.slot_counter >= 0
+            assert tag.transmissions <= len(net.records)
+
+    @CHAOS
+    @given(schedules)
+    def test_network_reconverges_after_any_schedule(self, schedule):
+        """Whatever the injection, the MAC must heal once faults stop:
+        the paper's self-stabilisation claim, tested adversarially."""
+        net = run_with(schedule)
+        assert net.run_until_converged(streak=32, max_slots=50_000) is not None
+
+    @CHAOS
+    @given(st.integers(0, 2**31 - 1))
+    def test_generated_schedules_replay_and_round_trip(self, seed):
+        s = FaultSchedule.generate(
+            seed=seed, n_slots=N_SLOTS, tags=list(TAGS), n_faults=5
+        )
+        assert FaultSchedule.generate(
+            seed=seed, n_slots=N_SLOTS, tags=list(TAGS), n_faults=5
+        ) == s
+        assert FaultSchedule.from_jsonable(s.to_jsonable()) == s
+        net = run_with(s, seed=1)
+        assert not net.faults.state.any_active()

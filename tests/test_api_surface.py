@@ -16,6 +16,7 @@ SUBPACKAGES = [
     "repro.hardware",
     "repro.phy",
     "repro.core",
+    "repro.faults",
     "repro.baselines",
     "repro.analysis",
     "repro.experiments",

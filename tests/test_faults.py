@@ -1,0 +1,229 @@
+"""Fault subsystem integration: zero-cost-when-off equivalence, layer
+hooks (channel penalties, hardware transitions, reader restart), the
+recovery metric, the figR experiment, and the CLI entry points."""
+
+import pytest
+
+from repro.analysis.recovery import recovery_report, slots_to_reconverge
+from repro.cli import main
+from repro.core.network import NetworkConfig, SlottedNetwork
+from repro.core.reader_protocol import SlotRecord
+from repro.core.waveform_network import WaveformNetwork
+from repro.faults import FaultEvent, FaultSchedule
+from repro.hardware.supercap import Supercapacitor
+from repro.hardware.tag_device import TagDevice
+
+PERIODS = {"tag1": 4, "tag2": 8, "tag3": 8}
+
+
+class TestZeroImpactWhenOff:
+    """Attaching the fault layer with nothing scheduled must leave every
+    simulation byte-identical — the non-fault path pays one branch."""
+
+    def test_slot_network_identical_with_empty_schedule(self, medium):
+        base = SlottedNetwork(PERIODS, medium=medium,
+                              config=NetworkConfig(seed=5))
+        base.run(300)
+        hooked = SlottedNetwork(PERIODS, medium=medium,
+                                config=NetworkConfig(seed=5),
+                                faults=FaultSchedule([]))
+        hooked.run(300)
+        assert hooked.records == base.records
+        assert hooked.tag_offsets() == base.tag_offsets()
+        # The controller existed, observed every slot, injected nothing.
+        assert hooked.faults is not None
+        assert hooked.faults.trace.count("slot") == 300
+        assert hooked.faults.trace.count("fault.apply") == 0
+        assert base.faults is None
+
+    def test_waveform_network_identical_with_empty_schedule(self, medium):
+        config = NetworkConfig(seed=2)
+        base = WaveformNetwork({"tag8": 2, "tag4": 4}, medium=medium,
+                               config=config)
+        base.run(8)
+        hooked = WaveformNetwork({"tag8": 2, "tag4": 4}, medium=medium,
+                                 config=config, faults=FaultSchedule([]))
+        hooked.run(8)
+        assert hooked.records == base.records
+        assert [
+            (log.slot, log.transmitters, log.decoded_tids, log.n_clusters)
+            for log in hooked.slot_logs
+        ] == [
+            (log.slot, log.transmitters, log.decoded_tids, log.n_clusters)
+            for log in base.slot_logs
+        ]
+
+
+class TestChannelPenaltyThreading:
+    def test_snr_penalty_is_exactly_subtractive(self, medium):
+        clean = medium.uplink_snr_db("tag8", 375.0)
+        assert medium.uplink_snr_db("tag8", 375.0, penalty_db=7.5) == clean - 7.5
+        assert medium.uplink_snr_db("tag8", 375.0, penalty_db=0.0) == clean
+
+    def test_packet_success_degrades_monotonically(self, medium):
+        succ = [
+            medium.uplink_packet_success("tag4", 3000.0, penalty_db=p)
+            for p in (0.0, 10.0, 20.0, 30.0)
+        ]
+        assert all(a >= b for a, b in zip(succ, succ[1:]))
+        assert succ[0] > 0.9
+        assert succ[-1] < 0.5
+
+    def test_observe_slot_penalty_kills_the_decode(self, medium, rng):
+        obs = medium.observe_slot(["tag8"], rng, penalty_db={"tag8": 60.0})
+        assert obs.decoded_tag is None
+        assert obs.transmitters == ("tag8",)
+
+    def test_observe_slot_none_and_empty_penalties_agree(self, medium):
+        import numpy as np
+
+        a = medium.observe_slot(["tag8"], np.random.default_rng(7))
+        b = medium.observe_slot(["tag8"], np.random.default_rng(7),
+                                penalty_db={})
+        assert a == b
+
+    def test_invalidate_channel_cache_tracks_biw_mutation(self):
+        from repro.channel.medium import AcousticMedium
+
+        medium = AcousticMedium()
+        before = medium.backscatter_amplitude_v("tag4")
+        medium.biw.set_joint_loss_offset_db(3.0)
+        medium.invalidate_channel_cache()
+        after = medium.backscatter_amplitude_v("tag4")
+        assert after != before
+        medium.biw.set_joint_loss_offset_db(0.0)
+        medium.invalidate_channel_cache()
+        assert medium.backscatter_amplitude_v("tag4") == before
+
+
+class TestHardwareFaultSurface:
+    def test_discharge_time_mirrors_charge_time(self):
+        cap = Supercapacitor()
+        assert cap.discharge_time_s(2.3, 1.95, 1e-3) == pytest.approx(
+            cap.charge_time_s(1.95, 2.3, 1e-3)
+        )
+        with pytest.raises(ValueError):
+            cap.discharge_time_s(1.0, 2.0, 1e-3)
+        with pytest.raises(ValueError):
+            cap.discharge_time_s(2.0, 1.0, 0.0)
+
+    def test_derated_harvester_scales_net_power(self, harvester):
+        vp = 2.0
+        full = harvester.net_charging_power_w(vp)
+        assert full > 0
+        assert harvester.derated(1.0).net_charging_power_w(vp) == full
+        half = harvester.derated(0.5).net_charging_power_w(vp)
+        assert 0 < half < full
+        assert harvester.derated(0.0).net_charging_power_w(vp) == 0.0
+        with pytest.raises(ValueError):
+            harvester.derated(1.5)
+
+    def test_tag_device_brownout_and_power_cycle(self):
+        device = TagDevice(pzt_voltage_v=2.0, initial_capacitor_v=2.4)
+        assert device.powered
+        device.brownout()
+        assert not device.powered
+        assert device.capacitor_v == 0.0
+        device.power_cycle()
+        assert device.powered
+        assert device.capacitor_v == device.thresholds.high_v
+
+    def test_tag_device_derate_harvester(self):
+        device = TagDevice(pzt_voltage_v=2.0)
+        nominal = device.harvester
+        full = device.harvester.net_charging_power_w(2.0)
+        device.derate_harvester(0.25)
+        assert device.harvester.net_charging_power_w(2.0) < full
+        device.harvester = nominal  # exact restoration path
+        assert device.harvester.net_charging_power_w(2.0) == full
+
+
+class TestRecoveryMetric:
+    @staticmethod
+    def records_from(collision_slots, n):
+        return [
+            SlotRecord(slot=s, n_transmitters=1, decoded="tag1",
+                       collision_detected=s in collision_slots, acked=True,
+                       empty_flag=False)
+            for s in range(n)
+        ]
+
+    def test_undisturbed_run_reports_zero(self):
+        records = self.records_from(set(), 100)
+        assert slots_to_reconverge(records, clear_slot=20, streak=16) == 0
+
+    def test_disturbed_run_counts_to_stability(self):
+        records = self.records_from({22, 25, 31}, 100)
+        assert slots_to_reconverge(records, clear_slot=20, streak=16) == 12
+
+    def test_quiet_fault_window_gets_no_credit(self):
+        # Collisions only AFTER the clear: pre-clear quiet must not count.
+        records = self.records_from({40}, 100)
+        assert slots_to_reconverge(records, clear_slot=30, streak=16) == 11
+
+    def test_none_when_records_end_early(self):
+        records = self.records_from({50}, 60)
+        assert slots_to_reconverge(records, clear_slot=40, streak=32) is None
+        with pytest.raises(ValueError):
+            slots_to_reconverge(records, clear_slot=0, streak=0)
+
+    def test_report_aggregates(self):
+        records = self.records_from({5, 25}, 80)
+        report = recovery_report(records, clear_slot=20, streak=16)
+        assert report.collisions_during_faults == 1
+        assert report.collisions_after_clear == 1
+        assert report.slots_to_reconverge == 6
+        assert report.decoded_fraction_after_clear == 1.0
+        assert report.to_jsonable()["clear_slot"] == 20
+
+
+class TestFigRecovery:
+    def test_smoke_run_recovers_and_replays(self):
+        from repro.experiments.figR_recovery import format_figR, run_figR
+
+        trials = run_figR(seed=1, bursts=(2, 8), warmup_slots=400,
+                          measure_slots=2000)
+        assert [t.burst_slots for t in trials] == [2, 8]
+        for t in trials:
+            assert t.slots_to_reconverge is not None
+            assert t.replay_identical
+        text = format_figR(trials)
+        assert "burst" in text and "ok" in text
+
+
+class TestCli:
+    def test_faults_command_runs(self, capsys):
+        assert main(["faults", "--slots", "600", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "fault schedule" in out
+        assert "trace signature" in out
+
+    def test_figR_command_runs(self, capsys):
+        assert main(["figR"]) == 0
+        out = capsys.readouterr().out
+        assert "reconverge" in out
+
+    def test_all_excludes_the_faults_demo(self):
+        from repro.cli import EXPERIMENTS
+
+        assert "faults" in EXPERIMENTS
+        assert "figR" in EXPERIMENTS
+
+
+class TestFaultedWaveform:
+    def test_noise_burst_reaches_the_dsp(self, medium):
+        """A large SNR penalty must make the real receive chain fail on
+        slots it decoded cleanly without the fault."""
+        config = NetworkConfig(seed=2)
+        schedule = FaultSchedule(
+            [FaultEvent(slot=2, duration=3, kind="attenuation",
+                        target="tag8", magnitude=60.0)]
+        )
+        clean = WaveformNetwork({"tag8": 2}, medium=medium, config=config)
+        clean.run(5)
+        faulted = WaveformNetwork({"tag8": 2}, medium=medium, config=config,
+                                  faults=schedule)
+        faulted.run(5)
+        decoded_clean = sum(1 for r in clean.records if r.decoded == "tag8")
+        decoded_faulted = sum(1 for r in faulted.records if r.decoded == "tag8")
+        assert decoded_clean > decoded_faulted
