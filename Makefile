@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-compare results api-index
+.PHONY: test bench bench-smoke bench-compare chaos-smoke results api-index
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -13,6 +13,10 @@ bench:
 # loop), snapshotted to BENCH_<git-rev>.json for bench-compare.
 bench-smoke:
 	$(PYTHON) tools/bench_smoke.py
+
+# Random-seed resilience chaos trials; the seed is logged for replay.
+chaos-smoke:
+	$(PYTHON) tools/chaos_smoke.py
 
 # Usage: make bench-compare BEFORE=BENCH_old.json AFTER=BENCH_new.json
 bench-compare:

@@ -105,7 +105,7 @@ def _run_fig19(args: argparse.Namespace) -> str:
 def _run_results(args: argparse.Namespace) -> str:
     import json
 
-    from repro.experiments.runner import collect_results, default_jobs
+    from repro.experiments.runner import ResultsError, collect_results, default_jobs
 
     if args.serial:
         jobs = 1
@@ -113,9 +113,29 @@ def _run_results(args: argparse.Namespace) -> str:
         jobs = args.jobs
     else:
         jobs = default_jobs()
-    results = collect_results(
-        seed=args.seed, quick=not args.full, jobs=jobs, perf=args.perf
-    )
+    checkpoint = args.checkpoint
+    if checkpoint is None and args.out:
+        checkpoint = f"{args.out}.ckpt"
+    if args.resume and checkpoint is None:
+        raise SystemExit("error: --resume needs --checkpoint or --out")
+    try:
+        results = collect_results(
+            seed=args.seed,
+            quick=not args.full,
+            jobs=jobs,
+            perf=args.perf,
+            timeout=args.timeout,
+            max_retries=args.max_retries,
+            checkpoint=checkpoint,
+            resume=args.resume,
+        )
+    except ResultsError as exc:
+        raise SystemExit(f"error: {exc}")
+    except KeyboardInterrupt:
+        hint = ""
+        if checkpoint:
+            hint = f"; resume with --resume --checkpoint {checkpoint}"
+        raise SystemExit(f"interrupted{hint}")
     text = json.dumps(results, indent=2, sort_keys=True)
     if args.out:
         try:
@@ -184,6 +204,74 @@ def _run_faults(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _run_figS(args: argparse.Namespace) -> str:
+    from repro.experiments.figS_degradation import DEFAULT_SEED, format_figS, run_figS
+
+    seed = args.seed if args.seed != 0 else DEFAULT_SEED
+    return format_figS(run_figS(seed=seed))
+
+
+def _run_resilience(args: argparse.Namespace) -> str:
+    from repro.analysis.recovery import slots_to_reconverge
+    from repro.core.network import NetworkConfig, SlottedNetwork
+    from repro.faults.scenarios import SCENARIO_PERIODS
+    from repro.faults.schedule import FaultSchedule
+    from repro.resilience import NetworkSupervisor
+
+    schedule = FaultSchedule.generate(
+        seed=args.seed,
+        n_slots=max(1, args.slots - 200),
+        tags=sorted(SCENARIO_PERIODS),
+        n_faults=args.n_faults,
+        start_slot=min(200, max(0, args.slots - 201)),
+    )
+
+    def run(with_policies: bool):
+        net = SlottedNetwork(
+            SCENARIO_PERIODS,
+            config=NetworkConfig(seed=args.seed, ideal_channel=True),
+            faults=schedule,
+        )
+        supervisor = NetworkSupervisor(net, policies=None if with_policies else ())
+        supervisor.run(args.slots)
+        return net, supervisor
+
+    lines = [
+        f"self-healing demo (seed={args.seed}, schedule "
+        f"{schedule.signature()[:16]}, {len(schedule)} faults):",
+        "",
+    ]
+    for label, with_policies in (("vanilla", False), ("supervised", True)):
+        net, supervisor = run(with_policies)
+        reconverge = slots_to_reconverge(net.records, schedule.last_clear_slot)
+        collisions = sum(1 for r in net.records if r.collision_detected)
+        lines.append(
+            f"{label:>12}: collisions={collisions:<4} reconverge="
+            f"{reconverge if reconverge is not None else 'never':<6} "
+            f"violations={len(supervisor.violations)} "
+            f"escalations={len(supervisor.escalations)}"
+        )
+        if with_policies:
+            lines.append("")
+            lines.append("policy actions:")
+            for action in supervisor.actions:
+                lines.append(
+                    f"  slot {action.slot:>5} {action.policy:<14} "
+                    f"{action.action:<16} {action.tag or '-':<8} {action.detail}"
+                )
+            lines.append("")
+            lines.append("link health (windowed):")
+            for tag, health in sorted(supervisor.monitor.report().items()):
+                lines.append(
+                    f"  {tag:<8} acks={health['acks']:<4} "
+                    f"nacks={health['nacks']:<3} "
+                    f"missed={health['missed_expected']:<3} "
+                    f"fails={health['decode_failures']:<3} "
+                    f"ack_rate={health['ack_rate']}"
+                )
+    return "\n".join(lines)
+
+
 def _run_appc(args: argparse.Namespace) -> str:
     from repro.analysis.markov import SlotAllocationChain
 
@@ -211,7 +299,9 @@ EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "fig17": _run_fig17,
     "fig19": _run_fig19,
     "figR": _run_figR,
+    "figS": _run_figS,
     "faults": _run_faults,
+    "resilience": _run_resilience,
     "appc": _run_appc,
     "results": _run_results,
 }
@@ -258,19 +348,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--slots",
         type=int,
         default=2000,
-        help="('faults') number of slots to simulate",
+        help="('faults'/'resilience') number of slots to simulate",
     )
     parser.add_argument(
         "--n-faults",
         type=int,
         default=6,
-        help="('faults') number of fault events to generate",
+        help="('faults'/'resilience') number of fault events to generate",
     )
     parser.add_argument(
         "--out",
         default=None,
         metavar="PATH",
         help="('results') write the JSON document here instead of stdout",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="('results') per-experiment wall-clock bound in seconds",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="('results') extra attempts for a failed experiment",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="('results') checkpoint file (default: <--out>.ckpt)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="('results') preload the checkpoint, run only missing experiments",
     )
     return parser
 
@@ -282,9 +397,12 @@ def main(argv: List[str] | None = None) -> int:
         return 0
     if args.experiment == "all":
         # 'results' re-runs every experiment for its JSON document, and
-        # 'faults' is an interactive demo of the injection subsystem;
-        # keep 'all' to the human-readable paper tables and figures.
-        names = sorted(n for n in EXPERIMENTS if n not in ("results", "faults"))
+        # 'faults'/'resilience' are interactive demos of the injection
+        # and self-healing subsystems; keep 'all' to the human-readable
+        # paper tables and figures.
+        names = sorted(
+            n for n in EXPERIMENTS if n not in ("results", "faults", "resilience")
+        )
     else:
         names = [args.experiment]
     for name in names:

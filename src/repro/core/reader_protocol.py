@@ -142,6 +142,21 @@ class ReaderMac:
         self._apply_reset()
         self._last_empty_flag = True
 
+    def release_assignment(self, tag: str) -> bool:
+        """Forget one tag's committed slot (resilience: slot-lease expiry).
+
+        Drops the commitment *and* any in-flight eviction ledger entry
+        for the tag — the two must always move together: an eviction
+        entry without a commitment is a stale-assignment leak (the tag
+        could never be selected as an eviction victim again, and
+        ``_start_eviction``'s in-flight check would reason about a slot
+        nobody holds).  Returns True when a commitment was dropped.
+        """
+        released = tag in self._committed
+        self._committed.pop(tag, None)
+        self._evicting.pop(tag, None)
+        return released
+
     def _compute_empty_flag(self, slot: int) -> bool:
         """Eq. 4: EMPTY(s) = prod_i 1(no packet received in slot s-p_i),
         with each tag's *own* period and per-tag attribution: tag i

@@ -17,10 +17,32 @@ Wraps the state machine with everything a deployed tag tracks:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Optional, Protocol
 
 from repro.core.state_machine import DEFAULT_NACK_THRESHOLD, TagState, TagStateMachine
 from repro.phy.packets import DownlinkBeacon
+
+
+class TagRecoveryHook(Protocol):
+    """Narrow interface a resilience policy exposes to one tag's MAC.
+
+    Both callbacks fire synchronously inside the MAC transition they
+    observe, so a policy can intervene before the tag acts on the event
+    (e.g. suppress the watchdog demote, or arm a rejoin hold-off before
+    the next beacon is processed).  A tag with no hook attached follows
+    the paper's vanilla behaviour on an identical code path — the hook
+    is the resilience layer's only entry point into the tag firmware.
+    """
+
+    def on_beacon_loss(self, tag: "TagMac") -> bool:
+        """Called per missed beacon; return True to suppress the
+        Sec. 5.4 demote-to-MIGRATE for this loss."""
+        ...
+
+    def on_power_cycle(self, tag: "TagMac") -> None:
+        """Called after a brownout cold restart, before the tag sees
+        its next beacon."""
+        ...
 
 
 @dataclass
@@ -56,6 +78,29 @@ class TagMac:
         self.beacons_received = 0
         self.beacons_missed = 0
         self.transmissions = 0
+        #: Missed beacons since the last successfully received one —
+        #: the signal the beacon-resync policy bounds its retries on.
+        self.consecutive_beacon_losses = 0
+        #: Brownout cold restarts this tag has been through.
+        self.power_cycles = 0
+        #: Slots the tag must stay silent before competing again; armed
+        #: by a rejoin-backoff policy, 0 (inert) on the vanilla path.
+        self.rejoin_holdoff = 0
+        self._recovery: Optional[TagRecoveryHook] = None
+
+    # -- resilience attachment point ------------------------------------
+
+    def attach_recovery(self, hook: Optional[TagRecoveryHook]) -> None:
+        """Install (or, with None, remove) a resilience hook.
+
+        With no hook the MAC's behaviour — including its RNG draws — is
+        byte-identical to a build without the resilience layer.
+        """
+        self._recovery = hook
+
+    @property
+    def recovery(self) -> Optional[TagRecoveryHook]:
+        return self._recovery
 
     @property
     def period(self) -> int:
@@ -90,6 +135,7 @@ class TagMac:
         whether to transmit in the slot this beacon opens.
         """
         self.beacons_received += 1
+        self.consecutive_beacon_losses = 0
 
         if self.transmitted_last_slot:
             if beacon.ack:
@@ -103,6 +149,18 @@ class TagMac:
             self.machine.reset()
             self.ever_settled = False
             self.slot_counter = 0
+
+        if self.rejoin_holdoff > 0:
+            # A rejoin-backoff policy is holding the tag out of the
+            # competition: feedback and RESET were processed above, but
+            # the tag stays silent and burns one hold-off slot.
+            self.rejoin_holdoff -= 1
+            self.slot_counter += 1
+            return TagDecision(
+                transmit=False,
+                offset=self.machine.offset,
+                state=self.machine.state,
+            )
 
         transmit = self._scheduled_now()
         if transmit and self.is_new and self.respect_empty_flag and not beacon.empty:
@@ -134,6 +192,11 @@ class TagMac:
         self.transmitted_last_slot = False
         self.ever_settled = False
         self.late_arrival = True
+        self.power_cycles += 1
+        if self._recovery is not None:
+            # Synchronous: the policy can arm a rejoin hold-off before
+            # the rebooted tag processes its first beacon.
+            self._recovery.on_power_cycle(self)
 
     def on_beacon_loss(self) -> TagDecision:
         """The watchdog fired: no beacon arrived for this slot.
@@ -143,8 +206,14 @@ class TagMac:
         in Sec. 5.4.  The refinement sends it straight back to MIGRATE.
         """
         self.beacons_missed += 1
+        self.consecutive_beacon_losses += 1
         self.transmitted_last_slot = False
-        self.machine.on_beacon_loss()
+        suppress = (
+            self._recovery is not None
+            and self._recovery.on_beacon_loss(self)
+        )
+        if not suppress:
+            self.machine.on_beacon_loss()
         return TagDecision(
             transmit=False, offset=self.machine.offset, state=self.machine.state
         )

@@ -7,14 +7,25 @@ curation want structured numbers instead:
     python -m repro.experiments.runner results.json
     python -m repro.experiments.runner results.json --jobs 4
     python -m repro.experiments.runner results.json --serial --full
+    python -m repro.experiments.runner results.json --resume --timeout 120
 
-The nine figure/table experiments are independent of one another, so
+The experiments are independent of one another, so
 :func:`collect_results` can fan them out over a
 ``ProcessPoolExecutor``.  Each experiment derives its own seed from the
 master seed *inside its job function*, exactly as the serial path does,
 so the merged document is identical byte-for-byte whichever way it was
 produced (the determinism test in ``tests/experiments/test_runner.py``
 holds the two paths equal).
+
+Crash tolerance: every completed fragment is persisted to an atomic
+checkpoint file the moment it lands, so a killed run resumes with
+``--resume`` and re-executes only the missing jobs — and, because every
+fragment is a pure function of ``(seed, quick)``, the resumed document
+is byte-identical to an uninterrupted one.  A crashed worker pool
+(:class:`~concurrent.futures.process.BrokenProcessPool`) degrades to
+serial re-execution of the incomplete jobs instead of losing the
+finished ones, and each job gets a bounded number of retries and an
+optional wall-clock timeout.
 """
 
 from __future__ import annotations
@@ -23,10 +34,15 @@ import argparse
 import json
 import os
 import pickle
+import signal
 import sys
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.channel.medium import AcousticMedium
 
@@ -34,6 +50,14 @@ from repro.channel.medium import AcousticMedium
 QUICK_TRIALS, FULL_TRIALS = 5, 10
 QUICK_LONGRUN_SLOTS, FULL_LONGRUN_SLOTS = 4000, 10_000
 QUICK_ALOHA_S, FULL_ALOHA_S = 4000.0, 10_000.0
+
+
+class ResultsError(RuntimeError):
+    """A job failed past its retry budget, or a checkpoint mismatched."""
+
+
+class _JobTimeout(Exception):
+    """Internal: a serially-executed job outran its timeout."""
 
 
 # -- per-experiment jobs ----------------------------------------------------
@@ -154,6 +178,15 @@ def _job_fig19(medium: AcousticMedium, seed: int, quick: bool) -> Dict[str, Any]
     }
 
 
+def _job_figS(medium: AcousticMedium, seed: int, quick: bool) -> Dict[str, Any]:
+    from repro.experiments.figS_degradation import run_figS, summarize_figS
+
+    # The degradation ladder runs at its own pinned seed: the
+    # policy-vs-baseline verdicts it documents are a property of the
+    # resilience layer, not of this document's master seed.
+    return {"figS": summarize_figS(run_figS())}
+
+
 #: Canonical experiment order; the output document is merged in this
 #: order regardless of parallel completion order.
 EXPERIMENT_JOBS: List[Tuple[str, Callable[..., Dict[str, Any]]]] = [
@@ -166,6 +199,7 @@ EXPERIMENT_JOBS: List[Tuple[str, Callable[..., Dict[str, Any]]]] = [
     ("fig16", _job_fig16),
     ("fig17", _job_fig17),
     ("fig19", _job_fig19),
+    ("figS", _job_figS),
 ]
 
 _JOBS_BY_NAME = dict(EXPERIMENT_JOBS)
@@ -186,12 +220,105 @@ def default_jobs() -> int:
     return max(1, os.cpu_count() or 1)
 
 
+# -- checkpointing ----------------------------------------------------------
+
+_CHECKPOINT_VERSION = 1
+
+
+def _write_checkpoint(
+    path: str,
+    seed: int,
+    quick: bool,
+    fragments: Dict[str, Dict[str, Any]],
+    timings: Dict[str, float],
+) -> None:
+    """Persist completed fragments atomically (tmp file + rename): a
+    kill at any instant leaves either the previous checkpoint or the
+    new one, never a torn file."""
+    payload = {
+        "version": _CHECKPOINT_VERSION,
+        "seed": seed,
+        "quick": quick,
+        "fragments": fragments,
+        "timings": timings,
+    }
+    tmp = f"{path}.tmp"
+    with open(tmp, "w") as fh:
+        json.dump(payload, fh, sort_keys=True)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+def _load_checkpoint(
+    path: str, seed: int, quick: bool
+) -> Tuple[Dict[str, Dict[str, Any]], Dict[str, float]]:
+    """Load a checkpoint, validating it belongs to this run's params."""
+    try:
+        with open(path) as fh:
+            payload = json.load(fh)
+    except (OSError, ValueError) as exc:
+        raise ResultsError(f"cannot read checkpoint {path}: {exc}")
+    if payload.get("version") != _CHECKPOINT_VERSION:
+        raise ResultsError(
+            f"checkpoint {path} has version {payload.get('version')!r}; "
+            f"expected {_CHECKPOINT_VERSION}"
+        )
+    if payload.get("seed") != seed or payload.get("quick") != quick:
+        raise ResultsError(
+            f"checkpoint {path} was taken with seed={payload.get('seed')} "
+            f"quick={payload.get('quick')}; this run uses seed={seed} "
+            f"quick={quick} — refusing to mix"
+        )
+    fragments = payload.get("fragments", {})
+    known = {n for n, _ in EXPERIMENT_JOBS}
+    fragments = {n: f for n, f in fragments.items() if n in known}
+    return fragments, payload.get("timings", {})
+
+
+@contextmanager
+def _serial_timeout(seconds: Optional[float]) -> Iterator[None]:
+    """Bound one serially-executed job with SIGALRM where possible.
+
+    Only the main thread of a POSIX process can field SIGALRM; anywhere
+    else the guard degrades to a no-op (pool mode bounds jobs through
+    the future instead).
+    """
+    usable = (
+        seconds is not None
+        and seconds > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _fire(signum, frame):
+        raise _JobTimeout()
+
+    previous = signal.signal(signal.SIGALRM, _fire)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+# -- collection -------------------------------------------------------------
+
+
 def collect_results(
     medium: Optional[AcousticMedium] = None,
     seed: int = 0,
     quick: bool = True,
     jobs: int = 1,
     perf: bool = False,
+    timeout: Optional[float] = None,
+    max_retries: int = 0,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
 ) -> Dict[str, Any]:
     """Run every analytic/fast experiment; returns a JSON-able dict.
 
@@ -203,11 +330,34 @@ def collect_results(
     appends a ``"perf"`` section with per-experiment wall times and the
     in-process stage/counter report — omitted by default so the
     document stays byte-stable across executions.
+
+    Robustness knobs:
+
+    * ``timeout`` bounds each job's wall time (seconds).  In pool mode
+      the bound is enforced on the future; serially it uses SIGALRM
+      when available.  A timed-out job counts as one failed attempt.
+    * ``max_retries`` re-runs a failed or timed-out job up to that many
+      extra times before :class:`ResultsError` is raised.
+    * ``checkpoint`` names a file that receives every completed
+      fragment atomically as it lands; ``resume=True`` preloads it and
+      re-executes only the missing jobs.  Fragments are pure functions
+      of ``(seed, quick)``, so a killed-and-resumed run emits a
+      document byte-identical to an uninterrupted one.  The checkpoint
+      is deleted once the document is complete.
+    * A :class:`BrokenProcessPool` (a worker crashed hard) falls back
+      to serial re-execution of only the jobs that had not finished —
+      completed fragments are never lost.  ``KeyboardInterrupt``
+      propagates after the checkpoint is flushed.
     """
     medium = medium if medium is not None else AcousticMedium()
 
-    out: Dict[str, Any] = {"quick": quick, "seed": seed}
+    fragments: Dict[str, Dict[str, Any]] = {}
     timings: Dict[str, float] = {}
+    if resume:
+        if checkpoint is None:
+            raise ResultsError("resume requested without a checkpoint path")
+        if os.path.exists(checkpoint):
+            fragments, timings = _load_checkpoint(checkpoint, seed, quick)
 
     if jobs > 1:
         try:
@@ -215,24 +365,91 @@ def collect_results(
         except Exception:
             jobs = 1  # custom media that can't cross a process boundary
 
-    if jobs > 1:
-        names = [name for name, _ in EXPERIMENT_JOBS]
-        with ProcessPoolExecutor(max_workers=min(jobs, len(names))) as pool:
-            futures = [
-                pool.submit(_run_job, name, medium, seed, quick) for name in names
-            ]
-            fragments: Dict[str, Dict[str, Any]] = {}
-            for future in futures:
-                name, fragment, elapsed = future.result()
-                fragments[name] = fragment
-                timings[name] = elapsed
-        for name, _ in EXPERIMENT_JOBS:
-            out.update(fragments[name])
-    else:
-        for name, job in EXPERIMENT_JOBS:
-            start = time.perf_counter()
-            out.update(job(medium, seed, quick))
-            timings[name] = time.perf_counter() - start
+    names = [name for name, _ in EXPERIMENT_JOBS]
+    pending = [name for name in names if name not in fragments]
+    attempts: Dict[str, int] = {name: 0 for name in names}
+
+    def record(name: str, fragment: Dict[str, Any], elapsed: float) -> None:
+        fragments[name] = fragment
+        timings[name] = elapsed
+        if checkpoint is not None:
+            _write_checkpoint(checkpoint, seed, quick, fragments, timings)
+
+    try:
+        while pending:
+            failed: List[Tuple[str, str]] = []
+            if jobs > 1:
+                pool = ProcessPoolExecutor(max_workers=min(jobs, len(pending)))
+                try:
+                    futures = {
+                        name: pool.submit(_run_job, name, medium, seed, quick)
+                        for name in pending
+                    }
+                    for name, future in futures.items():
+                        try:
+                            done_name, fragment, elapsed = future.result(
+                                timeout=timeout
+                            )
+                            record(done_name, fragment, elapsed)
+                        except FuturesTimeout:
+                            failed.append(
+                                (name, f"timed out after {timeout:g}s")
+                            )
+                        except BrokenProcessPool:
+                            raise
+                        except Exception as exc:
+                            failed.append((name, repr(exc)))
+                except BrokenProcessPool:
+                    # A worker died hard (segfault, OOM-kill): the pool
+                    # is unusable, but every recorded fragment is safe.
+                    # Degrade to serial for the jobs still missing; no
+                    # retry budget is charged — the jobs never ran.
+                    jobs = 1
+                    pending = [n for n in pending if n not in fragments]
+                    continue
+                finally:
+                    pool.shutdown(wait=False, cancel_futures=True)
+            else:
+                for name in pending:
+                    start = time.perf_counter()
+                    try:
+                        with _serial_timeout(timeout):
+                            fragment = _JOBS_BY_NAME[name](medium, seed, quick)
+                    except _JobTimeout:
+                        failed.append((name, f"timed out after {timeout:g}s"))
+                    except KeyboardInterrupt:
+                        raise
+                    except Exception as exc:
+                        failed.append((name, repr(exc)))
+                    else:
+                        record(name, fragment, time.perf_counter() - start)
+
+            still_pending: List[str] = []
+            for name, reason in failed:
+                attempts[name] += 1
+                if attempts[name] > max_retries:
+                    raise ResultsError(
+                        f"experiment {name!r} failed after "
+                        f"{attempts[name]} attempt"
+                        f"{'s' if attempts[name] != 1 else ''}: {reason}"
+                    )
+                still_pending.append(name)
+            pending = still_pending
+    except KeyboardInterrupt:
+        # The per-fragment checkpoint is already on disk; re-raise so
+        # the caller (or the shell) sees the interrupt.  Completed work
+        # survives for --resume.
+        raise
+
+    out: Dict[str, Any] = {"quick": quick, "seed": seed}
+    for name in names:
+        out.update(fragments[name])
+
+    if checkpoint is not None:
+        try:
+            os.remove(checkpoint)
+        except OSError:
+            pass
 
     if perf:
         from repro import perf as perf_mod
@@ -278,15 +495,59 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="embed per-experiment wall times and perf counters",
     )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-experiment wall-clock bound in seconds",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="extra attempts for a failed or timed-out experiment",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="checkpoint file (default: <target>.ckpt)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="preload the checkpoint and run only the missing experiments",
+    )
     return parser
 
 
 def main(argv: Optional[list] = None) -> int:
     args = build_parser().parse_args(argv if argv is not None else sys.argv[1:])
     jobs = 1 if args.serial else (args.jobs if args.jobs is not None else 1)
-    results = collect_results(
-        seed=args.seed, quick=not args.full, jobs=jobs, perf=args.perf
-    )
+    checkpoint = args.checkpoint or f"{args.target}.ckpt"
+    try:
+        results = collect_results(
+            seed=args.seed,
+            quick=not args.full,
+            jobs=jobs,
+            perf=args.perf,
+            timeout=args.timeout,
+            max_retries=args.max_retries,
+            checkpoint=checkpoint,
+            resume=args.resume,
+        )
+    except ResultsError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
+    except KeyboardInterrupt:
+        print(
+            f"interrupted; completed experiments are in {checkpoint} "
+            "(rerun with --resume)",
+            file=sys.stderr,
+        )
+        return 130
     try:
         with open(args.target, "w") as fh:
             json.dump(results, fh, indent=2, sort_keys=True)

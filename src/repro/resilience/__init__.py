@@ -1,0 +1,45 @@
+"""Self-healing resilience layer: link-health watchdog, recovery
+policies, and supervised network stepping.
+
+The layer is strictly additive: a network that never attaches a
+supervisor (or attaches one with no policies) behaves — and replays —
+byte-identically to a build without this package.
+"""
+
+from repro.resilience.health import (
+    DEFAULT_HEALTH_WINDOW,
+    LinkHealthMonitor,
+    TagHealth,
+)
+from repro.resilience.policies import (
+    BackoffRejoinPolicy,
+    BeaconResyncPolicy,
+    PolicyAction,
+    RecoveryPolicy,
+    SlotLeasePolicy,
+    default_policies,
+)
+from repro.resilience.supervisor import (
+    EscalationEvent,
+    EscalationExhausted,
+    InvariantViolation,
+    NetworkSupervisor,
+    ResilienceError,
+)
+
+__all__ = [
+    "DEFAULT_HEALTH_WINDOW",
+    "LinkHealthMonitor",
+    "TagHealth",
+    "BackoffRejoinPolicy",
+    "BeaconResyncPolicy",
+    "PolicyAction",
+    "RecoveryPolicy",
+    "SlotLeasePolicy",
+    "default_policies",
+    "EscalationEvent",
+    "EscalationExhausted",
+    "InvariantViolation",
+    "NetworkSupervisor",
+    "ResilienceError",
+]

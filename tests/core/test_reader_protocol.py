@@ -294,3 +294,117 @@ class TestEvictionCornerCases:
             run_slot(r)
         run_slot(r, decoded=victim)
         assert victim not in r.evicting()
+
+
+class TestReleaseAssignment:
+    def test_release_drops_commitment(self):
+        r = ReaderMac({"a": 4})
+        run_slot(r, decoded="a")
+        assert "a" in r.committed_assignments
+        assert r.release_assignment("a") is True
+        assert "a" not in r.committed_assignments
+
+    def test_release_unknown_tag_is_false(self):
+        r = ReaderMac({"a": 4})
+        assert r.release_assignment("a") is False
+        assert r.release_assignment("stranger") is False
+
+    def test_release_drops_eviction_entry_with_commitment(self):
+        # The leak the PR-3 audit targets: dropping only the commitment
+        # would orphan the eviction ledger entry, permanently excluding
+        # the tag from future victim selection and making
+        # _start_eviction reason about a slot nobody holds.
+        r = ReaderMac({"A": 4, "B": 4, "C": 2})
+        while r.slot_index % 4 != 2:
+            run_slot(r)
+        run_slot(r, decoded="A")
+        while r.slot_index % 4 != 3:
+            run_slot(r)
+        run_slot(r, decoded="B")
+        while r.slot_index % 2 != 0:
+            run_slot(r)
+        run_slot(r, decoded="C")  # blocked: eviction starts
+        victim = next(iter(r.evicting()))
+        assert r.release_assignment(victim) is True
+        assert victim not in r.evicting()
+        assert victim not in r.committed_assignments
+
+    def test_released_tag_is_eligible_as_victim_again(self):
+        r = ReaderMac({"A": 4, "B": 4, "C": 2})
+        while r.slot_index % 4 != 2:
+            run_slot(r)
+        run_slot(r, decoded="A")
+        r.release_assignment("A")
+        # A re-settles cleanly: a stale eviction entry would have
+        # poisoned this placement with forced NACKs.
+        while r.slot_index % 4 != 2:
+            run_slot(r)
+        run_slot(r, decoded="A")
+        beacon, _ = run_slot(r)
+        assert beacon.ack
+        assert r.committed_assignments["A"].offset == 2
+
+
+class TestRestartEvictionAudit:
+    """Audit trail for restart x in-flight eviction interactions: the
+    two ledgers must always move together (evicting is a subset of
+    committed between slots), whichever path tears an entry down."""
+
+    def _mid_eviction(self):
+        r = ReaderMac({"A": 4, "B": 4, "C": 2})
+        while r.slot_index % 4 != 2:
+            run_slot(r)
+        run_slot(r, decoded="A")
+        while r.slot_index % 4 != 3:
+            run_slot(r)
+        run_slot(r, decoded="B")
+        while r.slot_index % 2 != 0:
+            run_slot(r)
+        run_slot(r, decoded="C")
+        assert len(r.evicting()) == 1
+        return r
+
+    def test_restart_clears_both_ledgers(self):
+        r = self._mid_eviction()
+        r.restart()
+        assert r.evicting() == set()
+        assert r.committed_assignments == {}
+
+    def test_reset_clears_both_ledgers(self):
+        r = self._mid_eviction()
+        r.request_reset()
+        r.make_beacon()
+        assert r.evicting() == set()
+        assert r.committed_assignments == {}
+
+    def test_evicting_is_subset_of_committed_through_eviction(self):
+        # Drive the whole eviction to completion, checking the subset
+        # invariant between every slot.
+        r = self._mid_eviction()
+        victim = next(iter(r.evicting()))
+        victim_offset = {"A": 2, "B": 3}[victim]
+        for _ in range(4 * r.nack_threshold):
+            if r.slot_index % 4 == victim_offset:
+                run_slot(r, decoded=victim)  # victim absorbs a forced NACK
+            else:
+                run_slot(r)
+            assert r.evicting() <= set(r.committed_assignments), (
+                r.evicting(),
+                set(r.committed_assignments),
+            )
+        assert victim not in r.evicting()
+
+    def test_restart_mid_eviction_allows_clean_resettle(self):
+        # After a reader reboot the old eviction must not haunt the
+        # victim: everyone re-places from scratch on observed traffic.
+        r = self._mid_eviction()
+        victim = next(iter(r.evicting()))
+        victim_offset = {"A": 2, "B": 3}[victim]
+        r.restart()
+        while r.slot_index % 4 != victim_offset:
+            run_slot(r)
+        run_slot(r, decoded=victim)
+        beacon, _ = run_slot(r)
+        assert beacon.ack
+        assert victim in r.committed_assignments
+        assert victim not in r.evicting()

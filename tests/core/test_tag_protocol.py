@@ -135,3 +135,156 @@ class TestBeaconLoss:
     def test_no_transmission_during_loss(self):
         tag = make_tag(period=4, offsets=[0, 0])
         assert not tag.on_beacon_loss().transmit
+
+
+class TestConsecutiveBeaconLoss:
+    def test_counter_tracks_loss_runs(self):
+        tag = make_tag(period=4)  # cycling picker: demotes re-roll freely
+        for expected in (1, 2, 3):
+            tag.on_beacon_loss()
+            assert tag.consecutive_beacon_losses == expected
+        tag.on_beacon(BEACON)
+        assert tag.consecutive_beacon_losses == 0
+        tag.on_beacon_loss()
+        assert tag.consecutive_beacon_losses == 1
+        assert tag.beacons_missed == 4  # lifetime total keeps counting
+
+    def test_each_loss_in_a_run_demotes_without_hook(self):
+        # Vanilla Sec. 5.4: every loss re-rolls the offset; a run of N
+        # losses consumes N picks from the offset picker.
+        picks = []
+
+        def picker(p):
+            picks.append(p)
+            return len(picks) % p
+
+        tag = TagMac("tagX", tid=1, period=4, offset_picker=picker)
+        initial = len(picks)
+        tag.on_beacon(ACK)
+        for _ in range(5):
+            tag.on_beacon_loss()
+        assert len(picks) - initial >= 5
+
+    def test_hook_sees_every_loss_in_sequence(self):
+        seen = []
+
+        class Hook:
+            def on_beacon_loss(self, t):
+                seen.append(t.consecutive_beacon_losses)
+                return True
+
+            def on_power_cycle(self, t):
+                pass
+
+        tag = make_tag(period=4, offsets=[2])
+        tag.attach_recovery(Hook())
+        for _ in range(4):
+            tag.on_beacon_loss()
+        assert seen == [1, 2, 3, 4]
+
+    def test_suppressed_loss_keeps_offset_and_state(self):
+        class Hold:
+            def on_beacon_loss(self, t):
+                return True
+
+            def on_power_cycle(self, t):
+                pass
+
+        tag = make_tag(period=4, offsets=[2, 0])
+        tag.on_beacon(BEACON)
+        tag.on_beacon(BEACON)
+        tag.on_beacon(BEACON)  # slot 2: transmits at its offset
+        tag.on_beacon(ACK)  # settles
+        tag.attach_recovery(Hold())
+        for _ in range(6):
+            tag.on_beacon_loss()
+        assert tag.state is TagState.SETTLE
+        assert tag.offset == 2
+
+    def test_detached_hook_restores_vanilla_demote(self):
+        class Hold:
+            def on_beacon_loss(self, t):
+                return True
+
+            def on_power_cycle(self, t):
+                pass
+
+        tag = make_tag(period=4, offsets=[0, 1])
+        tag.on_beacon(ACK)
+        tag.attach_recovery(Hold())
+        tag.on_beacon_loss()
+        tag.attach_recovery(None)
+        tag.on_beacon_loss()
+        assert tag.state is TagState.MIGRATE
+
+
+class TestPowerCycleRejoin:
+    def test_power_cycle_counts_and_resets_protocol_state(self):
+        tag = make_tag(period=4, offsets=[2, 1])
+        for _ in range(3):
+            tag.on_beacon(BEACON)
+        tag.on_beacon(ACK)
+        tag.power_cycle()
+        assert tag.power_cycles == 1
+        assert tag.slot_counter == 0
+        assert not tag.ever_settled
+        assert tag.late_arrival  # rejoins as an EMPTY-gated newcomer
+
+    def test_power_cycle_notifies_hook_synchronously(self):
+        events = []
+
+        class Hook:
+            def on_beacon_loss(self, t):
+                return False
+
+            def on_power_cycle(self, t):
+                events.append(t.power_cycles)
+                t.rejoin_holdoff = 7
+
+        tag = make_tag(period=4, offsets=[2, 1])
+        tag.attach_recovery(Hook())
+        tag.power_cycle()
+        assert events == [1]
+        assert tag.rejoin_holdoff == 7  # armed before the next beacon
+
+    def test_holdoff_silences_and_drains_per_beacon(self):
+        tag = make_tag(period=2, offsets=[0])
+        tag.rejoin_holdoff = 4
+        decisions = [tag.on_beacon(BEACON) for _ in range(4)]
+        assert all(not d.transmit for d in decisions)
+        assert tag.rejoin_holdoff == 0
+        assert tag.slot_counter == 4  # counter keeps tracking beacons
+        # Holdoff drained: slot 4 matches offset 0 mod 2, so it speaks.
+        assert tag.on_beacon(BEACON).transmit
+
+    def test_holdoff_still_processes_feedback_and_reset(self):
+        tag = make_tag(period=4, offsets=[0, 3])
+        tag.on_beacon(ACK)  # transmits at slot 0... 
+        assert tag.transmitted_last_slot
+        tag.rejoin_holdoff = 1
+        tag.on_beacon(DownlinkBeacon(ack=True, empty=True))
+        assert tag.state is TagState.SETTLE  # ACK applied despite holdoff
+        tag.rejoin_holdoff = 1
+        tag.on_beacon(DownlinkBeacon(ack=False, empty=True, reset=True))
+        assert tag.slot_counter == 1  # RESET zeroed it, then +1 this slot
+        assert not tag.ever_settled
+
+    def test_consecutive_power_cycles_under_fault_schedule(self):
+        from repro.core.network import NetworkConfig, SlottedNetwork
+        from repro.faults.schedule import FaultEvent, FaultSchedule
+
+        schedule = FaultSchedule(
+            [
+                FaultEvent(slot=100, duration=5, kind="brownout", target="tag2"),
+                FaultEvent(slot=150, duration=5, kind="brownout", target="tag2"),
+                FaultEvent(slot=200, duration=5, kind="brownout", target="tag2"),
+            ]
+        )
+        net = SlottedNetwork(
+            {"tag1": 4, "tag2": 8, "tag3": 8},
+            config=NetworkConfig(seed=0, ideal_channel=True),
+            faults=schedule,
+        )
+        net.run(400)
+        assert net.tags["tag2"].power_cycles == 3
+        assert net.run_until_converged() is not None

@@ -1,0 +1,101 @@
+"""Tests for the Fig. S graceful-degradation experiment — including the
+PR-3 acceptance criteria: with the default policies attached, recovery
+after the 8-slot beacon-loss burst AND after the supercap-brownout
+power cycle is strictly better than the no-policy baseline."""
+
+import json
+
+import pytest
+
+from repro.experiments.figS_degradation import (
+    DEFAULT_SEED,
+    degradation_levels,
+    format_figS,
+    run_figS,
+    summarize_figS,
+)
+
+
+@pytest.fixture(scope="module")
+def trials():
+    return run_figS()
+
+
+@pytest.fixture(scope="module")
+def by_level(trials):
+    return {t.level: t for t in trials}
+
+
+class TestLadderStructure:
+    def test_levels_in_declared_order(self, trials):
+        assert [t.level for t in trials] == [
+            "none",
+            "burst2",
+            "burst8",
+            "brownout",
+            "burst8+brownout",
+        ]
+        assert [name for name, _ in degradation_levels()] == [t.level for t in trials]
+
+    def test_fault_counts_grow_with_intensity(self, by_level):
+        assert by_level["none"].n_faults == 0
+        assert by_level["burst8"].n_faults == 1
+        assert by_level["brownout"].n_faults == 6  # one per tag
+        assert by_level["burst8+brownout"].n_faults == 7
+
+    def test_brownout_level_power_cycles_every_tag(self):
+        levels = dict(degradation_levels())
+        targets = {e.target for e in levels["brownout"]}
+        assert targets == {"tag1", "tag2", "tag3", "tag4", "tag5", "tag6"}
+        assert all(e.kind == "brownout" for e in levels["brownout"])
+
+    def test_no_fault_level_is_policy_transparent(self, by_level):
+        # With nothing to recover from, supervision must not change the
+        # converged outcome.
+        t = by_level["none"]
+        assert t.baseline_reconverge == t.policy_reconverge
+        assert t.baseline_collisions == t.policy_collisions
+
+
+class TestAcceptance:
+    def test_burst8_strictly_better_with_policies(self, by_level):
+        t = by_level["burst8"]
+        assert t.baseline_reconverge is not None
+        assert t.policy_reconverge is not None
+        assert t.policy_reconverge < t.baseline_reconverge
+        assert t.improved is True
+
+    def test_brownout_strictly_better_with_policies(self, by_level):
+        t = by_level["brownout"]
+        assert t.baseline_reconverge is not None
+        assert t.policy_reconverge is not None
+        assert t.policy_reconverge < t.baseline_reconverge
+        assert t.improved is True
+
+    def test_every_level_reconverges_under_policies(self, trials):
+        assert all(t.policy_reconverge is not None for t in trials)
+
+    def test_no_invariant_violations_anywhere(self, trials):
+        assert all(t.invariant_violations == 0 for t in trials)
+
+    def test_policies_act_only_when_there_are_faults(self, by_level):
+        assert by_level["none"].policy_actions == 0
+        assert by_level["burst8"].policy_actions > 0
+        assert by_level["brownout"].policy_actions > 0
+
+
+class TestReporting:
+    def test_format_mentions_verdicts(self, trials):
+        text = format_figS(trials)
+        assert "improved" in text
+        assert "level" in text.splitlines()[0]
+        assert len(text.splitlines()) == len(trials) + 1
+
+    def test_summary_is_json_stable(self, trials):
+        doc = summarize_figS(trials)
+        assert json.loads(json.dumps(doc)) == doc
+        assert doc["burst8"]["improved"] is True
+
+    def test_deterministic_across_runs(self, trials):
+        again = run_figS(seed=DEFAULT_SEED)
+        assert summarize_figS(again) == summarize_figS(trials)

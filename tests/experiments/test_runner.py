@@ -1,6 +1,7 @@
 """Tests for the machine-readable results runner."""
 
 import json
+import os
 
 import pytest
 
@@ -27,6 +28,7 @@ class TestCollectResults:
             "fig16",
             "fig17_correlations",
             "fig19",
+            "figS",
         ):
             assert key in results, key
 
@@ -86,6 +88,7 @@ class TestParallelExecution:
             "fig16",
             "fig17",
             "fig19",
+            "figS",
         }
         assert all(t >= 0 for t in perf["experiment_wall_s"].values())
         json.dumps(with_perf)  # still serialisable with the perf section
@@ -97,3 +100,201 @@ class TestParallelExecution:
 
         results = collect_results(Unpicklable(), seed=0, quick=True, jobs=2)
         assert results["table2_sustainable"] is True
+
+
+# -- robustness harness ------------------------------------------------------
+#
+# The crash/retry/resume machinery is independent of which experiments
+# run, so these tests swap in a tiny synthetic job table (fast, and —
+# via the fork start method — visible inside pool workers too).
+
+
+def _tiny_job(tag):
+    def job(medium, seed, quick):
+        return {tag: {"seed": seed, "quick": quick}}
+
+    job.__name__ = f"_job_{tag}"
+    return job
+
+
+@pytest.fixture()
+def tiny_jobs(monkeypatch):
+    import repro.experiments.runner as runner_mod
+
+    jobs = [(name, _tiny_job(name)) for name in ("j1", "j2", "j3", "j4")]
+    monkeypatch.setattr(runner_mod, "EXPERIMENT_JOBS", jobs)
+    monkeypatch.setattr(runner_mod, "_JOBS_BY_NAME", dict(jobs))
+    return dict(jobs)
+
+
+class TestRobustRunner:
+    def test_interrupted_run_resumes_byte_identical(
+        self, tiny_jobs, tmp_path, monkeypatch, medium
+    ):
+        import repro.experiments.runner as runner_mod
+
+        ckpt = str(tmp_path / "run.ckpt")
+        uninterrupted = collect_results(medium, seed=7, quick=True)
+
+        calls = {"n": 0}
+        patched = dict(tiny_jobs)
+
+        def dying_j3(m, seed, quick):
+            raise KeyboardInterrupt
+
+        patched["j3"] = dying_j3
+        monkeypatch.setattr(runner_mod, "_JOBS_BY_NAME", patched)
+        with pytest.raises(KeyboardInterrupt):
+            collect_results(medium, seed=7, quick=True, checkpoint=ckpt)
+        assert os.path.exists(ckpt)  # the two finished fragments survive
+
+        monkeypatch.setattr(runner_mod, "_JOBS_BY_NAME", dict(tiny_jobs))
+        resumed = collect_results(
+            medium, seed=7, quick=True, checkpoint=ckpt, resume=True
+        )
+        assert json.dumps(resumed, sort_keys=True) == json.dumps(
+            uninterrupted, sort_keys=True
+        )
+        assert not os.path.exists(ckpt)  # consumed on success
+
+    def test_resume_runs_only_missing_jobs(
+        self, tiny_jobs, tmp_path, monkeypatch, medium
+    ):
+        import repro.experiments.runner as runner_mod
+
+        ckpt = str(tmp_path / "run.ckpt")
+        ran = []
+        patched = {}
+        for name, job in tiny_jobs.items():
+            def tracking(m, seed, quick, _name=name, _job=job):
+                ran.append(_name)
+                return _job(m, seed, quick)
+
+            patched[name] = tracking
+        monkeypatch.setattr(runner_mod, "_JOBS_BY_NAME", patched)
+        runner_mod._write_checkpoint(
+            ckpt, 7, True,
+            {"j1": {"j1": {"seed": 7, "quick": True}},
+             "j2": {"j2": {"seed": 7, "quick": True}}},
+            {"j1": 0.0, "j2": 0.0},
+        )
+        collect_results(medium, seed=7, quick=True, checkpoint=ckpt, resume=True)
+        assert sorted(ran) == ["j3", "j4"]
+
+    def test_checkpoint_seed_mismatch_refused(self, tiny_jobs, tmp_path, medium):
+        from repro.experiments.runner import ResultsError, _write_checkpoint
+
+        ckpt = str(tmp_path / "run.ckpt")
+        _write_checkpoint(ckpt, 99, True, {}, {})
+        with pytest.raises(ResultsError, match="seed"):
+            collect_results(medium, seed=7, quick=True, checkpoint=ckpt, resume=True)
+
+    def test_resume_without_checkpoint_path_refused(self, tiny_jobs, medium):
+        from repro.experiments.runner import ResultsError
+
+        with pytest.raises(ResultsError, match="checkpoint"):
+            collect_results(medium, seed=7, quick=True, resume=True)
+
+    def test_broken_pool_falls_back_to_serial(
+        self, tiny_jobs, monkeypatch, medium
+    ):
+        import repro.experiments.runner as runner_mod
+
+        parent = os.getpid()
+        patched = dict(tiny_jobs)
+        real_j2 = tiny_jobs["j2"]
+
+        def crashing_j2(m, seed, quick):
+            if os.getpid() != parent:
+                os._exit(1)  # hard worker death -> BrokenProcessPool
+            return real_j2(m, seed, quick)
+
+        patched["j2"] = crashing_j2
+        monkeypatch.setattr(runner_mod, "_JOBS_BY_NAME", patched)
+        results = collect_results(medium, seed=7, quick=True, jobs=2)
+        serial = collect_results(medium, seed=7, quick=True, jobs=1)
+        assert json.dumps(results, sort_keys=True) == json.dumps(
+            serial, sort_keys=True
+        )
+
+    def test_flaky_job_retried_within_budget(self, tiny_jobs, monkeypatch, medium):
+        import repro.experiments.runner as runner_mod
+
+        attempts = {"n": 0}
+        patched = dict(tiny_jobs)
+        real_j1 = tiny_jobs["j1"]
+
+        def flaky_j1(m, seed, quick):
+            attempts["n"] += 1
+            if attempts["n"] <= 2:
+                raise RuntimeError("transient")
+            return real_j1(m, seed, quick)
+
+        patched["j1"] = flaky_j1
+        monkeypatch.setattr(runner_mod, "_JOBS_BY_NAME", patched)
+        results = collect_results(medium, seed=7, quick=True, max_retries=2)
+        assert attempts["n"] == 3
+        assert results["j1"] == {"seed": 7, "quick": True}
+
+    def test_retry_budget_exhaustion_raises(self, tiny_jobs, monkeypatch, medium):
+        import repro.experiments.runner as runner_mod
+
+        from repro.experiments.runner import ResultsError
+
+        patched = dict(tiny_jobs)
+
+        def broken_j4(m, seed, quick):
+            raise RuntimeError("permanent")
+
+        patched["j4"] = broken_j4
+        monkeypatch.setattr(runner_mod, "_JOBS_BY_NAME", patched)
+        with pytest.raises(ResultsError, match="j4.*2 attempts"):
+            collect_results(medium, seed=7, quick=True, max_retries=1)
+
+    def test_serial_timeout_bounds_a_hung_job(self, tiny_jobs, monkeypatch, medium):
+        import time as time_mod
+
+        import repro.experiments.runner as runner_mod
+        from repro.experiments.runner import ResultsError
+
+        patched = dict(tiny_jobs)
+
+        def hung_j2(m, seed, quick):
+            time_mod.sleep(30)
+            return {}
+
+        patched["j2"] = hung_j2
+        monkeypatch.setattr(runner_mod, "_JOBS_BY_NAME", patched)
+        start = time_mod.monotonic()
+        with pytest.raises(ResultsError, match="timed out"):
+            collect_results(medium, seed=7, quick=True, timeout=0.3, max_retries=0)
+        assert time_mod.monotonic() - start < 10
+
+    def test_pool_timeout_bounds_a_hung_job(self, tiny_jobs, monkeypatch, medium):
+        import time as time_mod
+
+        import repro.experiments.runner as runner_mod
+        from repro.experiments.runner import ResultsError
+
+        patched = dict(tiny_jobs)
+
+        def hung_j3(m, seed, quick):
+            time_mod.sleep(3)
+            return {}
+
+        patched["j3"] = hung_j3
+        monkeypatch.setattr(runner_mod, "_JOBS_BY_NAME", patched)
+        with pytest.raises(ResultsError, match="timed out"):
+            collect_results(
+                medium, seed=7, quick=True, jobs=2, timeout=0.5, max_retries=0
+            )
+
+    def test_atomic_checkpoint_never_leaves_torn_files(self, tiny_jobs, tmp_path):
+        from repro.experiments.runner import _load_checkpoint, _write_checkpoint
+
+        ckpt = str(tmp_path / "run.ckpt")
+        for i in range(5):
+            _write_checkpoint(ckpt, 7, True, {"j1": {"v": i}}, {"j1": 0.0})
+            fragments, _ = _load_checkpoint(ckpt, 7, True)
+            assert fragments == {"j1": {"v": i}}
+        assert not os.path.exists(ckpt + ".tmp")

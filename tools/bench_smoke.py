@@ -21,12 +21,22 @@ import argparse
 import os
 import subprocess
 import sys
+import time
 from typing import List
 
 SMOKE_BENCHMARKS = [
     "benchmarks/bench_simulator_performance.py",
     "benchmarks/bench_waveform_loop.py",
 ]
+
+# Resilience-off overhead gate: stepping through NetworkSupervisor with
+# no policies may not slow the MAC loop beyond these ratios (measured
+# ~2.7x with per-slot invariant checks, ~1.6x without; thresholds leave
+# headroom for noisy shared runners).
+OVERHEAD_SLOTS = 4000
+OVERHEAD_REPEATS = 3
+MAX_RATIO_CHECKED = 4.0
+MAX_RATIO_UNCHECKED = 2.5
 
 
 def repo_root() -> str:
@@ -47,6 +57,46 @@ def default_out() -> str:
     return f"BENCH_{rev}.json"
 
 
+def resilience_overhead_check() -> bool:
+    """Time supervised (no-policy) stepping against the plain MAC loop.
+
+    Returns True when both overhead ratios stay under their gates.
+    """
+    sys.path.insert(0, os.path.join(repo_root(), "src"))
+    from repro.core.network import NetworkConfig, SlottedNetwork
+    from repro.resilience import NetworkSupervisor
+
+    periods = {f"tag{i}": p for i, p in enumerate((4, 8, 8, 16, 16, 32), start=1)}
+
+    def timed(supervised: bool, check_invariants: bool = True) -> float:
+        best = float("inf")
+        for _ in range(OVERHEAD_REPEATS):
+            net = SlottedNetwork(
+                periods, config=NetworkConfig(seed=0, ideal_channel=True)
+            )
+            runner = (
+                NetworkSupervisor(net, policies=(), check_invariants=check_invariants)
+                if supervised
+                else net
+            )
+            start = time.perf_counter()
+            runner.run(OVERHEAD_SLOTS)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    plain = timed(supervised=False)
+    checked = timed(supervised=True, check_invariants=True) / plain
+    unchecked = timed(supervised=True, check_invariants=False) / plain
+    ok = checked <= MAX_RATIO_CHECKED and unchecked <= MAX_RATIO_UNCHECKED
+    print(
+        f"resilience-off overhead over {OVERHEAD_SLOTS} slots: "
+        f"{checked:.2f}x with invariant checks (gate {MAX_RATIO_CHECKED}x), "
+        f"{unchecked:.2f}x without (gate {MAX_RATIO_UNCHECKED}x) "
+        f"-> {'ok' if ok else 'FAIL'}"
+    )
+    return ok
+
+
 def main(argv: List[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Run the benchmark smoke subset into a JSON snapshot."
@@ -57,9 +107,17 @@ def main(argv: List[str] | None = None) -> int:
         metavar="PATH",
         help="snapshot path (default: BENCH_<git-rev>.json in the repo root)",
     )
+    parser.add_argument(
+        "--skip-overhead-check",
+        action="store_true",
+        help="skip the resilience-off supervision overhead gate",
+    )
     args = parser.parse_args(argv)
 
     root = repo_root()
+    overhead_ok = True
+    if not args.skip_overhead_check:
+        overhead_ok = resilience_overhead_check()
     out = args.out or os.path.join(root, default_out())
     env = dict(os.environ)
     env["PYTHONPATH"] = os.pathsep.join(
@@ -77,6 +135,8 @@ def main(argv: List[str] | None = None) -> int:
     proc = subprocess.run(cmd, cwd=root, env=env)
     if proc.returncode == 0:
         print(f"wrote {out}")
+    if proc.returncode == 0 and not overhead_ok:
+        return 2
     return proc.returncode
 
 

@@ -1,0 +1,143 @@
+#!/usr/bin/env python
+"""Randomised chaos smoke for the resilience layer.
+
+Unlike the deterministic chaos suite (tests/resilience/), this tool
+draws a *fresh* seed on every run and logs it before doing anything
+else, so a CI failure is always reproducible:
+
+    python tools/chaos_smoke.py --seed <logged seed>
+
+Each trial generates a random fault schedule over the standard fault
+scenario population, runs it under a supervised network with the
+default recovery policies, and asserts the safety net:
+
+* the run completes with one record per slot,
+* no MAC invariant is violated and the escalation ladder stays idle,
+* once the last fault clears, the network reconverges, and
+* a no-policy supervised replay is byte-identical to the plain run
+  (the zero-cost-when-off contract).
+
+Usage:
+    python tools/chaos_smoke.py                   # random seed, 5 trials
+    python tools/chaos_smoke.py --seed 123456     # reproduce a failure
+    python tools/chaos_smoke.py --trials 20 --n-faults 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import secrets
+import sys
+from typing import List, Optional
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"),
+)
+
+from repro.core.network import NetworkConfig, SlottedNetwork
+from repro.faults.scenarios import SCENARIO_PERIODS
+from repro.faults.schedule import FaultSchedule
+from repro.resilience import NetworkSupervisor
+
+#: Protocol-level fault kinds the recovery policies target.
+RECOVERY_KINDS = ("beacon_loss", "brownout", "harvester_collapse", "reader_restart")
+
+MEASURE_SLOTS = 400
+CONVERGE_BUDGET = 20_000
+
+
+def run_trial(seed: int, n_faults: int, max_duration: int) -> List[str]:
+    """One chaos trial; returns a list of failure descriptions (empty = pass)."""
+    failures: List[str] = []
+    schedule = FaultSchedule.generate(
+        seed=seed,
+        n_slots=MEASURE_SLOTS,
+        tags=sorted(SCENARIO_PERIODS),
+        kinds=RECOVERY_KINDS,
+        n_faults=n_faults,
+        max_duration=max_duration,
+        start_slot=50,
+    )
+    n_slots = MEASURE_SLOTS + schedule.last_clear_slot
+
+    def build():
+        return SlottedNetwork(
+            SCENARIO_PERIODS,
+            config=NetworkConfig(seed=seed, ideal_channel=True),
+            faults=schedule,
+        )
+
+    net = build()
+    supervisor = NetworkSupervisor(net)
+    supervisor.run(n_slots)
+
+    if len(net.records) != n_slots:
+        failures.append(f"run truncated: {len(net.records)}/{n_slots} records")
+    if supervisor.violations:
+        failures.append(
+            f"{len(supervisor.violations)} invariant violation(s): "
+            f"{supervisor.violations[0].to_jsonable()}"
+        )
+    if supervisor.escalations:
+        failures.append(
+            f"escalation ladder fired: "
+            f"{[e.level for e in supervisor.escalations]}"
+        )
+    if supervisor.run_until_converged(max_slots=CONVERGE_BUDGET) is None:
+        failures.append(f"no reconvergence within {CONVERGE_BUDGET} slots")
+
+    # Zero-cost contract: supervision with no policies must not perturb
+    # the trace, faults and all.
+    plain = build()
+    plain.run(n_slots)
+    off = build()
+    NetworkSupervisor(off, policies=()).run(n_slots)
+    if [r.__dict__ for r in plain.records] != [r.__dict__ for r in off.records]:
+        failures.append("no-policy supervised trace diverged from plain run")
+
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Random-seed chaos smoke for the resilience layer."
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="master seed (default: random; always logged for replay)",
+    )
+    parser.add_argument("--trials", type=int, default=5, help="trials to run")
+    parser.add_argument(
+        "--n-faults", type=int, default=6, help="faults per generated schedule"
+    )
+    parser.add_argument(
+        "--max-duration", type=int, default=12, help="max fault duration in slots"
+    )
+    args = parser.parse_args(argv)
+
+    master = args.seed if args.seed is not None else secrets.randbelow(2**31)
+    print(f"chaos-smoke master seed: {master}")
+    print(f"replay with: python tools/chaos_smoke.py --seed {master} "
+          f"--trials {args.trials} --n-faults {args.n_faults} "
+          f"--max-duration {args.max_duration}")
+
+    failed = 0
+    for trial in range(args.trials):
+        seed = master + trial
+        failures = run_trial(seed, args.n_faults, args.max_duration)
+        verdict = "ok" if not failures else "FAIL"
+        print(f"  trial {trial} (seed {seed}): {verdict}")
+        for failure in failures:
+            print(f"    - {failure}")
+        failed += bool(failures)
+
+    print(f"{args.trials - failed}/{args.trials} trials passed")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
