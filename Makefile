@@ -1,10 +1,14 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-compare chaos-smoke results api-index
+.PHONY: test coverage bench bench-smoke bench-compare chaos-smoke results report api-index
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Line-coverage ratchet (requires pytest-cov; mirrors the CI job).
+coverage:
+	$(PYTHON) -m pytest -q --cov=repro --cov-report=term --cov-fail-under=80
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q
@@ -23,7 +27,12 @@ bench-compare:
 	$(PYTHON) tools/bench_compare.py $(BEFORE) $(AFTER)
 
 results:
-	$(PYTHON) -m repro results --out results.json
+	$(PYTHON) -m repro results --telemetry --out results.json
+
+# Telemetry scorecard from a results document or telemetry JSONL.
+# Usage: make report IN=results.json
+report:
+	$(PYTHON) -m repro report --input $(IN)
 
 api-index:
 	$(PYTHON) tools/gen_api_index.py

@@ -118,6 +118,7 @@ def _run_results(args: argparse.Namespace) -> str:
         checkpoint = f"{args.out}.ckpt"
     if args.resume and checkpoint is None:
         raise SystemExit("error: --resume needs --checkpoint or --out")
+    telemetry = args.telemetry or args.telemetry_jsonl is not None
     try:
         results = collect_results(
             seed=args.seed,
@@ -128,6 +129,7 @@ def _run_results(args: argparse.Namespace) -> str:
             max_retries=args.max_retries,
             checkpoint=checkpoint,
             resume=args.resume,
+            telemetry=telemetry,
         )
     except ResultsError as exc:
         raise SystemExit(f"error: {exc}")
@@ -136,6 +138,18 @@ def _run_results(args: argparse.Namespace) -> str:
         if checkpoint:
             hint = f"; resume with --resume --checkpoint {checkpoint}"
         raise SystemExit(f"interrupted{hint}")
+    if args.telemetry_jsonl:
+        from repro.telemetry import MetricsSnapshot, write_jsonl
+
+        snapshot = MetricsSnapshot.from_jsonable(
+            results["telemetry"]["snapshot"]
+        )
+        try:
+            write_jsonl(snapshot, args.telemetry_jsonl)
+        except OSError as exc:
+            raise SystemExit(
+                f"error: cannot write {args.telemetry_jsonl}: {exc}"
+            )
     text = json.dumps(results, indent=2, sort_keys=True)
     if args.out:
         try:
@@ -145,6 +159,38 @@ def _run_results(args: argparse.Namespace) -> str:
             raise SystemExit(f"error: cannot write {args.out}: {exc}")
         return f"wrote {args.out} ({jobs} job{'s' if jobs != 1 else ''})"
     return text
+
+
+def _run_report(args: argparse.Namespace) -> str:
+    import json
+
+    from repro.telemetry import (
+        TelemetryFormatError,
+        read_jsonl,
+        render_report,
+        render_results_report,
+    )
+
+    if args.input is None:
+        raise SystemExit("error: 'report' needs --input (results JSON or "
+                         "telemetry JSONL)")
+    try:
+        if args.input.endswith(".jsonl"):
+            snapshot = read_jsonl(args.input)
+            return render_report(snapshot, title=args.input)
+        with open(args.input) as fh:
+            document = json.load(fh)
+    except OSError as exc:
+        raise SystemExit(f"error: cannot read {args.input}: {exc}")
+    except (ValueError, TelemetryFormatError) as exc:
+        raise SystemExit(f"error: {args.input}: {exc}")
+    try:
+        return render_results_report(document)
+    except (KeyError, ValueError, TelemetryFormatError) as exc:
+        raise SystemExit(
+            f"error: {args.input} has no usable telemetry section "
+            f"(run 'repro results --telemetry'): {exc}"
+        )
 
 
 def _run_figR(args: argparse.Namespace) -> str:
@@ -304,6 +350,7 @@ EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "resilience": _run_resilience,
     "appc": _run_appc,
     "results": _run_results,
+    "report": _run_report,
 }
 
 
@@ -387,6 +434,26 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="('results') preload the checkpoint, run only missing experiments",
     )
+    parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="('results') collect metrics in every experiment and embed "
+        "the merged, signed telemetry snapshot",
+    )
+    parser.add_argument(
+        "--telemetry-jsonl",
+        default=None,
+        metavar="PATH",
+        help="('results') also export the telemetry snapshot as signed "
+        "JSONL (implies --telemetry)",
+    )
+    parser.add_argument(
+        "--input",
+        default=None,
+        metavar="PATH",
+        help="('report') results JSON (from 'results --telemetry') or "
+        "telemetry JSONL to render as a scorecard",
+    )
     return parser
 
 
@@ -401,7 +468,9 @@ def main(argv: List[str] | None = None) -> int:
         # and self-healing subsystems; keep 'all' to the human-readable
         # paper tables and figures.
         names = sorted(
-            n for n in EXPERIMENTS if n not in ("results", "faults", "resilience")
+            n
+            for n in EXPERIMENTS
+            if n not in ("results", "faults", "resilience", "report")
         )
     else:
         names = [args.experiment]

@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
+from repro import telemetry
 from repro.channel.medium import AcousticMedium, SlotObservation
 from repro.core.reader_protocol import ReaderMac, SlotRecord
 from repro.core.state_machine import DEFAULT_NACK_THRESHOLD, TagState
@@ -204,7 +205,32 @@ class SlottedNetwork:
         self.records.append(record)
         if ctl is not None:
             ctl.on_slot_end(slot, record)
+        tel = telemetry.active()
+        if tel is not None:
+            self._record_telemetry(tel, record)
         return record
+
+    def _record_telemetry(self, tel, record: SlotRecord) -> None:
+        """Digest one slot record into the active metrics registry.
+
+        Only reached when collection is enabled; everything recorded is
+        a pure function of the record, so telemetry never perturbs the
+        simulation (no RNG draws, no protocol state).
+        """
+        tel.inc("mac.slots")
+        if not record.truly_nonempty:
+            tel.inc("mac.idle_slots")
+        if record.collision_detected:
+            tel.inc("mac.collisions")
+        if record.empty_flag:
+            tel.inc("mac.empty_flags")
+        if record.decoded is not None:
+            tel.inc("mac.decodes")
+            if record.acked:
+                tel.inc("mac.acks")
+                tel.inc("mac.tag.acked", tag=record.decoded)
+            else:
+                tel.inc("mac.tag.nacked", tag=record.decoded)
 
     def run(self, n_slots: int) -> List[SlotRecord]:
         """Run ``n_slots`` slots, returning their records."""
@@ -234,6 +260,9 @@ class SlottedNetwork:
             record = self.step()
             clean = 0 if record.collision_detected else clean + 1
             if clean >= streak:
+                tel = telemetry.active()
+                if tel is not None:
+                    tel.observe("mac.convergence_slots", i + 1)
                 return i + 1
         return None
 

@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Set
 
+from repro import telemetry
 from repro.channel.medium import SlotObservation
 from repro.core.slot_schedule import (
     Assignment,
@@ -141,6 +142,9 @@ class ReaderMac:
         """
         self._apply_reset()
         self._last_empty_flag = True
+        tel = telemetry.active()
+        if tel is not None:
+            tel.inc("mac.reader.restarts")
 
     def release_assignment(self, tag: str) -> bool:
         """Forget one tag's committed slot (resilience: slot-lease expiry).
@@ -263,6 +267,9 @@ class ReaderMac:
         self._committed.pop(tag, None)
         if not self.enable_future_avoidance:
             self._committed[tag] = offset
+            tel = telemetry.active()
+            if tel is not None:
+                tel.inc("mac.reader.commits")
             return True  # naive ACK-on-decode (ablation baseline)
         others = [
             Assignment(t, self.tag_periods[t], o)
@@ -281,6 +288,9 @@ class ReaderMac:
             # in a future slot — NACK despite the clean decode.
             return False
         self._committed[tag] = offset
+        tel = telemetry.active()
+        if tel is not None:
+            tel.inc("mac.reader.commits")
         return True
 
     def _start_eviction(self, new_period: int, committed: List[Assignment]) -> None:
@@ -306,6 +316,9 @@ class ReaderMac:
             return
         chosen = min(candidates, key=lambda a: (a.period, a.tag))
         self._evicting[chosen.tag] = 0
+        tel = telemetry.active()
+        if tel is not None:
+            tel.inc("mac.reader.evictions")
 
     # -- queries ----------------------------------------------------------------
 

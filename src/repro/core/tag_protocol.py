@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional, Protocol
 
+from repro import telemetry
 from repro.core.state_machine import DEFAULT_NACK_THRESHOLD, TagState, TagStateMachine
 from repro.phy.packets import DownlinkBeacon
 
@@ -138,11 +139,21 @@ class TagMac:
         self.consecutive_beacon_losses = 0
 
         if self.transmitted_last_slot:
+            prev_state = self.machine.state
             if beacon.ack:
                 self.machine.on_ack()
                 self.ever_settled = True
             else:
                 self.machine.on_nack()
+            tel = telemetry.active()
+            if tel is not None and self.machine.state is not prev_state:
+                # A feedback-driven state transition: settling on an ACK
+                # is a promotion, falling back to MIGRATE on the NACK
+                # threshold is a demotion.
+                if self.machine.state is TagState.SETTLE:
+                    tel.inc("mac.tag.promotions", tag=self.tag_name)
+                else:
+                    tel.inc("mac.tag.demotions", tag=self.tag_name)
         self.transmitted_last_slot = False
 
         if beacon.reset:
@@ -193,6 +204,9 @@ class TagMac:
         self.ever_settled = False
         self.late_arrival = True
         self.power_cycles += 1
+        tel = telemetry.active()
+        if tel is not None:
+            tel.inc("mac.tag.power_cycles", tag=self.tag_name)
         if self._recovery is not None:
             # Synchronous: the policy can arm a rejoin hold-off before
             # the rebooted tag processes its first beacon.
@@ -208,12 +222,22 @@ class TagMac:
         self.beacons_missed += 1
         self.consecutive_beacon_losses += 1
         self.transmitted_last_slot = False
+        tel = telemetry.active()
+        if tel is not None:
+            tel.inc("mac.tag.beacon_losses", tag=self.tag_name)
         suppress = (
             self._recovery is not None
             and self._recovery.on_beacon_loss(self)
         )
         if not suppress:
+            prev_state = self.machine.state
             self.machine.on_beacon_loss()
+            if (
+                tel is not None
+                and prev_state is TagState.SETTLE
+                and self.machine.state is TagState.MIGRATE
+            ):
+                tel.inc("mac.tag.demotions", tag=self.tag_name)
         return TagDecision(
             transmit=False, offset=self.machine.offset, state=self.machine.state
         )

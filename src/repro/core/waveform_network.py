@@ -35,7 +35,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro import perf
+from repro import perf, telemetry
 from repro.channel.medium import AcousticMedium, SlotObservation
 from repro.core.network import NetworkConfig, SlottedNetwork
 from repro.experiments.fig12_uplink import WAVEFORM_AMPLITUDE_CALIBRATION
@@ -179,6 +179,13 @@ class WaveformNetwork(SlottedNetwork):
             outcome = self._chain.decode_baseband(iq, baseband_rate, rate)
             clusters = detect_collision_iq(iq)
         perf.count("waveform.slots")
+        tel = telemetry.active()
+        if tel is not None:
+            tel.inc("waveform.slots")
+            if outcome.packets:
+                tel.inc("waveform.decodes")
+            if clusters.collision:
+                tel.inc("waveform.collisions")
 
         decoded_tids = [p.tid for p in outcome.packets]
         self.slot_logs.append(

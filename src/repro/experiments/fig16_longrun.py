@@ -11,10 +11,11 @@ briefly at those moments.  Paper averages: non-empty 81.2%, collision
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.analysis.metrics import DEFAULT_WINDOW, LongRunStats, sliding_ratios
 from repro.channel.medium import AcousticMedium
+from repro import telemetry
 from repro.core.network import NetworkConfig, SlottedNetwork
 from repro.experiments.configs import pattern
 
@@ -27,6 +28,9 @@ class Fig16Result:
     stats: LongRunStats
     utilization_bound: float
     n_slots: int
+    #: Measured-phase slot totals consumed from the unified telemetry
+    #: layer (None when collection was off for the run).
+    telemetry_totals: Optional[Dict[str, int]] = None
 
     @property
     def mean_non_empty(self) -> float:
@@ -60,11 +64,21 @@ def run_fig16(
     )
     if warmup_slots:
         net.run(warmup_slots)
+    tel = telemetry.active()
+    before = tel.snapshot() if tel is not None else None
     records = net.run(n_slots)
+    totals = None
+    if tel is not None:
+        after = tel.snapshot()
+        totals = {
+            name: after.total(name) - before.total(name)
+            for name in ("mac.slots", "mac.idle_slots", "mac.collisions")
+        }
     return Fig16Result(
         stats=sliding_ratios(records, window),
         utilization_bound=float(patt.utilization),
         n_slots=n_slots,
+        telemetry_totals=totals,
     )
 
 

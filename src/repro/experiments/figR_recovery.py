@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from repro import telemetry
 from repro.analysis.recovery import recovery_report, slots_to_reconverge
 from repro.core.network import NetworkConfig, SlottedNetwork
 from repro.faults.schedule import FaultEvent, FaultSchedule
@@ -59,6 +60,10 @@ class RecoveryTrial:
     collisions_after_clear: int
     trace_signature: str
     replay_identical: bool
+    #: Fault events the controller applied/cleared during the measured
+    #: run, consumed from the unified telemetry layer (not the trace).
+    faults_applied: int = 0
+    faults_cleared: int = 0
 
 
 def _run_once(schedule: FaultSchedule, seed: int, n_slots: int) -> tuple:
@@ -94,7 +99,19 @@ def run_figR(
             ]
         )
         n_slots = warmup_slots + burst + measure_slots
-        net, recorder = _run_once(schedule, seed, n_slots)
+        tel = telemetry.active()
+        if tel is None:
+            with telemetry.collecting() as local:
+                net, recorder = _run_once(schedule, seed, n_slots)
+                snap = local.snapshot()
+            applied = snap.total("faults.applied")
+            cleared = snap.total("faults.cleared")
+        else:
+            before = tel.snapshot()
+            net, recorder = _run_once(schedule, seed, n_slots)
+            after = tel.snapshot()
+            applied = after.total("faults.applied") - before.total("faults.applied")
+            cleared = after.total("faults.cleared") - before.total("faults.cleared")
         report = recovery_report(net.records, schedule.last_clear_slot, streak)
         _, replay = _run_once(schedule, seed, n_slots)
         trials.append(
@@ -104,6 +121,8 @@ def run_figR(
                 collisions_after_clear=report.collisions_after_clear,
                 trace_signature=recorder.signature(),
                 replay_identical=replay.signature() == recorder.signature(),
+                faults_applied=int(applied),
+                faults_cleared=int(cleared),
             )
         )
     return trials

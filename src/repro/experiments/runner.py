@@ -205,14 +205,53 @@ EXPERIMENT_JOBS: List[Tuple[str, Callable[..., Dict[str, Any]]]] = [
 _JOBS_BY_NAME = dict(EXPERIMENT_JOBS)
 
 
+def _execute_job(
+    name: str,
+    medium: AcousticMedium,
+    seed: int,
+    quick: bool,
+    with_telemetry: bool,
+) -> Tuple[Dict[str, Any], Optional[Dict[str, Any]]]:
+    """Run one experiment, optionally under a fresh telemetry registry.
+
+    Every job gets its *own* registry (via ``telemetry.collecting``), on
+    the serial path exactly as in a pool worker — a reused worker
+    process never leaks one job's tallies into the next, and the merged
+    document is byte-identical whichever way the jobs were executed.
+    """
+    if not with_telemetry:
+        return _JOBS_BY_NAME[name](medium, seed, quick), None
+    from repro import telemetry
+
+    with telemetry.collecting() as registry:
+        fragment = _JOBS_BY_NAME[name](medium, seed, quick)
+    return fragment, registry.snapshot().to_jsonable()
+
+
 def _run_job(
-    name: str, medium: AcousticMedium, seed: int, quick: bool
-) -> Tuple[str, Dict[str, Any], float]:
-    """Pool entry point: run one experiment, return its fragment and
-    wall time."""
+    name: str,
+    medium: AcousticMedium,
+    seed: int,
+    quick: bool,
+    with_telemetry: bool = False,
+    with_perf: bool = False,
+) -> Tuple[str, Dict[str, Any], float, Optional[Dict[str, Any]], Optional[Dict[str, Any]]]:
+    """Pool entry point: run one experiment, return its fragment, wall
+    time, and (optionally) its telemetry snapshot and perf report."""
+    if with_perf:
+        # Fresh per-job slate: pool workers are reused across jobs, and
+        # without the reset a shipped report would double-count earlier
+        # jobs' stages once the parent merges them.
+        from repro import perf as perf_mod
+
+        perf_mod.reset()
     start = time.perf_counter()
-    fragment = _JOBS_BY_NAME[name](medium, seed, quick)
-    return name, fragment, time.perf_counter() - start
+    fragment, tel = _execute_job(name, medium, seed, quick, with_telemetry)
+    elapsed = time.perf_counter() - start
+    perf_report = None
+    if with_perf:
+        perf_report = perf_mod.report()
+    return name, fragment, elapsed, tel, perf_report
 
 
 def default_jobs() -> int:
@@ -231,6 +270,7 @@ def _write_checkpoint(
     quick: bool,
     fragments: Dict[str, Dict[str, Any]],
     timings: Dict[str, float],
+    telemetry_fragments: Optional[Dict[str, Dict[str, Any]]] = None,
 ) -> None:
     """Persist completed fragments atomically (tmp file + rename): a
     kill at any instant leaves either the previous checkpoint or the
@@ -242,6 +282,8 @@ def _write_checkpoint(
         "fragments": fragments,
         "timings": timings,
     }
+    if telemetry_fragments:
+        payload["telemetry"] = telemetry_fragments
     tmp = f"{path}.tmp"
     with open(tmp, "w") as fh:
         json.dump(payload, fh, sort_keys=True)
@@ -252,7 +294,7 @@ def _write_checkpoint(
 
 def _load_checkpoint(
     path: str, seed: int, quick: bool
-) -> Tuple[Dict[str, Dict[str, Any]], Dict[str, float]]:
+) -> Tuple[Dict[str, Dict[str, Any]], Dict[str, float], Dict[str, Dict[str, Any]]]:
     """Load a checkpoint, validating it belongs to this run's params."""
     try:
         with open(path) as fh:
@@ -273,7 +315,9 @@ def _load_checkpoint(
     fragments = payload.get("fragments", {})
     known = {n for n, _ in EXPERIMENT_JOBS}
     fragments = {n: f for n, f in fragments.items() if n in known}
-    return fragments, payload.get("timings", {})
+    tel = payload.get("telemetry", {})
+    tel = {n: t for n, t in tel.items() if n in known}
+    return fragments, payload.get("timings", {}), tel
 
 
 @contextmanager
@@ -319,6 +363,7 @@ def collect_results(
     max_retries: int = 0,
     checkpoint: Optional[str] = None,
     resume: bool = False,
+    telemetry: bool = False,
 ) -> Dict[str, Any]:
     """Run every analytic/fast experiment; returns a JSON-able dict.
 
@@ -348,16 +393,35 @@ def collect_results(
       to serial re-execution of only the jobs that had not finished —
       completed fragments are never lost.  ``KeyboardInterrupt``
       propagates after the checkpoint is flushed.
+
+    ``telemetry=True`` runs every job under its own fresh
+    :class:`~repro.telemetry.MetricsRegistry` (serial and pool paths
+    identically), merges the per-job snapshots in canonical
+    ``EXPERIMENT_JOBS`` order regardless of completion order, and
+    appends a ``"telemetry"`` section: the merged snapshot plus its
+    SHA-256 signature.  The section is deterministic — byte-identical
+    between ``--serial`` and ``--jobs N`` runs of the same seed.
     """
     medium = medium if medium is not None else AcousticMedium()
 
     fragments: Dict[str, Dict[str, Any]] = {}
     timings: Dict[str, float] = {}
+    tel_fragments: Dict[str, Dict[str, Any]] = {}
+    perf_reports: Dict[str, Dict[str, Any]] = {}
     if resume:
         if checkpoint is None:
             raise ResultsError("resume requested without a checkpoint path")
         if os.path.exists(checkpoint):
-            fragments, timings = _load_checkpoint(checkpoint, seed, quick)
+            fragments, timings, tel_fragments = _load_checkpoint(
+                checkpoint, seed, quick
+            )
+            if telemetry:
+                # A fragment without its telemetry snapshot (checkpoint
+                # from a telemetry-off run) must be re-executed — the
+                # merged section covers every job or none.
+                fragments = {
+                    n: f for n, f in fragments.items() if n in tel_fragments
+                }
 
     if jobs > 1:
         try:
@@ -368,12 +432,30 @@ def collect_results(
     names = [name for name, _ in EXPERIMENT_JOBS]
     pending = [name for name in names if name not in fragments]
     attempts: Dict[str, int] = {name: 0 for name in names}
+    ship_perf = perf and jobs > 1
 
-    def record(name: str, fragment: Dict[str, Any], elapsed: float) -> None:
+    def record(
+        name: str,
+        fragment: Dict[str, Any],
+        elapsed: float,
+        tel: Optional[Dict[str, Any]] = None,
+        perf_report: Optional[Dict[str, Any]] = None,
+    ) -> None:
         fragments[name] = fragment
         timings[name] = elapsed
+        if tel is not None:
+            tel_fragments[name] = tel
+        if perf_report is not None:
+            perf_reports[name] = perf_report
         if checkpoint is not None:
-            _write_checkpoint(checkpoint, seed, quick, fragments, timings)
+            _write_checkpoint(
+                checkpoint,
+                seed,
+                quick,
+                fragments,
+                timings,
+                tel_fragments if telemetry else None,
+            )
 
     try:
         while pending:
@@ -382,15 +464,27 @@ def collect_results(
                 pool = ProcessPoolExecutor(max_workers=min(jobs, len(pending)))
                 try:
                     futures = {
-                        name: pool.submit(_run_job, name, medium, seed, quick)
+                        name: pool.submit(
+                            _run_job,
+                            name,
+                            medium,
+                            seed,
+                            quick,
+                            telemetry,
+                            ship_perf,
+                        )
                         for name in pending
                     }
                     for name, future in futures.items():
                         try:
-                            done_name, fragment, elapsed = future.result(
-                                timeout=timeout
-                            )
-                            record(done_name, fragment, elapsed)
+                            (
+                                done_name,
+                                fragment,
+                                elapsed,
+                                tel,
+                                perf_report,
+                            ) = future.result(timeout=timeout)
+                            record(done_name, fragment, elapsed, tel, perf_report)
                         except FuturesTimeout:
                             failed.append(
                                 (name, f"timed out after {timeout:g}s")
@@ -414,7 +508,9 @@ def collect_results(
                     start = time.perf_counter()
                     try:
                         with _serial_timeout(timeout):
-                            fragment = _JOBS_BY_NAME[name](medium, seed, quick)
+                            fragment, tel = _execute_job(
+                                name, medium, seed, quick, telemetry
+                            )
                     except _JobTimeout:
                         failed.append((name, f"timed out after {timeout:g}s"))
                     except KeyboardInterrupt:
@@ -422,7 +518,7 @@ def collect_results(
                     except Exception as exc:
                         failed.append((name, repr(exc)))
                     else:
-                        record(name, fragment, time.perf_counter() - start)
+                        record(name, fragment, time.perf_counter() - start, tel)
 
             still_pending: List[str] = []
             for name, reason in failed:
@@ -445,6 +541,22 @@ def collect_results(
     for name in names:
         out.update(fragments[name])
 
+    if telemetry:
+        from repro.telemetry import MetricsSnapshot, merge_snapshots
+
+        # Canonical job order, NOT completion order: snapshot merging is
+        # associative and commutative for counters/gauges, but histogram
+        # float sums are only guaranteed bit-stable along one order.
+        merged = merge_snapshots(
+            MetricsSnapshot.from_jsonable(tel_fragments[name])
+            for name in names
+            if name in tel_fragments
+        )
+        out["telemetry"] = {
+            "signature": merged.signature(),
+            "snapshot": merged.to_jsonable(),
+        }
+
     if checkpoint is not None:
         try:
             os.remove(checkpoint)
@@ -455,10 +567,19 @@ def collect_results(
         from repro import perf as perf_mod
         from repro.phy import cache as phy_cache
 
+        if perf_reports:
+            # Pool run: the parent's own registry saw only setup work;
+            # fold in what each child measured, in canonical job order.
+            process_report = perf_mod.merge_reports(
+                [perf_mod.report()]
+                + [perf_reports[n] for n in names if n in perf_reports]
+            )
+        else:
+            process_report = perf_mod.report()
         out["perf"] = {
             "jobs": jobs,
             "experiment_wall_s": {k: timings[k] for k in sorted(timings)},
-            "process": perf_mod.report(),
+            "process": process_report,
             "cache_sizes": phy_cache.cache_sizes(),
         }
     return out
@@ -520,6 +641,19 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="preload the checkpoint and run only the missing experiments",
     )
+    parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="collect per-job metrics and embed the merged, signed "
+        "telemetry snapshot",
+    )
+    parser.add_argument(
+        "--telemetry-jsonl",
+        default=None,
+        metavar="PATH",
+        help="also export the merged telemetry snapshot as JSONL "
+        "(implies --telemetry)",
+    )
     return parser
 
 
@@ -527,6 +661,7 @@ def main(argv: Optional[list] = None) -> int:
     args = build_parser().parse_args(argv if argv is not None else sys.argv[1:])
     jobs = 1 if args.serial else (args.jobs if args.jobs is not None else 1)
     checkpoint = args.checkpoint or f"{args.target}.ckpt"
+    telemetry = args.telemetry or args.telemetry_jsonl is not None
     try:
         results = collect_results(
             seed=args.seed,
@@ -537,6 +672,7 @@ def main(argv: Optional[list] = None) -> int:
             max_retries=args.max_retries,
             checkpoint=checkpoint,
             resume=args.resume,
+            telemetry=telemetry,
         )
     except ResultsError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -554,6 +690,21 @@ def main(argv: Optional[list] = None) -> int:
     except OSError as exc:
         print(f"error: cannot write {args.target}: {exc}", file=sys.stderr)
         return 2
+    if args.telemetry_jsonl is not None:
+        from repro.telemetry import MetricsSnapshot, write_jsonl
+
+        snapshot = MetricsSnapshot.from_jsonable(
+            results["telemetry"]["snapshot"]
+        )
+        try:
+            write_jsonl(snapshot, args.telemetry_jsonl)
+        except OSError as exc:
+            print(
+                f"error: cannot write {args.telemetry_jsonl}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+        print(f"wrote {args.telemetry_jsonl}")
     print(f"wrote {args.target}")
     return 0
 

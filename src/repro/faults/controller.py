@@ -21,6 +21,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 import numpy as np
 
+from repro import telemetry
 from repro.channel.medium import SlotObservation
 from repro.faults.injectors import FaultInjector, default_injectors
 from repro.faults.schedule import ALL_TAGS, FaultEvent, FaultSchedule
@@ -143,16 +144,21 @@ class FaultController:
 
     def on_slot_start(self, slot: int) -> None:
         """Clear ending events, then apply starting ones, with traces."""
+        tel = telemetry.active()
         for event in self._ends.get(slot, ()):
             if event.fault_id not in self._active:
                 continue  # never applied (network started past its window)
             del self._active[event.fault_id]
             self._by_kind[event.kind].clear(event, self.rng)
             self._emit(slot, "fault.clear", event)
+            if tel is not None:
+                tel.inc("faults.cleared", kind=event.kind)
         for event in self._starts.get(slot, ()):
             self._active[event.fault_id] = event
             self._by_kind[event.kind].apply(event, self.rng)
             self._emit(slot, "fault.apply", event)
+            if tel is not None:
+                tel.inc("faults.applied", kind=event.kind)
 
     def on_slot_end(self, slot: int, record) -> None:
         """Record the slot outcome (for golden traces and post-hoc

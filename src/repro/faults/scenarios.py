@@ -9,6 +9,10 @@ regimes the network simulator distinguishes:
 * ``fault_burst`` — ideal channel plus a hand-written multi-layer fault
   burst (beacon loss, ACK corruption, brownout, CRC corruption, a
   reader restart) hitting a converged network.
+* ``supervised`` — the same burst, but with the resilience layer's
+  default policies attached (:class:`~repro.resilience.NetworkSupervisor`):
+  pins the *healed* behaviour, so a policy regression shows up as
+  golden drift even when the vanilla path is untouched.
 
 Each scenario's slot-by-slot trace is canonically serialisable
 (:meth:`~repro.sim.trace.TraceRecorder.canonical_bytes`), so a stored
@@ -27,7 +31,7 @@ from repro.faults.schedule import FaultEvent, FaultSchedule
 from repro.sim.trace import TraceRecorder
 
 #: Scenario names, in canonical order.
-SCENARIO_NAMES: Tuple[str, ...] = ("ideal", "lossy", "fault_burst")
+SCENARIO_NAMES: Tuple[str, ...] = ("ideal", "lossy", "fault_burst", "supervised")
 
 #: Shared topology: six tags, utilisation 11/16 = 0.6875 — high enough
 #: that faults visibly disturb the allocation, low enough that every
@@ -52,7 +56,7 @@ def scenario_schedule(name: str) -> FaultSchedule:
     """The fault schedule for one canonical scenario."""
     if name in ("ideal", "lossy"):
         return FaultSchedule([])
-    if name == "fault_burst":
+    if name in ("fault_burst", "supervised"):
         return FaultSchedule(
             [
                 FaultEvent(slot=120, duration=4, kind="beacon_loss", target="*"),
@@ -101,5 +105,12 @@ def run_scenario(name: str) -> ScenarioRun:
         faults=scenario_schedule(name),
         fault_recorder=recorder,
     )
-    network.run(SCENARIO_SLOTS)
+    if name == "supervised":
+        # Lazy import: the vanilla scenarios must not pull in (or be
+        # perturbed by) the resilience layer.
+        from repro.resilience import NetworkSupervisor
+
+        NetworkSupervisor(network).run(SCENARIO_SLOTS)
+    else:
+        network.run(SCENARIO_SLOTS)
     return ScenarioRun(name=name, network=network, trace=recorder)

@@ -12,6 +12,7 @@ from repro.perf.timing import (
     PerfRegistry,
     StageStats,
     count,
+    merge_reports,
     registry,
     report,
     reset,
@@ -22,6 +23,7 @@ __all__ = [
     "PerfRegistry",
     "StageStats",
     "count",
+    "merge_reports",
     "registry",
     "report",
     "reset",

@@ -7,9 +7,21 @@ event counter.  The module-level :data:`registry` is what the library
 instruments by default — cheap enough to leave enabled (a span costs
 two ``perf_counter`` calls and a dict update).
 
-The registry is process-local.  The parallel experiment runner
-therefore reports per-experiment wall times measured in the parent
-instead of merging child registries.
+Reports are no longer process-local: :meth:`PerfRegistry.merge_report`
+folds another registry's :meth:`report` dict (e.g. shipped back from a
+``ProcessPoolExecutor`` child) into this one, so the parallel
+experiment runner now merges child stage timings and counters instead
+of discarding them.  Stage merging is associative — calls and totals
+add, extremes combine — but wall-clock values are inherently
+non-deterministic, so merged perf reports are diagnostics only and are
+excluded from every byte-determinism contract (deterministic tallies
+belong in :mod:`repro.telemetry`).
+
+Stages can be pre-registered with :meth:`PerfRegistry.stage` so a
+report carries a stable key set even when a stage never fired; a
+never-called stage reports ``min_s`` of 0.0 (not the internal ``inf``
+sentinel) everywhere — snapshots, merges, and JSON exports stay free
+of non-finite values.
 """
 
 from __future__ import annotations
@@ -18,8 +30,8 @@ import math
 import threading
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
-from typing import Dict, Iterator
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Mapping, Optional
 
 
 @dataclass
@@ -43,14 +55,51 @@ class StageStats:
     def mean_s(self) -> float:
         return self.total_s / self.calls if self.calls else 0.0
 
+    def merge(self, other: "StageStats") -> None:
+        """Fold another stage's spans into this one, in place.
+
+        A never-called side contributes nothing — in particular its
+        ``min_s`` sentinel (``inf``) must not poison the minimum of a
+        side that did run, and a 0.0 ``min_s`` from a never-called
+        stage's snapshot must not masquerade as a real fastest span.
+        """
+        if other.calls == 0:
+            return
+        if self.calls == 0:
+            self.min_s = other.min_s
+        else:
+            self.min_s = min(self.min_s, other.min_s)
+        self.calls += other.calls
+        self.total_s += other.total_s
+        self.max_s = max(self.max_s, other.max_s)
+
     def as_dict(self) -> Dict[str, float]:
         return {
             "calls": self.calls,
             "total_s": self.total_s,
             "mean_s": self.mean_s,
+            # A never-called stage has no fastest span; report 0.0, not
+            # the internal inf sentinel (which is not valid JSON and
+            # would poison downstream minima).
             "min_s": self.min_s if self.calls else 0.0,
             "max_s": self.max_s,
         }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, float]) -> "StageStats":
+        calls = int(data.get("calls", 0))
+        min_s = float(data.get("min_s", 0.0))
+        if calls == 0:
+            # Snapshots encode "never called" as 0.0; restore the
+            # internal sentinel so a later merge/record treats the
+            # stage as empty rather than as having a 0-second span.
+            min_s = math.inf
+        return cls(
+            calls=calls,
+            total_s=float(data.get("total_s", 0.0)),
+            min_s=min_s,
+            max_s=float(data.get("max_s", 0.0)),
+        )
 
 
 class PerfRegistry:
@@ -75,6 +124,19 @@ class PerfRegistry:
                     stats = self._stages[stage] = StageStats()
                 stats.record(elapsed)
 
+    def stage(self, name: str) -> StageStats:
+        """Get-or-create a stage without recording a span.
+
+        Pre-registering gives reports a stable key set across runs
+        where a stage may never fire; the empty stage snapshots with
+        ``calls`` 0 and a finite ``min_s`` of 0.0.
+        """
+        with self._lock:
+            stats = self._stages.get(name)
+            if stats is None:
+                stats = self._stages[name] = StageStats()
+            return stats
+
     def count(self, name: str, n: int = 1) -> None:
         """Add ``n`` to the named event counter."""
         with self._lock:
@@ -91,11 +153,40 @@ class PerfRegistry:
                 "counters": dict(sorted(self._counters.items())),
             }
 
+    def merge_report(self, report: Mapping[str, object]) -> None:
+        """Fold another registry's :meth:`report` dict into this one.
+
+        Used by the parallel experiment runner to aggregate the
+        per-stage timings and counters its pool children measured —
+        the registry itself never crosses the process boundary, its
+        snapshot does.
+        """
+        with self._lock:
+            for name, data in (report.get("stages") or {}).items():
+                stats = self._stages.get(name)
+                if stats is None:
+                    stats = self._stages[name] = StageStats()
+                stats.merge(StageStats.from_dict(data))
+            for name, value in (report.get("counters") or {}).items():
+                self._counters[name] = self._counters.get(name, 0) + int(value)
+
     def reset(self) -> None:
         """Drop all accumulated stages and counters."""
         with self._lock:
             self._stages.clear()
             self._counters.clear()
+
+
+def merge_reports(reports: Iterable[Mapping[str, object]]) -> Dict[str, object]:
+    """Merge several :meth:`PerfRegistry.report` dicts into one.
+
+    Associative fold into a scratch registry; the result has the same
+    shape as a single report.
+    """
+    merged = PerfRegistry()
+    for report in reports:
+        merged.merge_report(report)
+    return merged.report()
 
 
 #: The default process-wide registry the library instruments.

@@ -25,6 +25,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, Optional, Tuple
 
+from repro import telemetry
 from repro.core.reader_protocol import SlotRecord
 
 #: Default sliding-window length (slots) for the health counters.
@@ -152,11 +153,18 @@ class LinkHealthMonitor:
                 if record.slot % a.period == a.offset
             }
         decoded = record.decoded
+        tel = telemetry.active()
         for tag in self.tags:
             health = self.tags[tag]
             if decoded == tag:
                 health.consecutive_missed = 0
-                health.record(record.slot, ACK if record.acked else NACK)
+                outcome = ACK if record.acked else NACK
+                health.record(record.slot, outcome)
+                if tel is not None:
+                    tel.inc(
+                        "resilience.ack" if outcome is ACK else "resilience.nack",
+                        tag=tag,
+                    )
                 continue
             if tag in self._expected:
                 health.expected_total += 1
@@ -167,6 +175,11 @@ class LinkHealthMonitor:
                     and not record.collision_detected
                 )
                 health.record(record.slot, FAIL if failed else MISS)
+                if tel is not None:
+                    tel.inc(
+                        "resilience.fail" if failed else "resilience.miss",
+                        tag=tag,
+                    )
         self._expected = {}
         self._expected_slot = None
 

@@ -40,6 +40,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
+from repro import telemetry
 from repro.core.network import SlottedNetwork
 from repro.core.reader_protocol import SlotRecord
 from repro.core.slot_schedule import offsets_conflict
@@ -178,6 +179,9 @@ class NetworkSupervisor:
 
     def log_action(self, action: PolicyAction) -> None:
         self.actions.append(action)
+        tel = telemetry.active()
+        if tel is not None:
+            tel.inc("resilience.policy_actions", policy=action.policy)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -286,6 +290,10 @@ class NetworkSupervisor:
             self._restarted_this_episode = False
             return
         self.violations.extend(violations)
+        tel = telemetry.active()
+        if tel is not None:
+            for violation in violations:
+                tel.inc("resilience.violations", check=violation.check)
         handled = False
         for violation in violations:
             for policy in self.policies:
@@ -303,6 +311,8 @@ class NetworkSupervisor:
         ):
             self.network.reader.restart()
             self._restarted_this_episode = True
+            if tel is not None:
+                tel.inc("resilience.escalations", level="restart")
             self.escalations.append(
                 EscalationEvent(
                     slot,
@@ -323,6 +333,8 @@ class NetworkSupervisor:
             self._hard_resets += 1
             self._violation_streak = 0
             self._restarted_this_episode = False
+            if tel is not None:
+                tel.inc("resilience.escalations", level="hard_reset")
             self.escalations.append(
                 EscalationEvent(
                     slot,

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 import heapq
 import itertools
+
+from repro import telemetry
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
@@ -165,19 +167,27 @@ class Simulator:
         from a well-defined instant.
         """
         count = 0
-        while True:
-            if max_events is not None and count >= max_events:
-                return count
-            next_time = self.peek_next_time()
-            if next_time is None:
-                if until is not None and until > self._now:
+        try:
+            while True:
+                if max_events is not None and count >= max_events:
+                    return count
+                next_time = self.peek_next_time()
+                if next_time is None:
+                    if until is not None and until > self._now:
+                        self._now = until
+                    return count
+                if until is not None and next_time > until:
                     self._now = until
-                return count
-            if until is not None and next_time > until:
-                self._now = until
-                return count
-            self.step()
-            count += 1
+                    return count
+                self.step()
+                count += 1
+        finally:
+            # Batched so the off-path stays one active() call per run(),
+            # not one per event.
+            if count:
+                tel = telemetry.active()
+                if tel is not None:
+                    tel.inc("engine.events", count)
 
     def pending(self) -> int:
         """Number of live (non-cancelled) events still queued.

@@ -1,0 +1,137 @@
+"""Unified telemetry for the repro stack.
+
+One mergeable view of what every layer did: the sim engine's event
+loop, the MAC slot loop, the waveform receive chain, the fault
+controller, and the resilience supervisor all report into a single
+:class:`MetricsRegistry` through typed instruments
+(:class:`Counter`, :class:`Gauge`, :class:`Histogram`).  Snapshots are
+immutable, canonically serialisable (JSON + SHA-256 signature, the
+same discipline as :class:`~repro.faults.schedule.FaultSchedule`), and
+associatively mergeable — the property that lets the parallel
+experiment runner ship child snapshots back to the parent and fold
+them in canonical job order into bytes identical to a serial run.
+
+Collection is **strictly opt-in** (the zero-cost-when-off contract
+shared with :mod:`repro.faults` and :mod:`repro.resilience`): no
+registry is active unless :func:`enable` or :func:`collecting`
+installs one, instrumented sites guard on :func:`active` returning
+``None``, and no instrument ever touches an RNG stream — so a run with
+telemetry off is byte-identical to one on a build without this
+package, and a run with telemetry *on* replays the exact same traces
+with a signed scorecard on the side.
+
+Quick start::
+
+    from repro import telemetry
+    from repro.core.network import NetworkConfig, SlottedNetwork
+
+    with telemetry.collecting() as registry:
+        net = SlottedNetwork({"tag1": 4, "tag2": 8},
+                             config=NetworkConfig(ideal_channel=True))
+        net.run(400)
+    snapshot = registry.snapshot()
+    print(snapshot.total("mac.collisions"), snapshot.signature()[:16])
+
+Only deterministic quantities belong here; wall-clock timings stay in
+:mod:`repro.perf` (now also mergeable across processes, but excluded
+from byte-determinism guarantees).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.telemetry.export import (
+    TelemetryFormatError,
+    merge_jsonl_files,
+    read_jsonl,
+    snapshot_from_jsonl,
+    snapshot_to_jsonl,
+    write_jsonl,
+)
+from repro.telemetry.instruments import (
+    DEFAULT_SLOT_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    LabelSet,
+    labelset,
+    labelset_key,
+    log_spaced_bounds,
+    parse_labelset_key,
+)
+from repro.telemetry.registry import (
+    MetricsRegistry,
+    MetricsSnapshot,
+    merge_snapshots,
+)
+from repro.telemetry.report import render_report, render_results_report
+
+#: The active registry, or None (the default: collection disabled).
+_active: Optional[MetricsRegistry] = None
+
+
+def active() -> Optional[MetricsRegistry]:
+    """The currently-installed registry, or None when collection is off.
+
+    Instrumented hot paths call this once per slot/step and skip all
+    telemetry work on ``None`` — the entirety of the off-path cost.
+    """
+    return _active
+
+
+def enable(registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+    """Install ``registry`` (or a fresh one) as the collection target."""
+    global _active
+    _active = registry if registry is not None else MetricsRegistry()
+    return _active
+
+
+def disable() -> None:
+    """Turn collection off (the default state)."""
+    global _active
+    _active = None
+
+
+@contextmanager
+def collecting(
+    registry: Optional[MetricsRegistry] = None,
+) -> Iterator[MetricsRegistry]:
+    """Scoped collection: install a registry, restore the previous
+    state on exit (exception-safe)."""
+    global _active
+    previous = _active
+    _active = registry if registry is not None else MetricsRegistry()
+    try:
+        yield _active
+    finally:
+        _active = previous
+
+
+__all__ = [
+    "Counter",
+    "DEFAULT_SLOT_BOUNDS",
+    "Gauge",
+    "Histogram",
+    "LabelSet",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "TelemetryFormatError",
+    "active",
+    "collecting",
+    "disable",
+    "enable",
+    "labelset",
+    "labelset_key",
+    "log_spaced_bounds",
+    "merge_jsonl_files",
+    "merge_snapshots",
+    "parse_labelset_key",
+    "read_jsonl",
+    "render_report",
+    "render_results_report",
+    "snapshot_from_jsonl",
+    "snapshot_to_jsonl",
+    "write_jsonl",
+]

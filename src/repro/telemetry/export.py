@@ -1,0 +1,111 @@
+"""JSONL export/import of metric snapshots.
+
+One self-describing header line, then one canonical line per labelled
+series — a format that streams, greps, and diffs well, and that other
+processes (or later sessions) can merge back losslessly:
+
+    {"format":"repro-telemetry","signature":"<sha256>","version":1}
+    {"labels":"","name":"mac.slots","type":"counter","value":4000}
+    {"labels":"tag=tag1","name":"mac.tag.acked","type":"counter","value":981}
+
+Lines are sorted by (name, labels) and dumped with sorted keys and
+fixed separators, so a JSONL file is byte-deterministic for a given
+snapshot and the header signature doubles as an integrity check on
+load (:func:`read_jsonl` re-derives and compares it).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List
+
+from repro.telemetry.registry import MetricsSnapshot, merge_snapshots
+
+_JSONL_FORMAT = "repro-telemetry"
+_JSONL_VERSION = 1
+
+
+class TelemetryFormatError(ValueError):
+    """A JSONL document failed validation (format, version, signature)."""
+
+
+def _dump_line(payload: Dict[str, Any]) -> str:
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def snapshot_to_jsonl(snapshot: MetricsSnapshot) -> str:
+    """Render a snapshot as a canonical JSONL document (with trailing
+    newline)."""
+    lines: List[str] = [
+        _dump_line(
+            {
+                "format": _JSONL_FORMAT,
+                "version": _JSONL_VERSION,
+                "signature": snapshot.signature(),
+            }
+        )
+    ]
+    for name in snapshot.names():
+        for labels, entry in sorted(snapshot.series(name).items()):
+            lines.append(_dump_line({"name": name, "labels": labels, **entry}))
+    return "\n".join(lines) + "\n"
+
+
+def snapshot_from_jsonl(text: str) -> MetricsSnapshot:
+    """Parse a JSONL document back into a snapshot, verifying its
+    header signature."""
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise TelemetryFormatError("empty telemetry document")
+    try:
+        header = json.loads(lines[0])
+    except ValueError as exc:
+        raise TelemetryFormatError(f"malformed header line: {exc}")
+    if header.get("format") != _JSONL_FORMAT:
+        raise TelemetryFormatError(
+            f"not a telemetry document (format={header.get('format')!r})"
+        )
+    if header.get("version") != _JSONL_VERSION:
+        raise TelemetryFormatError(
+            f"unsupported telemetry version {header.get('version')!r}"
+        )
+    metrics: Dict[str, Dict[str, Any]] = {}
+    for line in lines[1:]:
+        try:
+            record = json.loads(line)
+        except ValueError as exc:
+            raise TelemetryFormatError(f"malformed series line: {exc}")
+        try:
+            name, labels = record.pop("name"), record.pop("labels")
+        except KeyError as exc:
+            raise TelemetryFormatError(f"series line missing {exc}")
+        metrics.setdefault(name, {})[labels] = record
+    snapshot = MetricsSnapshot.from_jsonable({"version": 1, "metrics": metrics})
+    expected = header.get("signature")
+    if expected is not None and snapshot.signature() != expected:
+        raise TelemetryFormatError(
+            "telemetry signature mismatch: document corrupted or edited "
+            f"(header {expected[:16]}..., content {snapshot.signature()[:16]}...)"
+        )
+    return snapshot
+
+
+def write_jsonl(snapshot: MetricsSnapshot, path: str) -> None:
+    """Write a snapshot to ``path`` as canonical JSONL."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(snapshot_to_jsonl(snapshot))
+
+
+def read_jsonl(path: str) -> MetricsSnapshot:
+    """Load and verify a snapshot previously written by
+    :func:`write_jsonl`."""
+    with open(path, encoding="utf-8") as fh:
+        return snapshot_from_jsonl(fh.read())
+
+
+def merge_jsonl_files(paths: Iterable[str]) -> MetricsSnapshot:
+    """Merge several JSONL exports (e.g. one per process) into one
+    snapshot, in the order given."""
+    return merge_snapshots(read_jsonl(path) for path in paths)

@@ -1,0 +1,325 @@
+"""Typed telemetry instruments: Counter, Gauge, Histogram, LabelSet.
+
+Every instrument is a pure accumulator over **deterministic** inputs —
+slot outcomes, state transitions, fault applications — never wall-clock
+time (wall time lives in :mod:`repro.perf`, which is explicitly
+excluded from byte-determinism contracts).  Each instrument defines:
+
+* ``to_jsonable()`` / ``from_jsonable()`` — a canonical plain-dict form
+  with no NaN/Infinity values, so snapshots serialise with
+  ``json.dumps(..., allow_nan=False)``;
+* ``merge(other)`` — an **associative and commutative** combination
+  with the freshly-constructed instrument as identity.  Counters add,
+  gauges keep their high-water mark, histograms add bucket counts and
+  combine min/max.  Associativity is what lets the parallel experiment
+  runner fold child snapshots together in canonical job order and land
+  on the same bytes as a serial run (see
+  ``tests/telemetry/test_merge_properties.py``).
+
+Histogram bucket bounds are **fixed at construction** (log-spaced by
+default via :func:`log_spaced_bounds`); two histograms only merge when
+their bounds are identical, which keeps the merged representation a
+pure function of the inputs rather than of who merged first.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+#: A canonical, hash-seed-independent label encoding: sorted
+#: ``(key, value)`` pairs.
+LabelSet = Tuple[Tuple[str, str], ...]
+
+#: Characters that would break the canonical flat encoding of a label
+#: set ("k=v|k2=v2") and are therefore rejected in keys and values.
+_FORBIDDEN_LABEL_CHARS = ("=", "|", "\n")
+
+
+def labelset(labels: Mapping[str, object]) -> LabelSet:
+    """Normalise a mapping into a canonical, sorted label tuple."""
+    out = []
+    for key in sorted(labels):
+        value = str(labels[key])
+        for ch in _FORBIDDEN_LABEL_CHARS:
+            if ch in key or ch in value:
+                raise ValueError(
+                    f"label {key!r}={value!r} contains forbidden character {ch!r}"
+                )
+        out.append((key, value))
+    return tuple(out)
+
+
+def labelset_key(labels: LabelSet) -> str:
+    """Flat string form of a label set ("" for the empty set)."""
+    return "|".join(f"{k}={v}" for k, v in labels)
+
+
+def parse_labelset_key(key: str) -> LabelSet:
+    """Inverse of :func:`labelset_key`."""
+    if not key:
+        return ()
+    pairs = []
+    for part in key.split("|"):
+        k, sep, v = part.partition("=")
+        if not sep:
+            raise ValueError(f"malformed label key segment {part!r}")
+        pairs.append((k, v))
+    return tuple(sorted(pairs))
+
+
+def log_spaced_bounds(
+    low: float, high: float, n_buckets: int
+) -> Tuple[float, ...]:
+    """``n_buckets - 1`` geometrically-spaced bucket upper bounds.
+
+    The returned tuple splits ``[low, high]`` into ``n_buckets - 1``
+    log-spaced finite buckets; observations above ``high`` fall into
+    the implicit overflow bucket every histogram carries.  The bounds
+    are a pure function of the arguments (same bytes on any platform),
+    which is what lets differently-located registries merge.
+    """
+    if not (low > 0 and high > low):
+        raise ValueError("need 0 < low < high for log-spaced bounds")
+    if n_buckets < 2:
+        raise ValueError("need at least 2 buckets")
+    ratio = (high / low) ** (1.0 / (n_buckets - 2)) if n_buckets > 2 else 1.0
+    bounds = [low]
+    for _ in range(n_buckets - 3):
+        bounds.append(bounds[-1] * ratio)
+    if n_buckets > 2:
+        bounds.append(high)
+    return tuple(bounds)
+
+
+#: Default bounds for slot-count-valued histograms (convergence times,
+#: recovery windows): 1 slot .. 100k slots over 16 buckets.
+DEFAULT_SLOT_BOUNDS = log_spaced_bounds(1.0, 100_000.0, 16)
+
+
+def _check_finite(value: float, what: str) -> float:
+    value = float(value)
+    if not math.isfinite(value):
+        raise ValueError(f"{what} must be finite, got {value!r}")
+    return value
+
+
+class Counter:
+    """A monotonically non-decreasing integer event count."""
+
+    kind = "counter"
+    __slots__ = ("value",)
+
+    def __init__(self, value: int = 0) -> None:
+        if value < 0:
+            raise ValueError("counter value must be non-negative")
+        self.value = int(value)
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (>= 0) events."""
+        if n < 0:
+            raise ValueError("counters only move forward")
+        self.value += int(n)
+
+    def merge(self, other: "Counter") -> "Counter":
+        """Combined count: addition (associative, commutative, 0-identity)."""
+        return Counter(self.value + other.value)
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {"type": self.kind, "value": self.value}
+
+    @classmethod
+    def from_jsonable(cls, data: Mapping[str, Any]) -> "Counter":
+        return cls(int(data["value"]))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Counter) and self.value == other.value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.value})"
+
+
+class Gauge:
+    """A high-water-mark gauge.
+
+    ``set`` overwrites the local value; **merge keeps the maximum**, the
+    only last-value-like combination that is associative and
+    commutative.  Use a gauge for quantities where the cross-process
+    aggregate of interest is a peak (deepest eviction ledger, largest
+    pending queue); use a histogram when the distribution matters.
+    An unset gauge (``value is None``) is the merge identity.
+    """
+
+    kind = "gauge"
+    __slots__ = ("value",)
+
+    def __init__(self, value: Optional[float] = None) -> None:
+        self.value = None if value is None else _check_finite(value, "gauge value")
+
+    def set(self, value: float) -> None:
+        """Record the current level (overwrites locally)."""
+        self.value = _check_finite(value, "gauge value")
+
+    def set_max(self, value: float) -> None:
+        """Record the level only if it exceeds the stored high-water mark."""
+        value = _check_finite(value, "gauge value")
+        if self.value is None or value > self.value:
+            self.value = value
+
+    def merge(self, other: "Gauge") -> "Gauge":
+        """Combined gauge: element-wise maximum (high-water mark)."""
+        if self.value is None:
+            return Gauge(other.value)
+        if other.value is None:
+            return Gauge(self.value)
+        return Gauge(max(self.value, other.value))
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {"type": self.kind, "value": self.value}
+
+    @classmethod
+    def from_jsonable(cls, data: Mapping[str, Any]) -> "Gauge":
+        value = data["value"]
+        return cls(None if value is None else float(value))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Gauge) and self.value == other.value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.value})"
+
+
+class Histogram:
+    """A fixed-bound bucket histogram with exact min/max tracking.
+
+    ``bounds`` are ascending bucket *upper* bounds; observations greater
+    than the last bound land in the overflow bucket, so ``counts`` has
+    ``len(bounds) + 1`` entries.  ``sum`` is tracked for mean estimates;
+    note that float addition is only exactly associative for
+    integer-valued observations (slot counts, event tallies) — which is
+    what the deterministic instrument sites record.  Wall-clock
+    durations belong in :mod:`repro.perf`, not here.
+    """
+
+    kind = "histogram"
+    __slots__ = ("bounds", "counts", "count", "sum", "min", "max")
+
+    def __init__(
+        self,
+        bounds: Tuple[float, ...] = DEFAULT_SLOT_BOUNDS,
+        counts: Optional[List[int]] = None,
+        count: int = 0,
+        total: float = 0.0,
+        minimum: Optional[float] = None,
+        maximum: Optional[float] = None,
+    ) -> None:
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError("histogram bounds must be strictly ascending")
+        self.bounds = bounds
+        self.counts = list(counts) if counts is not None else [0] * (len(bounds) + 1)
+        if len(self.counts) != len(bounds) + 1:
+            raise ValueError(
+                f"expected {len(bounds) + 1} bucket counts, got {len(self.counts)}"
+            )
+        if any(c < 0 for c in self.counts):
+            raise ValueError("bucket counts must be non-negative")
+        self.count = int(count)
+        self.sum = float(total)
+        self.min = None if minimum is None else float(minimum)
+        self.max = None if maximum is None else float(maximum)
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = _check_finite(value, "histogram observation")
+        self.counts[bisect_right(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.sum / self.count if self.count else None
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Combined histogram: bucket-wise addition, min/max extremes.
+
+        Raises :class:`ValueError` when the bucket bounds differ — a
+        merged histogram must be a pure function of the observations,
+        not of which side was constructed with which layout.
+        """
+        if self.bounds != other.bounds:
+            raise ValueError(
+                "cannot merge histograms with different bucket bounds"
+            )
+        mins = [m for m in (self.min, other.min) if m is not None]
+        maxs = [m for m in (self.max, other.max) if m is not None]
+        return Histogram(
+            bounds=self.bounds,
+            counts=[a + b for a, b in zip(self.counts, other.counts)],
+            count=self.count + other.count,
+            total=self.sum + other.sum,
+            minimum=min(mins) if mins else None,
+            maximum=max(maxs) if maxs else None,
+        )
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {
+            "type": self.kind,
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: Mapping[str, Any]) -> "Histogram":
+        return cls(
+            bounds=tuple(data["bounds"]),
+            counts=[int(c) for c in data["counts"]],
+            count=int(data["count"]),
+            total=float(data["sum"]),
+            minimum=None if data["min"] is None else float(data["min"]),
+            maximum=None if data["max"] is None else float(data["max"]),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Histogram):
+            return NotImplemented
+        return (
+            self.bounds == other.bounds
+            and self.counts == other.counts
+            and self.count == other.count
+            and self.sum == other.sum
+            and self.min == other.min
+            and self.max == other.max
+        )
+
+    def __repr__(self) -> str:
+        return f"Histogram(count={self.count}, sum={self.sum})"
+
+
+#: Instrument constructors by serialised type tag.
+INSTRUMENT_TYPES = {
+    Counter.kind: Counter,
+    Gauge.kind: Gauge,
+    Histogram.kind: Histogram,
+}
+
+
+def instrument_from_jsonable(data: Mapping[str, Any]):
+    """Rebuild any instrument from its canonical dict form."""
+    kind = data.get("type")
+    try:
+        cls = INSTRUMENT_TYPES[kind]
+    except KeyError:
+        raise ValueError(f"unknown instrument type {kind!r}")
+    return cls.from_jsonable(data)

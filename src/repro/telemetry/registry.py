@@ -1,0 +1,288 @@
+"""The metrics registry and its immutable, mergeable snapshots.
+
+A :class:`MetricsRegistry` is a thread-safe, insertion-order-stable
+collection of named instrument families; each family holds one
+instrument per :data:`~repro.telemetry.instruments.LabelSet`.  A
+family's type and (for histograms) bucket bounds are fixed by the first
+touch — later touches with a conflicting type or layout raise instead
+of silently forking the series.
+
+A :class:`MetricsSnapshot` is the frozen view: canonically
+serialisable (sorted keys, fixed separators, no NaN/Infinity), signed
+with SHA-256 exactly like :class:`~repro.faults.schedule.FaultSchedule`,
+and **associatively mergeable** — ``merge`` is associative and
+commutative with the empty snapshot as identity, so the parallel
+experiment runner can fold per-child snapshots in canonical job order
+and obtain bytes identical to a serial run, regardless of which child
+finished first.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from typing import Any, Dict, Iterable, Mapping, Optional, Tuple
+
+from repro.telemetry.instruments import (
+    Counter,
+    Gauge,
+    Histogram,
+    LabelSet,
+    instrument_from_jsonable,
+    labelset,
+    labelset_key,
+)
+
+_SNAPSHOT_FORMAT_VERSION = 1
+
+
+class MetricsSnapshot:
+    """An immutable, canonically-serialisable view of a registry.
+
+    Construct via :meth:`MetricsRegistry.snapshot`,
+    :meth:`from_jsonable`, or :meth:`empty`; combine with :meth:`merge`.
+    """
+
+    __slots__ = ("_metrics",)
+
+    def __init__(self, metrics: Mapping[str, Mapping[str, Any]]) -> None:
+        # Deep-normalise into sorted plain dicts so two snapshots of
+        # equal content are byte-equal however they were produced.
+        self._metrics: Dict[str, Dict[str, Any]] = {
+            name: {
+                key: dict(sorted(value.items()))
+                for key, value in sorted(metrics[name].items())
+            }
+            for name in sorted(metrics)
+        }
+
+    @classmethod
+    def empty(cls) -> "MetricsSnapshot":
+        """The merge identity."""
+        return cls({})
+
+    # -- queries ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(len(series) for series in self._metrics.values())
+
+    def __bool__(self) -> bool:
+        return bool(self._metrics)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MetricsSnapshot):
+            return NotImplemented
+        return self._metrics == other._metrics
+
+    def names(self) -> Tuple[str, ...]:
+        """Metric family names, sorted."""
+        return tuple(self._metrics)
+
+    def series(self, name: str) -> Dict[str, Any]:
+        """Label-key -> instrument dict for one family ({} if absent)."""
+        return {k: dict(v) for k, v in self._metrics.get(name, {}).items()}
+
+    def value(self, name: str, **labels: object) -> Any:
+        """Scalar convenience: a counter/gauge value, or a histogram
+        dict, for one labelled series (None when absent)."""
+        entry = self._metrics.get(name, {}).get(labelset_key(labelset(labels)))
+        if entry is None:
+            return None
+        if entry["type"] in (Counter.kind, Gauge.kind):
+            return entry["value"]
+        return dict(entry)
+
+    def total(self, name: str) -> int:
+        """Sum of a counter family across all label sets (0 if absent)."""
+        total = 0
+        for entry in self._metrics.get(name, {}).values():
+            if entry["type"] != Counter.kind:
+                raise ValueError(f"{name!r} is not a counter family")
+            total += entry["value"]
+        return total
+
+    # -- merge ------------------------------------------------------------
+
+    def merge(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Combine two snapshots (associative, commutative, empty-identity).
+
+        Families present on both sides must agree on instrument type
+        (and histogram bounds); their series merge instrument-wise.
+        """
+        merged: Dict[str, Dict[str, Any]] = {}
+        for name in sorted(set(self._metrics) | set(other._metrics)):
+            left = self._metrics.get(name, {})
+            right = other._metrics.get(name, {})
+            series: Dict[str, Any] = {}
+            for key in sorted(set(left) | set(right)):
+                a, b = left.get(key), right.get(key)
+                if a is None:
+                    series[key] = dict(b)
+                elif b is None:
+                    series[key] = dict(a)
+                else:
+                    if a["type"] != b["type"]:
+                        raise ValueError(
+                            f"metric {name!r}[{key!r}] is a {a['type']} on one "
+                            f"side and a {b['type']} on the other"
+                        )
+                    series[key] = (
+                        instrument_from_jsonable(a)
+                        .merge(instrument_from_jsonable(b))
+                        .to_jsonable()
+                    )
+            merged[name] = series
+        return MetricsSnapshot(merged)
+
+    # -- serialisation ----------------------------------------------------
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {
+            "version": _SNAPSHOT_FORMAT_VERSION,
+            "metrics": {
+                name: {key: dict(entry) for key, entry in series.items()}
+                for name, series in self._metrics.items()
+            },
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: Mapping[str, Any]) -> "MetricsSnapshot":
+        version = data.get("version", _SNAPSHOT_FORMAT_VERSION)
+        if version != _SNAPSHOT_FORMAT_VERSION:
+            raise ValueError(f"unsupported snapshot format version {version!r}")
+        metrics = data.get("metrics", {})
+        for name, series in metrics.items():
+            for key, entry in series.items():
+                instrument_from_jsonable(entry)  # validates type + fields
+        return cls(metrics)
+
+    def canonical_bytes(self) -> bytes:
+        """Canonical JSON encoding — identical bytes for identical
+        content on any platform and under any ``PYTHONHASHSEED``."""
+        return json.dumps(
+            self.to_jsonable(),
+            sort_keys=True,
+            separators=(",", ":"),
+            allow_nan=False,
+        ).encode("utf-8")
+
+    def signature(self) -> str:
+        """SHA-256 of the canonical encoding: the merge/replay identity."""
+        return hashlib.sha256(self.canonical_bytes()).hexdigest()
+
+
+def merge_snapshots(snapshots: Iterable[MetricsSnapshot]) -> MetricsSnapshot:
+    """Left-fold ``merge`` over snapshots (empty-snapshot identity).
+
+    Callers that need byte-determinism must present the snapshots in a
+    canonical order (the runner uses experiment-job order); associativity
+    then guarantees the result is independent of how the work was
+    partitioned.
+    """
+    merged = MetricsSnapshot.empty()
+    for snapshot in snapshots:
+        merged = merged.merge(snapshot)
+    return merged
+
+
+class MetricsRegistry:
+    """Thread-safe live registry of counters, gauges, and histograms."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        #: name -> labelset -> live instrument.
+        self._families: Dict[str, Dict[LabelSet, Any]] = {}
+        #: name -> type tag, fixed at first touch.
+        self._types: Dict[str, str] = {}
+        #: name -> bounds, fixed at first touch (histograms only).
+        self._bounds: Dict[str, Tuple[float, ...]] = {}
+
+    def _get(self, name: str, kind: str, labels: LabelSet, factory):
+        if not name:
+            raise ValueError("metric name must be non-empty")
+        with self._lock:
+            declared = self._types.get(name)
+            if declared is None:
+                self._types[name] = kind
+                self._families[name] = {}
+            elif declared != kind:
+                raise ValueError(
+                    f"metric {name!r} is a {declared}, not a {kind}"
+                )
+            family = self._families[name]
+            instrument = family.get(labels)
+            if instrument is None:
+                instrument = family[labels] = factory()
+            return instrument
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        """Get-or-create the counter for ``(name, labels)``."""
+        return self._get(name, Counter.kind, labelset(labels), Counter)
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        """Get-or-create the gauge for ``(name, labels)``."""
+        return self._get(name, Gauge.kind, labelset(labels), Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        bounds: Optional[Tuple[float, ...]] = None,
+        **labels: object,
+    ) -> Histogram:
+        """Get-or-create the histogram for ``(name, labels)``.
+
+        ``bounds`` fixes the family's bucket layout at first touch;
+        passing different bounds later raises.
+        """
+        labels_t = labelset(labels)
+        with self._lock:
+            fixed = self._bounds.get(name)
+        if fixed is not None and bounds is not None and tuple(bounds) != fixed:
+            raise ValueError(
+                f"histogram {name!r} already fixed to different bounds"
+            )
+        if fixed is None:
+            hist = Histogram(bounds) if bounds is not None else Histogram()
+            with self._lock:
+                self._bounds.setdefault(name, hist.bounds)
+            fixed = self._bounds[name]
+        return self._get(
+            name, Histogram.kind, labels_t, lambda: Histogram(fixed)
+        )
+
+    # -- hot-path conveniences --------------------------------------------
+
+    def inc(self, name: str, n: int = 1, **labels: object) -> None:
+        """Bump a counter."""
+        self.counter(name, **labels).inc(n)
+
+    def observe(self, name: str, value: float, **labels: object) -> None:
+        """Record a histogram observation."""
+        self.histogram(name, **labels).observe(value)
+
+    def set_gauge(self, name: str, value: float, **labels: object) -> None:
+        """Set a gauge level."""
+        self.gauge(name, **labels).set(value)
+
+    # -- lifecycle --------------------------------------------------------
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Freeze the current state into an immutable snapshot."""
+        with self._lock:
+            return MetricsSnapshot(
+                {
+                    name: {
+                        labelset_key(labels): instrument.to_jsonable()
+                        for labels, instrument in family.items()
+                    }
+                    for name, family in self._families.items()
+                }
+            )
+
+    def reset(self) -> None:
+        """Drop every family (types and bounds included)."""
+        with self._lock:
+            self._families.clear()
+            self._types.clear()
+            self._bounds.clear()

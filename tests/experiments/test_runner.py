@@ -102,6 +102,143 @@ class TestParallelExecution:
         assert results["table2_sustainable"] is True
 
 
+# -- telemetry differential --------------------------------------------------
+#
+# The merged telemetry section must be byte-identical however the jobs
+# were executed (serial, pool, resumed) — the cross-process half of the
+# telemetry determinism contract (tests/telemetry covers the algebra).
+
+
+def _net_job(tag, periods, n_slots, seed_offset):
+    def job(medium, seed, quick):
+        from repro.core.network import NetworkConfig, SlottedNetwork
+
+        net = SlottedNetwork(
+            periods,
+            config=NetworkConfig(ideal_channel=True, seed=seed + seed_offset),
+        )
+        net.run(n_slots)
+        return {tag: {"slots": n_slots}}
+
+    job.__name__ = f"_job_{tag}"
+    return job
+
+
+@pytest.fixture()
+def telemetry_jobs(monkeypatch):
+    import repro.experiments.runner as runner_mod
+
+    jobs = [
+        ("t1", _net_job("t1", {"tag1": 4, "tag2": 8}, 120, 1)),
+        ("t2", _net_job("t2", {"tag1": 4, "tag3": 8}, 150, 2)),
+        ("t3", _net_job("t3", {"tag2": 8, "tag4": 16}, 90, 3)),
+        ("t4", _net_job("t4", {"tag1": 4}, 60, 4)),
+    ]
+    monkeypatch.setattr(runner_mod, "EXPERIMENT_JOBS", jobs)
+    monkeypatch.setattr(runner_mod, "_JOBS_BY_NAME", dict(jobs))
+    return dict(jobs)
+
+
+class TestTelemetryDifferential:
+    def test_jobs4_matches_serial_byte_for_byte(self, telemetry_jobs, medium):
+        serial = collect_results(
+            medium, seed=7, quick=True, jobs=1, telemetry=True
+        )
+        parallel = collect_results(
+            medium, seed=7, quick=True, jobs=4, telemetry=True
+        )
+        assert json.dumps(serial, sort_keys=True) == json.dumps(
+            parallel, sort_keys=True
+        )
+        assert (
+            serial["telemetry"]["signature"]
+            == parallel["telemetry"]["signature"]
+        )
+
+    def test_telemetry_section_opt_in(self, telemetry_jobs, medium):
+        assert "telemetry" not in collect_results(medium, quick=True)
+
+    def test_merged_totals_cover_every_job(self, telemetry_jobs, medium):
+        from repro.telemetry import MetricsSnapshot
+
+        doc = collect_results(medium, seed=0, quick=True, telemetry=True)
+        snap = MetricsSnapshot.from_jsonable(doc["telemetry"]["snapshot"])
+        assert snap.total("mac.slots") == 120 + 150 + 90 + 60
+        assert doc["telemetry"]["signature"] == snap.signature()
+
+    def test_report_identical_serial_vs_parallel(self, telemetry_jobs, medium):
+        from repro.telemetry import render_results_report
+
+        serial = collect_results(
+            medium, seed=7, quick=True, jobs=1, telemetry=True
+        )
+        parallel = collect_results(
+            medium, seed=7, quick=True, jobs=4, telemetry=True
+        )
+        assert render_results_report(serial) == render_results_report(parallel)
+
+    def test_interrupted_telemetry_run_resumes_byte_identical(
+        self, telemetry_jobs, tmp_path, monkeypatch, medium
+    ):
+        import repro.experiments.runner as runner_mod
+
+        ckpt = str(tmp_path / "run.ckpt")
+        uninterrupted = collect_results(
+            medium, seed=7, quick=True, telemetry=True
+        )
+
+        patched = dict(telemetry_jobs)
+
+        def dying_t3(m, seed, quick):
+            raise KeyboardInterrupt
+
+        patched["t3"] = dying_t3
+        monkeypatch.setattr(runner_mod, "_JOBS_BY_NAME", patched)
+        with pytest.raises(KeyboardInterrupt):
+            collect_results(
+                medium, seed=7, quick=True, checkpoint=ckpt, telemetry=True
+            )
+        assert os.path.exists(ckpt)
+
+        monkeypatch.setattr(runner_mod, "_JOBS_BY_NAME", dict(telemetry_jobs))
+        resumed = collect_results(
+            medium,
+            seed=7,
+            quick=True,
+            checkpoint=ckpt,
+            resume=True,
+            telemetry=True,
+        )
+        assert json.dumps(resumed, sort_keys=True) == json.dumps(
+            uninterrupted, sort_keys=True
+        )
+
+    def test_resume_ignores_checkpoint_without_telemetry(
+        self, telemetry_jobs, tmp_path, medium
+    ):
+        import repro.experiments.runner as runner_mod
+
+        ckpt = str(tmp_path / "run.ckpt")
+        # A telemetry-off checkpoint has fragments but no snapshots; a
+        # telemetry-on resume must re-run those jobs, not emit a
+        # partial telemetry section.
+        runner_mod._write_checkpoint(
+            ckpt, 7, True, {"t1": {"t1": {"slots": 120}}}, {"t1": 0.0}
+        )
+        resumed = collect_results(
+            medium,
+            seed=7,
+            quick=True,
+            checkpoint=ckpt,
+            resume=True,
+            telemetry=True,
+        )
+        fresh = collect_results(medium, seed=7, quick=True, telemetry=True)
+        assert json.dumps(resumed, sort_keys=True) == json.dumps(
+            fresh, sort_keys=True
+        )
+
+
 # -- robustness harness ------------------------------------------------------
 #
 # The crash/retry/resume machinery is independent of which experiments
@@ -295,6 +432,6 @@ class TestRobustRunner:
         ckpt = str(tmp_path / "run.ckpt")
         for i in range(5):
             _write_checkpoint(ckpt, 7, True, {"j1": {"v": i}}, {"j1": 0.0})
-            fragments, _ = _load_checkpoint(ckpt, 7, True)
+            fragments, _, _ = _load_checkpoint(ckpt, 7, True)
             assert fragments == {"j1": {"v": i}}
         assert not os.path.exists(ckpt + ".tmp")

@@ -1,4 +1,4 @@
-"""Golden-trace regression: three canonical scenarios under fixed
+"""Golden-trace regression: four canonical scenarios under fixed
 seeds must replay byte-for-byte against checked-in JSON documents.
 
 Regenerate (after an intentional behaviour change) with::
@@ -82,7 +82,12 @@ class TestGoldenScenarios:
 
 class TestScenarioMachinery:
     def test_all_scenarios_covered(self):
-        assert set(SCENARIO_NAMES) == {"ideal", "lossy", "fault_burst"}
+        assert set(SCENARIO_NAMES) == {
+            "ideal",
+            "lossy",
+            "fault_burst",
+            "supervised",
+        }
 
     def test_unknown_scenario_rejected(self):
         with pytest.raises(KeyError):
@@ -94,6 +99,12 @@ class TestScenarioMachinery:
         a = run_scenario("fault_burst")
         b = run_scenario("fault_burst")
         assert a.trace.canonical_bytes() == b.trace.canonical_bytes()
+
+    def test_supervised_differs_from_vanilla_burst(self):
+        # Same seed + schedule: any divergence is the policies acting.
+        burst = scenario_run("fault_burst")
+        healed = scenario_run("supervised")
+        assert burst.trace.signature() != healed.trace.signature()
 
     def test_fault_burst_actually_disturbs_the_network(self):
         ideal = scenario_run("ideal")

@@ -1,0 +1,137 @@
+"""JSONL export round-trips and the scorecard renderer's purity."""
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import (
+    MetricsRegistry,
+    TelemetryFormatError,
+    merge_jsonl_files,
+    read_jsonl,
+    render_report,
+    render_results_report,
+    snapshot_from_jsonl,
+    snapshot_to_jsonl,
+    write_jsonl,
+)
+
+
+def _sample_snapshot():
+    reg = MetricsRegistry()
+    reg.inc("mac.slots", 240)
+    reg.inc("mac.collisions", 18)
+    reg.inc("mac.tag.acked", 135, tag="tag1")
+    reg.inc("mac.tag.nacked", 2, tag="tag1")
+    reg.observe("mac.convergence_slots", 77)
+    reg.gauge("resilience.peak_missed").set_max(4.0)
+    return reg.snapshot()
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        snap = _sample_snapshot()
+        path = str(tmp_path / "tel.jsonl")
+        write_jsonl(snap, path)
+        back = read_jsonl(path)
+        assert back.canonical_bytes() == snap.canonical_bytes()
+
+    def test_text_is_byte_deterministic(self):
+        a = snapshot_to_jsonl(_sample_snapshot())
+        b = snapshot_to_jsonl(_sample_snapshot())
+        assert a == b
+
+    def test_header_carries_signature(self):
+        import json
+
+        snap = _sample_snapshot()
+        header = json.loads(snapshot_to_jsonl(snap).splitlines()[0])
+        assert header["format"] == "repro-telemetry"
+        assert header["signature"] == snap.signature()
+
+    def test_tampering_detected(self):
+        text = snapshot_to_jsonl(_sample_snapshot())
+        tampered = text.replace('"value":240', '"value":241')
+        assert tampered != text
+        with pytest.raises(TelemetryFormatError):
+            snapshot_from_jsonl(tampered)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "not json\n",
+            '{"format":"something-else","version":1}\n',
+            '{"format":"repro-telemetry","version":99}\n',
+        ],
+    )
+    def test_malformed_documents_rejected(self, bad):
+        with pytest.raises(TelemetryFormatError):
+            snapshot_from_jsonl(bad)
+
+    def test_merge_jsonl_files(self, tmp_path):
+        snap = _sample_snapshot()
+        p1, p2 = str(tmp_path / "a.jsonl"), str(tmp_path / "b.jsonl")
+        write_jsonl(snap, p1)
+        write_jsonl(snap, p2)
+        merged = merge_jsonl_files([p1, p2])
+        assert merged.total("mac.slots") == 2 * snap.total("mac.slots")
+
+
+class TestRenderReport:
+    def test_pure_function_of_snapshot(self):
+        snap = _sample_snapshot()
+        assert render_report(snap) == render_report(snap)
+
+    def test_scorecard_sections_present(self):
+        text = render_report(_sample_snapshot(), title="unit test")
+        assert "unit test" in text
+        assert "slot outcomes" in text
+        assert "per-tag link scorecard" in text
+        assert "tag1" in text
+        assert "convergence" in text
+
+    def test_signature_shown(self):
+        snap = _sample_snapshot()
+        assert snap.signature() in render_report(snap)
+
+    def test_empty_snapshot_renders(self):
+        reg = MetricsRegistry()
+        text = render_report(reg.snapshot())
+        assert "series:" in text
+
+    def test_rendering_never_mutates(self):
+        snap = _sample_snapshot()
+        before = snap.canonical_bytes()
+        render_report(snap)
+        assert snap.canonical_bytes() == before
+
+
+class TestRenderResultsReport:
+    def test_reads_embedded_telemetry_section(self):
+        snap = _sample_snapshot()
+        document = {
+            "quick": True,
+            "seed": 0,
+            "telemetry": {
+                "signature": snap.signature(),
+                "snapshot": snap.to_jsonable(),
+            },
+        }
+        text = render_results_report(document)
+        assert snap.signature() in text
+        assert "seed" in text
+
+    def test_missing_section_raises(self):
+        with pytest.raises((KeyError, ValueError)):
+            render_results_report({"quick": True, "seed": 0})
+
+
+class TestScenarioScorecard:
+    def test_fault_scenario_report_shows_fault_counts(self):
+        from repro.faults.scenarios import run_scenario
+
+        with telemetry.collecting() as reg:
+            run_scenario("fault_burst")
+        text = render_report(reg.snapshot())
+        assert "fault injection" in text
+        assert "beacon_loss" in text

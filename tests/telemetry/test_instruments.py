@@ -1,0 +1,178 @@
+"""Unit tests for the typed telemetry instruments and label encoding."""
+
+import json
+import math
+
+import pytest
+
+from repro.telemetry import (
+    DEFAULT_SLOT_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    labelset,
+    labelset_key,
+    log_spaced_bounds,
+    parse_labelset_key,
+)
+
+
+class TestLabelSets:
+    def test_labelset_sorts_keys(self):
+        assert labelset({"b": 2, "a": 1}) == (("a", "1"), ("b", "2"))
+
+    def test_key_round_trip(self):
+        ls = labelset({"tag": "tag4", "kind": "brownout"})
+        assert parse_labelset_key(labelset_key(ls)) == ls
+
+    def test_empty_labelset_key(self):
+        assert labelset_key(()) == ""
+        assert parse_labelset_key("") == ()
+
+    @pytest.mark.parametrize("bad", ["a=b", "a|b", "a\nb"])
+    def test_forbidden_characters_rejected(self, bad):
+        with pytest.raises(ValueError):
+            labelset({"k": bad})
+        with pytest.raises(ValueError):
+            labelset({bad: "v"})
+
+    def test_malformed_key_rejected(self):
+        with pytest.raises(ValueError):
+            parse_labelset_key("no-separator")
+
+
+class TestLogSpacedBounds:
+    def test_default_slot_bounds_shape(self):
+        assert len(DEFAULT_SLOT_BOUNDS) == 15  # 16 buckets - 1 overflow
+        assert DEFAULT_SLOT_BOUNDS[0] == 1.0
+        assert DEFAULT_SLOT_BOUNDS[-1] == 100_000.0
+
+    def test_bounds_strictly_ascending(self):
+        bounds = log_spaced_bounds(0.5, 2000.0, 10)
+        assert list(bounds) == sorted(bounds)
+        assert len(set(bounds)) == len(bounds)
+
+    def test_bounds_are_pure(self):
+        assert log_spaced_bounds(1.0, 100.0, 8) == log_spaced_bounds(
+            1.0, 100.0, 8
+        )
+
+    @pytest.mark.parametrize(
+        "low,high,n", [(0.0, 1.0, 4), (2.0, 1.0, 4), (1.0, 2.0, 1)]
+    )
+    def test_invalid_arguments_rejected(self, low, high, n):
+        with pytest.raises(ValueError):
+            log_spaced_bounds(low, high, n)
+
+
+class TestCounter:
+    def test_inc_and_merge_add(self):
+        a, b = Counter(), Counter()
+        a.inc()
+        a.inc(4)
+        b.inc(2)
+        assert a.merge(b).value == 7
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Counter(-1)
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_jsonable_round_trip(self):
+        c = Counter(9)
+        assert Counter.from_jsonable(c.to_jsonable()) == c
+
+
+class TestGauge:
+    def test_set_overwrites_merge_keeps_max(self):
+        a, b = Gauge(), Gauge()
+        a.set(5.0)
+        a.set(2.0)
+        b.set(3.0)
+        assert a.merge(b).value == 3.0
+
+    def test_set_max_is_high_water(self):
+        g = Gauge()
+        g.set_max(2.0)
+        g.set_max(1.0)
+        assert g.value == 2.0
+
+    def test_unset_gauge_is_identity(self):
+        g = Gauge()
+        g.set(4.0)
+        assert Gauge().merge(g) == g
+        assert g.merge(Gauge()) == g
+
+    def test_non_finite_rejected(self):
+        for bad in (math.inf, -math.inf, math.nan):
+            with pytest.raises(ValueError):
+                Gauge().set(bad)
+
+    def test_jsonable_round_trip_including_unset(self):
+        assert Gauge.from_jsonable(Gauge().to_jsonable()) == Gauge()
+        g = Gauge(7.5)
+        assert Gauge.from_jsonable(g.to_jsonable()) == g
+
+
+class TestHistogram:
+    def test_bucketing_includes_overflow(self):
+        h = Histogram(bounds=(1.0, 10.0))
+        for v in (0.5, 1.0, 5.0, 10.0, 11.0):
+            h.observe(v)
+        # bisect_right: <1.0 -> bucket 0, [1.0, 10.0) -> bucket 1,
+        # >=10.0 -> overflow
+        assert h.counts == [1, 2, 2]
+        assert h.count == 5
+        assert h.min == 0.5 and h.max == 11.0
+
+    def test_merge_adds_buckets_and_combines_extremes(self):
+        a = Histogram(bounds=(1.0, 10.0))
+        b = Histogram(bounds=(1.0, 10.0))
+        a.observe(2.0)
+        b.observe(20.0)
+        m = a.merge(b)
+        assert m.counts == [0, 1, 1]
+        assert m.count == 2
+        assert m.min == 2.0 and m.max == 20.0
+        assert m.sum == 22.0
+
+    def test_merge_rejects_different_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=(1.0, 2.0)).merge(Histogram(bounds=(1.0, 3.0)))
+
+    def test_empty_histogram_is_identity(self):
+        h = Histogram(bounds=(1.0, 10.0))
+        h.observe(3.0)
+        empty = Histogram(bounds=(1.0, 10.0))
+        assert empty.merge(h) == h
+        assert h.merge(empty) == h
+
+    def test_mean(self):
+        h = Histogram(bounds=(1.0, 10.0))
+        assert h.mean is None
+        h.observe(2.0)
+        h.observe(4.0)
+        assert h.mean == 3.0
+
+    def test_non_finite_observation_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram().observe(math.inf)
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=())
+        with pytest.raises(ValueError):
+            Histogram(bounds=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(bounds=(1.0, 2.0), counts=[1, 2])
+        with pytest.raises(ValueError):
+            Histogram(bounds=(1.0, 2.0), counts=[1, -1, 0])
+
+    def test_jsonable_round_trip_is_json_safe(self):
+        h = Histogram()
+        for v in (1, 7, 300, 99_999, 200_000):
+            h.observe(v)
+        doc = h.to_jsonable()
+        json.dumps(doc, allow_nan=False)  # no inf/NaN anywhere
+        assert Histogram.from_jsonable(doc) == h

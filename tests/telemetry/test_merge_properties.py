@@ -1,0 +1,156 @@
+"""Property-based conformance suite for snapshot merge semantics.
+
+Derandomized (like ``tests/faults``) so CI failures replay exactly.
+The algebra under test: ``merge`` is associative and commutative with
+the empty snapshot as identity, and the canonical byte encoding — and
+therefore the SHA-256 signature — is a pure function of content,
+independent of construction order and of ``PYTHONHASHSEED``.
+
+Histogram observations are drawn integer-valued on purpose: float
+addition is exactly associative over integers, which is the same
+restriction the deterministic instrument sites obey (slot counts,
+event tallies — never wall-clock time).
+"""
+
+import os
+import subprocess
+import sys
+
+from hypothesis import given, settings, strategies as st
+
+from repro.telemetry import MetricsRegistry, MetricsSnapshot, merge_snapshots
+
+PROP = settings(max_examples=20, deadline=None, derandomize=True)
+
+_NAMES = ("mac.slots", "mac.acks", "conv.slots", "peak.depth")
+_TAGS = ("", "tag1", "tag2")
+
+# One recordable event: (kind, name, tag, integer value).
+_events = st.tuples(
+    st.sampled_from(("counter", "gauge", "histogram")),
+    st.sampled_from(_NAMES),
+    st.sampled_from(_TAGS),
+    st.integers(min_value=0, max_value=100_000),
+)
+
+#: A "process worth" of telemetry: a list of events applied in order.
+_event_lists = st.lists(_events, max_size=40)
+
+
+def _apply(registry: MetricsRegistry, events) -> None:
+    for kind, base, tag, value in events:
+        # Namespace per kind so generated streams never collide types.
+        name = f"{kind}.{base}"
+        labels = {"tag": tag} if tag else {}
+        if kind == "counter":
+            registry.inc(name, value, **labels)
+        elif kind == "gauge":
+            registry.gauge(name, **labels).set_max(float(value))
+        else:
+            registry.observe(name, float(value), **labels)
+
+
+def _snap(events) -> MetricsSnapshot:
+    registry = MetricsRegistry()
+    _apply(registry, events)
+    return registry.snapshot()
+
+
+class TestMergeAlgebra:
+    @PROP
+    @given(_event_lists, _event_lists, _event_lists)
+    def test_associative(self, a, b, c):
+        sa, sb, sc = _snap(a), _snap(b), _snap(c)
+        left = sa.merge(sb).merge(sc)
+        right = sa.merge(sb.merge(sc))
+        assert left.canonical_bytes() == right.canonical_bytes()
+
+    @PROP
+    @given(_event_lists, _event_lists)
+    def test_commutative(self, a, b):
+        sa, sb = _snap(a), _snap(b)
+        assert sa.merge(sb).canonical_bytes() == sb.merge(sa).canonical_bytes()
+
+    @PROP
+    @given(_event_lists)
+    def test_empty_identity(self, a):
+        sa = _snap(a)
+        empty = MetricsSnapshot.empty()
+        assert empty.merge(sa).canonical_bytes() == sa.canonical_bytes()
+        assert sa.merge(empty).canonical_bytes() == sa.canonical_bytes()
+
+    @PROP
+    @given(_event_lists)
+    def test_self_merge_doubles_counters(self, a):
+        sa = _snap(a)
+        merged = sa.merge(sa)
+        for name in sa.names():
+            series = sa.series(name)
+            for key, entry in series.items():
+                if entry["type"] == "counter":
+                    assert merged.series(name)[key]["value"] == 2 * entry["value"]
+
+    @PROP
+    @given(_event_lists, _event_lists)
+    def test_merge_equals_single_process_run(self, a, b):
+        # Two half-runs merged == one process that saw both streams.
+        merged = _snap(a).merge(_snap(b))
+        combined = MetricsRegistry()
+        _apply(combined, a)
+        _apply(combined, b)
+        assert merged.canonical_bytes() == combined.snapshot().canonical_bytes()
+
+    @PROP
+    @given(st.lists(_event_lists, max_size=5))
+    def test_fold_is_partition_independent(self, chunks):
+        # merge_snapshots in canonical order is invariant to how the
+        # event stream was partitioned into "processes".
+        flat = [e for chunk in chunks for e in chunk]
+        assert (
+            merge_snapshots([_snap(chunk) for chunk in chunks]).canonical_bytes()
+            == _snap(flat).canonical_bytes()
+        )
+
+    @PROP
+    @given(_event_lists)
+    def test_serialisation_round_trip_preserves_signature(self, a):
+        sa = _snap(a)
+        back = MetricsSnapshot.from_jsonable(sa.to_jsonable())
+        assert back.signature() == sa.signature()
+
+
+_HASHSEED_SCRIPT = r"""
+import sys
+sys.path.insert(0, {src!r})
+from repro.telemetry import MetricsRegistry
+
+reg = MetricsRegistry()
+# Insertion order deliberately scrambled relative to sorted order.
+reg.inc("zeta.slots", 3)
+reg.inc("alpha.acks", tag="tag2")
+reg.inc("alpha.acks", 4, tag="tag1")
+reg.gauge("mid.depth").set_max(7.0)
+reg.observe("conv.slots", 42)
+reg.observe("conv.slots", 999)
+print(reg.snapshot().signature())
+"""
+
+
+class TestHashSeedIndependence:
+    def test_signature_stable_across_hash_seeds(self):
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        script = _HASHSEED_SCRIPT.format(src=os.path.abspath(src))
+        signatures = set()
+        for seed in ("0", "424242", "1"):
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            out = subprocess.run(
+                [sys.executable, "-c", script],
+                env=env,
+                capture_output=True,
+                text=True,
+                check=True,
+            )
+            signatures.add(out.stdout.strip())
+        assert len(signatures) == 1, (
+            f"snapshot signature varies with PYTHONHASHSEED: {signatures}"
+        )

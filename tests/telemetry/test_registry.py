@@ -1,0 +1,194 @@
+"""Registry behaviour, the module-level on/off gate, and the
+zero-cost-when-off contract against the instrumented simulator."""
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import MetricsRegistry, MetricsSnapshot
+
+
+class TestRegistry:
+    def test_counter_accumulates_per_labelset(self):
+        reg = MetricsRegistry()
+        reg.inc("mac.slots")
+        reg.inc("mac.slots", 2)
+        reg.inc("mac.tag.acked", tag="tag1")
+        snap = reg.snapshot()
+        assert snap.value("mac.slots") == 3
+        assert snap.value("mac.tag.acked", tag="tag1") == 1
+        assert snap.value("mac.tag.acked", tag="tag2") is None
+
+    def test_type_conflicts_rejected(self):
+        reg = MetricsRegistry()
+        reg.inc("x")
+        with pytest.raises(ValueError):
+            reg.set_gauge("x", 1.0)
+        with pytest.raises(ValueError):
+            reg.observe("x", 1.0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().inc("")
+
+    def test_histogram_bounds_fixed_at_first_touch(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", bounds=(1.0, 2.0))
+        reg.histogram("h", bounds=(1.0, 2.0))  # same layout: fine
+        with pytest.raises(ValueError):
+            reg.histogram("h", bounds=(1.0, 3.0))
+
+    def test_histogram_same_bounds_across_labels(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", bounds=(1.0, 2.0), tag="a").observe(0.5)
+        reg.histogram("h", tag="b").observe(5.0)  # inherits family bounds
+        snap = reg.snapshot()
+        assert snap.value("h", tag="b")["bounds"] == [1.0, 2.0]
+
+    def test_snapshot_is_immutable_view(self):
+        reg = MetricsRegistry()
+        reg.inc("c")
+        snap = reg.snapshot()
+        reg.inc("c")
+        assert snap.value("c") == 1
+        assert reg.snapshot().value("c") == 2
+
+    def test_reset_clears_types_too(self):
+        reg = MetricsRegistry()
+        reg.inc("x")
+        reg.reset()
+        reg.set_gauge("x", 1.0)  # no stale type conflict after reset
+        assert reg.snapshot().value("x") == 1.0
+
+    def test_total_sums_across_labels(self):
+        reg = MetricsRegistry()
+        reg.inc("acks", tag="a")
+        reg.inc("acks", 2, tag="b")
+        assert reg.snapshot().total("acks") == 3
+        assert reg.snapshot().total("absent") == 0
+
+    def test_total_rejects_non_counter(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("g", 1.0)
+        with pytest.raises(ValueError):
+            reg.snapshot().total("g")
+
+
+class TestActiveGate:
+    def test_off_by_default(self):
+        assert telemetry.active() is None
+
+    def test_enable_disable(self):
+        try:
+            reg = telemetry.enable()
+            assert telemetry.active() is reg
+        finally:
+            telemetry.disable()
+        assert telemetry.active() is None
+
+    def test_collecting_restores_previous_state(self):
+        outer = MetricsRegistry()
+        with telemetry.collecting(outer):
+            assert telemetry.active() is outer
+            with telemetry.collecting() as inner:
+                assert telemetry.active() is inner
+                assert inner is not outer
+            assert telemetry.active() is outer
+        assert telemetry.active() is None
+
+    def test_collecting_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with telemetry.collecting():
+                raise RuntimeError("boom")
+        assert telemetry.active() is None
+
+
+class TestZeroCostOffContract:
+    """Collection must never perturb the simulation it observes."""
+
+    def test_scenario_trace_identical_with_and_without_telemetry(self):
+        from repro.faults.scenarios import run_scenario
+
+        baseline = run_scenario("fault_burst").trace.canonical_bytes()
+        with telemetry.collecting():
+            observed = run_scenario("fault_burst").trace.canonical_bytes()
+        assert observed == baseline
+
+    def test_supervised_scenario_unperturbed_and_counted(self):
+        from repro.faults.scenarios import run_scenario
+
+        baseline = run_scenario("supervised").trace.canonical_bytes()
+        with telemetry.collecting() as reg:
+            observed = run_scenario("supervised").trace.canonical_bytes()
+        assert observed == baseline
+        snap = reg.snapshot()
+        assert snap.total("mac.slots") == 240
+        assert snap.total("faults.applied") == 5
+
+    def test_instrumented_network_records_slot_outcomes(self):
+        from repro.core.network import NetworkConfig, SlottedNetwork
+
+        with telemetry.collecting() as reg:
+            net = SlottedNetwork(
+                {"tag1": 4, "tag2": 8, "tag3": 8},
+                config=NetworkConfig(ideal_channel=True),
+            )
+            net.run(200)
+        snap = reg.snapshot()
+        assert snap.total("mac.slots") == 200
+        decoded = sum(1 for r in net.records if r.decoded is not None)
+        assert snap.total("mac.decodes") == decoded
+        collisions = sum(1 for r in net.records if r.collision_detected)
+        assert snap.total("mac.collisions") == collisions
+
+    def test_engine_event_counter_batches(self):
+        from repro.sim.engine import Simulator
+
+        with telemetry.collecting() as reg:
+            sim = Simulator()
+            for i in range(5):
+                sim.schedule_at(float(i), lambda: None)
+            sim.run()
+        assert reg.snapshot().total("engine.events") == 5
+
+    def test_repeated_collection_is_deterministic(self):
+        from repro.faults.scenarios import run_scenario
+
+        sigs = []
+        for _ in range(2):
+            with telemetry.collecting() as reg:
+                run_scenario("fault_burst")
+            sigs.append(reg.snapshot().signature())
+        assert sigs[0] == sigs[1]
+
+
+class TestSnapshotSerialisation:
+    def test_jsonable_round_trip(self):
+        reg = MetricsRegistry()
+        reg.inc("c", tag="a")
+        reg.set_gauge("g", 3.5)
+        reg.observe("h", 12)
+        snap = reg.snapshot()
+        back = MetricsSnapshot.from_jsonable(snap.to_jsonable())
+        assert back == snap
+        assert back.canonical_bytes() == snap.canonical_bytes()
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsSnapshot.from_jsonable({"version": 99, "metrics": {}})
+
+    def test_unknown_instrument_type_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsSnapshot.from_jsonable(
+                {"version": 1, "metrics": {"x": {"": {"type": "exotic"}}}}
+            )
+
+    def test_json_round_trip_preserves_bytes(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.observe("h", 7)
+        snap = reg.snapshot()
+        rehydrated = MetricsSnapshot.from_jsonable(
+            json.loads(json.dumps(snap.to_jsonable()))
+        )
+        assert rehydrated.canonical_bytes() == snap.canonical_bytes()

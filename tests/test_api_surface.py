@@ -12,11 +12,14 @@ import pytest
 SUBPACKAGES = [
     "repro",
     "repro.sim",
+    "repro.perf",
+    "repro.telemetry",
     "repro.channel",
     "repro.hardware",
     "repro.phy",
     "repro.core",
     "repro.faults",
+    "repro.resilience",
     "repro.baselines",
     "repro.analysis",
     "repro.experiments",

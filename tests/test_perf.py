@@ -14,7 +14,7 @@ import time
 import numpy as np
 import pytest
 
-from repro.perf import PerfRegistry, StageStats
+from repro.perf import PerfRegistry, StageStats, merge_reports
 
 PERF_STRICT = os.environ.get("REPRO_PERF_STRICT") == "1"
 
@@ -106,6 +106,89 @@ class TestPerfRegistry:
         assert report["stages"]["waveform.synthesize"]["calls"] >= 1
         assert report["stages"]["waveform.demodulate"]["calls"] >= 1
         assert report["counters"]["waveform.slots"] >= 1
+
+
+class TestCrossProcessMerge:
+    """merge_report/merge_reports: the parallel runner's aggregation
+    path, including the never-called-stage min_s regression."""
+
+    def test_merge_report_adds_stages_and_counters(self):
+        a, b = PerfRegistry(), PerfRegistry()
+        with a.timed("s"):
+            pass
+        a.count("c", 2)
+        with b.timed("s"):
+            pass
+        b.count("c", 3)
+        a.merge_report(b.report())
+        report = a.report()
+        assert report["stages"]["s"]["calls"] == 2
+        assert report["counters"]["c"] == 5
+
+    def test_never_called_stage_reports_zero_min_not_inf(self):
+        reg = PerfRegistry()
+        reg.stage("quiet")  # pre-registered, never fired
+        d = reg.report()["stages"]["quiet"]
+        assert d["calls"] == 0
+        assert d["min_s"] == 0.0
+        json.dumps(d, allow_nan=False)
+
+    def test_merging_empty_stage_does_not_poison_min(self):
+        # Regression: a never-called stage snapshots min_s as 0.0; on
+        # merge that 0.0 must not masquerade as a real fastest span.
+        active = PerfRegistry()
+        with active.timed("s"):
+            time.sleep(0.001)
+        real_min = active.report()["stages"]["s"]["min_s"]
+        assert real_min > 0.0
+
+        idle = PerfRegistry()
+        idle.stage("s")  # calls == 0, snapshot min_s == 0.0
+        active.merge_report(idle.report())
+        assert active.report()["stages"]["s"]["min_s"] == real_min
+
+    def test_merging_into_empty_stage_takes_other_min(self):
+        idle = PerfRegistry()
+        idle.stage("s")
+        active = PerfRegistry()
+        with active.timed("s"):
+            time.sleep(0.001)
+        real_min = active.report()["stages"]["s"]["min_s"]
+        idle.merge_report(active.report())
+        assert idle.report()["stages"]["s"]["min_s"] == real_min
+
+    def test_from_dict_restores_empty_sentinel(self):
+        import math
+
+        stats = StageStats.from_dict({"calls": 0, "total_s": 0.0,
+                                      "min_s": 0.0, "max_s": 0.0})
+        assert stats.min_s == math.inf  # internal sentinel, not 0.0
+        stats.record(0.5)
+        assert stats.min_s == 0.5
+
+    def test_counter_only_registry_round_trips(self):
+        # Regression for the count()-only path: a report with counters
+        # but no spans must merge and re-serialise with finite values.
+        reg = PerfRegistry()
+        reg.count("cache.hit", 7)
+        merged = merge_reports([reg.report(), reg.report()])
+        assert merged["counters"]["cache.hit"] == 14
+        assert merged["stages"] == {}
+        json.dumps(merged, allow_nan=False)
+
+    def test_merge_reports_associative(self):
+        regs = []
+        for calls in (1, 2, 3):
+            reg = PerfRegistry()
+            for _ in range(calls):
+                with reg.timed("s"):
+                    pass
+            reg.count("c", calls)
+            regs.append(reg.report())
+        left = merge_reports([merge_reports(regs[:2]), regs[2]])
+        right = merge_reports([regs[0], merge_reports(regs[1:])])
+        assert left["stages"]["s"]["calls"] == right["stages"]["s"]["calls"] == 6
+        assert left["counters"] == right["counters"]
 
 
 def best_of(n, fn, *args):

