@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test coverage bench bench-smoke bench-compare chaos-smoke results report api-index
+.PHONY: test coverage bench bench-smoke bench-waveform bench-compare chaos-smoke results report api-index
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -14,9 +14,17 @@ bench:
 	$(PYTHON) -m pytest benchmarks -q
 
 # Quick smoke subset (all three fidelity tiers + event engine + DSP
-# loop), snapshotted to BENCH_<git-rev>.json for bench-compare.
+# loop), snapshotted to BENCH_<git-rev>.json for bench-compare, plus
+# the waveform-tier throughput snapshot BENCH_waveform.json (diff it
+# against the committed benchmarks/BENCH_waveform.json baseline).
 bench-smoke:
 	$(PYTHON) tools/bench_smoke.py
+
+# Waveform-tier slots/s snapshot only (fast + reference legs), then
+# diff against the committed baseline.
+bench-waveform:
+	$(PYTHON) tools/bench_smoke.py --waveform-only
+	$(PYTHON) tools/bench_compare.py benchmarks/BENCH_waveform.json BENCH_waveform.json
 
 # Random-seed resilience chaos trials; the seed is logged for replay.
 chaos-smoke:

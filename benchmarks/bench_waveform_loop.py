@@ -1,22 +1,38 @@
 """Waveform-in-the-loop bench: the MAC driven by the real DSP chain,
-certifying the fast slot-level outcome model."""
+certifying the fast slot-level outcome model.
+
+Two legs: the default template fast path (baseband tag templates +
+cached leak/noise assembly) and the uncached reference pipeline
+(``REPRO_PHY_FAST=0`` semantics via :func:`repro.phy.cache.fast_path`).
+Both must produce identical decode outcomes — the differential suite
+in ``tests/phy/test_fast_path_differential.py`` pins that byte-for-byte;
+here we only require the same convergence/decode counts while timing
+each leg.  Throughput per tier is tracked in
+``benchmarks/BENCH_waveform.json`` (see ``tools/bench_smoke.py``).
+"""
 
 from repro.core.network import NetworkConfig
 from repro.core.waveform_network import WaveformNetwork
+from repro.phy import cache as phy_cache
+
+
+def _drive(medium):
+    net = WaveformNetwork(
+        {"tag5": 4, "tag8": 4, "tag9": 8},
+        medium=medium,
+        config=NetworkConfig(seed=3),
+    )
+    conv = net.run_until_converged(streak=16, max_slots=400)
+    records = net.run(40)
+    decoded = sum(1 for r in records if r.decoded is not None)
+    collided = sum(1 for r in records if r.truly_collided)
+    return conv, decoded, collided, len(net.slot_logs)
 
 
 def test_waveform_fidelity_convergence(benchmark, medium):
     def run():
-        net = WaveformNetwork(
-            {"tag5": 4, "tag8": 4, "tag9": 8},
-            medium=medium,
-            config=NetworkConfig(seed=3),
-        )
-        conv = net.run_until_converged(streak=16, max_slots=400)
-        records = net.run(40)
-        decoded = sum(1 for r in records if r.decoded is not None)
-        collided = sum(1 for r in records if r.truly_collided)
-        return conv, decoded, collided, len(net.slot_logs)
+        with phy_cache.fast_path(True):
+            return _drive(medium)
 
     conv, decoded, collided, slots = benchmark.pedantic(run, rounds=1, iterations=1)
     assert conv is not None
@@ -26,5 +42,24 @@ def test_waveform_fidelity_convergence(benchmark, medium):
         f"\nWaveform-in-the-loop: converged in {conv} slots through the "
         f"real FM0 chain + IQ clustering; {decoded}/40 slots decoded "
         f"post-convergence (U = 0.625), {collided} collisions "
+        f"({slots} slots of full DSP)"
+    )
+
+
+def test_waveform_fidelity_convergence_reference(benchmark, medium):
+    """Same drive with the fast path off: times the executable-spec
+    pipeline (per-tag passband synthesis + full mix/filter/decimate)."""
+
+    def run():
+        with phy_cache.fast_path(False):
+            return _drive(medium)
+
+    conv, decoded, collided, slots = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert conv is not None
+    assert decoded >= 20
+    assert collided == 0
+    print(
+        f"\nReference pipeline: converged in {conv} slots, {decoded}/40 "
+        f"decoded post-convergence, {collided} collisions "
         f"({slots} slots of full DSP)"
     )

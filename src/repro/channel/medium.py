@@ -102,19 +102,33 @@ class AcousticMedium:
         self._reference_rt_loss = self._propagation.roundtrip_loss_db(
             reference_tag, source
         )
+        self._channel_generation = 0
+
+    @property
+    def channel_generation(self) -> int:
+        """Mutation counter, bumped by :meth:`invalidate_channel_cache`.
+
+        Downstream caches of derived link quantities (e.g. the
+        waveform network's per-tag link budgets) compare this counter
+        instead of requiring an explicit invalidation call, so a
+        mutation reported to the medium propagates everywhere.
+        """
+        return self._channel_generation
 
     def invalidate_channel_cache(self) -> None:
         """Recompute derived channel state after a structural change.
 
-        Fault injection can mutate the underlying BiW (junction-loss
-        steps); this drops the propagation model's memoised paths and
-        re-anchors the reference round-trip loss so subsequent link
-        queries see the modified structure.
+        Fault injection and strain sweeps can mutate the underlying BiW
+        (junction-loss steps, re-tensioned joints); this drops the
+        propagation model's memoised paths, re-anchors the reference
+        round-trip loss, and bumps :attr:`channel_generation` so every
+        downstream link cache self-invalidates.
         """
         self._propagation.invalidate_cache()
         self._reference_rt_loss = self._propagation.roundtrip_loss_db(
             self._reference_tag, self._source
         )
+        self._channel_generation += 1
 
     # -- basic link quantities ---------------------------------------------
 

@@ -119,6 +119,15 @@ def _run_results(args: argparse.Namespace) -> str:
     if args.resume and checkpoint is None:
         raise SystemExit("error: --resume needs --checkpoint or --out")
     telemetry = args.telemetry or args.telemetry_jsonl is not None
+    profile_dir = None
+    if args.profile:
+        # Dumps land next to the --telemetry-jsonl (or --out) document,
+        # so a profiled run keeps all of its artifacts together.
+        import os
+
+        anchor = args.telemetry_jsonl or args.out
+        base = os.path.dirname(anchor) if anchor else "."
+        profile_dir = os.path.join(base or ".", "profile")
     try:
         results = collect_results(
             seed=args.seed,
@@ -130,6 +139,7 @@ def _run_results(args: argparse.Namespace) -> str:
             checkpoint=checkpoint,
             resume=args.resume,
             telemetry=telemetry,
+            profile_dir=profile_dir,
         )
     except ResultsError as exc:
         raise SystemExit(f"error: {exc}")
@@ -446,6 +456,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="('results') also export the telemetry snapshot as signed "
         "JSONL (implies --telemetry)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="('results') run each job under cProfile and dump a "
+        "<job>.pstats file next to the --telemetry-jsonl/--out output",
     )
     parser.add_argument(
         "--input",

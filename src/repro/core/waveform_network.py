@@ -17,18 +17,28 @@ the DSP actually does on this channel (see
 ``tests/core/test_waveform_network.py`` and
 ``benchmarks/bench_waveform_loop.py``).
 
-Per-slot cost is kept down three ways: the capture is downconverted
+Per-slot cost is kept down four ways: the capture is downconverted
 *once* and the rate-matched baseband shared between the FM0 decoder
 and the IQ-cluster detector; link-budget quantities (backscatter
-amplitude, propagation delay) are computed per tag at construction
-instead of re-walking the medium graph every slot (see
-:meth:`WaveformNetwork.invalidate_link_cache` for when the medium
-mutates); and the synthesis primitives draw on
-:mod:`repro.phy.cache`.
+amplitude, propagation delay) are cached per tag and auto-invalidated
+when the medium reports a mutation (its channel generation counter);
+receiver noise is drawn directly at the decimated baseband
+(:func:`repro.phy.modem.receiver_noise_baseband`), skipping ~10^5
+full-rate Gaussians + a full-rate filter run per slot; and, on the
+template fast path (:func:`repro.phy.cache.fast_path_enabled`,
+``REPRO_PHY_FAST=0`` to disable), each tag's frame is served from a
+cached filtered-baseband quadrature template, so a steady-state slot
+assembles ~10^3-sample basebands with a handful of scalar-vector ops
+instead of synthesising and filtering a fresh ~10^5-sample capture.
+The reference path (fast path off) keeps the full passband synthesis
+as the executable spec; both paths share one noise draw and agree to
+~1 ulp on the baseband, so decode outcomes are byte-identical across
+the differential suite (``tests/phy/test_fast_path_differential.py``).
 """
 
 from __future__ import annotations
 
+import math
 import zlib
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
@@ -39,10 +49,19 @@ from repro import perf, telemetry
 from repro.channel.medium import AcousticMedium, SlotObservation
 from repro.core.network import NetworkConfig, SlottedNetwork
 from repro.experiments.fig12_uplink import WAVEFORM_AMPLITUDE_CALIBRATION
+from repro.faults.injectors import flip_bits
+from repro.phy import cache as phy_cache
 from repro.phy.iq import detect_collision_iq
-from repro.phy.modem import BackscatterUplink
+from repro.phy.modem import BackscatterUplink, receiver_noise_baseband
 from repro.phy.packets import UplinkPacket
 from repro.phy.reader_dsp import ReaderReceiveChain
+
+#: Lead-in / tail / padding geometry of every slot capture (seconds of
+#: absorptive idle before the frame, after it, and extra samples at the
+#: end — the filter settles in the lead-in).
+SLOT_LEAD_IN_S = 0.03
+SLOT_TAIL_S = 0.012
+SLOT_EXTRA_SAMPLES = 2000
 
 
 def stable_name_hash(name: str) -> int:
@@ -91,6 +110,8 @@ class WaveformNetwork(SlottedNetwork):
         self._tid_to_name = {mac.tid: name for name, mac in self.tags.items()}
         self._payloads = dict(payloads or {})
         self._link_cache: Dict[str, Tuple[float, float]] = {}
+        self._link_generation = self.medium.channel_generation
+        self._capture_scratch = np.empty(0)
         self.slot_logs: List[WaveformSlotLog] = []
 
     # -- link-budget cache -------------------------------------------------
@@ -98,7 +119,19 @@ class WaveformNetwork(SlottedNetwork):
     def _link_budget(self, name: str) -> Tuple[float, float]:
         """(calibrated backscatter amplitude, propagation delay) for a
         tag, computed on first use and cached — the medium graph walk
-        dominated per-slot synthesis cost before caching."""
+        dominated per-slot synthesis cost before caching.
+
+        The cache tracks the medium's channel generation counter:
+        any mutation reported through
+        :meth:`~repro.channel.medium.AcousticMedium.invalidate_channel_cache`
+        drops the cached budgets automatically, so a strain sweep that
+        forgets :meth:`invalidate_link_cache` can no longer read stale
+        amplitudes.
+        """
+        generation = self.medium.channel_generation
+        if generation != self._link_generation:
+            self._link_cache.clear()
+            self._link_generation = generation
         cached = self._link_cache.get(name)
         if cached is None:
             cached = (
@@ -112,19 +145,88 @@ class WaveformNetwork(SlottedNetwork):
     def invalidate_link_cache(self) -> None:
         """Drop cached per-tag link budgets.
 
-        Call after mutating the medium in place (e.g. strain sweeps
-        that re-tension joints or move mounts); subsequent slots
-        re-derive amplitudes and delays from the updated graph.
+        No longer required when the medium mutation went through
+        :meth:`AcousticMedium.invalidate_channel_cache` — the link
+        cache follows the medium's channel generation counter on its
+        own.  Kept (deprecation note) for callers that mutate the
+        structural graph directly without notifying the medium;
+        subsequent slots re-derive amplitudes and delays from the
+        updated graph.
         """
         self._link_cache.clear()
 
     def _payload_for(self, name: str) -> int:
-        return self._payloads.get(
-            name, (stable_name_hash(name) + self.reader.slot_index) % 4096
+        """Default uplink payload for a tag: a stable hash of its name.
+
+        Stable per tag (not per slot): the MAC consumes only the
+        decoded tid, so rotating payload contents would add nothing to
+        the certification while defeating every frame-level reuse —
+        FM0 memoisation and the tag-component template cache both key
+        on the encoded bits.  Callers that want per-slot payload
+        variety pass ``payloads=`` or override this method.
+        """
+        return self._payloads.get(name, stable_name_hash(name) % 4096)
+
+    def _assemble_baseband_fast(
+        self,
+        plans: Sequence[Tuple[Sequence[int], float, float, float]],
+        rate: float,
+        cutoff_hz: float,
+        decimation: int,
+    ) -> np.ndarray:
+        """Assemble the slot's decimated baseband from cached templates.
+
+        Mixing, filtering, and decimation are linear, so the baseband
+        of ``leak + sum_i a_i * profile_i * cos(wt + p_i)`` is the sum
+        of the cached leak baseband and each tag's filtered quadrature
+        template rotated by its carrier phase (angle-sum identity) and
+        scaled by its amplitude — a few scalar-vector multiplies over
+        ~10^3 samples, replacing the ~10^5-sample synthesis + filter
+        run of the reference path.  Equal to the reference baseband to
+        ~1 ulp (float reassociation across the linear decomposition).
+        """
+        uplink = self._uplink
+        fs = uplink.sample_rate_hz
+        low_ratio = (
+            uplink.pzt.absorptive_coefficient / uplink.pzt.reflective_coefficient
         )
+        n_lead = int(round(SLOT_LEAD_IN_S * fs))
+        n_tail = int(round(SLOT_TAIL_S * fs))
+        entries = []
+        n_capture = 0
+        for bits, amplitude_v, delay_s, phase in plans:
+            raw = phy_cache.fm0_raw(bits)
+            template = phy_cache.tag_template(
+                raw, rate, fs, uplink.carrier_hz, low_ratio, n_lead, n_tail
+            )
+            n_delay = int(round(delay_s * fs))
+            n_capture = max(n_capture, n_delay + template.n_body)
+            entries.append((template, n_delay, amplitude_v, phase))
+        n_capture += SLOT_EXTRA_SAMPLES
+        m = -(-n_capture // decimation)
+        iq = phy_cache.leak_baseband(
+            n_capture,
+            uplink.leak_amplitude_v,
+            fs,
+            uplink.carrier_hz,
+            cutoff_hz,
+            decimation,
+        )[:m].copy()
+        for template, n_delay, amplitude_v, phase in entries:
+            bc, bs = template.baseband(n_delay, n_capture, cutoff_hz, decimation)
+            iq += (amplitude_v * math.cos(phase)) * bc[:m]
+            iq -= (amplitude_v * math.sin(phase)) * bs[:m]
+        return iq
 
     def _observe(self, transmitters: Sequence[str]) -> SlotObservation:
-        """Synthesise the slot's capture and run the real receive path."""
+        """Synthesise the slot's capture and run the real receive path.
+
+        Both synthesis paths (template fast path and reference passband
+        synthesis) draw the per-tag carrier phases and the shared
+        baseband noise from the same stream in the same order, so a run
+        is replayable across ``REPRO_PHY_FAST`` settings — the
+        differential suite pins the decode outcomes byte-identical.
+        """
         transmitters = list(transmitters)
         if not transmitters:
             self.slot_logs.append(
@@ -132,14 +234,22 @@ class WaveformNetwork(SlottedNetwork):
             )
             return SlotObservation((), None, False)
 
+        uplink = self._uplink
+        chain = self._chain
         rate = self.config.ul_raw_rate_bps
+        fs = uplink.sample_rate_hz
         ctl = self.faults
+        fast = phy_cache.fast_path_enabled()
+        decimation = chain._decimation_for(rate)
+        cutoff_hz = 2.0 * rate
+        baseband_rate = fs / decimation
         with perf.timed("waveform.synthesize"):
-            components = []
+            plans = []
             for name in transmitters:
                 mac = self.tags[name]
                 packet = UplinkPacket(tid=mac.tid, payload=self._payload_for(name))
                 amplitude_v, delay_s = self._link_budget(name)
+                bits = packet.to_bits()
                 if ctl is not None:
                     # Faults reach the DSP as physics: SNR penalties
                     # shrink the synthesised backscatter, bit flips
@@ -148,35 +258,58 @@ class WaveformNetwork(SlottedNetwork):
                     penalty_db = ctl.snr_penalty_for(name)
                     if penalty_db:
                         amplitude_v *= 10.0 ** (-penalty_db / 20.0)
-                    bits = packet.to_bits()
                     flips = ctl.uplink_bit_flips(name, len(bits))
-                else:
-                    bits = packet.to_bits()
-                    flips = ()
-                components.append(
-                    self._uplink.tag_component(
+                    if flips:
+                        bits = flip_bits(bits, flips)
+                phase = float(self._phase_rng.uniform(0, 2 * np.pi))
+                plans.append((bits, amplitude_v, delay_s, phase))
+
+            if fast:
+                iq = self._assemble_baseband_fast(
+                    plans, rate, cutoff_hz, decimation
+                )
+            else:
+                components = [
+                    uplink.tag_component(
                         bits,
                         rate,
                         amplitude_v,
-                        phase_rad=float(self._phase_rng.uniform(0, 2 * np.pi)),
+                        phase_rad=phase,
                         delay_s=delay_s,
-                        lead_in_s=0.03,
-                        bit_flips=flips,
+                        lead_in_s=SLOT_LEAD_IN_S,
+                        tail_s=SLOT_TAIL_S,
                     )
+                    for bits, amplitude_v, delay_s, phase in plans
+                ]
+                n_capture = (
+                    max(len(c) for c in components) + SLOT_EXTRA_SAMPLES
                 )
-            capture = self._uplink.capture(
-                components,
+                if len(self._capture_scratch) < n_capture:
+                    self._capture_scratch = np.empty(
+                        max(n_capture, 2 * len(self._capture_scratch))
+                    )
+                capture = uplink.capture_clean(
+                    components,
+                    extra_samples=SLOT_EXTRA_SAMPLES,
+                    out=self._capture_scratch,
+                )
+                iq, _ = chain.raw_baseband(capture, rate)
+            # Receiver noise enters at the decimated baseband — one
+            # draw shared verbatim by both synthesis paths.
+            iq += receiver_noise_baseband(
+                len(iq),
                 self.medium.noise.psd_v2_per_hz,
+                fs,
+                cutoff_hz,
+                decimation,
                 self._phase_rng,
-                extra_samples=2000,
             )
 
         # One downconversion feeds both the decoder and the cluster
         # detector; they consumed identical rate-matched basebands when
         # each ran the mixer privately.
         with perf.timed("waveform.demodulate"):
-            iq, baseband_rate = self._chain.raw_baseband(capture, rate)
-            outcome = self._chain.decode_baseband(iq, baseband_rate, rate)
+            outcome = chain.decode_baseband(iq, baseband_rate, rate)
             clusters = detect_collision_iq(iq)
         perf.count("waveform.slots")
         tel = telemetry.active()

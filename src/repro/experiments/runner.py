@@ -228,6 +228,36 @@ def _execute_job(
     return fragment, registry.snapshot().to_jsonable()
 
 
+def _profiled_execute(
+    name: str,
+    medium: AcousticMedium,
+    seed: int,
+    quick: bool,
+    with_telemetry: bool,
+    profile_dir: Optional[str],
+) -> Tuple[Dict[str, Any], Optional[Dict[str, Any]]]:
+    """Run one job, optionally under cProfile.
+
+    With ``profile_dir`` set, the job executes inside its own
+    :class:`cProfile.Profile` and the raw stats land in
+    ``<profile_dir>/<name>.pstats`` (one file per experiment; pool
+    workers write theirs independently).  Inspect with
+    ``python -m pstats`` or ``snakeviz``.
+    """
+    if not profile_dir:
+        return _execute_job(name, medium, seed, quick, with_telemetry)
+    import cProfile
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        return _execute_job(name, medium, seed, quick, with_telemetry)
+    finally:
+        profiler.disable()
+        os.makedirs(profile_dir, exist_ok=True)
+        profiler.dump_stats(os.path.join(profile_dir, f"{name}.pstats"))
+
+
 def _run_job(
     name: str,
     medium: AcousticMedium,
@@ -235,6 +265,7 @@ def _run_job(
     quick: bool,
     with_telemetry: bool = False,
     with_perf: bool = False,
+    profile_dir: Optional[str] = None,
 ) -> Tuple[str, Dict[str, Any], float, Optional[Dict[str, Any]], Optional[Dict[str, Any]]]:
     """Pool entry point: run one experiment, return its fragment, wall
     time, and (optionally) its telemetry snapshot and perf report."""
@@ -246,7 +277,9 @@ def _run_job(
 
         perf_mod.reset()
     start = time.perf_counter()
-    fragment, tel = _execute_job(name, medium, seed, quick, with_telemetry)
+    fragment, tel = _profiled_execute(
+        name, medium, seed, quick, with_telemetry, profile_dir
+    )
     elapsed = time.perf_counter() - start
     perf_report = None
     if with_perf:
@@ -364,6 +397,7 @@ def collect_results(
     checkpoint: Optional[str] = None,
     resume: bool = False,
     telemetry: bool = False,
+    profile_dir: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Run every analytic/fast experiment; returns a JSON-able dict.
 
@@ -401,6 +435,11 @@ def collect_results(
     appends a ``"telemetry"`` section: the merged snapshot plus its
     SHA-256 signature.  The section is deterministic — byte-identical
     between ``--serial`` and ``--jobs N`` runs of the same seed.
+
+    ``profile_dir`` runs each job under :mod:`cProfile` and dumps raw
+    pstats to ``<profile_dir>/<experiment>.pstats`` (CLI:
+    ``repro results --profile``), so future hot spots are found from
+    data rather than guesswork.
     """
     medium = medium if medium is not None else AcousticMedium()
 
@@ -472,6 +511,7 @@ def collect_results(
                             quick,
                             telemetry,
                             ship_perf,
+                            profile_dir,
                         )
                         for name in pending
                     }
@@ -508,8 +548,8 @@ def collect_results(
                     start = time.perf_counter()
                     try:
                         with _serial_timeout(timeout):
-                            fragment, tel = _execute_job(
-                                name, medium, seed, quick, telemetry
+                            fragment, tel = _profiled_execute(
+                                name, medium, seed, quick, telemetry, profile_dir
                             )
                     except _JobTimeout:
                         failed.append((name, f"timed out after {timeout:g}s"))
@@ -581,6 +621,11 @@ def collect_results(
             "experiment_wall_s": {k: timings[k] for k in sorted(timings)},
             "process": process_report,
             "cache_sizes": phy_cache.cache_sizes(),
+            # Cache efficacy at a glance: hit/miss tallies and ratios
+            # per synthesis cache (carrier/mixer/template/leak).
+            "cache_hit_ratios": phy_cache.hit_ratios(
+                process_report.get("counters", {})
+            ),
         }
     return out
 

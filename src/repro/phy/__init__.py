@@ -23,7 +23,21 @@ from repro.phy.iq import (
     detect_collision_iq,
     downconvert,
 )
-from repro.phy.modem import BackscatterUplink, FskOokDownlink, raw_bits_to_levels
+from repro.phy.cache import (
+    TagTemplate,
+    fast_path,
+    fast_path_enabled,
+    hit_ratios,
+    leak_baseband,
+    set_fast_path,
+    tag_template,
+)
+from repro.phy.modem import (
+    BackscatterUplink,
+    FskOokDownlink,
+    raw_bits_to_levels,
+    receiver_noise_baseband,
+)
 from repro.phy.packets import (
     DownlinkBeacon,
     PacketError,
@@ -64,9 +78,17 @@ __all__ = [
     "detect_collision",
     "detect_collision_iq",
     "downconvert",
+    "TagTemplate",
+    "fast_path",
+    "fast_path_enabled",
+    "hit_ratios",
+    "leak_baseband",
+    "set_fast_path",
+    "tag_template",
     "BackscatterUplink",
     "FskOokDownlink",
     "raw_bits_to_levels",
+    "receiver_noise_baseband",
     "DownlinkBeacon",
     "PacketError",
     "UplinkPacket",

@@ -17,31 +17,91 @@ memoises each of those:
   costs more than the filtering for short captures).
 * :func:`cached_fm0_encode` / :func:`cached_pie_encode` — memoised line
   codes keyed by bit tuple.
+* :func:`tag_template` — second-generation fast path: one
+  :class:`TagTemplate` per ``(encoded raw bits, rate, geometry)``
+  holding the unit-amplitude OOK scale profile *and* its
+  filtered/decimated baseband quadrature pair, so steady-state slots
+  apply amplitude, carrier phase (angle-sum identity), and sample delay
+  as cheap short-vector ops instead of re-running
+  ``raw_bits_to_levels`` + mix + filter over ~10^5 samples.
+* :func:`leak_baseband` — the reader's static carrier leak after the
+  receive filter, grow-once per link geometry.
 
-Everything here is content-addressed by immutable keys, so the caches
-never go stale; :func:`clear_caches` exists for tests and for bounding
-memory, not for correctness.  Hit/miss counts feed
-:mod:`repro.perf`'s counters so cache efficacy shows up in perf
-reports.
+The template fast path is gated by :func:`fast_path_enabled`
+(``REPRO_PHY_FAST=0`` is the escape hatch; :func:`fast_path` scopes an
+override for tests).  Everything here is content-addressed by
+immutable keys, so the caches never go stale; :func:`clear_caches`
+exists for tests and for bounding memory, not for correctness.
+Hit/miss counts feed :mod:`repro.perf`'s counters (and, when a
+collection is active, :mod:`repro.telemetry`) so cache efficacy shows
+up in perf reports — see :func:`hit_ratios`.
 """
 
 from __future__ import annotations
 
 import math
+import os
 import threading
+from collections import OrderedDict
+from contextlib import contextmanager
 from functools import lru_cache
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Iterator, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy.signal import butter
 
-from repro import perf
+from repro import perf, telemetry
 from repro.phy.fm0 import fm0_encode
 from repro.phy.pie import pie_encode
 
 #: Tables longer than this are computed on demand and not retained
 #: (bounds worst-case memory at ~64 MiB per cached frequency).
 MAX_TABLE_SAMPLES = 4_000_000
+
+#: Distinct frame templates retained (LRU).  Steady state needs one per
+#: (tag, payload); fault bursts add transient flipped-bit variants.
+MAX_TEMPLATES = 256
+
+#: Environment variable gating the template fast path (set to ``0`` /
+#: ``false`` / ``off`` / ``no`` to force the reference synthesis path).
+FAST_PATH_ENV = "REPRO_PHY_FAST"
+
+_FALSE_STRINGS = frozenset({"0", "false", "off", "no"})
+_fast_override: Optional[bool] = None
+
+
+def fast_path_enabled() -> bool:
+    """Whether the template fast path is active.
+
+    Defaults to on; ``REPRO_PHY_FAST=0`` in the environment (or a
+    :func:`set_fast_path` / :func:`fast_path` override) switches every
+    consumer to the reference synthesis path.  Both paths produce
+    basebands equal to ~1 ulp and identical decode outcomes on the
+    differential suite (``tests/phy/test_fast_path_differential.py``).
+    """
+    if _fast_override is not None:
+        return _fast_override
+    raw = os.environ.get(FAST_PATH_ENV)
+    if raw is None:
+        return True
+    return raw.strip().lower() not in _FALSE_STRINGS
+
+
+def set_fast_path(enabled: Optional[bool]) -> None:
+    """Override the fast-path gate (``None`` restores the env default)."""
+    global _fast_override
+    _fast_override = enabled
+
+
+@contextmanager
+def fast_path(enabled: bool) -> Iterator[None]:
+    """Scope a fast-path override (tests and differential harnesses)."""
+    previous = _fast_override
+    set_fast_path(enabled)
+    try:
+        yield
+    finally:
+        set_fast_path(previous)
 
 
 class _QuadratureTable:
@@ -208,6 +268,307 @@ def pie_raw(bits: Sequence[int]) -> Tuple[int, ...]:
     return cached_pie_encode(tuple(bits))
 
 
+class TagTemplate:
+    """Synthesis products of one unit-amplitude backscatter frame.
+
+    A template is keyed by the *encoded* raw line bits plus the frame
+    geometry (rate, sample rate, carrier, OOK low ratio, lead/tail
+    lengths) and is built once:
+
+    * :attr:`profile` — the per-sample OOK scale profile (lead-in,
+      levels, tail) at unit amplitude, exactly the array
+      ``BackscatterUplink.tag_component`` fills before applying
+      amplitude and carrier phase.
+    * :meth:`baseband` — the profile modulated onto the cos/sin carrier
+      pair, zero-padded to the capture grid at a given sample delay,
+      then low-passed and decimated.  Because mixing/filtering/
+      decimation are linear and the filter is causal, a prefix view of
+      a longer cached product is valid for any shorter capture, and an
+      arbitrary carrier phase is the angle sum
+      ``(a cos p) * bc - (a sin p) * bs`` — two scalar-vector
+      multiplies over ~10^3 samples instead of a fresh ~10^5-sample
+      synthesis + filter run per slot.
+
+    :meth:`passband` reconstructs the full-rate component bit-identical
+    to ``tag_component`` (the ulp-tolerance tests pin this).
+    """
+
+    __slots__ = (
+        "raw_bits",
+        "raw_rate_bps",
+        "sample_rate_hz",
+        "carrier_hz",
+        "low_ratio",
+        "n_lead",
+        "n_tail",
+        "profile",
+        "n_body",
+        "_baseband",
+        "_lock",
+    )
+
+    def __init__(
+        self,
+        raw_bits: Tuple[int, ...],
+        raw_rate_bps: float,
+        sample_rate_hz: float,
+        carrier_hz: float,
+        low_ratio: float,
+        n_lead: int,
+        n_tail: int,
+    ) -> None:
+        from repro.phy.modem import raw_bits_to_levels
+
+        self.raw_bits = raw_bits
+        self.raw_rate_bps = raw_rate_bps
+        self.sample_rate_hz = sample_rate_hz
+        self.carrier_hz = carrier_hz
+        self.low_ratio = low_ratio
+        self.n_lead = n_lead
+        self.n_tail = n_tail
+        levels = raw_bits_to_levels(raw_bits, raw_rate_bps, sample_rate_hz)
+        n_body = n_lead + len(levels) + n_tail
+        profile = np.empty(n_body)
+        profile[:n_lead] = low_ratio
+        np.multiply(
+            levels, 1.0 - low_ratio, out=profile[n_lead : n_lead + len(levels)]
+        )
+        profile[n_lead : n_lead + len(levels)] += low_ratio
+        profile[n_lead + len(levels) :] = low_ratio
+        profile.setflags(write=False)
+        self.profile = profile
+        self.n_body = n_body
+        self._baseband: Dict[
+            Tuple[int, float, int], Tuple[np.ndarray, np.ndarray]
+        ] = {}
+        self._lock = threading.Lock()
+
+    def passband(
+        self, amplitude_v: float, phase_rad: float, n_delay: int
+    ) -> np.ndarray:
+        """Full-rate component from the cached profile.
+
+        Replays ``tag_component``'s exact operation order
+        (``(profile * amp) * (cos p * cos_t - sin p * sin_t)``), so the
+        result is bit-identical to a fresh synthesis.
+        """
+        out = np.empty(n_delay + self.n_body)
+        out[:n_delay] = 0.0
+        scale = out[n_delay:]
+        np.multiply(self.profile, amplitude_v, out=scale)
+        cos_t, sin_t = carrier_quadrature(
+            self.n_body, self.sample_rate_hz, self.carrier_hz
+        )
+        if phase_rad == 0.0:
+            scale *= cos_t
+        else:
+            mod = math.cos(phase_rad) * cos_t
+            mod -= math.sin(phase_rad) * sin_t
+            scale *= mod
+        return out
+
+    def baseband(
+        self,
+        n_delay: int,
+        n_capture: int,
+        cutoff_hz: float,
+        decimation: int,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Filtered/decimated baseband quadrature pair ``(bc, bs)``.
+
+        ``bc``/``bs`` are the downconverted captures of the profile
+        modulated on the cos / sin carrier, placed ``n_delay`` samples
+        into a zero capture of ``n_capture`` samples.  Grow-once per
+        ``(n_delay, cutoff, decimation)``: the filter is causal, so the
+        prefix of a longer product is bit-identical for shorter
+        captures — callers slice to ``ceil(n_capture / decimation)``.
+        """
+        from repro.phy.iq import downconvert
+
+        need = -(-int(n_capture) // int(decimation))
+        key = (int(n_delay), float(cutoff_hz), int(decimation))
+        entry = self._baseband.get(key)
+        if entry is not None and len(entry[0]) >= need:
+            perf.count("cache.template.hit")
+            tel = telemetry.active()
+            if tel is not None:
+                tel.inc("phy.template.hit")
+            return entry
+        with self._lock:
+            entry = self._baseband.get(key)
+            if entry is not None and len(entry[0]) >= need:
+                perf.count("cache.template.hit")
+                tel = telemetry.active()
+                if tel is not None:
+                    tel.inc("phy.template.hit")
+                return entry
+            perf.count("cache.template.miss")
+            tel = telemetry.active()
+            if tel is not None:
+                tel.inc("phy.template.miss")
+            grow_n = int(n_capture)
+            if entry is not None:
+                grow_n = max(grow_n, 2 * len(entry[0]) * int(decimation))
+            cos_t, sin_t = carrier_quadrature(
+                self.n_body, self.sample_rate_hz, self.carrier_hz
+            )
+            pair = []
+            for quad in (cos_t, sin_t):
+                pad = np.zeros(grow_n)
+                np.multiply(
+                    self.profile,
+                    quad,
+                    out=pad[n_delay : n_delay + self.n_body],
+                )
+                bb = np.ascontiguousarray(
+                    downconvert(
+                        pad,
+                        self.sample_rate_hz,
+                        self.carrier_hz,
+                        cutoff_hz=cutoff_hz,
+                        decimation=decimation,
+                    )
+                )
+                bb.setflags(write=False)
+                pair.append(bb)
+            entry = (pair[0], pair[1])
+            self._baseband[key] = entry
+            return entry
+
+    def baseband_samples(self) -> int:
+        """Total cached baseband samples (memory diagnostics)."""
+        return sum(2 * len(bc) for bc, _ in self._baseband.values())
+
+
+_templates: "OrderedDict[tuple, TagTemplate]" = OrderedDict()
+_templates_lock = threading.Lock()
+
+
+def tag_template(
+    raw_bits: Sequence[int],
+    raw_rate_bps: float,
+    sample_rate_hz: float,
+    carrier_hz: float,
+    low_ratio: float,
+    n_lead: int,
+    n_tail: int,
+) -> TagTemplate:
+    """Get-or-build the :class:`TagTemplate` for one encoded frame.
+
+    LRU-bounded at :data:`MAX_TEMPLATES` entries; fault-injected bit
+    flips simply hash to different (transient) templates.
+    """
+    key = (
+        tuple(int(b) for b in raw_bits),
+        float(raw_rate_bps),
+        float(sample_rate_hz),
+        float(carrier_hz),
+        float(low_ratio),
+        int(n_lead),
+        int(n_tail),
+    )
+    with _templates_lock:
+        template = _templates.get(key)
+        if template is not None:
+            _templates.move_to_end(key)
+            return template
+    template = TagTemplate(
+        key[0], *key[1:]
+    )
+    with _templates_lock:
+        existing = _templates.get(key)
+        if existing is not None:
+            _templates.move_to_end(key)
+            return existing
+        _templates[key] = template
+        while len(_templates) > MAX_TEMPLATES:
+            _templates.popitem(last=False)
+    return template
+
+
+_leak_bb: Dict[tuple, np.ndarray] = {}
+_leak_bb_lock = threading.Lock()
+
+
+def leak_baseband(
+    n_capture: int,
+    amplitude_v: float,
+    sample_rate_hz: float,
+    carrier_hz: float,
+    cutoff_hz: float,
+    decimation: int,
+) -> np.ndarray:
+    """The reader's static carrier leak after downconversion.
+
+    Grow-once per ``(amplitude, rates, cutoff, decimation)`` — the leak
+    is deterministic per sample index and the filter causal, so a
+    prefix of a longer cached product serves any shorter capture.
+    Callers slice the returned read-only array to
+    ``ceil(n_capture / decimation)``.
+    """
+    from repro.phy.iq import downconvert
+
+    need = -(-int(n_capture) // int(decimation))
+    key = (
+        float(amplitude_v),
+        float(sample_rate_hz),
+        float(carrier_hz),
+        float(cutoff_hz),
+        int(decimation),
+    )
+    cached = _leak_bb.get(key)
+    if cached is not None and len(cached) >= need:
+        perf.count("cache.leak.hit")
+        return cached
+    with _leak_bb_lock:
+        cached = _leak_bb.get(key)
+        if cached is not None and len(cached) >= need:
+            perf.count("cache.leak.hit")
+            return cached
+        perf.count("cache.leak.miss")
+        grow_n = int(n_capture)
+        if cached is not None:
+            grow_n = max(grow_n, 2 * len(cached) * int(decimation))
+        leak = carrier_block(grow_n, amplitude_v, sample_rate_hz, carrier_hz)
+        bb = np.ascontiguousarray(
+            downconvert(
+                leak,
+                sample_rate_hz,
+                carrier_hz,
+                cutoff_hz=cutoff_hz,
+                decimation=decimation,
+            )
+        )
+        bb.setflags(write=False)
+        _leak_bb[key] = bb
+        return bb
+
+
+def hit_ratios(
+    counters: Optional[Mapping[str, int]] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Per-cache hit/miss tallies and hit ratios.
+
+    Reads ``cache.<name>.hit`` / ``cache.<name>.miss`` counters from
+    ``counters`` (default: the process :mod:`repro.perf` registry), so
+    the ``--perf`` results report can show cache efficacy per run.
+    """
+    if counters is None:
+        counters = perf.report()["counters"]  # type: ignore[assignment]
+    out: Dict[str, Dict[str, float]] = {}
+    for name in ("carrier", "mixer", "template", "leak"):
+        hits = int(counters.get(f"cache.{name}.hit", 0))
+        misses = int(counters.get(f"cache.{name}.miss", 0))
+        total = hits + misses
+        if total:
+            out[name] = {
+                "hits": hits,
+                "misses": misses,
+                "hit_ratio": hits / total,
+            }
+    return out
+
+
 def clear_caches() -> None:
     """Invalidate every synthesis cache.
 
@@ -219,6 +580,10 @@ def clear_caches() -> None:
         _tables.clear()
     with _mixers_lock:
         _mixers.clear()
+    with _templates_lock:
+        _templates.clear()
+    with _leak_bb_lock:
+        _leak_bb.clear()
     butter_lowpass_sos.cache_clear()
     cached_fm0_encode.cache_clear()
     cached_pie_encode.cache_clear()
@@ -226,6 +591,8 @@ def clear_caches() -> None:
 
 def cache_sizes() -> Dict[str, int]:
     """Entry counts per cache (diagnostics / perf reports)."""
+    with _templates_lock:
+        templates = list(_templates.values())
     return {
         "quadrature_tables": len(_tables),
         "quadrature_samples": sum(len(t.cos) for t in _tables.values()),
@@ -234,4 +601,10 @@ def cache_sizes() -> Dict[str, int]:
         "butter_designs": butter_lowpass_sos.cache_info().currsize,
         "fm0_encodings": cached_fm0_encode.cache_info().currsize,
         "pie_encodings": cached_pie_encode.cache_info().currsize,
+        "tag_templates": len(templates),
+        "tag_template_samples": sum(
+            len(t.profile) + t.baseband_samples() for t in templates
+        ),
+        "leak_basebands": len(_leak_bb),
+        "leak_baseband_samples": sum(len(b) for b in _leak_bb.values()),
     }

@@ -13,6 +13,7 @@ the ACK (the anti-capture rule that keeps the slot-allocation honest).
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass
 from typing import List, Sequence
 
@@ -21,6 +22,17 @@ from scipy.signal import sosfilt
 
 from repro.channel import acoustics
 from repro.phy import cache as phy_cache
+
+_scratch = threading.local()
+
+
+def _mix_buffer(n: int) -> np.ndarray:
+    """Grow-once thread-local complex scratch for the mixing product."""
+    buf = getattr(_scratch, "mixed", None)
+    if buf is None or len(buf) < n:
+        buf = np.empty(max(n, 4096), dtype=complex)
+        _scratch.mixed = buf
+    return buf[:n]
 
 
 def downconvert(
@@ -40,19 +52,23 @@ def downconvert(
     numerically fragile in transfer-function form.
 
     The local oscillator and the filter design are served from
-    :mod:`repro.phy.cache`; the per-call work is the mix, the filter
-    run, and the decimating view.
+    :mod:`repro.phy.cache`, the mixing product lands in a grow-once
+    thread-local scratch instead of a fresh ~10^5-sample allocation,
+    and the decimated result is copied contiguous — every downstream
+    consumer walks it repeatedly, and the copy also releases the
+    full-rate filter output instead of pinning it behind a strided
+    view.
     """
     if decimation < 1:
         raise ValueError("decimation must be >= 1")
     x = np.asarray(waveform, dtype=float)
     lo = phy_cache.mixer(len(x), sample_rate_hz, carrier_hz)
-    mixed = x * lo
+    mixed = np.multiply(x, lo, out=_mix_buffer(len(x)))
     sos = phy_cache.butter_lowpass_sos(4, cutoff_hz / (sample_rate_hz / 2.0))
     filtered = sosfilt(sos, mixed)
     if decimation == 1:
         return filtered
-    return filtered[::decimation]
+    return np.ascontiguousarray(filtered[::decimation])
 
 
 def frequency_offset_estimate(

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 import numpy as np
+from scipy.signal import sosfilt
 
 from repro.channel import acoustics
 from repro.channel.pzt import PZTTransducer
@@ -175,25 +176,89 @@ class BackscatterUplink:
             scale *= mod
         return out
 
+    def capture_clean(
+        self,
+        components: Sequence[np.ndarray],
+        extra_samples: int = 0,
+        out: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Sum leak + tag components into one capture, noise-free.
+
+        With ``out`` (a float scratch array), the capture is assembled
+        zero-copy into a prefix view of that buffer — the
+        waveform-fidelity loop passes a grow-once per-network scratch so
+        steady-state slots allocate nothing.  The returned view aliases
+        ``out`` and is only valid until the buffer's next reuse;
+        omitting ``out`` returns a fresh array (the safe default).
+        """
+        if not components and extra_samples <= 0:
+            raise ValueError("need at least one component or extra samples")
+        n = max([len(c) for c in components], default=0) + max(extra_samples, 0)
+        cos_t, _ = phy_cache.carrier_quadrature(
+            n, self.sample_rate_hz, self.carrier_hz
+        )
+        if out is not None and len(out) >= n:
+            total = out[:n]
+            np.multiply(cos_t, self.leak_amplitude_v, out=total)
+        else:
+            total = self.leak_amplitude_v * cos_t
+        for comp in components:
+            total[: len(comp)] += comp
+        return total
+
     def capture(
         self,
         components: Sequence[np.ndarray],
         noise_psd_v2_per_hz: float,
         rng: np.random.Generator,
         extra_samples: int = 0,
+        out: np.ndarray | None = None,
     ) -> np.ndarray:
         """Sum leak + tag components + white noise into one capture."""
-        if not components and extra_samples <= 0:
-            raise ValueError("need at least one component or extra samples")
-        n = max([len(c) for c in components], default=0) + max(extra_samples, 0)
-        total = phy_cache.carrier_block(
-            n, self.leak_amplitude_v, self.sample_rate_hz, self.carrier_hz
-        )
-        for comp in components:
-            total[: len(comp)] += comp
+        total = self.capture_clean(components, extra_samples, out=out)
         sigma = math.sqrt(noise_psd_v2_per_hz * self.sample_rate_hz / 2.0)
-        total += rng.normal(0.0, sigma, size=n)
+        total += rng.normal(0.0, sigma, size=len(total))
         return total
+
+
+def receiver_noise_baseband(
+    n_out: int,
+    noise_psd_v2_per_hz: float,
+    sample_rate_hz: float,
+    cutoff_hz: float,
+    decimation: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Receiver noise delivered directly at the decimated baseband.
+
+    The reference receive path mixes white passband noise of PSD
+    ``noise_psd_v2_per_hz`` down, low-passes it, and decimates; the
+    result is complex lowpass noise whose in-band PSD is the passband
+    PSD referred to baseband.  This synthesises that process at the
+    decimated rate: complex white noise with per-sample scale
+    ``sigma / sqrt(2 * decimation)`` (which matches the full pipeline's
+    PSD exactly at DC, where the decoder's per-bit integration lives,
+    and its total power to within the filter-shape difference) shaped
+    by the same Butterworth design re-normalised to the baseband rate.
+
+    Drawing noise here instead of at 500 kHz removes the largest
+    constant cost of the waveform tier (~1.4 ms of Gaussian generation
+    + ~1.4 ms of full-rate filtering per slot) for *both* the template
+    fast path and the reference synthesis path — the two paths share
+    one draw, which is what keeps their decode outcomes byte-identical
+    in the differential suite.
+    """
+    if n_out < 0:
+        raise ValueError("sample count must be non-negative")
+    if decimation < 1:
+        raise ValueError("decimation must be >= 1")
+    sigma = math.sqrt(noise_psd_v2_per_hz * sample_rate_hz / 2.0)
+    scale = sigma / math.sqrt(2.0 * decimation)
+    noise = rng.standard_normal(n_out) + 1j * rng.standard_normal(n_out)
+    noise *= scale
+    baseband_rate = sample_rate_hz / decimation
+    sos = phy_cache.butter_lowpass_sos(4, cutoff_hz / (baseband_rate / 2.0))
+    return sosfilt(sos, noise)
 
 
 @dataclass(frozen=True)

@@ -218,17 +218,32 @@ class ReaderReceiveChain:
         angle = np.angle(np.mean(np.exp(2j * math.pi * phases)))
         grid_offset = (angle / (2 * math.pi)) % 1.0 * samples_per_bit
         margin = 0.1 * samples_per_bit
-        bits: List[int] = []
+        lo_idx: List[int] = []
+        hi_idx: List[int] = []
         start = grid_offset
         while start + samples_per_bit <= len(projected):
             lo = int(round(start + margin))
             hi = int(round(start + samples_per_bit - margin))
             if hi > lo:
-                # Sign of the sum == sign of the mean (same pairwise
-                # summation, positive divisor), minus the divide.
-                bits.append(1 if float(np.add.reduce(projected[lo:hi])) > 0 else 0)
+                lo_idx.append(lo)
+                hi_idx.append(hi)
             start += samples_per_bit
-        return bits
+        if not lo_idx:
+            return []
+        # One reduceat over interleaved [lo0, hi0, lo1, hi1, ...] sums
+        # every bit's central window in a single ufunc call; the odd
+        # segments are the inter-window gaps and are discarded.  The
+        # trailing zero pad keeps a final hi == len(projected) a valid
+        # reduceat index (the segment it opens is discarded anyway).
+        # Summation order within a window may differ from a per-slice
+        # np.add.reduce by ulp-level reassociation; the decision is the
+        # sign of a matched-filter sum, far from that scale.
+        inter = np.empty(2 * len(lo_idx), dtype=np.intp)
+        inter[0::2] = lo_idx
+        inter[1::2] = hi_idx
+        padded = np.append(projected, 0.0)
+        sums = np.add.reduceat(padded, inter)[0::2]
+        return [1 if s > 0 else 0 for s in sums]
 
     # -- end-to-end -----------------------------------------------------------
 

@@ -124,3 +124,25 @@ class TestDownlink:
 
     def test_beacon_loss_explodes_at_2000bps(self, medium):
         assert medium.beacon_loss_probability("tag8", 2000.0) > 0.5
+
+
+class TestChannelGeneration:
+    def test_starts_at_zero(self):
+        from repro.channel.medium import AcousticMedium
+
+        assert AcousticMedium().channel_generation == 0
+
+    def test_bumped_by_every_invalidation(self):
+        from repro.channel.medium import AcousticMedium
+
+        medium = AcousticMedium()
+        medium.invalidate_channel_cache()
+        medium.invalidate_channel_cache()
+        assert medium.channel_generation == 2
+
+    def test_reads_do_not_bump(self, medium):
+        before = medium.channel_generation
+        medium.backscatter_amplitude_v("tag4")
+        medium.propagation_delay_s("tag8")
+        medium.uplink_snr_db("tag5", 375.0)
+        assert medium.channel_generation == before

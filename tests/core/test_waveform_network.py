@@ -167,3 +167,45 @@ class TestLinkBudgetCache:
             * medium.backscatter_amplitude_v("tag8")
         )
         assert delay_s == pytest.approx(medium.propagation_delay_s("tag8"))
+
+    def test_follows_channel_generation_without_explicit_invalidate(self):
+        from repro.channel.medium import AcousticMedium
+
+        medium = AcousticMedium()
+        net = WaveformNetwork(
+            {"tag4": 2}, medium=medium, config=NetworkConfig(seed=0)
+        )
+        before = net._link_budget("tag4")
+        # A strain sweep that reports its mutation to the medium but
+        # forgets net.invalidate_link_cache(): the generation counter
+        # must drop the stale budget on its own.  (tag8 anchors the
+        # reference round-trip loss, so probe a non-reference tag.)
+        medium.biw.set_joint_loss_offset_db(6.0)
+        medium.invalidate_channel_cache()
+        after = net._link_budget("tag4")
+        assert after[0] != before[0]
+        assert after[0] == pytest.approx(
+            net._link_budget("tag4")[0]
+        )  # re-cached under the new generation
+
+    def test_mid_run_medium_mutation_degrades_decodes(self):
+        """Regression: before the generation counter, a mid-run BiW
+        mutation kept serving pre-mutation amplitudes until someone
+        remembered to call invalidate_link_cache()."""
+        from repro.channel.medium import AcousticMedium
+
+        def decoded_after_mutation(offset_db: float) -> int:
+            medium = AcousticMedium()
+            net = WaveformNetwork(
+                {"tag4": 2}, medium=medium, config=NetworkConfig(seed=1)
+            )
+            net.run(10)
+            medium.biw.set_joint_loss_offset_db(offset_db)
+            medium.invalidate_channel_cache()
+            records = net.run(20)
+            return sum(1 for r in records if r.decoded == "tag4")
+
+        unhurt = decoded_after_mutation(0.0)
+        crushed = decoded_after_mutation(60.0)
+        assert unhurt > 0
+        assert crushed == 0  # 60 dB of extra joint loss must be felt

@@ -435,3 +435,41 @@ class TestRobustRunner:
             fragments, _, _ = _load_checkpoint(ckpt, 7, True)
             assert fragments == {"j1": {"v": i}}
         assert not os.path.exists(ckpt + ".tmp")
+
+
+class TestProfiledExecution:
+    def test_profiled_execute_dumps_pstats(self, tmp_path):
+        import pstats
+
+        from repro.experiments.runner import _execute_job, _profiled_execute
+
+        plain = _execute_job("table2", None, 0, True, False)
+        profiled = _profiled_execute(
+            "table2", None, 0, True, False, str(tmp_path)
+        )
+        assert profiled == plain  # profiling must not perturb the result
+        dump = tmp_path / "table2.pstats"
+        assert dump.exists()
+        assert len(pstats.Stats(str(dump)).stats) > 0
+
+    def test_no_profile_dir_writes_nothing(self, tmp_path):
+        from repro.experiments.runner import _profiled_execute
+
+        _profiled_execute("table2", None, 0, True, False, None)
+        assert list(tmp_path.iterdir()) == []
+
+    def test_collect_results_threads_profile_dir(self, tmp_path, monkeypatch):
+        import repro.experiments.runner as runner_mod
+
+        seen = []
+        real = runner_mod._profiled_execute
+
+        def spy(name, medium, seed, quick, with_telemetry, profile_dir):
+            seen.append(profile_dir)
+            return real(name, medium, seed, quick, with_telemetry, profile_dir)
+
+        monkeypatch.setattr(runner_mod, "_profiled_execute", spy)
+        collect_results(seed=0, quick=True, jobs=1,
+                        profile_dir=str(tmp_path))
+        assert seen and all(p == str(tmp_path) for p in seen)
+        assert any(f.suffix == ".pstats" for f in tmp_path.iterdir())

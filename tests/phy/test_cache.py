@@ -134,3 +134,105 @@ class TestButterCache:
         phy_cache.butter_lowpass_sos(4, 0.12)
         phy_cache.butter_lowpass_sos(4, 0.12)
         assert phy_cache.cache_sizes()["butter_designs"] == 1
+
+
+class TestTagTemplates:
+    FS, F0, RATE = 500_000.0, 90_000.0, 375.0
+
+    def _template(self, bits=(1, 0, 1, 1)):
+        raw = phy_cache.fm0_raw(bits)
+        return phy_cache.tag_template(raw, self.RATE, self.FS, self.F0,
+                                      0.1, 600, 600)
+
+    def test_same_key_returns_same_object(self):
+        assert self._template() is self._template()
+
+    def test_distinct_bits_distinct_templates(self):
+        a = self._template((1, 0, 1, 1))
+        b = self._template((1, 1, 1, 1))
+        assert a is not b
+        assert phy_cache.cache_sizes()["tag_templates"] == 2
+
+    def test_lru_bound_holds(self):
+        for payload in range(phy_cache.MAX_TEMPLATES + 16):
+            bits = [int(b) for b in format(payload, "010b")]
+            self._template(tuple(bits))
+        assert phy_cache.cache_sizes()["tag_templates"] == phy_cache.MAX_TEMPLATES
+
+    def test_profile_read_only(self):
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            self._template().profile[0] = 0.0
+
+    def test_baseband_views_read_only(self):
+        bc, bs = self._template().baseband(50, 20_000, 750.0, 111)
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            bc[0] = 0.0
+        with _pytest.raises(ValueError):
+            bs[0] = 0.0
+
+    def test_counted_in_clear_and_sizes(self):
+        template = self._template()
+        template.baseband(0, 20_000, 750.0, 111)
+        phy_cache.leak_baseband(20_000, 0.2, self.FS, self.F0, 750.0, 111)
+        sizes = phy_cache.cache_sizes()
+        assert sizes["tag_templates"] == 1
+        assert sizes["tag_template_samples"] > 0
+        assert sizes["leak_basebands"] == 1
+        assert sizes["leak_baseband_samples"] > 0
+        phy_cache.clear_caches()
+        sizes = phy_cache.cache_sizes()
+        assert sizes["tag_templates"] == 0
+        assert sizes["leak_basebands"] == 0
+
+
+class TestLeakBaseband:
+    def test_prefix_property(self):
+        short = phy_cache.leak_baseband(
+            10_000, 0.2, 500_000.0, 90_000.0, 750.0, 111
+        )[: -(-10_000 // 111)].copy()
+        longer = phy_cache.leak_baseband(
+            80_000, 0.2, 500_000.0, 90_000.0, 750.0, 111
+        )
+        np.testing.assert_array_equal(short, longer[: len(short)])
+
+    def test_matches_direct_downconvert(self):
+        from repro.phy.iq import downconvert
+
+        bb = phy_cache.leak_baseband(
+            20_000, 0.2, 500_000.0, 90_000.0, 750.0, 111
+        )
+        direct = downconvert(
+            phy_cache.carrier_block(len(bb) * 111, 0.2, 500_000.0, 90_000.0),
+            500_000.0, 90_000.0, cutoff_hz=750.0, decimation=111,
+        )
+        np.testing.assert_array_equal(bb, direct[: len(bb)])
+
+
+class TestHitRatios:
+    def test_reads_explicit_counters(self):
+        ratios = phy_cache.hit_ratios(
+            {"cache.template.hit": 3, "cache.template.miss": 1,
+             "cache.leak.hit": 8}
+        )
+        assert ratios["template"] == {"hits": 3, "misses": 1, "hit_ratio": 0.75}
+        assert ratios["leak"]["hit_ratio"] == 1.0
+        assert "carrier" not in ratios
+
+    def test_defaults_to_process_registry(self):
+        from repro import perf
+
+        perf.reset()
+        template = phy_cache.tag_template(
+            phy_cache.fm0_raw([1, 0, 1]), 375.0, 500_000.0, 90_000.0,
+            0.1, 600, 600,
+        )
+        template.baseband(0, 20_000, 750.0, 111)  # miss
+        template.baseband(0, 20_000, 750.0, 111)  # hit
+        ratios = phy_cache.hit_ratios()
+        assert ratios["template"]["hits"] == 1
+        assert ratios["template"]["misses"] == 1
+        perf.reset()

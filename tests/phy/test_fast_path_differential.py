@@ -1,0 +1,233 @@
+"""Differential suite: the template fast path against the reference
+synthesis pipeline.
+
+The fast path assembles each slot's decimated baseband from cached
+filtered templates (linearity of mix/filter/decimate); the reference
+path synthesises every tag at full rate and runs the actual receive
+chain.  Both share the same RNG draws, so the certification here is
+two-level:
+
+* decode outcomes (slot logs and MAC records) are **byte-identical**
+  across seeds, scenarios, supervision, and fault schedules;
+* the raw basebands agree to ulp scale (float reassociation across the
+  linear decomposition is the only difference).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.network import NetworkConfig
+from repro.core.waveform_network import (
+    SLOT_EXTRA_SAMPLES,
+    SLOT_LEAD_IN_S,
+    SLOT_TAIL_S,
+    WaveformNetwork,
+)
+from repro.faults import FaultEvent, FaultSchedule
+from repro.phy import cache as phy_cache
+from repro.phy.modem import BackscatterUplink
+from repro.phy.packets import UplinkPacket
+from repro.phy.reader_dsp import ReaderReceiveChain
+from repro.resilience import NetworkSupervisor
+
+
+@pytest.fixture(autouse=True)
+def isolated_caches():
+    phy_cache.clear_caches()
+    yield
+    phy_cache.clear_caches()
+
+
+def _fault_schedule():
+    """SNR penalties plus frame bit flips, all within a 40-slot run."""
+    return FaultSchedule(
+        [
+            FaultEvent(slot=4, duration=6, kind="attenuation", target="tag5",
+                       magnitude=12.0),
+            FaultEvent(slot=10, duration=8, kind="bit_flip", target="tag8",
+                       magnitude=3.0),
+            FaultEvent(slot=18, duration=5, kind="noise_burst", target="*",
+                       magnitude=6.0),
+            FaultEvent(slot=26, duration=6, kind="bit_flip", target="tag9",
+                       magnitude=1.0),
+        ]
+    )
+
+
+def _run(scenario: str, seed: int, fast: bool):
+    """Drive one golden scenario with the fast path forced on or off."""
+    config = NetworkConfig(seed=seed)
+    with phy_cache.fast_path(fast):
+        if scenario == "dense":
+            net = WaveformNetwork({"tag5": 4, "tag8": 4, "tag9": 8},
+                                  config=config)
+            net.run(40)
+        elif scenario == "sparse":
+            net = WaveformNetwork({"tag3": 8, "tag12": 16}, config=config)
+            net.run(40)
+        elif scenario == "supervised":
+            net = WaveformNetwork({"tag5": 4, "tag8": 4, "tag9": 8},
+                                  config=config)
+            NetworkSupervisor(net, policies=()).run(40)
+        elif scenario == "faulted":
+            net = WaveformNetwork({"tag5": 4, "tag8": 4, "tag9": 8},
+                                  config=config, faults=_fault_schedule())
+            net.run(40)
+        else:  # pragma: no cover - scenario typo guard
+            raise AssertionError(scenario)
+    return net
+
+
+def _signature(net: WaveformNetwork):
+    return (
+        list(net.records),
+        [
+            (log.slot, tuple(log.transmitters), tuple(log.decoded_tids),
+             log.n_clusters)
+            for log in net.slot_logs
+        ],
+    )
+
+
+class TestDecodeOutcomesByteIdentical:
+    @pytest.mark.parametrize("seed", [1, 7, 23])
+    @pytest.mark.parametrize(
+        "scenario", ["dense", "sparse", "supervised", "faulted"]
+    )
+    def test_fast_matches_reference(self, scenario, seed):
+        fast = _run(scenario, seed, fast=True)
+        ref = _run(scenario, seed, fast=False)
+        assert _signature(fast) == _signature(ref)
+
+    def test_fast_path_actually_exercised(self):
+        from repro import perf
+
+        perf.reset()
+        _run("dense", 1, fast=True)
+        counters = perf.report()["counters"]
+        assert (
+            counters.get("cache.template.hit", 0)
+            + counters.get("cache.template.miss", 0)
+            > 0
+        )
+        perf.reset()
+        _run("dense", 1, fast=False)
+        counters = perf.report()["counters"]
+        assert "cache.template.hit" not in counters
+        assert "cache.template.miss" not in counters
+
+
+class TestRawBasebandUlpScale:
+    def _plans(self):
+        rate = 375.0
+        p5 = UplinkPacket(tid=5, payload=1234).to_bits()
+        p8 = UplinkPacket(tid=8, payload=77).to_bits()
+        return rate, [
+            (p5, 0.012, 0.0004, 1.25),
+            (p8, 0.008, 0.0007, 4.9),
+        ]
+
+    def test_fast_baseband_matches_reference_to_ulp_scale(self):
+        rate, plans = self._plans()
+        uplink = BackscatterUplink()
+        chain = ReaderReceiveChain()
+        components = [
+            uplink.tag_component(
+                bits, rate, amplitude_v, phase_rad=phase, delay_s=delay_s,
+                lead_in_s=SLOT_LEAD_IN_S, tail_s=SLOT_TAIL_S,
+            )
+            for bits, amplitude_v, delay_s, phase in plans
+        ]
+        capture = uplink.capture_clean(
+            components, extra_samples=SLOT_EXTRA_SAMPLES
+        )
+        iq_ref, _ = chain.raw_baseband(capture, rate)
+
+        net = WaveformNetwork({"tag5": 4})
+        decimation = chain._decimation_for(rate)
+        iq_fast = net._assemble_baseband_fast(
+            plans, rate, 2.0 * rate, decimation
+        )
+
+        assert len(iq_fast) == len(iq_ref)
+        scale = np.max(np.abs(iq_ref))
+        worst = np.max(np.abs(iq_fast - iq_ref))
+        # Reassociating sum-then-filter into filter-then-sum perturbs
+        # each sample by an ulp, and the IIR recursion carries those
+        # perturbations forward; measured worst case is ~1e4 eps of the
+        # signal scale (2.3e-13 absolute), bounded here with headroom.
+        assert worst <= 2**16 * np.finfo(float).eps * scale
+
+    def test_template_passband_bit_identical_to_tag_component(self):
+        rate = 375.0
+        uplink = BackscatterUplink()
+        fs = uplink.sample_rate_hz
+        bits = UplinkPacket(tid=9, payload=321).to_bits()
+        low = uplink.pzt.absorptive_coefficient / uplink.pzt.reflective_coefficient
+        n_lead = int(round(SLOT_LEAD_IN_S * fs))
+        n_tail = int(round(SLOT_TAIL_S * fs))
+        template = phy_cache.tag_template(
+            phy_cache.fm0_raw(bits), rate, fs, uplink.carrier_hz,
+            low, n_lead, n_tail,
+        )
+        for amplitude_v, phase, delay_s in [
+            (0.01, 0.0, 0.0),
+            (0.007, 2.1, 0.0003),
+            (0.02, -1.0, 0.0011),
+        ]:
+            direct = uplink.tag_component(
+                bits, rate, amplitude_v, phase_rad=phase, delay_s=delay_s,
+                lead_in_s=SLOT_LEAD_IN_S, tail_s=SLOT_TAIL_S,
+            )
+            replayed = template.passband(
+                amplitude_v, phase, int(round(delay_s * fs))
+            )
+            np.testing.assert_array_equal(replayed, direct)
+
+    def test_template_baseband_prefix_property(self):
+        rate = 375.0
+        uplink = BackscatterUplink()
+        fs = uplink.sample_rate_hz
+        bits = UplinkPacket(tid=3, payload=9).to_bits()
+        low = uplink.pzt.absorptive_coefficient / uplink.pzt.reflective_coefficient
+        template = phy_cache.tag_template(
+            phy_cache.fm0_raw(bits), rate, fs, uplink.carrier_hz,
+            low, int(round(SLOT_LEAD_IN_S * fs)), int(round(SLOT_TAIL_S * fs)),
+        )
+        decimation = ReaderReceiveChain()._decimation_for(rate)
+        n_short = template.n_body + 500
+        n_long = template.n_body + 40_000
+        short_bc, short_bs = template.baseband(100, n_short, 750.0, decimation)
+        short_bc = short_bc[: -(-n_short // decimation)].copy()
+        long_bc, _ = template.baseband(100, n_long, 750.0, decimation)
+        np.testing.assert_array_equal(short_bc, long_bc[: len(short_bc)])
+
+
+class TestFastPathSwitch:
+    def test_context_manager_and_override(self):
+        assert phy_cache.fast_path_enabled()
+        with phy_cache.fast_path(False):
+            assert not phy_cache.fast_path_enabled()
+            with phy_cache.fast_path(True):
+                assert phy_cache.fast_path_enabled()
+            assert not phy_cache.fast_path_enabled()
+        assert phy_cache.fast_path_enabled()
+        phy_cache.set_fast_path(False)
+        try:
+            assert not phy_cache.fast_path_enabled()
+        finally:
+            phy_cache.set_fast_path(None)
+
+    def test_env_escape_hatch(self, monkeypatch):
+        monkeypatch.setenv(phy_cache.FAST_PATH_ENV, "0")
+        assert not phy_cache.fast_path_enabled()
+        monkeypatch.setenv(phy_cache.FAST_PATH_ENV, "off")
+        assert not phy_cache.fast_path_enabled()
+        monkeypatch.setenv(phy_cache.FAST_PATH_ENV, "1")
+        assert phy_cache.fast_path_enabled()
+        # An explicit override wins over the environment.
+        monkeypatch.setenv(phy_cache.FAST_PATH_ENV, "0")
+        with phy_cache.fast_path(True):
+            assert phy_cache.fast_path_enabled()

@@ -10,6 +10,7 @@ from repro.phy.modem import (
     carrier,
     raw_bits_to_levels,
     raw_bits_to_levels_reference,
+    receiver_noise_baseband,
 )
 
 
@@ -171,3 +172,83 @@ class TestVectorizedEquivalence:
         t = np.arange(len(levels)) / up.sample_rate_hz
         expected = scale * np.cos(2 * np.pi * up.carrier_hz * t + phase)
         np.testing.assert_allclose(comp, expected, rtol=0, atol=1e-12)
+
+
+class TestCaptureClean:
+    def _components(self):
+        uplink = BackscatterUplink()
+        return uplink, [
+            uplink.tag_component([1, 0, 1, 0], 3000.0, 0.01),
+            uplink.tag_component([1, 1, 0, 0], 3000.0, 0.02, delay_s=0.001),
+        ]
+
+    def test_is_capture_without_noise(self, rng):
+        uplink, components = self._components()
+        clean = uplink.capture_clean(components, extra_samples=100)
+        noisy = uplink.capture(
+            components, 0.0, np.random.default_rng(0), extra_samples=100
+        )
+        np.testing.assert_array_equal(clean, noisy)
+
+    def test_scratch_buffer_is_aliased(self):
+        uplink, components = self._components()
+        n = max(len(c) for c in components) + 100
+        scratch = np.empty(2 * n)
+        out = uplink.capture_clean(components, extra_samples=100, out=scratch)
+        assert out.base is scratch
+        assert len(out) == n
+        np.testing.assert_array_equal(
+            out, uplink.capture_clean(components, extra_samples=100)
+        )
+
+    def test_undersized_scratch_falls_back_to_fresh(self):
+        uplink, components = self._components()
+        scratch = np.empty(4)
+        out = uplink.capture_clean(components, extra_samples=100, out=scratch)
+        assert out.base is not scratch
+        np.testing.assert_array_equal(
+            out, uplink.capture_clean(components, extra_samples=100)
+        )
+
+
+class TestReceiverNoiseBaseband:
+    PSD, FS, CUTOFF, D = 1e-10, 500_000.0, 750.0, 111
+
+    def test_deterministic_per_rng_state(self):
+        a = receiver_noise_baseband(
+            1500, self.PSD, self.FS, self.CUTOFF, self.D,
+            np.random.default_rng(5),
+        )
+        b = receiver_noise_baseband(
+            1500, self.PSD, self.FS, self.CUTOFF, self.D,
+            np.random.default_rng(5),
+        )
+        assert a.dtype == np.complex128
+        np.testing.assert_array_equal(a, b)
+
+    def test_power_tracks_reference_pipeline(self, rng):
+        """The baseband draw must carry the same in-band power as
+        mixing/filtering/decimating true passband noise (within the
+        filter-shape difference)."""
+        from repro.phy.iq import downconvert
+
+        sigma = np.sqrt(self.PSD * self.FS / 2.0)
+        n = 400_000
+        passband = rng.normal(0.0, sigma, size=n)
+        ref = downconvert(
+            passband, self.FS, 90_000.0, cutoff_hz=self.CUTOFF,
+            decimation=self.D,
+        )[8:]
+        fast = receiver_noise_baseband(
+            len(ref) + 8, self.PSD, self.FS, self.CUTOFF, self.D, rng
+        )[8:]
+        ratio = np.mean(np.abs(fast) ** 2) / np.mean(np.abs(ref) ** 2)
+        assert 0.7 < ratio < 1.4
+
+    def test_rejects_bad_arguments(self, rng):
+        with pytest.raises(ValueError):
+            receiver_noise_baseband(-1, self.PSD, self.FS, self.CUTOFF,
+                                    self.D, rng)
+        with pytest.raises(ValueError):
+            receiver_noise_baseband(10, self.PSD, self.FS, self.CUTOFF,
+                                    0, rng)

@@ -21,6 +21,11 @@ class TestParser:
         assert args.trials == 3
         assert args.seed == 9
 
+    def test_profile_flag(self):
+        args = build_parser().parse_args(["results", "--profile"])
+        assert args.profile is True
+        assert build_parser().parse_args(["results"]).profile is False
+
 
 class TestExecution:
     def test_list_command(self, capsys):

@@ -1,16 +1,24 @@
 #!/usr/bin/env python
-"""Compare two pytest-benchmark JSON files.
+"""Compare two benchmark JSON snapshots.
 
 Usage:
     python tools/bench_compare.py BENCH_before.json BENCH_after.json
     python tools/bench_compare.py old.json new.json --threshold 1.10
+    python tools/bench_compare.py benchmarks/BENCH_waveform.json BENCH_waveform.json
 
-Matches benchmarks by fullname, reports the ratio of mean runtimes
-(after / before), and exits non-zero if any shared benchmark regressed
-by more than ``--threshold`` (default 1.25, i.e. 25% slower).  Use the
+Two formats are understood, picked automatically:
+
+* pytest-benchmark documents — matches benchmarks by fullname and
+  reports the ratio of mean runtimes (after / before);
+* ``bench-waveform/1`` throughput snapshots (from
+  ``tools/bench_smoke.py``) — compares slots/s per fidelity tier, where
+  higher is better.
+
+Either way the tool exits non-zero if any shared entry regressed by
+more than ``--threshold`` (default 1.25, i.e. 25% slower).  Use the
 smoke target to produce the inputs:
 
-    make bench-smoke            # writes BENCH_<git-rev>.json
+    make bench-smoke            # writes BENCH_<git-rev>.json + BENCH_waveform.json
 """
 
 from __future__ import annotations
@@ -21,11 +29,18 @@ import sys
 from typing import Dict, List, Tuple
 
 
-def load_means(path: str) -> Dict[str, float]:
+def load_doc(path: str) -> dict:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def is_waveform_snapshot(doc: dict) -> bool:
+    return str(doc.get("schema", "")).startswith("bench-waveform/")
+
+
+def load_means(doc: dict) -> Dict[str, float]:
     """Map benchmark fullname -> mean seconds from a pytest-benchmark
     JSON document."""
-    with open(path) as fh:
-        doc = json.load(fh)
     means: Dict[str, float] = {}
     for bench in doc.get("benchmarks", []):
         name = bench.get("fullname") or bench.get("name")
@@ -33,6 +48,47 @@ def load_means(path: str) -> Dict[str, float]:
         if name and "mean" in stats:
             means[name] = float(stats["mean"])
     return means
+
+
+def load_rates(doc: dict) -> Dict[str, float]:
+    """Map tier name -> slots/s from a bench-waveform snapshot."""
+    rates: Dict[str, float] = {}
+    for tier, entry in doc.get("tiers", {}).items():
+        if "slots_per_s" in entry:
+            rates[tier] = float(entry["slots_per_s"])
+    return rates
+
+
+def compare_rates(
+    before: Dict[str, float], after: Dict[str, float], threshold: float
+) -> Tuple[List[str], List[str]]:
+    """Return (report lines, regression lines) for throughput tiers.
+
+    Throughput is higher-is-better, so a regression is
+    ``after < before / threshold``.
+    """
+    lines: List[str] = []
+    regressions: List[str] = []
+    shared = sorted(set(before) & set(after))
+    width = max((len(n) for n in shared), default=4)
+    for name in shared:
+        old, new = before[name], after[name]
+        ratio = new / old if old > 0 else float("inf")
+        marker = ""
+        if ratio < 1.0 / threshold:
+            marker = "  REGRESSION"
+            regressions.append(name)
+        elif ratio > threshold:
+            marker = "  improved"
+        lines.append(
+            f"{name:<{width}}  {old:>10.1f} slots/s -> {new:>10.1f} slots/s"
+            f"  x{ratio:.2f}{marker}"
+        )
+    for name in sorted(set(before) - set(after)):
+        lines.append(f"{name:<{width}}  (removed)")
+    for name in sorted(set(after) - set(before)):
+        lines.append(f"{name:<{width}}  (new: {after[name]:.1f} slots/s)")
+    return lines, regressions
 
 
 def compare(
@@ -80,16 +136,34 @@ def main(argv: List[str] | None = None) -> int:
     if args.threshold <= 1.0:
         parser.error("--threshold must be > 1.0")
 
-    before = load_means(args.before)
-    after = load_means(args.after)
+    before_doc = load_doc(args.before)
+    after_doc = load_doc(args.after)
+    waveform = is_waveform_snapshot(before_doc)
+    if waveform != is_waveform_snapshot(after_doc):
+        print(
+            "error: cannot mix a bench-waveform snapshot with a "
+            "pytest-benchmark document",
+            file=sys.stderr,
+        )
+        return 2
+    if waveform:
+        before = load_rates(before_doc)
+        after = load_rates(after_doc)
+    else:
+        before = load_means(before_doc)
+        after = load_means(after_doc)
     if not before or not after:
         print("error: no benchmarks found in one of the inputs", file=sys.stderr)
         return 2
     if not set(before) & set(after):
         print("error: the two files share no benchmark names", file=sys.stderr)
         return 2
-    lines, regressions = compare(before, after, args.threshold)
-    print(f"mean runtime, {args.before} -> {args.after}:")
+    if waveform:
+        lines, regressions = compare_rates(before, after, args.threshold)
+        print(f"slot throughput, {args.before} -> {args.after}:")
+    else:
+        lines, regressions = compare(before, after, args.threshold)
+        print(f"mean runtime, {args.before} -> {args.after}:")
     for line in lines:
         print(" ", line)
     if regressions:

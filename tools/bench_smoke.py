@@ -45,6 +45,15 @@ MAX_RATIO_UNCHECKED = 2.5
 # sites must be effectively free — that leg shares the same gate.
 MAX_RATIO_TELEMETRY = 3.0
 
+# Waveform-tier throughput snapshot: steady-state slots/s for the slot
+# tier and for the waveform tier with the template fast path on and
+# off, plus the template-cache hit rate.  The committed baseline lives
+# at benchmarks/BENCH_waveform.json; diff a fresh snapshot against it
+# with `python tools/bench_compare.py <baseline> <fresh>`.
+WAVEFORM_WARMUP_SLOTS = 40
+WAVEFORM_TIMED_SLOTS = 120
+WAVEFORM_SNAPSHOT_SCHEMA = "bench-waveform/1"
+
 
 def repo_root() -> str:
     return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -146,6 +155,79 @@ def telemetry_overhead_check() -> bool:
     return ok
 
 
+def waveform_snapshot(out_path: str) -> None:
+    """Measure steady-state slots/s per fidelity tier into ``out_path``.
+
+    Each waveform leg warms up for ``WAVEFORM_WARMUP_SLOTS`` slots (so
+    template builds and grow-once buffers are amortised out, matching
+    how long experiment runs behave) and then times
+    ``WAVEFORM_TIMED_SLOTS`` slots.  The fast leg also records the
+    template-cache hit rate over the timed window — a steady-state run
+    should sit at (or very near) 1.0.
+    """
+    sys.path.insert(0, os.path.join(repo_root(), "src"))
+    import json
+
+    from repro import perf
+    from repro.core.network import NetworkConfig, SlottedNetwork
+    from repro.core.waveform_network import WaveformNetwork
+    from repro.phy import cache as phy_cache
+
+    periods = {"tag5": 4, "tag8": 4, "tag9": 8}
+
+    def slot_tier() -> float:
+        net = SlottedNetwork(
+            {f"tag{i}": p for i, p in enumerate((4, 8, 8, 16, 16, 32), start=1)},
+            config=NetworkConfig(seed=0, ideal_channel=True),
+        )
+        start = time.perf_counter()
+        net.run(OVERHEAD_SLOTS)
+        return OVERHEAD_SLOTS / (time.perf_counter() - start)
+
+    def waveform_tier(fast: bool) -> dict:
+        phy_cache.clear_caches()
+        with phy_cache.fast_path(fast):
+            net = WaveformNetwork(periods, config=NetworkConfig(seed=3))
+            net.run(WAVEFORM_WARMUP_SLOTS)
+            perf.reset()
+            start = time.perf_counter()
+            net.run(WAVEFORM_TIMED_SLOTS)
+            elapsed = time.perf_counter() - start
+            ratios = phy_cache.hit_ratios(perf.report()["counters"])
+        tier = {
+            "slots_per_s": WAVEFORM_TIMED_SLOTS / elapsed,
+            "ms_per_slot": 1e3 * elapsed / WAVEFORM_TIMED_SLOTS,
+        }
+        if fast:
+            tier["template_hit_rate"] = ratios["template"]["hit_ratio"]
+        return tier
+
+    snapshot = {
+        "schema": WAVEFORM_SNAPSHOT_SCHEMA,
+        "warmup_slots": WAVEFORM_WARMUP_SLOTS,
+        "timed_slots": WAVEFORM_TIMED_SLOTS,
+        "tiers": {
+            "slot": {"slots_per_s": slot_tier()},
+            "waveform_fast": waveform_tier(fast=True),
+            "waveform_reference": waveform_tier(fast=False),
+        },
+    }
+    with open(out_path, "w") as fh:
+        json.dump(snapshot, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    tiers = snapshot["tiers"]
+    print(
+        "waveform snapshot: "
+        f"slot {tiers['slot']['slots_per_s']:.0f} slots/s, "
+        f"fast {tiers['waveform_fast']['slots_per_s']:.1f} slots/s "
+        f"({tiers['waveform_fast']['ms_per_slot']:.2f} ms/slot, "
+        f"template hit rate {tiers['waveform_fast']['template_hit_rate']:.2f}), "
+        f"reference {tiers['waveform_reference']['slots_per_s']:.1f} slots/s "
+        f"({tiers['waveform_reference']['ms_per_slot']:.2f} ms/slot)"
+    )
+    print(f"wrote {out_path}")
+
+
 def main(argv: List[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Run the benchmark smoke subset into a JSON snapshot."
@@ -161,9 +243,27 @@ def main(argv: List[str] | None = None) -> int:
         action="store_true",
         help="skip the resilience and telemetry overhead gates",
     )
+    parser.add_argument(
+        "--waveform-out",
+        default=None,
+        metavar="PATH",
+        help="waveform-tier throughput snapshot path "
+        "(default: BENCH_waveform.json in the repo root)",
+    )
+    parser.add_argument(
+        "--waveform-only",
+        action="store_true",
+        help="emit only the waveform throughput snapshot (skips the "
+        "pytest-benchmark run and the overhead gates); used by the "
+        "advisory CI bench job",
+    )
     args = parser.parse_args(argv)
 
     root = repo_root()
+    waveform_out = args.waveform_out or os.path.join(root, "BENCH_waveform.json")
+    waveform_snapshot(waveform_out)
+    if args.waveform_only:
+        return 0
     overhead_ok = True
     if not args.skip_overhead_check:
         overhead_ok = resilience_overhead_check()
