@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test coverage bench bench-smoke bench-waveform bench-compare chaos-smoke results report api-index
+.PHONY: test coverage bench bench-smoke bench-waveform bench-fleet bench-compare chaos-smoke results report api-index
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -25,6 +25,13 @@ bench-smoke:
 bench-waveform:
 	$(PYTHON) tools/bench_smoke.py --waveform-only
 	$(PYTHON) tools/bench_compare.py benchmarks/BENCH_waveform.json BENCH_waveform.json
+
+# Fleet-tier aggregate tag-slots/s snapshot (batch engine at each
+# fleet width plus the sequential baseline), then diff against the
+# committed baseline.
+bench-fleet:
+	$(PYTHON) tools/bench_smoke.py --fleet-only
+	$(PYTHON) tools/bench_compare.py benchmarks/BENCH_fleet.json BENCH_fleet.json
 
 # Random-seed resilience chaos trials; the seed is logged for replay.
 chaos-smoke:

@@ -1,8 +1,10 @@
 """Application layer: structural-health monitoring on top of the
-backscatter network."""
+backscatter network, plus the shared-memory result seam the fleet
+runner publishes through."""
 
 from repro.app.shm import (
     Alarm,
+    FleetResultBuffer,
     AlarmKind,
     Report,
     ShmMonitor,
@@ -12,6 +14,7 @@ from repro.app.shm import (
 
 __all__ = [
     "Alarm",
+    "FleetResultBuffer",
     "AlarmKind",
     "Report",
     "ShmMonitor",

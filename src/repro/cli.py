@@ -328,6 +328,53 @@ def _run_resilience(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _run_fleet(args: argparse.Namespace) -> str:
+    import json
+
+    from repro.experiments.runner import FleetRunner, default_jobs
+    from repro.faults.scenarios import SCENARIO_PERIODS
+
+    if args.serial:
+        jobs = 1
+    elif args.jobs is not None:
+        jobs = args.jobs
+    else:
+        jobs = default_jobs()
+    checkpoint = args.checkpoint
+    if checkpoint is None and args.out:
+        checkpoint = f"{args.out}.ckpt"
+    if args.resume and checkpoint is None:
+        raise SystemExit("error: --resume needs --checkpoint or --out")
+    runner = FleetRunner(
+        SCENARIO_PERIODS,
+        seeds=list(range(args.seed, args.seed + args.fleet_size)),
+        n_slots=args.slots,
+        shard_size=args.shard_size,
+    )
+    document = runner.run(
+        jobs=jobs,
+        telemetry=args.telemetry,
+        use_shm=args.shm,
+        checkpoint=checkpoint,
+        resume=args.resume,
+        timeout=args.timeout,
+        max_retries=args.max_retries,
+    )
+    payload = json.dumps(document, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(payload + "\n")
+        agg = document["aggregate"]
+        return (
+            f"fleet sweep: {document['n_networks']} networks x "
+            f"{document['n_slots']} slots -> {args.out}\n"
+            f"  decodes={agg['decodes']} acks={agg['acks']} "
+            f"collisions={agg['collisions']} "
+            f"mean settled fraction={agg['mean_settled_fraction']:.4f}"
+        )
+    return payload
+
+
 def _run_appc(args: argparse.Namespace) -> str:
     from repro.analysis.markov import SlotAllocationChain
 
@@ -361,6 +408,7 @@ EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "appc": _run_appc,
     "results": _run_results,
     "report": _run_report,
+    "fleet": _run_fleet,
 }
 
 
@@ -414,10 +462,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="('faults'/'resilience') number of fault events to generate",
     )
     parser.add_argument(
+        "--fleet-size",
+        type=int,
+        default=256,
+        metavar="N",
+        help="('fleet') number of independent networks to sweep",
+    )
+    parser.add_argument(
+        "--shard-size",
+        type=int,
+        default=64,
+        metavar="K",
+        help="('fleet') networks per batch-engine shard",
+    )
+    parser.add_argument(
+        "--shm",
+        action="store_true",
+        help="('fleet') publish result rows through a shared-memory "
+        "segment instead of pickling them back from the pool",
+    )
+    parser.add_argument(
         "--out",
         default=None,
         metavar="PATH",
-        help="('results') write the JSON document here instead of stdout",
+        help="('results'/'fleet') write the JSON document here instead of stdout",
     )
     parser.add_argument(
         "--timeout",
@@ -486,7 +554,7 @@ def main(argv: List[str] | None = None) -> int:
         names = sorted(
             n
             for n in EXPERIMENTS
-            if n not in ("results", "faults", "resilience", "report")
+            if n not in ("results", "faults", "resilience", "report", "fleet")
         )
     else:
         names = [args.experiment]

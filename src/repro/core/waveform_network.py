@@ -39,6 +39,7 @@ the differential suite (``tests/phy/test_fast_path_differential.py``).
 from __future__ import annotations
 
 import math
+import warnings
 import zlib
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
@@ -55,6 +56,10 @@ from repro.phy.iq import detect_collision_iq
 from repro.phy.modem import BackscatterUplink, receiver_noise_baseband
 from repro.phy.packets import UplinkPacket
 from repro.phy.reader_dsp import ReaderReceiveChain
+
+#: Process-wide once-latch for the ``invalidate_link_cache``
+#: deprecation warning; tests reset it to re-arm the warning.
+_LINK_CACHE_DEPRECATION_EMITTED = False
 
 #: Lead-in / tail / padding geometry of every slot capture (seconds of
 #: absorptive idle before the frame, after it, and extra samples at the
@@ -143,16 +148,30 @@ class WaveformNetwork(SlottedNetwork):
         return cached
 
     def invalidate_link_cache(self) -> None:
-        """Drop cached per-tag link budgets.
+        """Drop cached per-tag link budgets.  Deprecated.
 
         No longer required when the medium mutation went through
         :meth:`AcousticMedium.invalidate_channel_cache` — the link
         cache follows the medium's channel generation counter on its
-        own.  Kept (deprecation note) for callers that mutate the
-        structural graph directly without notifying the medium;
-        subsequent slots re-derive amplitudes and delays from the
-        updated graph.
+        own.  Kept for callers that mutate the structural graph
+        directly without notifying the medium; subsequent slots
+        re-derive amplitudes and delays from the updated graph.
+
+        Emits :class:`DeprecationWarning` once per process (not once
+        per call: strain sweeps invoke this per step, and a warning
+        per step would drown the one that matters).
         """
+        global _LINK_CACHE_DEPRECATION_EMITTED
+        if not _LINK_CACHE_DEPRECATION_EMITTED:
+            _LINK_CACHE_DEPRECATION_EMITTED = True
+            warnings.warn(
+                "WaveformNetwork.invalidate_link_cache is deprecated: "
+                "report medium mutations through "
+                "AcousticMedium.invalidate_channel_cache and the link "
+                "cache invalidates itself",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         self._link_cache.clear()
 
     def _payload_for(self, name: str) -> int:

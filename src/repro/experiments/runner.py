@@ -297,6 +297,18 @@ def default_jobs() -> int:
 _CHECKPOINT_VERSION = 1
 
 
+def _atomic_json_dump(path: str, payload: Dict[str, Any]) -> None:
+    """Write ``payload`` atomically (tmp file + fsync + rename): a kill
+    at any instant leaves either the previous file or the new one,
+    never a torn one."""
+    tmp = f"{path}.tmp"
+    with open(tmp, "w") as fh:
+        json.dump(payload, fh, sort_keys=True)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
 def _write_checkpoint(
     path: str,
     seed: int,
@@ -305,9 +317,7 @@ def _write_checkpoint(
     timings: Dict[str, float],
     telemetry_fragments: Optional[Dict[str, Dict[str, Any]]] = None,
 ) -> None:
-    """Persist completed fragments atomically (tmp file + rename): a
-    kill at any instant leaves either the previous checkpoint or the
-    new one, never a torn file."""
+    """Persist completed fragments atomically."""
     payload = {
         "version": _CHECKPOINT_VERSION,
         "seed": seed,
@@ -317,12 +327,7 @@ def _write_checkpoint(
     }
     if telemetry_fragments:
         payload["telemetry"] = telemetry_fragments
-    tmp = f"{path}.tmp"
-    with open(tmp, "w") as fh:
-        json.dump(payload, fh, sort_keys=True)
-        fh.flush()
-        os.fsync(fh.fileno())
-    os.replace(tmp, path)
+    _atomic_json_dump(path, payload)
 
 
 def _load_checkpoint(
@@ -628,6 +633,434 @@ def collect_results(
             ),
         }
     return out
+
+
+# -- fleet sweeps -----------------------------------------------------------
+#
+# The batch engine (repro.fleet) steps one shard of networks per
+# vectorised call; FleetRunner shards a whole seed sweep across engines
+# — optionally across a process pool with repro.app.shm's shared-memory
+# buffer as the result seam — and reassembles a document that is
+# byte-identical for every (shard_size, jobs, use_shm) combination,
+# because each network's randomness is a pure function of its own seed.
+
+_FLEET_CHECKPOINT_VERSION = 1
+
+#: Column order of a fleet summary row (matches
+#: :attr:`repro.app.shm.FleetResultBuffer.COLUMNS`).
+FLEET_ROW_COLUMNS = (
+    "seed",
+    "slots",
+    "decodes",
+    "acks",
+    "collisions",
+    "idle_slots",
+    "settled_fraction",
+)
+
+
+def _run_fleet_shard(
+    shard_index: int,
+    tag_periods: List[Tuple[str, int]],
+    names: List[str],
+    seeds: List[int],
+    n_slots: int,
+    config: Optional[Any],
+    energy: bool,
+    with_telemetry: bool,
+    shm_name: Optional[str],
+    row_offset: int,
+    n_total_rows: int,
+) -> Tuple[int, Optional[List[List[float]]], float, Optional[Dict[str, Any]]]:
+    """Pool entry point: run one shard of the sweep on a batch engine.
+
+    Returns ``(shard_index, rows, wall_s, telemetry_snapshot)``; with a
+    shared-memory seam the rows travel through the segment instead and
+    the returned ``rows`` is None.
+    """
+    from repro.fleet import FleetEngine, FleetSpec
+
+    start = time.perf_counter()
+    specs = [FleetSpec(name=n, seed=int(s)) for n, s in zip(names, seeds)]
+
+    def execute() -> List[List[float]]:
+        engine = FleetEngine(
+            dict(tag_periods), specs, config=config, energy=energy
+        )
+        for _ in range(n_slots):
+            engine.step_all()
+        rows: List[List[float]] = []
+        for spec, summary in zip(specs, engine.summaries()):
+            rows.append(
+                [
+                    float(spec.seed),
+                    float(summary["slots"]),
+                    float(summary["decodes"]),
+                    float(summary["acks"]),
+                    float(summary["collisions"]),
+                    float(summary["idle_slots"]),
+                    float(summary["settled_fraction"]),
+                ]
+            )
+        return rows
+
+    tel: Optional[Dict[str, Any]] = None
+    if with_telemetry:
+        from repro import telemetry
+
+        with telemetry.collecting() as registry:
+            rows = execute()
+        tel = registry.snapshot().to_jsonable()
+    else:
+        rows = execute()
+
+    if shm_name is not None:
+        import numpy as np
+
+        from repro.app.shm import FleetResultBuffer
+
+        buffer = FleetResultBuffer.attach(shm_name, n_total_rows)
+        try:
+            buffer.write_rows(row_offset, np.asarray(rows))
+        finally:
+            buffer.close()
+        rows = None  # type: ignore[assignment]
+    return shard_index, rows, time.perf_counter() - start, tel
+
+
+class FleetRunner:
+    """Shard a seed sweep onto batch engines and merge the results.
+
+    The sweep is ``len(seeds)`` independent networks of the same
+    ``tag_periods`` topology, each simulated for ``n_slots`` slots.
+    Networks are named ``net<global index>`` and their randomness
+    derives only from their own seed, so the output document is
+    byte-identical however the sweep is sharded or scheduled — the
+    property ``tests/fleet/test_runner_fleet.py`` pins.
+
+    Reuses the experiment runner's machinery: the same atomic
+    checkpoint pattern (one fragment per completed shard, ``resume=``
+    to continue a killed run), the same per-job telemetry registries
+    merged in canonical shard order, and the same pool robustness knobs
+    (per-shard timeout, bounded retries, serial degradation when the
+    pool breaks).
+    """
+
+    def __init__(
+        self,
+        tag_periods: Dict[str, int],
+        seeds: List[int],
+        n_slots: int,
+        config: Optional[Any] = None,
+        energy: bool = False,
+        shard_size: int = 64,
+    ) -> None:
+        if not tag_periods:
+            raise ResultsError("fleet sweep needs at least one tag")
+        if not seeds:
+            raise ResultsError("fleet sweep needs at least one seed")
+        if n_slots <= 0:
+            raise ResultsError("fleet sweep needs a positive slot count")
+        if shard_size <= 0:
+            raise ResultsError("shard size must be positive")
+        self.tag_periods = dict(tag_periods)
+        self.seeds = [int(s) for s in seeds]
+        self.n_slots = int(n_slots)
+        self.config = config
+        self.energy = bool(energy)
+        self.shard_size = int(shard_size)
+        width = max(4, len(str(len(self.seeds) - 1)))
+        self.names = [f"net{i:0{width}d}" for i in range(len(self.seeds))]
+
+    # -- sharding ------------------------------------------------------------
+
+    @property
+    def n_networks(self) -> int:
+        return len(self.seeds)
+
+    def shards(self) -> List[Tuple[int, int, List[str], List[int]]]:
+        """``(shard_index, row_offset, names, seeds)`` per shard."""
+        out = []
+        for index, offset in enumerate(range(0, self.n_networks, self.shard_size)):
+            stop = min(offset + self.shard_size, self.n_networks)
+            out.append(
+                (index, offset, self.names[offset:stop], self.seeds[offset:stop])
+            )
+        return out
+
+    # -- checkpointing -------------------------------------------------------
+
+    def _checkpoint_identity(self) -> Dict[str, Any]:
+        return {
+            "version": _FLEET_CHECKPOINT_VERSION,
+            "kind": "fleet-sweep",
+            "seeds": self.seeds,
+            "n_slots": self.n_slots,
+            "tag_periods": sorted(self.tag_periods.items()),
+            "energy": self.energy,
+            "shard_size": self.shard_size,
+        }
+
+    def _write_fleet_checkpoint(
+        self,
+        path: str,
+        fragments: Dict[str, List[List[float]]],
+        tel_fragments: Dict[str, Dict[str, Any]],
+    ) -> None:
+        payload = self._checkpoint_identity()
+        payload["fragments"] = fragments
+        if tel_fragments:
+            payload["telemetry"] = tel_fragments
+        _atomic_json_dump(path, payload)
+
+    def _load_fleet_checkpoint(
+        self, path: str
+    ) -> Tuple[Dict[str, List[List[float]]], Dict[str, Dict[str, Any]]]:
+        try:
+            with open(path) as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError) as exc:
+            raise ResultsError(f"cannot read checkpoint {path}: {exc}")
+        identity = self._checkpoint_identity()
+        for key, want in identity.items():
+            got = payload.get(key)
+            if key == "tag_periods" and got is not None:
+                got = [tuple(item) for item in got]
+                want = list(want)
+                got = list(got)
+            if got != want:
+                raise ResultsError(
+                    f"checkpoint {path} was taken with {key}={payload.get(key)!r};"
+                    f" this sweep uses {identity[key]!r} — refusing to mix"
+                )
+        return payload.get("fragments", {}), payload.get("telemetry", {})
+
+    # -- execution -----------------------------------------------------------
+
+    def run(
+        self,
+        jobs: int = 1,
+        telemetry: bool = False,
+        use_shm: bool = False,
+        checkpoint: Optional[str] = None,
+        resume: bool = False,
+        timeout: Optional[float] = None,
+        max_retries: int = 0,
+    ) -> Dict[str, Any]:
+        """Run the sweep; returns the JSON-able fleet document.
+
+        ``jobs`` > 1 fans shards over a process pool; ``use_shm``
+        routes result rows through a :class:`repro.app.shm.FleetResultBuffer`
+        segment instead of pickling them back through the executor.
+        Both paths (and any shard size) emit the same bytes.
+        """
+        import numpy as np
+
+        fragments: Dict[str, List[List[float]]] = {}
+        tel_fragments: Dict[str, Dict[str, Any]] = {}
+        if resume:
+            if checkpoint is None:
+                raise ResultsError("resume requested without a checkpoint path")
+            if os.path.exists(checkpoint):
+                fragments, tel_fragments = self._load_fleet_checkpoint(checkpoint)
+                if telemetry:
+                    fragments = {
+                        k: v for k, v in fragments.items() if k in tel_fragments
+                    }
+
+        shards = self.shards()
+        matrix = np.full(
+            (self.n_networks, len(FLEET_ROW_COLUMNS)), np.nan, dtype=np.float64
+        )
+        offsets = {index: offset for index, offset, _, _ in shards}
+        sizes = {index: len(names) for index, _, names, _ in shards}
+        for key, rows in fragments.items():
+            index = int(key)
+            if index in offsets and len(rows) == sizes[index]:
+                matrix[offsets[index] : offsets[index] + sizes[index]] = rows
+        done = {
+            int(k)
+            for k in fragments
+            if int(k) in offsets and len(fragments[k]) == sizes[int(k)]
+        }
+        pending = [s for s in shards if s[0] not in done]
+        attempts: Dict[int, int] = {s[0]: 0 for s in shards}
+
+        buffer = None
+        if use_shm and pending:
+            from repro.app.shm import FleetResultBuffer
+
+            buffer = FleetResultBuffer(self.n_networks)
+
+        def record(
+            index: int,
+            rows: Optional[List[List[float]]],
+            tel: Optional[Dict[str, Any]],
+        ) -> None:
+            if rows is None:
+                assert buffer is not None
+                rows = buffer.read_rows(offsets[index], sizes[index]).tolist()
+            matrix[offsets[index] : offsets[index] + sizes[index]] = rows
+            fragments[str(index)] = rows
+            if tel is not None:
+                tel_fragments[str(index)] = tel
+            if checkpoint is not None:
+                self._write_fleet_checkpoint(checkpoint, fragments, tel_fragments)
+
+        def shard_args(
+            shard: Tuple[int, int, List[str], List[int]]
+        ) -> Tuple[Any, ...]:
+            index, offset, names, seeds = shard
+            return (
+                index,
+                sorted(self.tag_periods.items()),
+                names,
+                seeds,
+                self.n_slots,
+                self.config,
+                self.energy,
+                telemetry,
+                buffer.name if buffer is not None else None,
+                offset,
+                self.n_networks,
+            )
+
+        def run_serial(shard: Tuple[int, int, List[str], List[int]]) -> None:
+            with _serial_timeout(timeout):
+                index, rows, _, tel = _run_fleet_shard(*shard_args(shard))
+            record(index, rows, tel)
+
+        try:
+            while pending:
+                failed: List[Tuple[int, str]] = []
+                if jobs > 1:
+                    try:
+                        with ProcessPoolExecutor(max_workers=jobs) as pool:
+                            futures = {
+                                pool.submit(_run_fleet_shard, *shard_args(s)): s[0]
+                                for s in pending
+                            }
+                            for future, index in futures.items():
+                                try:
+                                    got, rows, _, tel = future.result(
+                                        timeout=timeout
+                                    )
+                                except FuturesTimeout:
+                                    future.cancel()
+                                    failed.append((index, "timed out"))
+                                except BrokenProcessPool:
+                                    raise
+                                except Exception as exc:
+                                    failed.append((index, repr(exc)))
+                                else:
+                                    record(got, rows, tel)
+                    except BrokenProcessPool:
+                        # A worker died hard; finish the incomplete
+                        # shards serially rather than losing the run.
+                        done_now = {int(k) for k in fragments}
+                        for shard in pending:
+                            if shard[0] in done_now:
+                                continue
+                            try:
+                                run_serial(shard)
+                            except (_JobTimeout, Exception) as exc:  # noqa: BLE001
+                                failed.append((shard[0], repr(exc)))
+                        failed = [
+                            (i, r)
+                            for i, r in failed
+                            if str(i) not in fragments
+                        ]
+                else:
+                    for shard in pending:
+                        try:
+                            run_serial(shard)
+                        except _JobTimeout:
+                            failed.append((shard[0], "timed out"))
+                        except Exception as exc:  # noqa: BLE001
+                            failed.append((shard[0], repr(exc)))
+
+                still_pending = []
+                for index, reason in failed:
+                    attempts[index] += 1
+                    if attempts[index] > max_retries:
+                        raise ResultsError(
+                            f"fleet shard {index} failed after "
+                            f"{attempts[index]} attempt"
+                            f"{'s' if attempts[index] != 1 else ''}: {reason}"
+                        )
+                    still_pending.append(index)
+                pending = [s for s in shards if s[0] in set(still_pending)]
+        finally:
+            if buffer is not None:
+                buffer.close()
+                buffer.unlink()
+
+        document = self._build_document(matrix)
+        if telemetry:
+            from repro.telemetry import MetricsSnapshot, merge_snapshots
+
+            # Canonical shard order, NOT completion order — identical
+            # to collect_results' merge discipline.
+            merged = merge_snapshots(
+                MetricsSnapshot.from_jsonable(tel_fragments[str(index)])
+                for index, _, _, _ in shards
+                if str(index) in tel_fragments
+            )
+            document["telemetry"] = {
+                "signature": merged.signature(),
+                "snapshot": merged.to_jsonable(),
+            }
+        if checkpoint is not None:
+            try:
+                os.remove(checkpoint)
+            except OSError:
+                pass
+        return document
+
+    def _build_document(self, matrix: Any) -> Dict[str, Any]:
+        """Assemble the result document from the row matrix.
+
+        Every execution path lands rows in the same float64 matrix
+        first, so the document bytes cannot depend on how the rows got
+        there (pickled return, shared memory, or checkpoint resume).
+        """
+        import numpy as np
+
+        if np.isnan(matrix).any():
+            raise ResultsError("fleet sweep finished with missing rows")
+        networks = []
+        for i, name in enumerate(self.names):
+            row = matrix[i]
+            networks.append(
+                {
+                    "network": name,
+                    "seed": int(row[0]),
+                    "slots": int(row[1]),
+                    "decodes": int(row[2]),
+                    "acks": int(row[3]),
+                    "collisions": int(row[4]),
+                    "idle_slots": int(row[5]),
+                    "settled_fraction": float(row[6]),
+                }
+            )
+        n_tags = len(self.tag_periods)
+        return {
+            "schema": "fleet-sweep/1",
+            "n_networks": self.n_networks,
+            "n_slots": self.n_slots,
+            "n_tags": n_tags,
+            "energy": self.energy,
+            "tag_periods": {k: self.tag_periods[k] for k in sorted(self.tag_periods)},
+            "networks": networks,
+            "aggregate": {
+                "decodes": int(matrix[:, 2].sum()),
+                "acks": int(matrix[:, 3].sum()),
+                "collisions": int(matrix[:, 4].sum()),
+                "idle_slots": int(matrix[:, 5].sum()),
+                "mean_settled_fraction": float(matrix[:, 6].mean()),
+                "tag_slots": self.n_networks * self.n_slots * n_tags,
+            },
+        }
 
 
 def build_parser() -> argparse.ArgumentParser:

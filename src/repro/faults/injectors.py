@@ -235,11 +235,11 @@ class ChannelFaultInjector(FaultInjector):
         if medium.biw.joint_loss_offset_db == offset_db:
             return
         medium.biw.set_joint_loss_offset_db(offset_db)
+        # invalidate_channel_cache bumps the medium's channel
+        # generation, which the waveform tier's link cache follows on
+        # its own — no deprecated invalidate_link_cache call needed.
         medium.invalidate_channel_cache()
         network.refresh_beacon_loss()
-        invalidate = getattr(network, "invalidate_link_cache", None)
-        if invalidate is not None:
-            invalidate()
 
 
 def default_injectors() -> List[FaultInjector]:

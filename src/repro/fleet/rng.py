@@ -1,0 +1,200 @@
+"""Batched views over the per-network random streams.
+
+The sequential slot tier gives every :class:`~repro.core.network.SlottedNetwork`
+its own PCG64 ``"slots"`` generator plus one ``"offset"`` generator per
+tag (see :class:`~repro.sim.random.RandomStreams`).  The fleet engine
+must consume *exactly the same* draws in *exactly the same* per-stream
+order — byte-identical slot logs are the correctness contract — while
+stepping a thousand networks per vectorised call.
+
+The trick: numpy's bit generators produce identical value sequences
+whether drawn one scalar at a time or as a block (``gen.random(k)``
+equals ``k`` successive ``gen.random()`` calls, and likewise for
+``gen.integers`` with fixed bounds).  So each stream is materialised
+into a buffered *block* up front, and the engine consumes slices of the
+block with a per-stream cursor — the cursor plays the role of a
+counter-based stream's counter, and refills draw the next block from
+the same generator.  Cross-stream order never matters (streams are
+independent by construction), so masked, vectorised consumption is
+free to reorder *across* networks and tags as long as each stream's
+own cursor only moves forward.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+#: Default buffered block length for the per-network uniform streams.
+UNIFORM_BLOCK = 1024
+
+#: Default buffered block length for the per-(network, tag) offset
+#: streams.  Offset draws only happen on migrations, so a small block
+#: lasts a long time.
+OFFSET_BLOCK = 64
+
+
+class UniformBank:
+    """Block-buffered uniforms over N independent ``"slots"`` streams.
+
+    One row per network; ``take_grid``/``take_counts`` return values in
+    the same order the sequential simulator would have drawn them from
+    each network's own generator.
+    """
+
+    def __init__(
+        self, generators: Sequence[np.random.Generator], block: int = UNIFORM_BLOCK
+    ) -> None:
+        if block < 8:
+            raise ValueError("block must be at least 8 draws")
+        self._gens: List[np.random.Generator] = list(generators)
+        n = len(self._gens)
+        self._block = block
+        self._buf = np.empty((n, block), dtype=np.float64)
+        self._cursor = np.zeros(n, dtype=np.int64)
+        for i, gen in enumerate(self._gens):
+            self._buf[i] = gen.random(block)
+        self._rows = np.arange(n)
+
+    @property
+    def n_streams(self) -> int:
+        return len(self._gens)
+
+    def ensure(self, needed: int) -> None:
+        """Guarantee every stream has ``needed`` buffered draws left.
+
+        Streams running low are compacted (remaining values shift to the
+        front — they were drawn first and must be consumed first) and
+        topped up from their own generator.
+        """
+        if needed > self._block:
+            raise ValueError(
+                f"cannot guarantee {needed} draws from a {self._block}-wide buffer"
+            )
+        low = np.nonzero(self._cursor + needed > self._block)[0]
+        for i in low:
+            cur = int(self._cursor[i])
+            rem = self._block - cur
+            if rem:
+                self._buf[i, :rem] = self._buf[i, cur:]
+            self._buf[i, rem:] = self._gens[i].random(self._block - rem)
+            self._cursor[i] = 0
+
+    def take_grid(self, width: int) -> np.ndarray:
+        """``width`` consecutive draws from every stream: shape (N, width).
+
+        Column ``k`` is the (cursor + k)-th draw of each stream — the
+        order the sequential loop draws per-tag beacon-loss uniforms.
+        """
+        if width == 0:
+            return np.empty((len(self._gens), 0), dtype=np.float64)
+        idx = self._cursor[:, None] + np.arange(width)
+        out = self._buf[self._rows[:, None], idx]
+        self._cursor += width
+        return out
+
+    def take_ranked(self, ranks: np.ndarray, counts: np.ndarray) -> np.ndarray:
+        """Variable-count consumption: stream ``i`` yields its next
+        ``counts[i]`` draws; entry ``(i, j)`` of the result is that
+        stream's draw of rank ``ranks[i, j]`` (callers pass the
+        per-stream rank of each consumer, e.g. the cumulative index of
+        each powered tag).  Entries whose rank is negative read the
+        cursor draw but are meaningless — mask them off."""
+        idx = self._cursor[:, None] + np.maximum(ranks, 0)
+        out = self._buf[self._rows[:, None], idx]
+        self._cursor += counts
+        return out
+
+    def take_rows(self, rows: np.ndarray) -> np.ndarray:
+        """One draw from each of the (distinct) listed streams."""
+        out = self._buf[rows, self._cursor[rows]]
+        self._cursor[rows] += 1
+        return out
+
+    def take_scalar(self, stream: int) -> float:
+        """One draw from a single stream (the scalar escape path)."""
+        value = float(self._buf[stream, self._cursor[stream]])
+        self._cursor[stream] += 1
+        return value
+
+    def peek_at(self, stream: int, rank: int) -> float:
+        """The ``rank``-th upcoming draw of one stream, without
+        consuming it (the scalar multi-transmitter arbitration path
+        reads its draws this way, then advances with :meth:`advance`)."""
+        return float(self._buf[stream, self._cursor[stream] + rank])
+
+    def advance(self, counts: np.ndarray) -> None:
+        """Consume ``counts[i]`` draws from stream ``i``."""
+        self._cursor += counts
+
+
+class OffsetBank:
+    """Block-buffered slot offsets over N*T independent ``"offset"`` streams.
+
+    Stream ``(network, tag)`` buffers draws of ``integers(0, period)``
+    with the tag's fixed period — the exact call the sequential
+    :class:`~repro.core.state_machine.TagStateMachine` makes on every
+    migration.  Consumption is masked: :meth:`take_masked` hands one
+    fresh offset to every (network, tag) selected by a boolean matrix.
+    """
+
+    def __init__(
+        self,
+        generators: Sequence[Sequence[np.random.Generator]],
+        periods: Sequence[int],
+        block: int = OFFSET_BLOCK,
+    ) -> None:
+        if block < 8:
+            raise ValueError("block must be at least 8 draws")
+        self._gens = [list(row) for row in generators]
+        n = len(self._gens)
+        t = len(periods)
+        if any(len(row) != t for row in self._gens):
+            raise ValueError("generator grid does not match the period list")
+        self._periods = np.asarray(periods, dtype=np.int64)
+        self._block = block
+        self._buf = np.empty((n, t, block), dtype=np.int64)
+        self._cursor = np.zeros((n, t), dtype=np.int64)
+        for i in range(n):
+            for j in range(t):
+                self._buf[i, j] = self._gens[i][j].integers(
+                    0, int(self._periods[j]), size=block
+                )
+
+    def _refill(self, i: int, j: int) -> None:
+        cur = int(self._cursor[i, j])
+        rem = self._block - cur
+        if rem:
+            self._buf[i, j, :rem] = self._buf[i, j, cur:]
+        self._buf[i, j, rem:] = self._gens[i][j].integers(
+            0, int(self._periods[j]), size=self._block - rem
+        )
+        self._cursor[i, j] = 0
+
+    def ensure(self, needed: int) -> None:
+        """Guarantee ``needed`` buffered draws in every stream.
+
+        A tag draws at most a handful of offsets per slot (feedback
+        re-pick, RESET, loss demote, EMPTY-gate re-roll, brownout
+        reboot), so callers ask for that small bound once per step.
+        """
+        if needed > self._block:
+            raise ValueError(
+                f"cannot guarantee {needed} draws from a {self._block}-wide buffer"
+            )
+        low = np.argwhere(self._cursor + needed > self._block)
+        for i, j in low:
+            self._refill(int(i), int(j))
+
+    def take_masked(self, mask: np.ndarray, out: np.ndarray) -> None:
+        """Write one fresh offset into ``out`` wherever ``mask`` holds.
+
+        Each selected stream's cursor advances by one; unselected
+        streams are untouched, preserving their sequential alignment.
+        """
+        if not mask.any():
+            return
+        rows, cols = np.nonzero(mask)
+        out[rows, cols] = self._buf[rows, cols, self._cursor[rows, cols]]
+        self._cursor[rows, cols] += 1

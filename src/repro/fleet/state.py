@@ -1,0 +1,131 @@
+"""Structure-of-arrays state for a fleet of slot-tier networks.
+
+One fleet holds N independent deployments of the same BiW scenario —
+identical tag roster, periods, activation map, channel, and protocol
+config, differing only in their RNG seed (and optionally in an attached
+fault schedule or supervisor, which routes a network onto the scalar
+escape lane).  All hot per-(network, tag) protocol state lives in
+stacked numpy arrays indexed ``[network, tid]``, with the tag axis in
+the same sorted-name order the sequential simulator assigns tids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.network import SlottedNetwork
+    from repro.faults.schedule import FaultSchedule
+    from repro.resilience.supervisor import NetworkSupervisor
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """One network's identity within a fleet.
+
+    ``faults`` and ``supervisor_factory`` opt the network out of the
+    vectorised lane: rich fault injection and resilience supervision
+    keep their exact sequential semantics by running a real
+    :class:`~repro.core.network.SlottedNetwork` inside the fleet's
+    lockstep loop (the *scalar lane*).  Plain networks — the fleet-scale
+    common case — step through the batched kernels.
+    """
+
+    name: str
+    seed: int
+    faults: "Optional[FaultSchedule]" = None
+    supervisor_factory: "Optional[Callable[[SlottedNetwork], NetworkSupervisor]]" = None
+
+    @property
+    def vectorizable(self) -> bool:
+        """Whether this network can ride the batched kernels."""
+        return self.faults is None and self.supervisor_factory is None
+
+
+def specs_for_seeds(seeds, prefix: str = "net") -> list:
+    """Convenience: one plain :class:`FleetSpec` per seed, named
+    ``<prefix><index>`` in the given order."""
+    return [FleetSpec(name=f"{prefix}{i}", seed=int(s)) for i, s in enumerate(seeds)]
+
+
+@dataclass
+class TagArrays:
+    """Stacked tag-MAC state, one row per vector-lane network.
+
+    Mirrors :class:`~repro.core.tag_protocol.TagMac` plus its embedded
+    :class:`~repro.core.state_machine.TagStateMachine` field-for-field;
+    ``settled`` encodes the two-state machine (True = SETTLE).
+    """
+
+    offset: np.ndarray
+    slot_counter: np.ndarray
+    settled: np.ndarray
+    nack_count: np.ndarray
+    transmitted_last: np.ndarray
+    ever_settled: np.ndarray
+    late_arrival: np.ndarray
+    beacons_received: np.ndarray
+    beacons_missed: np.ndarray
+    consecutive_losses: np.ndarray
+    transmissions: np.ndarray
+    migrations: np.ndarray
+    settles: np.ndarray
+    power_cycles: np.ndarray
+
+    @classmethod
+    def allocate(cls, n_networks: int, n_tags: int) -> "TagArrays":
+        shape = (n_networks, n_tags)
+        ints = dict(dtype=np.int64)
+        return cls(
+            offset=np.zeros(shape, **ints),
+            slot_counter=np.zeros(shape, **ints),
+            settled=np.zeros(shape, dtype=bool),
+            nack_count=np.zeros(shape, **ints),
+            transmitted_last=np.zeros(shape, dtype=bool),
+            ever_settled=np.zeros(shape, dtype=bool),
+            late_arrival=np.zeros(shape, dtype=bool),
+            beacons_received=np.zeros(shape, **ints),
+            beacons_missed=np.zeros(shape, **ints),
+            consecutive_losses=np.zeros(shape, **ints),
+            transmissions=np.zeros(shape, **ints),
+            migrations=np.zeros(shape, **ints),
+            settles=np.zeros(shape, **ints),
+            power_cycles=np.zeros(shape, **ints),
+        )
+
+
+@dataclass
+class SlotLog:
+    """Columnar per-slot log for the vector lane.
+
+    One entry per (network, slot), append-only; materialised back into
+    the sequential tier's :class:`~repro.core.reader_protocol.SlotRecord`
+    lists on demand (the differential suite compares those lists
+    byte-for-byte against N sequential runs).
+    """
+
+    n_transmitters: list = field(default_factory=list)
+    decoded_tid: list = field(default_factory=list)
+    collision: list = field(default_factory=list)
+    acked: list = field(default_factory=list)
+    empty_flag: list = field(default_factory=list)
+
+    def append_slot(
+        self,
+        n_transmitters: np.ndarray,
+        decoded_tid: np.ndarray,
+        collision: np.ndarray,
+        acked: np.ndarray,
+        empty_flag: np.ndarray,
+    ) -> None:
+        self.n_transmitters.append(n_transmitters)
+        self.decoded_tid.append(decoded_tid)
+        self.collision.append(collision)
+        self.acked.append(acked)
+        self.empty_flag.append(empty_flag)
+
+    def __len__(self) -> int:
+        return len(self.n_transmitters)

@@ -155,6 +155,36 @@ class TestLinkBudgetCache:
         amplitude_v, _ = net._link_budget("tag8")
         assert amplitude_v != before[0]
 
+    def test_invalidate_link_cache_deprecation_warns_once(self, medium, monkeypatch):
+        """The deprecated escape hatch warns exactly once per process —
+        a strain sweep calling it per step must not drown the log."""
+        import warnings as warnings_mod
+
+        from repro.core import waveform_network as wn
+
+        monkeypatch.setattr(wn, "_LINK_CACHE_DEPRECATION_EMITTED", False)
+        net = WaveformNetwork(
+            {"tag8": 2}, medium=medium, config=NetworkConfig(seed=0)
+        )
+        with warnings_mod.catch_warnings(record=True) as caught:
+            warnings_mod.simplefilter("always")
+            net.invalidate_link_cache()
+            net.invalidate_link_cache()
+            net.invalidate_link_cache()
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert "invalidate_channel_cache" in str(deprecations[0].message)
+        # The latch is process-wide: a second network does not re-warn.
+        other = WaveformNetwork(
+            {"tag8": 2}, medium=medium, config=NetworkConfig(seed=1)
+        )
+        with warnings_mod.catch_warnings(record=True) as caught:
+            warnings_mod.simplefilter("always")
+            other.invalidate_link_cache()
+        assert not caught
+
     def test_matches_direct_medium_walk(self, medium):
         from repro.experiments.fig12_uplink import WAVEFORM_AMPLITUDE_CALIBRATION
 

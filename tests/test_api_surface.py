@@ -25,6 +25,7 @@ SUBPACKAGES = [
     "repro.experiments",
     "repro.ext",
     "repro.app",
+    "repro.fleet",
 ]
 
 

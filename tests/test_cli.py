@@ -57,3 +57,39 @@ class TestExecution:
         assert main(["fig16", "--seed", "2"]) == 0
         out = capsys.readouterr().out
         assert "non-empty ratio" in out
+
+    def test_fleet_writes_document(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "fleet.json"
+        assert (
+            main(
+                [
+                    "fleet",
+                    "--fleet-size",
+                    "6",
+                    "--slots",
+                    "80",
+                    "--shard-size",
+                    "4",
+                    "--serial",
+                    "--out",
+                    str(out_path),
+                ]
+            )
+            == 0
+        )
+        assert "fleet sweep: 6 networks x 80 slots" in capsys.readouterr().out
+        document = json.loads(out_path.read_text())
+        assert document["schema"] == "fleet-sweep/1"
+        assert document["n_networks"] == 6
+        assert len(document["networks"]) == 6
+
+    def test_fleet_stdout_and_parser_defaults(self, capsys):
+        args = build_parser().parse_args(["fleet"])
+        assert args.fleet_size == 256
+        assert args.shard_size == 64
+        assert not args.shm
+        assert main(["fleet", "--fleet-size", "2", "--slots", "40", "--serial"]) == 0
+        out = capsys.readouterr().out
+        assert '"schema": "fleet-sweep/1"' in out

@@ -12,6 +12,10 @@ Two formats are understood, picked automatically:
   reports the ratio of mean runtimes (after / before);
 * ``bench-waveform/1`` throughput snapshots (from
   ``tools/bench_smoke.py``) — compares slots/s per fidelity tier, where
+  higher is better;
+* ``bench-fleet/1`` throughput snapshots (from
+  ``tools/bench_smoke.py --fleet-only``) — compares the batch engine's
+  aggregate tag-slots/s per fleet width (plus the sequential baseline),
   higher is better.
 
 Either way the tool exits non-zero if any shared entry regressed by
@@ -38,6 +42,25 @@ def is_waveform_snapshot(doc: dict) -> bool:
     return str(doc.get("schema", "")).startswith("bench-waveform/")
 
 
+def is_fleet_snapshot(doc: dict) -> bool:
+    return str(doc.get("schema", "")).startswith("bench-fleet/")
+
+
+def load_fleet_rates(doc: dict) -> Dict[str, float]:
+    """Map leg name -> tag-slots/s from a bench-fleet snapshot.
+
+    Fleet widths sort numerically (``N=0016`` style keys) so the
+    report reads as the scaling curve.
+    """
+    rates: Dict[str, float] = {}
+    if "sequential_tag_slots_per_s" in doc:
+        rates["sequential"] = float(doc["sequential_tag_slots_per_s"])
+    for size, entry in doc.get("fleet", {}).items():
+        if "tag_slots_per_s" in entry:
+            rates[f"fleet N={int(size):>5d}"] = float(entry["tag_slots_per_s"])
+    return rates
+
+
 def load_means(doc: dict) -> Dict[str, float]:
     """Map benchmark fullname -> mean seconds from a pytest-benchmark
     JSON document."""
@@ -60,7 +83,10 @@ def load_rates(doc: dict) -> Dict[str, float]:
 
 
 def compare_rates(
-    before: Dict[str, float], after: Dict[str, float], threshold: float
+    before: Dict[str, float],
+    after: Dict[str, float],
+    threshold: float,
+    unit: str = "slots/s",
 ) -> Tuple[List[str], List[str]]:
     """Return (report lines, regression lines) for throughput tiers.
 
@@ -81,13 +107,13 @@ def compare_rates(
         elif ratio > threshold:
             marker = "  improved"
         lines.append(
-            f"{name:<{width}}  {old:>10.1f} slots/s -> {new:>10.1f} slots/s"
+            f"{name:<{width}}  {old:>10.1f} {unit} -> {new:>10.1f} {unit}"
             f"  x{ratio:.2f}{marker}"
         )
     for name in sorted(set(before) - set(after)):
         lines.append(f"{name:<{width}}  (removed)")
     for name in sorted(set(after) - set(before)):
-        lines.append(f"{name:<{width}}  (new: {after[name]:.1f} slots/s)")
+        lines.append(f"{name:<{width}}  (new: {after[name]:.1f} {unit})")
     return lines, regressions
 
 
@@ -138,17 +164,27 @@ def main(argv: List[str] | None = None) -> int:
 
     before_doc = load_doc(args.before)
     after_doc = load_doc(args.after)
-    waveform = is_waveform_snapshot(before_doc)
-    if waveform != is_waveform_snapshot(after_doc):
+
+    def kind(doc: dict) -> str:
+        if is_waveform_snapshot(doc):
+            return "waveform"
+        if is_fleet_snapshot(doc):
+            return "fleet"
+        return "pytest"
+
+    if kind(before_doc) != kind(after_doc):
         print(
-            "error: cannot mix a bench-waveform snapshot with a "
-            "pytest-benchmark document",
+            f"error: cannot mix a {kind(before_doc)} document with a "
+            f"{kind(after_doc)} one",
             file=sys.stderr,
         )
         return 2
-    if waveform:
+    if kind(before_doc) == "waveform":
         before = load_rates(before_doc)
         after = load_rates(after_doc)
+    elif kind(before_doc) == "fleet":
+        before = load_fleet_rates(before_doc)
+        after = load_fleet_rates(after_doc)
     else:
         before = load_means(before_doc)
         after = load_means(after_doc)
@@ -158,9 +194,14 @@ def main(argv: List[str] | None = None) -> int:
     if not set(before) & set(after):
         print("error: the two files share no benchmark names", file=sys.stderr)
         return 2
-    if waveform:
+    if kind(before_doc) == "waveform":
         lines, regressions = compare_rates(before, after, args.threshold)
         print(f"slot throughput, {args.before} -> {args.after}:")
+    elif kind(before_doc) == "fleet":
+        lines, regressions = compare_rates(
+            before, after, args.threshold, unit="tag-slots/s"
+        )
+        print(f"fleet throughput, {args.before} -> {args.after}:")
     else:
         lines, regressions = compare(before, after, args.threshold)
         print(f"mean runtime, {args.before} -> {args.after}:")

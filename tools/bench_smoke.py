@@ -54,6 +54,16 @@ WAVEFORM_WARMUP_SLOTS = 40
 WAVEFORM_TIMED_SLOTS = 120
 WAVEFORM_SNAPSHOT_SCHEMA = "bench-waveform/1"
 
+# Fleet-tier throughput snapshot: aggregate (network x tag x slot) work
+# units per second for the batch engine at each fleet width, plus the
+# sequential single-network rate the speedups are measured against.
+# The committed baseline lives at benchmarks/BENCH_fleet.json.
+FLEET_WARMUP_SLOTS = 32
+FLEET_TIMED_SLOTS = 256
+FLEET_SIZES = (16, 128, 1024)
+FLEET_SEQUENTIAL_SLOTS = 2000
+FLEET_SNAPSHOT_SCHEMA = "bench-fleet/1"
+
 
 def repo_root() -> str:
     return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -228,6 +238,65 @@ def waveform_snapshot(out_path: str) -> None:
     print(f"wrote {out_path}")
 
 
+def fleet_snapshot(out_path: str) -> None:
+    """Measure the batch engine's aggregate tag-slots/s into ``out_path``.
+
+    One leg per fleet width in ``FLEET_SIZES``: build a plain fleet of
+    that many networks (seeds 0..N-1, the six-tag smoke topology, real
+    channel), warm it up, then time ``FLEET_TIMED_SLOTS`` vectorised
+    steps.  The sequential leg times one ``SlottedNetwork`` with the
+    same topology and channel so the snapshot carries the speedup each
+    width buys.
+    """
+    sys.path.insert(0, os.path.join(repo_root(), "src"))
+    import json
+
+    from repro.core.network import NetworkConfig, SlottedNetwork
+    from repro.fleet import FleetEngine, specs_for_seeds
+
+    periods = {f"tag{i}": p for i, p in enumerate((4, 8, 8, 16, 16, 32), start=1)}
+    n_tags = len(periods)
+
+    net = SlottedNetwork(periods, config=NetworkConfig(seed=0))
+    start = time.perf_counter()
+    net.run(FLEET_SEQUENTIAL_SLOTS)
+    sequential = FLEET_SEQUENTIAL_SLOTS * n_tags / (time.perf_counter() - start)
+
+    fleet: dict = {}
+    for size in FLEET_SIZES:
+        engine = FleetEngine(periods, specs_for_seeds(range(size)))
+        for _ in range(FLEET_WARMUP_SLOTS):
+            engine.step_all()
+        start = time.perf_counter()
+        for _ in range(FLEET_TIMED_SLOTS):
+            engine.step_all()
+        elapsed = time.perf_counter() - start
+        rate = size * FLEET_TIMED_SLOTS * n_tags / elapsed
+        fleet[str(size)] = {
+            "tag_slots_per_s": rate,
+            "speedup_vs_sequential": rate / sequential,
+        }
+
+    snapshot = {
+        "schema": FLEET_SNAPSHOT_SCHEMA,
+        "warmup_slots": FLEET_WARMUP_SLOTS,
+        "timed_slots": FLEET_TIMED_SLOTS,
+        "n_tags": n_tags,
+        "sequential_tag_slots_per_s": sequential,
+        "fleet": fleet,
+    }
+    with open(out_path, "w") as fh:
+        json.dump(snapshot, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    curve = ", ".join(
+        f"N={size} {fleet[str(size)]['tag_slots_per_s']:.0f} tag-slots/s "
+        f"(x{fleet[str(size)]['speedup_vs_sequential']:.1f})"
+        for size in FLEET_SIZES
+    )
+    print(f"fleet snapshot: sequential {sequential:.0f} tag-slots/s; {curve}")
+    print(f"wrote {out_path}")
+
+
 def main(argv: List[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Run the benchmark smoke subset into a JSON snapshot."
@@ -257,13 +326,30 @@ def main(argv: List[str] | None = None) -> int:
         "pytest-benchmark run and the overhead gates); used by the "
         "advisory CI bench job",
     )
+    parser.add_argument(
+        "--fleet-out",
+        default=None,
+        metavar="PATH",
+        help="fleet-tier throughput snapshot path "
+        "(default: BENCH_fleet.json in the repo root)",
+    )
+    parser.add_argument(
+        "--fleet-only",
+        action="store_true",
+        help="emit only the fleet throughput snapshot (skips everything "
+        "else); used by the advisory CI bench-fleet job",
+    )
     args = parser.parse_args(argv)
 
     root = repo_root()
+    if args.fleet_only:
+        fleet_snapshot(args.fleet_out or os.path.join(root, "BENCH_fleet.json"))
+        return 0
     waveform_out = args.waveform_out or os.path.join(root, "BENCH_waveform.json")
     waveform_snapshot(waveform_out)
     if args.waveform_only:
         return 0
+    fleet_snapshot(args.fleet_out or os.path.join(root, "BENCH_fleet.json"))
     overhead_ok = True
     if not args.skip_overhead_check:
         overhead_ok = resilience_overhead_check()
