@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test coverage bench bench-smoke bench-waveform bench-fleet bench-compare chaos-smoke results report api-index
+.PHONY: test coverage bench bench-smoke bench-waveform bench-fleet bench-compare chaos-smoke figT results report api-index
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -36,6 +36,12 @@ bench-fleet:
 # Random-seed resilience chaos trials; the seed is logged for replay.
 chaos-smoke:
 	$(PYTHON) tools/chaos_smoke.py
+
+# Multi-reader scaling sweep (planned vs shared carrier) plus the
+# single-reader zero-cost-off overhead gate (mirrors the CI figT job).
+figT:
+	$(PYTHON) -m repro figT
+	$(PYTHON) tools/bench_smoke.py --multireader-only
 
 # Usage: make bench-compare BEFORE=BENCH_old.json AFTER=BENCH_new.json
 bench-compare:

@@ -29,6 +29,38 @@ CARRIER_FREQUENCY_HZ = 90_000.0
 #: Reader DAQ sampling rate (Hz), Sec. 6.1 (ART USB3136A at 500 kHz).
 READER_SAMPLE_RATE_HZ = 500_000.0
 
+#: Suppression (dB) of a *co-channel* foreign reader carrier at a
+#: reader's receive chain.  A continuous CW tone from another reader is
+#: an unmodulated line the homodyne RX notches at DC after
+#: downconversion, but carrier phase noise and plate micro-Doppler
+#: spread a residual pedestal into the FM0 band; 40 dB is the floor two
+#: free-running 90 kHz sources on one plate achieve without
+#: synchronisation (Trident's measured same-channel regime — readers
+#: sharing a carrier cannot coexist, which is the point).
+CO_CHANNEL_CARRIER_REJECTION_DB = 40.0
+
+
+def carrier_rejection_db(
+    delta_f_hz: float,
+    bit_rate_bps: float,
+    floor_db: float = CO_CHANNEL_CARRIER_REJECTION_DB,
+) -> float:
+    """Suppression (dB) of a foreign reader carrier ``delta_f_hz`` away
+    from the local carrier, as seen inside the FM0 uplink band.
+
+    Co-channel (Δf within the occupied bandwidth ~ the bit rate) pays
+    only the homodyne-notch floor; beyond the band edge the residual
+    pedestal rolls off 20 dB/decade with carrier spacing — the same
+    spectral-tail model as
+    :meth:`repro.multireader.FdmaChannelPlan.adjacent_leakage_db`,
+    re-anchored to the phase-noise floor.
+    """
+    if bit_rate_bps <= 0:
+        raise ValueError("bit rate must be positive")
+    if delta_f_hz < 0:
+        raise ValueError("carrier spacing must be non-negative")
+    return floor_db + 20.0 * math.log10(max(delta_f_hz / bit_rate_bps, 1.0))
+
 
 def db_to_amplitude_ratio(db: float) -> float:
     """Convert a dB figure to an amplitude (voltage/displacement) ratio."""

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -55,6 +55,28 @@ BASE_BURST_LOSS = 0.001
 
 
 @dataclass(frozen=True)
+class ForeignCarrier:
+    """A non-associated reader's continuous carrier as this medium's
+    receiver hears it.
+
+    ``source`` names the foreign reader's mount; ``frequency_hz`` is the
+    carrier it actually emits (the planner's assignment, or a drifted
+    value under fault injection); ``response`` derates its amplitude for
+    plate modes away from the primary resonance.
+    """
+
+    source: str
+    frequency_hz: float
+    response: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0:
+            raise ValueError("carrier frequency must be positive")
+        if not 0 < self.response <= 1:
+            raise ValueError("carrier response must be in (0, 1]")
+
+
+@dataclass(frozen=True)
 class SlotObservation:
     """What the reader's receive chain reports for one uplink slot."""
 
@@ -83,6 +105,7 @@ class AcousticMedium:
         reverberation: Optional[ReverberationField] = None,
         reference_tag: str = "tag8",
         source: str = "reader",
+        carrier_frequency_hz: float = acoustics.CARRIER_FREQUENCY_HZ,
     ) -> None:
         self._biw = biw if biw is not None else onvo_l60()
         self._propagation = (
@@ -102,6 +125,12 @@ class AcousticMedium:
         self._reference_rt_loss = self._propagation.roundtrip_loss_db(
             reference_tag, source
         )
+        if carrier_frequency_hz <= 0:
+            raise ValueError("carrier frequency must be positive")
+        self._carrier_frequency_hz = carrier_frequency_hz
+        self._carrier_response = 1.0
+        self._foreign_carriers: Tuple[ForeignCarrier, ...] = ()
+        self._interference_power: Dict[float, float] = {}
         self._channel_generation = 0
 
     @property
@@ -128,7 +157,119 @@ class AcousticMedium:
         self._reference_rt_loss = self._propagation.roundtrip_loss_db(
             self._reference_tag, self._source
         )
+        self._interference_power.clear()
         self._channel_generation += 1
+
+    # -- carrier plan (multi-reader frequency division) ----------------------
+
+    @property
+    def carrier_frequency_hz(self) -> float:
+        """The carrier this medium's source currently emits."""
+        return self._carrier_frequency_hz
+
+    @property
+    def carrier_response(self) -> float:
+        """Plate-mode amplitude derating of the local carrier (1.0 on
+        the primary resonance)."""
+        return self._carrier_response
+
+    @property
+    def foreign_carriers(self) -> Tuple[ForeignCarrier, ...]:
+        """Foreign reader carriers currently modeled, or () — the
+        single-reader normal path, where no interference terms exist."""
+        return self._foreign_carriers
+
+    def set_carrier(self, frequency_hz: float, response: float = 1.0) -> bool:
+        """Retune the local carrier to ``frequency_hz`` with the given
+        plate-mode ``response`` derating (applied to both the harvest
+        carrier and the backscatter link budget).
+
+        Returns True when anything changed; an idempotent call is a
+        no-op that leaves :attr:`channel_generation` untouched, so the
+        default-tuned path stays byte-identical.
+        """
+        if frequency_hz <= 0:
+            raise ValueError("carrier frequency must be positive")
+        if not 0 < response <= 1:
+            raise ValueError("carrier response must be in (0, 1]")
+        if (
+            frequency_hz == self._carrier_frequency_hz
+            and response == self._carrier_response
+        ):
+            return False
+        self._carrier_frequency_hz = frequency_hz
+        self._carrier_response = response
+        self._interference_power.clear()
+        self._channel_generation += 1
+        return True
+
+    def set_foreign_carriers(
+        self, carriers: Iterable[ForeignCarrier]
+    ) -> bool:
+        """Declare the other readers' carriers coupling into this
+        receiver.  Each source must be a mounted transducer distinct
+        from this medium's own source.
+
+        Returns True when the set changed (bumping
+        :attr:`channel_generation` so downstream link caches refresh);
+        setting the same tuple again is a no-op.
+        """
+        tup = tuple(carriers)
+        for fc in tup:
+            if fc.source == self._source:
+                raise ValueError(
+                    f"{fc.source!r} is this medium's own source"
+                )
+            if fc.source not in self._biw.mounts:
+                raise KeyError(f"foreign source {fc.source!r} is not mounted")
+        if tup == self._foreign_carriers:
+            return False
+        self._foreign_carriers = tup
+        self._interference_power.clear()
+        self._channel_generation += 1
+        return True
+
+    def foreign_interference_power(self, bit_rate_bps: float) -> float:
+        """In-band interference power (V²) from every foreign carrier.
+
+        Each foreign reader's CW tone propagates to this medium's
+        receiver at its link amplitude, then is suppressed by the
+        carrier-rejection model of
+        :func:`repro.channel.acoustics.carrier_rejection_db` — the
+        phase-noise floor for co-channel carriers plus 20 dB/decade of
+        spacing rolloff.  Returns 0.0 with no foreign carriers.
+        """
+        if not self._foreign_carriers:
+            return 0.0
+        if bit_rate_bps <= 0:
+            raise ValueError("bit rate must be positive")
+        cached = self._interference_power.get(bit_rate_bps)
+        if cached is not None:
+            return cached
+        total = 0.0
+        for fc in self._foreign_carriers:
+            amplitude = (
+                self._propagation.link(fc.source, self._source).amplitude_v
+                * fc.response
+            )
+            rejection = acoustics.carrier_rejection_db(
+                abs(fc.frequency_hz - self._carrier_frequency_hz), bit_rate_bps
+            )
+            residual = amplitude * acoustics.db_to_amplitude_ratio(-rejection)
+            total += residual**2 / 2.0
+        self._interference_power[bit_rate_bps] = total
+        return total
+
+    def uplink_sir_db(self, tag: str, bit_rate_bps: float = 375.0) -> float:
+        """Signal-to-(foreign-carrier-)interference ratio for one tag's
+        backscatter, ignoring thermal noise.  ``inf`` with no foreign
+        carriers — the planner and telemetry treat that as a clean
+        channel."""
+        interference = self.foreign_interference_power(bit_rate_bps)
+        if interference <= 0.0:
+            return math.inf
+        signal_power = self.backscatter_amplitude_v(tag) ** 2 / 2.0
+        return acoustics.power_ratio_to_db(signal_power / interference)
 
     # -- basic link quantities ---------------------------------------------
 
@@ -167,9 +308,14 @@ class AcousticMedium:
         """Open-circuit PZT peak voltage at ``tag`` from the reader carrier.
 
         This is the Vp that feeds the tag's multi-stage voltage
-        multiplier (Sec. 3.2) and its DL envelope detector.
+        multiplier (Sec. 3.2) and its DL envelope detector.  A carrier
+        retuned off the primary resonance (multi-reader frequency
+        plans) is derated by the plate-mode response.
         """
-        return self._propagation.carrier_amplitude_at(tag, self._source)
+        amplitude = self._propagation.carrier_amplitude_at(tag, self._source)
+        if self._carrier_response != 1.0:
+            amplitude *= self._carrier_response
+        return amplitude
 
     def propagation_delay_s(self, tag: str) -> float:
         """One-way group delay of the source→tag acoustic path."""
@@ -185,12 +331,18 @@ class AcousticMedium:
         """
         rt_loss = self._propagation.roundtrip_loss_db(tag, self._source)
         relative_db = -REVERB_COMPRESSION * (rt_loss - self._reference_rt_loss)
-        return (
+        amplitude = (
             REFERENCE_BACKSCATTER_V
             * self._pzt.modulation_depth
             / PZTTransducer().modulation_depth
             * acoustics.db_to_amplitude_ratio(relative_db)
         )
+        if self._carrier_response != 1.0:
+            # Backscatter rides the local carrier: an off-resonance plan
+            # derates the round trip once (the tag re-radiates whatever
+            # it receives, so the derating is not squared).
+            amplitude *= self._carrier_response
+        return amplitude
 
     # -- uplink quality -----------------------------------------------------
 
@@ -206,6 +358,11 @@ class AcousticMedium:
         ``penalty_db`` subtracts a transient SNR degradation (fault
         injection: noise bursts, attenuation drift); 0 on the normal
         path.
+
+        With foreign reader carriers declared
+        (:meth:`set_foreign_carriers`) this is an SINR: their residual
+        in-band power adds to the receiver noise.  The branch is guarded
+        so the single-reader path computes byte-identical floats.
         """
         if bit_rate_bps <= 0:
             raise ValueError("bit rate must be positive")
@@ -213,6 +370,10 @@ class AcousticMedium:
         signal_power = amplitude**2 / 2.0
         bandwidth = FM0_BANDWIDTH_PER_BPS * bit_rate_bps
         noise_power = self._noise.power_in_band(bandwidth)
+        if self._foreign_carriers:
+            noise_power = noise_power + self.foreign_interference_power(
+                bit_rate_bps
+            )
         return acoustics.power_ratio_to_db(signal_power / noise_power) - penalty_db
 
     def uplink_bit_error_rate(

@@ -6,8 +6,9 @@ found empirically.  This module models the calibration procedure a
 reader runs at installation time: sweep a probe tone across the band,
 measure the TX→plate→RX response, and lock the carrier to the dominant
 mode.  The secondary modes the sweep reveals are exactly the
-subcarriers the FDMA extension can exploit
-(:func:`repro.ext.fdma.FdmaChannelPlan`).
+subcarriers the FDMA extension and the multi-reader carrier planner
+exploit (:class:`repro.multireader.FdmaChannelPlan`,
+:func:`repro.multireader.plan_carriers`).
 """
 
 from __future__ import annotations

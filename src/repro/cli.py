@@ -267,6 +267,13 @@ def _run_figS(args: argparse.Namespace) -> str:
     return format_figS(run_figS(seed=seed))
 
 
+def _run_figT(args: argparse.Namespace) -> str:
+    from repro.experiments.figT_multireader import DEFAULT_SEED, format_figT, run_figT
+
+    seed = args.seed if args.seed != 0 else DEFAULT_SEED
+    return format_figT(run_figT(seed=seed))
+
+
 def _run_resilience(args: argparse.Namespace) -> str:
     from repro.analysis.recovery import slots_to_reconverge
     from repro.core.network import NetworkConfig, SlottedNetwork
@@ -403,6 +410,7 @@ EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "fig19": _run_fig19,
     "figR": _run_figR,
     "figS": _run_figS,
+    "figT": _run_figT,
     "faults": _run_faults,
     "resilience": _run_resilience,
     "appc": _run_appc,

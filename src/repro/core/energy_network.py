@@ -19,10 +19,14 @@ hardware design enables.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional
 
 from repro.channel.medium import AcousticMedium
 from repro.core.network import NetworkConfig, SlottedNetwork
+
+if TYPE_CHECKING:  # avoid importing the fault layer unless it is used
+    from repro.faults.schedule import FaultSchedule
+    from repro.sim.trace import TraceRecorder
 from repro.core.reader_protocol import SlotRecord
 from repro.hardware.mcu import McuMode
 from repro.hardware.strain import SAMPLING_POWER_W
@@ -60,8 +64,16 @@ class EnergyAwareNetwork(SlottedNetwork):
         sensor_samples_per_slot: float = 0.0,
         sensor_sample_duration_s: float = 1.0e-3,
         initial_capacitor_v: float = 0.0,
+        faults: "Optional[FaultSchedule]" = None,
+        fault_recorder: "Optional[TraceRecorder]" = None,
     ) -> None:
-        super().__init__(tag_periods, medium, config)
+        super().__init__(
+            tag_periods,
+            medium,
+            config,
+            faults=faults,
+            fault_recorder=fault_recorder,
+        )
         if sensor_samples_per_slot < 0:
             raise ValueError("sample count must be non-negative")
         self.sensor_samples_per_slot = sensor_samples_per_slot
@@ -132,16 +144,41 @@ class EnergyAwareNetwork(SlottedNetwork):
     # -- slot loop ----------------------------------------------------------------
 
     def step(self) -> SlotRecord:
-        """One slot with live energy state gating participation."""
+        """One slot with live energy state gating participation.
+
+        Fault hooks mirror :meth:`SlottedNetwork.step` exactly — same
+        hook order, same RNG draw sequence — so a faulted energy run is
+        byte-identical whether stepped here or through the fleet
+        engine's scalar lane.  The physics-dark check (capacitor below
+        HTH) comes first and consumes no draws, exactly as before; an
+        injected brownout on a *powered* tag forces the MCU dark for
+        the window (harvest-only physics) while the capacitor keeps
+        charging.
+        """
         slot = self.reader.slot_index
+        ctl = self._faults
+        if ctl is not None:
+            ctl.on_slot_start(slot)
         beacon = self.reader.make_beacon()
         transmitters: List[str] = []
         decisions: Dict[str, bool] = {}
+        fault_dark: set = set()
         for name, tag in self.tags.items():
             if not self.devices[name].powered:
                 decisions[name] = False
                 continue
             lost = self._slot_rng.random() < self._beacon_loss[name]
+            if ctl is not None:
+                if ctl.tag_offline(name):
+                    # Injected brownout: the cutoff opens and the MCU is
+                    # dark even though the capacitor holds charge.  (The
+                    # loss draw above still happens, keeping the shared
+                    # slot stream aligned across fault scenarios.)
+                    tag.transmitted_last_slot = False
+                    decisions[name] = False
+                    fault_dark.add(name)
+                    continue
+                lost = ctl.beacon_lost(name, lost)
             if lost:
                 if self.config.enable_beacon_loss_timer:
                     tag.on_beacon_loss()
@@ -150,19 +187,34 @@ class EnergyAwareNetwork(SlottedNetwork):
                     tag.transmitted_last_slot = False
                 decisions[name] = False
                 continue
-            decision = tag.on_beacon(beacon)
-            decisions[name] = decision.transmit
-            if decision.transmit:
+            decision = tag.on_beacon(
+                beacon if ctl is None else ctl.beacon_for(name, beacon)
+            )
+            transmit = decision.transmit and (
+                ctl is None or ctl.transmit_allowed(name)
+            )
+            decisions[name] = transmit
+            if transmit:
                 transmitters.append(name)
         observation = self._observe(transmitters)
+        if ctl is not None:
+            observation = ctl.transform_observation(observation)
         record = self.reader.on_slot_observation(observation)
         self.records.append(record)
         # Physics after the fact: charge/drain every device.
         for name in self.tags:
+            if name in fault_dark:
+                # MCU forced off: the harvester still charges the
+                # capacitor, but no RX/TX/IDLE consumption happens.
+                self.devices[name].advance(self.config.slot_duration_s)
+                self.energy_log[name].slots_dark += 1
+                continue
             powered_after = self._advance_device(name, decisions.get(name, False))
             if not powered_after and decisions.get(name, False):
                 # Browned out mid-slot: the tag will miss the feedback.
                 self.tags[name].transmitted_last_slot = False
+        if ctl is not None:
+            ctl.on_slot_end(slot, record)
         return record
 
     # -- reporting -----------------------------------------------------------------

@@ -99,6 +99,11 @@ class SlottedNetwork:
             )
             self._beacon_loss[name] = self._derive_beacon_loss(name)
         self.records: List[SlotRecord] = []
+        # Tags provisioned but currently homed on another reader
+        # (multi-reader overlap zones).  Empty on the normal path: the
+        # per-slot check is a single falsy-set test, and parked tags
+        # consume no RNG draws, so parking is strictly opt-in.
+        self._parked: set = set()
 
         # Fault injection is strictly opt-in: with no schedule the
         # controller is never created, its RNG stream never instantiated,
@@ -119,6 +124,28 @@ class SlottedNetwork:
     def faults(self) -> "Optional[FaultController]":
         """The bound fault controller, or None on the normal path."""
         return self._faults
+
+    # -- overlap-zone parking (multi-reader handoff seam) -------------------
+
+    @property
+    def parked_tags(self) -> frozenset:
+        """Tags provisioned here but homed on another reader."""
+        return frozenset(self._parked)
+
+    def park_tag(self, name: str) -> None:
+        """Silence ``name``: it stays provisioned (the reader keeps its
+        period in the roster) but neither receives beacons nor draws
+        from the RNG streams until :meth:`unpark_tag`.  Used by the
+        multi-reader layer for overlap-zone tags homed elsewhere."""
+        if name not in self.tags:
+            raise KeyError(f"tag {name!r} is not part of this network")
+        self._parked.add(name)
+
+    def unpark_tag(self, name: str) -> None:
+        """Re-admit a parked tag to the slot loop."""
+        if name not in self.tags:
+            raise KeyError(f"tag {name!r} is not part of this network")
+        self._parked.discard(name)
 
     # -- beacon loss bookkeeping -------------------------------------------
 
@@ -170,9 +197,16 @@ class SlottedNetwork:
             ctl.on_slot_start(slot)
         beacon = self.reader.make_beacon()
         transmitters: List[str] = []
+        parked = self._parked
         for name, tag in self.tags.items():
             if slot < self.activation_slot.get(name, 0):
                 continue  # still charging; not yet part of the network
+            if parked and name in parked:
+                # Homed on another reader: silent, and crucially drawing
+                # nothing from the slot stream, so an all-unparked run
+                # is byte-identical to a build without this seam.
+                tag.transmitted_last_slot = False
+                continue
             lost = self._slot_rng.random() < self._beacon_loss[name]
             if ctl is not None:
                 if ctl.tag_offline(name):

@@ -7,14 +7,17 @@ from repro.ext.ambient import (
     DrivingCondition,
     HybridHarvester,
 )
-from repro.ext.fdma import FdmaChannelPlan, FdmaNetwork
+# FDMA and the multi-reader geometry graduated to repro.multireader;
+# import the real homes here so `import repro.ext` does not trip the
+# shim modules' DeprecationWarnings.
+from repro.multireader.fdma import FdmaChannelPlan, FdmaNetwork
 from repro.ext.mask import (
     MaskReceiver,
     MultiLevelBackscatter,
     mask_bits_per_symbol,
     mask_symbol_error_rate,
 )
-from repro.ext.multireader import MultiReaderDeployment, ReaderPlacement
+from repro.multireader.deployment import MultiReaderDeployment, ReaderPlacement
 from repro.ext.rate_adaptation import (
     AVAILABLE_RATES_BPS,
     RateAdapter,

@@ -1,147 +1,40 @@
-"""Spatial multiplexing via multiple readers (Sec. 6.3 discussion).
+"""Deprecated shim: multi-reader geometry moved to
+:mod:`repro.multireader.deployment`.
 
-A single centrally-placed reader leaves the cargo tags with 2.7 V
-harvests and 56 s charging times.  Distributing a second reader across
-the BiW (a) lifts the worst-case harvest, since every tag associates
-with its nearest reader, and (b) can halve the coordination domain:
-each reader runs its own slot allocation over its associated tags,
-time-interleaved so their carriers do not interfere.
-
-:class:`MultiReaderDeployment` mounts extra readers on the stock BiW,
-computes the per-tag association and harvest improvement, and runs one
-:class:`SlottedNetwork` per reader over interleaved slots.
+The seed-era deployment stub became a first-class subsystem (planner,
+interference model, handoff, figT experiment); import
+:class:`MultiReaderDeployment` and :class:`ReaderPlacement` from
+:mod:`repro.multireader` instead.  This module re-exports them
+unchanged and warns once per process, matching the
+``invalidate_link_cache`` deprecation pattern.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+import warnings
 
-from repro.channel.biw import BiWModel, onvo_l60
-from repro.channel.medium import AcousticMedium
-from repro.channel.propagation import PropagationModel
-from repro.core.network import NetworkConfig, SlottedNetwork
-from repro.hardware.harvester import EnergyHarvester
+from repro.multireader.deployment import (  # noqa: F401 - re-exports
+    DEFAULT_SECOND_READER,
+    MultiReaderDeployment,
+    ReaderPlacement,
+)
 
+__all__ = ["DEFAULT_SECOND_READER", "MultiReaderDeployment", "ReaderPlacement"]
 
-@dataclass(frozen=True)
-class ReaderPlacement:
-    """One reader: a name and the BiW vertex it is epoxied to."""
-
-    name: str
-    vertex: str
+_DEPRECATION_EMITTED = False
 
 
-#: The stock second reader position evaluated by the extension bench:
-#: in the cargo area, closest to the worst-harvesting tags.
-DEFAULT_SECOND_READER = ReaderPlacement("reader2", "cargo_front")
+def _warn_once() -> None:
+    global _DEPRECATION_EMITTED
+    if _DEPRECATION_EMITTED:
+        return
+    _DEPRECATION_EMITTED = True
+    warnings.warn(
+        "repro.ext.multireader is deprecated: import MultiReaderDeployment "
+        "and ReaderPlacement from repro.multireader instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
-class MultiReaderDeployment:
-    """The ONVO L60 deployment with additional readers."""
-
-    def __init__(
-        self,
-        extra_readers: Sequence[ReaderPlacement] = (DEFAULT_SECOND_READER,),
-        biw: Optional[BiWModel] = None,
-    ) -> None:
-        self.biw = biw if biw is not None else onvo_l60()
-        self.readers: List[str] = ["reader"]
-        for placement in extra_readers:
-            self.biw.add_mount(placement.name, placement.vertex)
-            self.readers.append(placement.name)
-        self.propagation = PropagationModel(self.biw)
-        self._harvester = EnergyHarvester()
-
-    # -- association and harvest ------------------------------------------------
-
-    def tag_names(self) -> List[str]:
-        return sorted(
-            (m for m in self.biw.mounts if m not in self.readers),
-            key=lambda n: int("".join(c for c in n if c.isdigit()) or 0),
-        )
-
-    def best_reader(self, tag: str) -> str:
-        """The reader whose carrier arrives strongest at ``tag``."""
-        return max(
-            self.readers,
-            key=lambda r: self.propagation.link(r, tag).amplitude_v,
-        )
-
-    def association(self) -> Dict[str, List[str]]:
-        """Reader -> associated tags."""
-        out: Dict[str, List[str]] = {r: [] for r in self.readers}
-        for tag in self.tag_names():
-            out[self.best_reader(tag)].append(tag)
-        return out
-
-    def harvest_voltage(self, tag: str) -> float:
-        """PZT voltage from the tag's associated reader.
-
-        Readers alternate carriers (time-interleaved), so a tag harvests
-        from whichever serves it; simultaneous-carrier operation would
-        add the contributions but needs interference management.
-        """
-        return self.propagation.link(self.best_reader(tag), tag).amplitude_v
-
-    def charge_time_s(self, tag: str) -> float:
-        return self._harvester.charge_time_s(self.harvest_voltage(tag))
-
-    def worst_case_improvement(self) -> Tuple[float, float]:
-        """(single-reader worst charge time, multi-reader worst)."""
-        single = max(
-            self._harvester.charge_time_s(
-                self.propagation.link("reader", t).amplitude_v
-            )
-            for t in self.tag_names()
-        )
-        multi = max(self.charge_time_s(t) for t in self.tag_names())
-        return single, multi
-
-    # -- coordination ---------------------------------------------------------------
-
-    def build_networks(
-        self,
-        tag_periods: Mapping[str, int],
-        config: Optional[NetworkConfig] = None,
-    ) -> Dict[str, SlottedNetwork]:
-        """One slot-allocation network per reader over its tags.
-
-        Readers interleave slots in time (reader k owns slots where
-        ``slot % n_readers == k``), so each network sees a clean channel
-        of its own; each tag's effective reporting period in wall-clock
-        slots is its period times the reader count, which callers should
-        account for when provisioning.
-        """
-        base = config if config is not None else NetworkConfig()
-        association = self.association()
-        networks: Dict[str, SlottedNetwork] = {}
-        for idx, reader in enumerate(self.readers):
-            tags = {
-                t: p for t, p in tag_periods.items() if t in association[reader]
-            }
-            if not tags:
-                continue
-            # Per-reader medium: same BiW, that reader as the source.
-            medium = AcousticMedium(
-                biw=self.biw,
-                propagation=self.propagation,
-                reference_tag=min(
-                    tags, key=lambda t: self.propagation.link(reader, t).loss_db
-                ),
-                source=reader,
-            )
-            cfg = NetworkConfig(
-                slot_duration_s=base.slot_duration_s,
-                ul_raw_rate_bps=base.ul_raw_rate_bps,
-                dl_raw_rate_bps=base.dl_raw_rate_bps,
-                nack_threshold=base.nack_threshold,
-                enable_empty_flag=base.enable_empty_flag,
-                enable_future_avoidance=base.enable_future_avoidance,
-                enable_beacon_loss_timer=base.enable_beacon_loss_timer,
-                beacon_loss_probability=base.beacon_loss_probability,
-                ideal_channel=base.ideal_channel,
-                seed=base.seed + 104_729 * idx,
-            )
-            networks[reader] = SlottedNetwork(tags, medium, cfg)
-        return networks
+_warn_once()

@@ -63,8 +63,9 @@ class FleetEngine:
         Run every network as an
         :class:`~repro.core.energy_network.EnergyAwareNetwork`: live
         supercapacitor accounting gates participation, and brownouts
-        cold-boot the MAC.  Incompatible with fault schedules and
-        ``activation_slot`` (activation emerges from the physics).
+        cold-boot the MAC.  Incompatible with ``activation_slot``
+        (activation emerges from the physics); specs with fault
+        schedules ride the scalar lane as faulted energy networks.
     """
 
     def __init__(
@@ -102,8 +103,6 @@ class FleetEngine:
                 "energy mode derives activation from the physics; "
                 "activation_slot is not supported"
             )
-        if energy and any(s.faults is not None for s in self.specs):
-            raise ValueError("fault schedules are not supported in energy mode")
 
         items = sorted(tag_periods.items())
         self._names: List[str] = [n for n, _ in items]
@@ -143,6 +142,7 @@ class FleetEngine:
                     sensor_samples_per_slot=samples,
                     sensor_sample_duration_s=sample_s,
                     initial_capacitor_v=initial_v,
+                    faults=spec.faults,
                 )
             else:
                 net = SlottedNetwork(
@@ -540,6 +540,15 @@ class FleetEngine:
                 )
             )
         return out
+
+    def scalar_network(self, name: str) -> SlottedNetwork:
+        """The embedded sequential network behind a scalar-lane spec
+        (faulted or supervised) — e.g. to inspect a faulted energy
+        network's per-tag ``energy_log``.  Raises for vector-lane
+        specs, whose state lives in the SoA arrays instead."""
+        if name not in self._scalar_nets:
+            raise KeyError(f"{name!r} is not a scalar-lane network")
+        return self._scalar_nets[name]
 
     def settled_fraction(self, name: str) -> float:
         """Fraction of activated tags currently settled, per network."""

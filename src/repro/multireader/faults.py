@@ -1,0 +1,177 @@
+"""Reader-tier fault injection for multi-reader deployments.
+
+The slot-tier :mod:`repro.faults` machinery injects *tag*-oriented
+faults inside one network.  Multi-reader operation adds a new failure
+surface — the carrier plan itself — with two deterministic injectors:
+
+* ``carrier_drift`` — a reader's oscillator wanders ``magnitude`` Hz
+  off its planned carrier for the window, eroding the spacing the
+  planner bought (drift toward a neighbour's carrier re-creates the
+  co-channel regime).
+* ``planner_stale`` — a reader reboots with a stale plan and falls
+  back to the primary carrier while the planner believes otherwise:
+  the classic split-brain that frequency-space division must survive.
+
+Both mutate only the deployment's carrier-frequency overrides (no RNG
+draws, no protocol state), so a run with an empty schedule is
+byte-identical to one with no schedule at all.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro import telemetry
+
+#: Valid reader-fault kinds.
+MULTIREADER_FAULT_KINDS = ("carrier_drift", "planner_stale")
+
+
+@dataclass(frozen=True)
+class MultiReaderFaultEvent:
+    """One scheduled reader fault: a kind, a target reader, a slot
+    window, and (for drift) a frequency offset in Hz."""
+
+    slot: int
+    duration: int
+    kind: str
+    reader: str
+    magnitude: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.slot < 0:
+            raise ValueError("slot must be non-negative")
+        if self.duration < 1:
+            raise ValueError("duration must be at least one slot")
+        if self.kind not in MULTIREADER_FAULT_KINDS:
+            raise ValueError(
+                f"unknown reader-fault kind {self.kind!r}; "
+                f"choose from {MULTIREADER_FAULT_KINDS}"
+            )
+        if self.kind == "carrier_drift" and self.magnitude == 0.0:
+            raise ValueError("carrier_drift needs a non-zero magnitude (Hz)")
+
+    @property
+    def clear_slot(self) -> int:
+        """First slot at which the fault is no longer active."""
+        return self.slot + self.duration
+
+    def to_jsonable(self) -> Dict[str, object]:
+        return {
+            "slot": self.slot,
+            "duration": self.duration,
+            "kind": self.kind,
+            "reader": self.reader,
+            "magnitude": self.magnitude,
+        }
+
+
+class MultiReaderFaultSchedule:
+    """An ordered, immutable collection of reader-fault events."""
+
+    def __init__(self, events: Iterable[MultiReaderFaultEvent]) -> None:
+        self._events: Tuple[MultiReaderFaultEvent, ...] = tuple(
+            sorted(events, key=lambda e: (e.slot, e.reader, e.kind, e.magnitude))
+        )
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)
+
+    @property
+    def events(self) -> Tuple[MultiReaderFaultEvent, ...]:
+        return self._events
+
+    @property
+    def last_clear_slot(self) -> int:
+        """Slot by which every event has cleared (0 when empty)."""
+        return max((e.clear_slot for e in self._events), default=0)
+
+    def signature(self) -> str:
+        """SHA-256 over the canonical event list — pins a schedule into
+        golden traces."""
+        payload = json.dumps(
+            [e.to_jsonable() for e in self._events],
+            sort_keys=True,
+            separators=(",", ":"),
+        ).encode("utf-8")
+        return hashlib.sha256(payload).hexdigest()
+
+
+class MultiReaderFaultController:
+    """Applies a :class:`MultiReaderFaultSchedule` to a
+    :class:`~repro.multireader.network.MultiReaderNetwork`.
+
+    Called once per wall-clock slot (before the cells step); when the
+    active set changes it recomputes every reader's actual carrier and
+    asks the network to refresh its interference terms.  Entirely
+    deterministic: no RNG stream exists at this tier.
+    """
+
+    def __init__(self, schedule: MultiReaderFaultSchedule, network) -> None:
+        self.schedule = schedule
+        self.network = network
+        for event in schedule:
+            if event.reader not in network.cells:
+                raise KeyError(
+                    f"fault targets unknown reader {event.reader!r}"
+                )
+        self._pending: List[MultiReaderFaultEvent] = list(schedule)
+        self._active: List[MultiReaderFaultEvent] = []
+
+    @property
+    def active_events(self) -> Tuple[MultiReaderFaultEvent, ...]:
+        return tuple(self._active)
+
+    def on_slot_start(self, slot: int) -> None:
+        """Clear expired events, apply newly-due ones, and push the
+        resulting carrier overrides into the network."""
+        changed = False
+        still_active = []
+        for event in self._active:
+            if event.clear_slot <= slot:
+                changed = True
+                self._note("multireader.fault.cleared", event)
+            else:
+                still_active.append(event)
+        self._active = still_active
+        while self._pending and self._pending[0].slot <= slot:
+            event = self._pending.pop(0)
+            if event.clear_slot > slot:
+                self._active.append(event)
+                changed = True
+                self._note("multireader.fault.applied", event)
+        if changed:
+            self.network.set_frequency_overrides(self._overrides())
+
+    def _overrides(self) -> Dict[str, float]:
+        """Per-reader actual carrier frequency under the active faults.
+
+        A stale planner reverts the reader to the primary carrier; any
+        active drifts then add on top of whatever base the reader is
+        emitting."""
+        overrides: Dict[str, float] = {}
+        stale = {e.reader for e in self._active if e.kind == "planner_stale"}
+        drift: Dict[str, float] = {}
+        for event in self._active:
+            if event.kind == "carrier_drift":
+                drift[event.reader] = drift.get(event.reader, 0.0) + event.magnitude
+        for reader in sorted(stale | set(drift)):
+            base = (
+                self.network.primary_frequency_hz
+                if reader in stale
+                else self.network.planned_frequency_hz(reader)
+            )
+            overrides[reader] = base + drift.get(reader, 0.0)
+        return overrides
+
+    @staticmethod
+    def _note(metric: str, event: MultiReaderFaultEvent) -> None:
+        tel = telemetry.active()
+        if tel is not None:
+            tel.inc(metric, kind=event.kind, reader=event.reader)

@@ -1,0 +1,209 @@
+"""Carrier-allocation planner: coloring the reader-conflict graph.
+
+Two readers *conflict* when they cannot share a carrier — either a tag
+sits in both coverage zones (an overlap tag hears both carriers at
+comparable strength), or one reader's co-channel carrier residual
+would push the other's weakest associated tag below a minimum SIR.
+The planner colors that graph with the BiW's usable plate modes
+(:data:`repro.channel.resonance.DEFAULT_MODES`), strongest mode first,
+Welsh–Powell order — generalising
+:func:`repro.multireader.fdma.assign_channels` from tags to readers.
+
+Everything here is a pure function of deployment geometry: the plan is
+deterministic in :func:`deployment_hash` and stable under permutation
+of the reader list.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.channel import acoustics
+from repro.channel.resonance import DEFAULT_MODES
+from repro.multireader.deployment import (
+    OVERLAP_MARGIN_DB,
+    MultiReaderDeployment,
+)
+
+#: A reader pair conflicts when the co-channel carrier residual of one
+#: would leave the other's weakest associated tag below this SIR.
+MIN_TAG_SIR_DB = 15.0
+
+
+def default_carriers() -> Tuple[Tuple[float, float], ...]:
+    """The usable carrier set: (frequency_hz, response) per plate mode
+    of the stock BiW, strongest response first — the palette the
+    planner colors with."""
+    return tuple(
+        (mode.frequency_hz, mode.amplitude)
+        for mode in sorted(DEFAULT_MODES, key=lambda m: (-m.amplitude, m.frequency_hz))
+    )
+
+
+@dataclass(frozen=True)
+class CarrierPlan:
+    """A carrier assignment for every reader of a deployment.
+
+    ``carriers`` is the ordered palette of (frequency_hz, response)
+    pairs; ``assignment`` maps reader name -> palette index.
+    """
+
+    carriers: Tuple[Tuple[float, float], ...]
+    assignment: Mapping[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.carriers:
+            raise ValueError("need at least one carrier")
+        for reader, idx in self.assignment.items():
+            if not 0 <= idx < len(self.carriers):
+                raise ValueError(
+                    f"{reader!r} assigned out-of-range carrier {idx}"
+                )
+
+    @property
+    def readers(self) -> List[str]:
+        return sorted(self.assignment)
+
+    def channel_for(self, reader: str) -> int:
+        """Palette index assigned to ``reader``."""
+        return self.assignment[reader]
+
+    def frequency_for(self, reader: str) -> float:
+        """Carrier frequency (Hz) assigned to ``reader``."""
+        return self.carriers[self.assignment[reader]][0]
+
+    def response_for(self, reader: str) -> float:
+        """Plate-mode amplitude derating of ``reader``'s carrier."""
+        return self.carriers[self.assignment[reader]][1]
+
+    def n_carriers_used(self) -> int:
+        return len(set(self.assignment.values()))
+
+    @classmethod
+    def shared(
+        cls,
+        deployment: MultiReaderDeployment,
+        carriers: Optional[Tuple[Tuple[float, float], ...]] = None,
+    ) -> "CarrierPlan":
+        """The naive baseline: every reader on the primary carrier —
+        the regime frequency-space division exists to avoid."""
+        palette = carriers if carriers is not None else default_carriers()
+        return cls(
+            carriers=palette,
+            assignment={r: 0 for r in sorted(deployment.readers)},
+        )
+
+
+def deployment_hash(deployment: MultiReaderDeployment) -> str:
+    """SHA-256 over the deployment's mount geometry (sorted
+    name → vertex pairs): the identity the planner is deterministic
+    in.  Two deployments with the same mounts hash identically however
+    their reader lists were ordered."""
+    items = sorted(
+        (name, mount.vertex) for name, mount in deployment.biw.mounts.items()
+    )
+    payload = json.dumps(items, separators=(",", ":")).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()
+
+
+def cochannel_sir_db(
+    deployment: MultiReaderDeployment,
+    victim: str,
+    aggressor: str,
+    bit_rate_bps: float = 375.0,
+) -> float:
+    """SIR at ``victim``'s weakest associated tag if ``aggressor``
+    shared its carrier: the conflict-edge criterion.  ``inf`` when the
+    victim has no associated tags."""
+    if victim == aggressor:
+        raise ValueError("victim and aggressor must differ")
+    tags = [
+        t for t in deployment.tag_names() if deployment.best_reader(t) == victim
+    ]
+    if not tags:
+        return math.inf
+    medium = deployment.medium_for(victim)
+    residual_v = deployment.propagation.link(
+        aggressor, victim
+    ).amplitude_v * acoustics.db_to_amplitude_ratio(
+        -acoustics.carrier_rejection_db(0.0, bit_rate_bps)
+    )
+    weakest_v = min(medium.backscatter_amplitude_v(t) for t in tags)
+    return acoustics.power_ratio_to_db(
+        (weakest_v**2 / 2.0) / (residual_v**2 / 2.0)
+    )
+
+
+def build_conflict_graph(
+    deployment: MultiReaderDeployment,
+    min_sir_db: float = MIN_TAG_SIR_DB,
+    margin_db: float = OVERLAP_MARGIN_DB,
+) -> Dict[str, Tuple[str, ...]]:
+    """Reader -> sorted tuple of conflicting readers.
+
+    An edge exists when the pair shares an overlap-zone tag, or when
+    co-channel operation would leave either side's weakest associated
+    tag below ``min_sir_db``.
+    """
+    readers = sorted(deployment.readers)
+    shared_tags: Dict[Tuple[str, str], bool] = {}
+    for tag in deployment.tag_names():
+        covering = deployment.covering_readers(tag, margin_db)
+        for i, a in enumerate(covering):
+            for b in covering[i + 1:]:
+                shared_tags[tuple(sorted((a, b)))] = True
+    edges: Dict[str, set] = {r: set() for r in readers}
+    for i, a in enumerate(readers):
+        for b in readers[i + 1:]:
+            conflict = shared_tags.get((a, b), False) or (
+                cochannel_sir_db(deployment, a, b) < min_sir_db
+                or cochannel_sir_db(deployment, b, a) < min_sir_db
+            )
+            if conflict:
+                edges[a].add(b)
+                edges[b].add(a)
+    return {r: tuple(sorted(edges[r])) for r in readers}
+
+
+def plan_carriers(
+    deployment: MultiReaderDeployment,
+    carriers: Optional[Tuple[Tuple[float, float], ...]] = None,
+    min_sir_db: float = MIN_TAG_SIR_DB,
+    margin_db: float = OVERLAP_MARGIN_DB,
+) -> CarrierPlan:
+    """Color the conflict graph with the carrier palette.
+
+    Welsh–Powell: readers in (degree desc, name asc) order each take
+    the lowest-index palette carrier no conflicting neighbour already
+    holds — so the stock reader keeps the primary 90 kHz mode.  If the
+    palette is exhausted (more mutually-conflicting readers than plate
+    modes), the least-contended carrier is reused: the plan is then
+    best-effort, which :meth:`CarrierPlan.n_carriers_used` exposes.
+    """
+    palette = carriers if carriers is not None else default_carriers()
+    if not palette:
+        raise ValueError("need at least one carrier")
+    graph = build_conflict_graph(deployment, min_sir_db, margin_db)
+    order = sorted(graph, key=lambda r: (-len(graph[r]), r))
+    colors: Dict[str, int] = {}
+    for reader in order:
+        taken = {colors[n] for n in graph[reader] if n in colors}
+        free = [i for i in range(len(palette)) if i not in taken]
+        if free:
+            colors[reader] = free[0]
+        else:
+            counts = [
+                sum(1 for n in graph[reader] if colors.get(n) == i)
+                for i in range(len(palette))
+            ]
+            colors[reader] = min(
+                range(len(palette)), key=lambda i: (counts[i], i)
+            )
+    return CarrierPlan(
+        carriers=tuple(palette),
+        assignment={r: colors[r] for r in sorted(colors)},
+    )

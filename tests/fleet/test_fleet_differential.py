@@ -182,6 +182,141 @@ class TestFaultedAndSupervised:
         assert engine.records("faulted") != plain0
 
 
+class TestEnergyFaultedTier:
+    """Fault schedules on the energy tier: the scalar lane must carry
+    faulted :class:`EnergyAwareNetwork` twins byte-identically while
+    plain specs in the same engine stay on the vector lane."""
+
+    @staticmethod
+    def _schedule():
+        from repro.faults.schedule import FaultEvent, FaultSchedule
+
+        return FaultSchedule(
+            [
+                FaultEvent(slot=60, duration=30, kind="brownout", target="tag2"),
+                FaultEvent(
+                    slot=120,
+                    duration=40,
+                    kind="harvester_collapse",
+                    target="tag4",
+                ),
+                FaultEvent(
+                    slot=200, duration=15, kind="noise_burst", magnitude=12.0
+                ),
+                FaultEvent(slot=260, duration=25, kind="brownout", target="tag5"),
+            ]
+        )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {},
+            {"sensor_samples_per_slot": 40.0},
+            {"initial_capacitor_v": 2.4},
+        ],
+        ids=["default", "sensing", "precharged"],
+    )
+    def test_faulted_energy_spec_matches_sequential(self, kwargs):
+        """A mixed energy fleet: two plain vector-lane specs bracket a
+        faulted scalar-lane spec; every slot log matches its sequential
+        twin and the plain specs keep their DeviceArrays physics."""
+        names = sorted(DENSE_PERIODS)
+        specs = [
+            FleetSpec(name="plain0", seed=SEEDS[0]),
+            FleetSpec(name="faulted", seed=SEEDS[1], faults=self._schedule()),
+            FleetSpec(name="plain1", seed=SEEDS[2]),
+        ]
+        engine = FleetEngine(DENSE_PERIODS, specs, energy=True, **kwargs)
+        for _ in range(400):
+            engine.step_all()
+
+        for name, seed in (("plain0", SEEDS[0]), ("plain1", SEEDS[2])):
+            net = EnergyAwareNetwork(
+                DENSE_PERIODS, config=NetworkConfig(seed=seed), **kwargs
+            )
+            net.run(400)
+            assert engine.records(name) == net.records
+        faulted = EnergyAwareNetwork(
+            DENSE_PERIODS,
+            config=NetworkConfig(seed=SEEDS[1]),
+            faults=self._schedule(),
+            **kwargs,
+        )
+        faulted.run(400)
+        assert engine.records("faulted") == faulted.records
+
+        # Energy-ledger parity for the scalar lane, bit for bit.
+        scalar = engine.scalar_network("faulted")
+        for t in names:
+            assert (
+                scalar.devices[t].capacitor_v == faulted.devices[t].capacitor_v
+            )
+            for field in ("activations", "brownouts", "slots_dark", "slots_lit"):
+                assert getattr(scalar.energy_log[t], field) == getattr(
+                    faulted.energy_log[t], field
+                )
+
+        # Plain specs stayed on the vector lane with DeviceArrays physics.
+        with pytest.raises(KeyError):
+            engine.scalar_network("plain0")
+        plain0 = EnergyAwareNetwork(
+            DENSE_PERIODS, config=NetworkConfig(seed=SEEDS[0]), **kwargs
+        )
+        plain0.run(400)
+        voltages = np.asarray([plain0.devices[t].capacitor_v for t in names])
+        assert (engine.devices.capacitor_v[0] == voltages).all()
+
+        # And the injected energy faults changed the story.
+        assert engine.records("faulted") != sequential_energy_records(
+            DENSE_PERIODS, SEEDS[1], 400, **kwargs
+        )
+
+    def test_injected_brownout_counts_dark_slots(self):
+        """The injected-brownout window shows up in the energy ledger:
+        the targeted tag rides harvest-only physics while dark."""
+        engine = FleetEngine(
+            DENSE_PERIODS,
+            [FleetSpec(name="faulted", seed=SEEDS[0], faults=self._schedule())],
+            energy=True,
+        )
+        for _ in range(400):
+            engine.step_all()
+        scalar = engine.scalar_network("faulted")
+        plain = EnergyAwareNetwork(
+            DENSE_PERIODS, config=NetworkConfig(seed=SEEDS[0])
+        )
+        plain.run(400)
+        assert (
+            scalar.energy_log["tag2"].slots_dark
+            > plain.energy_log["tag2"].slots_dark
+        )
+
+    def test_empty_schedule_is_zero_cost_off(self):
+        """An empty FaultSchedule leaves the energy tier's log
+        byte-identical to the unfaulted network — the controller seam
+        adds no observable behaviour of its own."""
+        from repro.faults.schedule import FaultSchedule
+
+        for seed in SEEDS:
+            faulted = EnergyAwareNetwork(
+                DENSE_PERIODS,
+                config=NetworkConfig(seed=seed),
+                faults=FaultSchedule([]),
+            )
+            faulted.run(300)
+            assert faulted.records == sequential_energy_records(
+                DENSE_PERIODS, seed, 300
+            )
+
+
+def sequential_energy_records(periods, seed, n_slots, **kwargs):
+    net = EnergyAwareNetwork(
+        periods, config=NetworkConfig(seed=seed), **kwargs
+    )
+    net.run(n_slots)
+    return net.records
+
+
 class TestEnergyTier:
     @pytest.mark.parametrize(
         "kwargs",

@@ -1,0 +1,159 @@
+"""Golden-trace regression for the multi-reader tier: the canonical
+two-reader scenario under fixed seeds must replay byte-for-byte
+against a checked-in JSON document.
+
+Regenerate (after an intentional behaviour change) with::
+
+    PYTHONPATH=src python -m pytest tests/multireader/test_golden.py --regen-golden
+
+and review the golden diff like any other code change.
+"""
+
+import hashlib
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+import pytest
+
+from repro.core.network import NetworkConfig
+from repro.multireader import MultiReaderNetwork, deployment_for
+
+GOLDEN_PATH = Path(__file__).resolve().parent.parent / "golden" / "multireader.json"
+
+#: The pinned scenario: the default two-reader geometry over a mixed
+#: population that includes the overlap-zone tag (tag9) and reader2's
+#: strong cargo-bay neighbours.
+SCENARIO_SEEDS = (1, 7, 23)
+SCENARIO_SLOTS = 300
+SCENARIO_SPACING = "far"
+SCENARIO_PERIODS = {
+    "tag1": 4,
+    "tag2": 4,
+    "tag3": 8,
+    "tag4": 8,
+    "tag5": 16,
+    "tag6": 16,
+    "tag9": 8,
+    "tag10": 8,
+}
+
+_RUN_CACHE = {}
+
+
+def scenario_run(seed):
+    """Each seed's network executes once per test session."""
+    if seed not in _RUN_CACHE:
+        net = MultiReaderNetwork(
+            SCENARIO_PERIODS,
+            deployment=deployment_for(2, spacing=SCENARIO_SPACING),
+            config=NetworkConfig(seed=seed),
+        )
+        net.run(SCENARIO_SLOTS)
+        _RUN_CACHE[seed] = net
+    return _RUN_CACHE[seed]
+
+
+def per_reader_log(net) -> dict:
+    """Canonical JSON-able form of every cell's slot log."""
+    return {
+        reader: [asdict(r) for r in net.records_for(reader)]
+        for reader in sorted(net.cells)
+    }
+
+
+def log_signature(per_reader: dict) -> str:
+    blob = json.dumps(per_reader, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def run_doc(seed) -> dict:
+    net = scenario_run(seed)
+    per_reader = per_reader_log(net)
+    return {
+        "per_reader": per_reader,
+        "signature": log_signature(per_reader),
+        "handoffs": net.handoffs,
+        "plan": {
+            reader: net.plan.frequency_for(reader) for reader in sorted(net.cells)
+        },
+    }
+
+
+def full_doc() -> dict:
+    return {
+        "scenario": "multireader",
+        "n_readers": 2,
+        "spacing": SCENARIO_SPACING,
+        "n_slots": SCENARIO_SLOTS,
+        "tag_periods": SCENARIO_PERIODS,
+        "runs": {str(seed): run_doc(seed) for seed in SCENARIO_SEEDS},
+    }
+
+
+def load_or_regen(regen: bool) -> dict:
+    if regen:
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        doc = full_doc()
+        GOLDEN_PATH.write_text(
+            json.dumps(doc, indent=1, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        return doc
+    if not GOLDEN_PATH.exists():
+        pytest.fail(
+            f"golden file {GOLDEN_PATH} missing — run pytest with --regen-golden"
+        )
+    return json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+
+
+@pytest.mark.parametrize("seed", SCENARIO_SEEDS)
+class TestGoldenMultiReader:
+    def test_signature_matches_golden(self, seed, regen_golden):
+        doc = load_or_regen(regen_golden)
+        got = log_signature(per_reader_log(scenario_run(seed)))
+        assert got == doc["runs"][str(seed)]["signature"], (
+            f"seed {seed} drifted from its golden two-reader trace; if the "
+            "change is intentional, regenerate with --regen-golden"
+        )
+
+    def test_full_slot_logs_match_golden(self, seed, regen_golden):
+        doc = load_or_regen(regen_golden)
+        assert per_reader_log(scenario_run(seed)) == (
+            doc["runs"][str(seed)]["per_reader"]
+        )
+
+    def test_plan_and_handoffs_match_golden(self, seed, regen_golden):
+        doc = load_or_regen(regen_golden)
+        net = scenario_run(seed)
+        run = doc["runs"][str(seed)]
+        assert net.handoffs == run["handoffs"]
+        assert {
+            reader: net.plan.frequency_for(reader) for reader in sorted(net.cells)
+        } == run["plan"]
+
+
+class TestGoldenMachinery:
+    def test_metadata_pins_the_setup(self, regen_golden):
+        doc = load_or_regen(regen_golden)
+        assert doc["scenario"] == "multireader"
+        assert doc["n_readers"] == 2
+        assert doc["spacing"] == SCENARIO_SPACING
+        assert doc["n_slots"] == SCENARIO_SLOTS
+        assert doc["tag_periods"] == SCENARIO_PERIODS
+
+    def test_repeat_runs_are_byte_identical(self):
+        a = MultiReaderNetwork(
+            SCENARIO_PERIODS,
+            deployment=deployment_for(2, spacing=SCENARIO_SPACING),
+            config=NetworkConfig(seed=SCENARIO_SEEDS[0]),
+        )
+        a.run(SCENARIO_SLOTS)
+        assert per_reader_log(a) == per_reader_log(
+            scenario_run(SCENARIO_SEEDS[0])
+        )
+
+    def test_carriers_actually_split(self, regen_golden):
+        # The pinned plan is the planner's, not the shared fallback.
+        doc = load_or_regen(regen_golden)
+        for run in doc["runs"].values():
+            assert len(set(run["plan"].values())) == 2

@@ -1,0 +1,192 @@
+"""Unit coverage for the cross-reader interference model: the
+co-channel rejection curve, the medium's foreign-carrier terms, and
+their zero-cost-off contract (unchanged setters bump nothing)."""
+
+import math
+
+import pytest
+
+from repro.channel import acoustics
+from repro.channel.acoustics import (
+    CO_CHANNEL_CARRIER_REJECTION_DB,
+    carrier_rejection_db,
+)
+from repro.channel.medium import AcousticMedium, ForeignCarrier
+
+BIT_RATE = 375.0
+
+
+def fresh_medium(**kwargs) -> AcousticMedium:
+    return AcousticMedium(**kwargs)
+
+
+class TestCarrierRejection:
+    def test_cochannel_sits_on_the_floor(self):
+        assert carrier_rejection_db(0.0, BIT_RATE) == (
+            CO_CHANNEL_CARRIER_REJECTION_DB
+        )
+
+    def test_within_one_bit_rate_still_floor(self):
+        assert carrier_rejection_db(BIT_RATE, BIT_RATE) == (
+            CO_CHANNEL_CARRIER_REJECTION_DB
+        )
+
+    def test_rolloff_is_20db_per_decade(self):
+        one_decade = carrier_rejection_db(10 * BIT_RATE, BIT_RATE)
+        two_decades = carrier_rejection_db(100 * BIT_RATE, BIT_RATE)
+        assert one_decade == pytest.approx(
+            CO_CHANNEL_CARRIER_REJECTION_DB + 20.0
+        )
+        assert two_decades == pytest.approx(
+            CO_CHANNEL_CARRIER_REJECTION_DB + 40.0
+        )
+
+    def test_planned_mode_spacing_clears_50db(self):
+        # The closest palette pair (90 kHz vs 84.5 kHz) at the paper's
+        # 375 bps: spacing buys well over the co-channel floor.
+        assert carrier_rejection_db(5_500.0, BIT_RATE) > 50.0
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            carrier_rejection_db(-1.0, BIT_RATE)
+        with pytest.raises(ValueError):
+            carrier_rejection_db(100.0, 0.0)
+
+
+class TestForeignCarrierValidation:
+    def test_requires_positive_frequency(self):
+        with pytest.raises(ValueError):
+            ForeignCarrier(source="reader2", frequency_hz=0.0)
+
+    def test_requires_positive_response(self):
+        with pytest.raises(ValueError):
+            ForeignCarrier(
+                source="reader2", frequency_hz=90_000.0, response=0.0
+            )
+
+    def test_source_must_be_mounted(self):
+        medium = fresh_medium()
+        with pytest.raises(KeyError):
+            medium.set_foreign_carriers(
+                (ForeignCarrier(source="ghost", frequency_hz=90_000.0),)
+            )
+
+    def test_source_must_not_be_the_medium_itself(self):
+        medium = fresh_medium()
+        with pytest.raises(ValueError):
+            medium.set_foreign_carriers(
+                (ForeignCarrier(source="reader", frequency_hz=90_000.0),)
+            )
+
+
+class TestMediumCarrierState:
+    def test_defaults_are_clean(self):
+        medium = fresh_medium()
+        assert medium.carrier_frequency_hz == acoustics.CARRIER_FREQUENCY_HZ
+        assert medium.carrier_response == 1.0
+        assert medium.foreign_carriers == ()
+        assert medium.foreign_interference_power(BIT_RATE) == 0.0
+
+    def test_unchanged_set_carrier_is_a_noop(self):
+        medium = fresh_medium()
+        gen = medium.channel_generation
+        assert medium.set_carrier(acoustics.CARRIER_FREQUENCY_HZ, 1.0) is False
+        assert medium.channel_generation == gen
+
+    def test_changed_carrier_bumps_generation(self):
+        medium = fresh_medium()
+        gen = medium.channel_generation
+        assert medium.set_carrier(84_500.0, 0.72) is True
+        assert medium.channel_generation == gen + 1
+        assert medium.carrier_frequency_hz == 84_500.0
+        assert medium.carrier_response == 0.72
+
+    def test_unchanged_foreign_carriers_is_a_noop(self):
+        from repro.multireader import deployment_for
+
+        medium = deployment_for(2).medium_for("reader")
+        gen = medium.channel_generation
+        assert medium.set_foreign_carriers(()) is False
+        assert medium.channel_generation == gen
+        foreign = (
+            ForeignCarrier(source="reader2", frequency_hz=84_500.0, response=0.72),
+        )
+        assert medium.set_foreign_carriers(foreign) is True
+        gen = medium.channel_generation
+        assert medium.set_foreign_carriers(foreign) is False
+        assert medium.channel_generation == gen
+
+
+class TestForeignInterference:
+    def biw_with_reader2(self):
+        from repro.multireader import deployment_for
+
+        return deployment_for(2)
+
+    def test_cochannel_interference_dwarfs_spaced(self):
+        dep = self.biw_with_reader2()
+        medium = dep.medium_for("reader")
+        medium.set_foreign_carriers(
+            (ForeignCarrier(source="reader2", frequency_hz=90_000.0),)
+        )
+        cochannel = medium.foreign_interference_power(BIT_RATE)
+        medium.set_foreign_carriers(
+            (ForeignCarrier(source="reader2", frequency_hz=84_500.0),)
+        )
+        spaced = medium.foreign_interference_power(BIT_RATE)
+        assert cochannel > 0 and spaced > 0
+        # Δf = 5.5 kHz at 375 bps buys >23 dB of extra rejection.
+        assert cochannel / spaced > 10 ** (23.0 / 10.0)
+
+    def test_uplink_sir_inf_when_clean(self):
+        dep = self.biw_with_reader2()
+        medium = dep.medium_for("reader")
+        medium.set_foreign_carriers(())
+        assert math.isinf(medium.uplink_sir_db("tag8", BIT_RATE))
+
+    def test_cochannel_sir_collapses(self):
+        dep = self.biw_with_reader2()
+        medium = dep.medium_for("reader")
+        medium.set_foreign_carriers(
+            (ForeignCarrier(source="reader2", frequency_hz=90_000.0),)
+        )
+        cochannel = medium.uplink_sir_db("tag8", BIT_RATE)
+        medium.set_foreign_carriers(
+            (ForeignCarrier(source="reader2", frequency_hz=84_500.0),)
+        )
+        spaced = medium.uplink_sir_db("tag8", BIT_RATE)
+        # The strongest tag keeps a workable margin under spacing but
+        # not against a co-channel carrier.
+        assert cochannel < 10.0 < spaced
+
+    def test_foreign_carriers_depress_uplink_snr(self):
+        dep = self.biw_with_reader2()
+        medium = dep.medium_for("reader")
+        medium.set_foreign_carriers(())
+        clean = medium.uplink_snr_db("tag8", BIT_RATE)
+        medium.set_foreign_carriers(
+            (ForeignCarrier(source="reader2", frequency_hz=90_000.0),)
+        )
+        jammed = medium.uplink_snr_db("tag8", BIT_RATE)
+        assert jammed < clean
+
+    def test_interference_power_scales_with_response(self):
+        dep = self.biw_with_reader2()
+        medium = dep.medium_for("reader")
+        medium.set_foreign_carriers(
+            (
+                ForeignCarrier(
+                    source="reader2", frequency_hz=90_000.0, response=1.0
+                ),
+            )
+        )
+        full = medium.foreign_interference_power(BIT_RATE)
+        medium.set_foreign_carriers(
+            (
+                ForeignCarrier(
+                    source="reader2", frequency_hz=90_000.0, response=0.5
+                ),
+            )
+        )
+        derated = medium.foreign_interference_power(BIT_RATE)
+        assert derated == pytest.approx(full / 4.0)

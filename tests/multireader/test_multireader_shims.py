@@ -1,0 +1,76 @@
+"""The repro.ext.fdma / repro.ext.multireader shims: same objects as
+the real homes, one DeprecationWarning per process, and `import
+repro.ext` itself stays warning-free."""
+
+import importlib
+import sys
+import warnings
+
+import pytest
+
+
+def reimport(module_name: str):
+    """Force the shim's module-level warning to fire again."""
+    module = importlib.import_module(module_name)
+    module._DEPRECATION_EMITTED = False
+    sys.modules.pop(module_name, None)
+    try:
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            fresh = importlib.import_module(module_name)
+    finally:
+        sys.modules[module_name] = fresh
+    return fresh, caught
+
+
+class TestShimWarnings:
+    @pytest.mark.parametrize(
+        "module_name",
+        ["repro.ext.fdma", "repro.ext.multireader"],
+    )
+    def test_import_warns_deprecation(self, module_name):
+        _, caught = reimport(module_name)
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert "repro.multireader" in str(deprecations[0].message)
+
+    @pytest.mark.parametrize(
+        "module_name",
+        ["repro.ext.fdma", "repro.ext.multireader"],
+    )
+    def test_warning_fires_once_per_process(self, module_name):
+        module, _ = reimport(module_name)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            module._warn_once()
+        assert not caught
+
+
+class TestShimReExports:
+    def test_fdma_shim_exports_the_real_objects(self):
+        import repro.ext.fdma as shim
+        import repro.multireader.fdma as real
+
+        assert shim.FdmaChannelPlan is real.FdmaChannelPlan
+        assert shim.FdmaNetwork is real.FdmaNetwork
+        assert shim.assign_channels is real.assign_channels
+
+    def test_multireader_shim_exports_the_real_objects(self):
+        import repro.ext.multireader as shim
+        import repro.multireader.deployment as real
+
+        assert shim.MultiReaderDeployment is real.MultiReaderDeployment
+        assert shim.ReaderPlacement is real.ReaderPlacement
+        assert shim.DEFAULT_SECOND_READER is real.DEFAULT_SECOND_READER
+
+    def test_repro_ext_package_import_is_warning_free(self):
+        # The package pulls from the real homes, not the shims.
+        sys.modules.pop("repro.ext", None)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            importlib.import_module("repro.ext")
+        assert not [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]

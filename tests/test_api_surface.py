@@ -26,6 +26,7 @@ SUBPACKAGES = [
     "repro.ext",
     "repro.app",
     "repro.fleet",
+    "repro.multireader",
 ]
 
 

@@ -38,6 +38,13 @@ OVERHEAD_REPEATS = 3
 MAX_RATIO_CHECKED = 4.0
 MAX_RATIO_UNCHECKED = 2.5
 
+# Multi-reader overhead gate: a single-reader MultiReaderNetwork must
+# stay within this ratio of a plain SlottedNetwork over the same seed
+# and topology — the zero-cost-off contract for the multireader layer
+# (run() delegates straight to the lone cell; measured ~1.0x, the gate
+# leaves headroom for noisy shared runners).
+MAX_RATIO_MULTIREADER = 1.05
+
 # Telemetry overhead gate: the instrument sites are guarded by a single
 # `telemetry.active()` lookup, so running with collection enabled may
 # not slow the MAC loop beyond this ratio (measured ~1.2x; the gate
@@ -161,6 +168,46 @@ def telemetry_overhead_check() -> bool:
         f"telemetry-on overhead over {OVERHEAD_SLOTS} slots: "
         f"{ratio:.2f}x vs telemetry off (gate {MAX_RATIO_TELEMETRY}x) "
         f"-> {'ok' if ok else 'FAIL'}"
+    )
+    return ok
+
+
+def multireader_overhead_check() -> bool:
+    """Time a single-reader MultiReaderNetwork against the plain loop.
+
+    Returns True when the ratio stays under the gate.  With one reader
+    the multireader wrapper must be provably inert: same slot records,
+    and (checked here) indistinguishable wall time — ``run()`` hands
+    the whole batch to the lone cell.
+    """
+    sys.path.insert(0, os.path.join(repo_root(), "src"))
+    from repro.core.network import NetworkConfig, SlottedNetwork
+    from repro.multireader import MultiReaderNetwork, deployment_for
+
+    periods = {f"tag{i}": p for i, p in enumerate((4, 8, 8, 16, 16, 32), start=1)}
+
+    def timed(multi: bool) -> float:
+        best = float("inf")
+        for _ in range(OVERHEAD_REPEATS):
+            config = NetworkConfig(seed=0, ideal_channel=True)
+            net = (
+                MultiReaderNetwork(
+                    periods, deployment=deployment_for(1), config=config
+                )
+                if multi
+                else SlottedNetwork(periods, config=config)
+            )
+            start = time.perf_counter()
+            net.run(OVERHEAD_SLOTS)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    ratio = timed(multi=True) / timed(multi=False)
+    ok = ratio <= MAX_RATIO_MULTIREADER
+    print(
+        f"single-reader multireader overhead over {OVERHEAD_SLOTS} slots: "
+        f"{ratio:.2f}x vs plain SlottedNetwork "
+        f"(gate {MAX_RATIO_MULTIREADER}x) -> {'ok' if ok else 'FAIL'}"
     )
     return ok
 
@@ -327,6 +374,12 @@ def main(argv: List[str] | None = None) -> int:
         "advisory CI bench job",
     )
     parser.add_argument(
+        "--multireader-only",
+        action="store_true",
+        help="run only the single-reader multireader overhead gate "
+        "(skips everything else); used by the advisory CI figT job",
+    )
+    parser.add_argument(
         "--fleet-out",
         default=None,
         metavar="PATH",
@@ -342,6 +395,8 @@ def main(argv: List[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     root = repo_root()
+    if args.multireader_only:
+        return 0 if multireader_overhead_check() else 2
     if args.fleet_only:
         fleet_snapshot(args.fleet_out or os.path.join(root, "BENCH_fleet.json"))
         return 0
@@ -354,6 +409,7 @@ def main(argv: List[str] | None = None) -> int:
     if not args.skip_overhead_check:
         overhead_ok = resilience_overhead_check()
         overhead_ok = telemetry_overhead_check() and overhead_ok
+        overhead_ok = multireader_overhead_check() and overhead_ok
     out = args.out or os.path.join(root, default_out())
     env = dict(os.environ)
     env["PYTHONPATH"] = os.pathsep.join(
