@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test coverage bench bench-smoke bench-waveform bench-fleet bench-compare chaos-smoke figT results report api-index
+.PHONY: test coverage bench bench-smoke bench-waveform bench-fleet bench-compare chaos-smoke figT figM results report api-index
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -42,6 +42,12 @@ chaos-smoke:
 figT:
 	$(PYTHON) -m repro figT
 	$(PYTHON) tools/bench_smoke.py --multireader-only
+
+# Relay depth ladder (direct-only vs relaying) plus the relay-off
+# zero-cost overhead gate (mirrors the CI figM job).
+figM:
+	$(PYTHON) -m repro figM
+	$(PYTHON) tools/bench_smoke.py --relay-only
 
 # Usage: make bench-compare BEFORE=BENCH_old.json AFTER=BENCH_new.json
 bench-compare:

@@ -18,10 +18,15 @@ from repro.channel.biw import (
     Member,
     MountPoint,
     TAG_NAMES,
+    deep_structure,
     onvo_l60,
     onvo_l60_megacast,
 )
-from repro.channel.medium import AcousticMedium, SlotObservation
+from repro.channel.medium import (
+    AcousticMedium,
+    SlotObservation,
+    T2T_CONVERSION_LOSS_DB,
+)
 from repro.channel.multipath import (
     Echo,
     ImpulseResponse,
@@ -56,10 +61,12 @@ __all__ = [
     "Member",
     "MountPoint",
     "TAG_NAMES",
+    "deep_structure",
     "onvo_l60",
     "onvo_l60_megacast",
     "AcousticMedium",
     "SlotObservation",
+    "T2T_CONVERSION_LOSS_DB",
     "Echo",
     "ImpulseResponse",
     "MultipathModel",

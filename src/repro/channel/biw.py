@@ -194,6 +194,13 @@ class BiWModel:
         bx, by, bz = self._positions[member.b]
         return math.dist((ax, ay, az), (bx, by, bz))
 
+    def junction_depth(self, mount: str, source: str = "reader") -> int:
+        """Number of real joints the least-loss path from ``source``
+        crosses to reach ``mount`` — the "junction depth" axis of the
+        relay experiments (tags ≥3 junctions deep are the ones the
+        paper's single-hop design loses)."""
+        return len(self.path(source, mount).joints)
+
     def path(self, mount_a: str, mount_b: str) -> AcousticPath:
         """Least-loss acoustic path between two mount points.
 
@@ -367,6 +374,72 @@ def onvo_l60_megacast() -> BiWModel:
     for name, mount in biw.mounts.items():
         cast.add_mount(name, mount.vertex)
     return cast
+
+
+#: Per-junction losses of the :func:`deep_structure` ladder.  These are
+#: heavy *structural* crossings — sealed double-wall bulkheads and thick
+#: adhesive-damped lap joints of a battery enclosure — far lossier than
+#: the ONVO floor pan's spot-weld seam (1.536 dB) or rocker lip
+#: (5.06 dB).  Calibrated so the direct round-trip uplink collapses for
+#: tags three or more junctions deep while the one-junction tag-to-tag
+#: hops between neighbouring bays stay workable (the figM regime).
+DEEP_BULKHEAD_LOSS_DB = 14.0
+DEEP_SEAM_LOSS_DB = 8.0
+
+#: Bay pitch of the deep-structure ladder, metres.
+DEEP_SEGMENT_M = 0.25
+
+#: Number of tags in the stock deep-structure ladder (depths 0..5).
+DEEP_N_TAGS = 6
+
+
+def deep_structure(
+    n_tags: int = DEEP_N_TAGS, segment_m: float = DEEP_SEGMENT_M
+) -> BiWModel:
+    """Synthetic junction-depth ladder for the relay experiments.
+
+    A linear spine of bays, each separated from the previous by exactly
+    one heavy structural junction, with ``tagK`` mounted in bay ``K-1``
+    — so ``tagK`` sits behind ``K-1`` junctions
+    (:meth:`BiWModel.junction_depth` returns ``K-1``).  The reader
+    shares bay 0 with ``tag1``.
+
+    The first three crossings are double-wall bulkheads
+    (``PERPENDICULAR`` at :data:`DEEP_BULKHEAD_LOSS_DB`); deeper
+    crossings are adhesive-damped lap joints (``SEAM`` at
+    :data:`DEEP_SEAM_LOSS_DB`).  The taper keeps neighbouring-bay
+    tag-to-tag hops viable all the way down while the *round-trip*
+    direct uplink — which pays every junction twice — dies beyond depth
+    two.  That asymmetry (strong one-way downlink, dead round-trip
+    uplink) is exactly the regime multi-hop tag-to-tag relaying
+    rescues; see ``docs/RELAY.md`` and :mod:`repro.experiments` figM.
+
+    Build the medium with ``AcousticMedium(biw=deep_structure(),
+    reference_tag="tag1")`` — the ONVO reference mount ``tag8`` does
+    not exist here.
+    """
+    if n_tags < 2:
+        raise ValueError("deep_structure needs at least two tags")
+    biw = BiWModel()
+    biw.set_joint_loss(JointKind.PERPENDICULAR, DEEP_BULKHEAD_LOSS_DB)
+    biw.set_joint_loss(JointKind.SEAM, DEEP_SEAM_LOSS_DB)
+
+    biw.add_vertex("bay0", 0.0, 0.0, 0.0)
+    biw.add_mount("reader", "bay0")
+    # tag1 shares the reader's bay on a short continuous stub: depth 0.
+    biw.add_vertex("bay0_shelf", 0.2, 0.1, 0.0)
+    biw.add_member("bay0", "bay0_shelf", JointKind.NONE)
+    biw.add_mount("tag1", "bay0_shelf")
+
+    for k in range(1, n_tags):
+        prev = "bay0" if k == 1 else f"bay{k - 1}"
+        name = f"bay{k}"
+        # First three crossings are bulkheads, the rest lap seams.
+        kind = JointKind.PERPENDICULAR if k <= 3 else JointKind.SEAM
+        biw.add_vertex(name, k * segment_m, 0.0, 0.0)
+        biw.add_member(prev, name, kind, length_m=segment_m)
+        biw.add_mount(f"tag{k + 1}", name)
+    return biw
 
 
 #: Names of the twelve deployed tags, in order.

@@ -53,6 +53,13 @@ CLUSTER_DETECTION_PROBABILITY = 0.98
 #: occasional decode glitch that keeps Fig. 12(b) loss nonzero (<0.5%).
 BASE_BURST_LOSS = 0.001
 
+#: Conversion penalty (dB) a tag-to-tag link pays on top of the acoustic
+#: path loss: the receiving tag demodulates another tag's *backscatter*
+#: — a weak sideband, not the reader's strong carrier — with a passive
+#: envelope detector and no matched receive chain.  This is the
+#: backscatter-of-backscatter regime of multi-hop tag-to-tag networks.
+T2T_CONVERSION_LOSS_DB = 6.0
+
 
 @dataclass(frozen=True)
 class ForeignCarrier:
@@ -408,6 +415,80 @@ class AcousticMedium:
         if packet_bits <= 0:
             raise ValueError("packet must contain at least one bit")
         ber = self.uplink_bit_error_rate(tag, bit_rate_bps, penalty_db)
+        clean_bits = (1.0 - ber) ** packet_bits
+        burst = BASE_BURST_LOSS * (1.0 + bit_rate_bps / 1500.0)
+        return clean_bits * (1.0 - min(burst, 1.0))
+
+    # -- tag-to-tag (relay) link budget ---------------------------------------
+
+    def tag_to_tag_loss_db(self, src: str, dst: str) -> float:
+        """Total loss (dB) of the T2T backscatter link ``src`` → ``dst``.
+
+        The relaying tag's signal is backscatter of the reader carrier,
+        so the budget chains the carrier's trip to ``src``, the acoustic
+        path ``src`` → ``dst`` over the structural graph (the same
+        per-metre + per-junction model every other link uses), and the
+        :data:`T2T_CONVERSION_LOSS_DB` backscatter-of-backscatter
+        penalty at the receiving tag.
+        """
+        return (
+            self._propagation.link(self._source, src).loss_db
+            + self._propagation.link(src, dst).loss_db
+            + T2T_CONVERSION_LOSS_DB
+        )
+
+    def tag_to_tag_amplitude_v(self, src: str, dst: str) -> float:
+        """Amplitude of ``src``'s backscatter at ``dst``'s detector.
+
+        Anchored to the same :data:`REFERENCE_BACKSCATTER_V` calibration
+        point as :meth:`backscatter_amplitude_v`, with the same
+        reverberant compression of the raw loss spread — the diffuse
+        field a strong carrier pumps helps every receiver on the
+        structure, tags included.
+        """
+        loss = self.tag_to_tag_loss_db(src, dst)
+        relative_db = -REVERB_COMPRESSION * (loss - self._reference_rt_loss)
+        amplitude = (
+            REFERENCE_BACKSCATTER_V
+            * self._pzt.modulation_depth
+            / PZTTransducer().modulation_depth
+            * acoustics.db_to_amplitude_ratio(relative_db)
+        )
+        if self._carrier_response != 1.0:
+            amplitude *= self._carrier_response
+        return amplitude
+
+    def tag_to_tag_snr_db(
+        self, src: str, dst: str, bit_rate_bps: float = 375.0
+    ) -> float:
+        """SNR of the ``src`` → ``dst`` T2T link at ``dst``'s detector."""
+        if bit_rate_bps <= 0:
+            raise ValueError("bit rate must be positive")
+        amplitude = self.tag_to_tag_amplitude_v(src, dst)
+        signal_power = amplitude**2 / 2.0
+        bandwidth = FM0_BANDWIDTH_PER_BPS * bit_rate_bps
+        noise_power = self._noise.power_in_band(bandwidth)
+        return acoustics.power_ratio_to_db(signal_power / noise_power)
+
+    def tag_to_tag_packet_success(
+        self,
+        src: str,
+        dst: str,
+        bit_rate_bps: float = 375.0,
+        packet_bits: int = 64,
+    ) -> float:
+        """Probability a forwarded frame survives the T2T hop.
+
+        Same near-coherent FM0 error model and burst floor as the
+        uplink (:meth:`uplink_packet_success`), evaluated at the T2T
+        link's SNR.
+        """
+        if packet_bits <= 0:
+            raise ValueError("packet must contain at least one bit")
+        snr_linear = acoustics.db_to_power_ratio(
+            self.tag_to_tag_snr_db(src, dst, bit_rate_bps)
+        )
+        ber = 0.5 * math.erfc(math.sqrt(snr_linear / 2.0))
         clean_bits = (1.0 - ber) ** packet_bits
         burst = BASE_BURST_LOSS * (1.0 + bit_rate_bps / 1500.0)
         return clean_bits * (1.0 - min(burst, 1.0))

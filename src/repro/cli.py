@@ -274,6 +274,13 @@ def _run_figT(args: argparse.Namespace) -> str:
     return format_figT(run_figT(seed=seed))
 
 
+def _run_figM(args: argparse.Namespace) -> str:
+    from repro.experiments.figM_relay import DEFAULT_SEED, format_figM, run_figM
+
+    seed = args.seed if args.seed != 0 else DEFAULT_SEED
+    return format_figM(run_figM(seed=seed))
+
+
 def _run_resilience(args: argparse.Namespace) -> str:
     from repro.analysis.recovery import slots_to_reconverge
     from repro.core.network import NetworkConfig, SlottedNetwork
@@ -411,6 +418,7 @@ EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "figR": _run_figR,
     "figS": _run_figS,
     "figT": _run_figT,
+    "figM": _run_figM,
     "faults": _run_faults,
     "resilience": _run_resilience,
     "appc": _run_appc,

@@ -271,10 +271,7 @@ class ReaderMac:
             if tel is not None:
                 tel.inc("mac.reader.commits")
             return True  # naive ACK-on-decode (ablation baseline)
-        others = [
-            Assignment(t, self.tag_periods[t], o)
-            for t, o in self._committed.items()
-        ]
+        others = self._placement_constraints()
         if find_free_offset(period, others) is None:
             # No viable offset exists at all for this tag: block it and
             # evict a victim to reopen the competition (Sec. 5.6).
@@ -293,6 +290,19 @@ class ReaderMac:
             tel.inc("mac.reader.commits")
         return True
 
+    def _placement_constraints(self) -> List[Assignment]:
+        """Every slot pattern placement must avoid.
+
+        The base reader only reasons about committed tag assignments;
+        subclasses may append further reservations (the relay extension
+        adds its granted forwarding slots) so that both newcomer
+        placement and eviction viability respect them.
+        """
+        return [
+            Assignment(t, self.tag_periods[t], o)
+            for t, o in self._committed.items()
+        ]
+
     def _start_eviction(self, new_period: int, committed: List[Assignment]) -> None:
         """Pick a committed victim whose removal makes the newcomer
         viable and begin NACKing it.  Short-period victims are preferred:
@@ -308,6 +318,10 @@ class ReaderMac:
         candidates = []
         for victim in committed:
             if victim.tag in self._evicting:
+                continue
+            if victim.tag not in self._committed:
+                # Constraint entries that are not tag commitments (e.g.
+                # granted forwarding slots) cannot be evicted away.
                 continue
             rest = [a for a in committed if a.tag != victim.tag]
             if find_free_offset(new_period, rest) is not None:

@@ -38,15 +38,18 @@ from repro.faults.injectors import (
     HardwareFaultInjector,
     MacFaultInjector,
     PhyFaultInjector,
+    RelayFaultInjector,
     default_injectors,
     flip_bits,
 )
 from repro.faults.schedule import (
     ALL_KINDS,
     CHANNEL_KINDS,
+    GENERATABLE_KINDS,
     HARDWARE_KINDS,
     MAC_KINDS,
     PHY_KINDS,
+    RELAY_KINDS,
     FaultEvent,
     FaultSchedule,
 )
@@ -54,9 +57,11 @@ from repro.faults.schedule import (
 __all__ = [
     "ALL_KINDS",
     "CHANNEL_KINDS",
+    "GENERATABLE_KINDS",
     "HARDWARE_KINDS",
     "MAC_KINDS",
     "PHY_KINDS",
+    "RELAY_KINDS",
     "ChannelFaultInjector",
     "FaultController",
     "FaultEvent",
@@ -66,6 +71,7 @@ __all__ = [
     "HardwareFaultInjector",
     "MacFaultInjector",
     "PhyFaultInjector",
+    "RelayFaultInjector",
     "default_injectors",
     "flip_bits",
 ]

@@ -56,6 +56,8 @@ class FaultState:
         self.snr_penalty_db: Dict[str, float] = {}
         #: Global SNR penalty (dB) from noise bursts.
         self.noise_penalty_db: float = 0.0
+        #: Active relay-table-stale event count (routes frozen).
+        self.relay_frozen: int = 0
 
     @staticmethod
     def bump(table: Dict[str, int], key: str, delta: int) -> None:
@@ -83,6 +85,7 @@ class FaultState:
             or self.beacon_loss_scale
             or self.snr_penalty_db
             or self.noise_penalty_db
+            or self.relay_frozen
         )
 
 
@@ -198,6 +201,10 @@ class FaultController:
     def transmit_allowed(self, name: str) -> bool:
         """Harvester collapse: the tag cannot afford its TX burst."""
         return not self.state.is_flagged(self.state.tx_blocked, name)
+
+    def relay_table_frozen(self) -> bool:
+        """Stale relay table: routes cannot be recomputed right now."""
+        return self.state.relay_frozen > 0
 
     def beacon_lost(self, name: str, lost: bool) -> bool:
         """Overlay forced losses and envelope drift on the channel draw.

@@ -27,6 +27,7 @@ from repro.faults.schedule import (
     HARDWARE_KINDS,
     MAC_KINDS,
     PHY_KINDS,
+    RELAY_KINDS,
     FaultEvent,
 )
 
@@ -242,6 +243,46 @@ class ChannelFaultInjector(FaultInjector):
         network.refresh_beacon_loss()
 
 
+class RelayFaultInjector(FaultInjector):
+    """Relay-tier faults: relay brownout mid-route, stale relay table.
+
+    * ``relay_brownout`` — a tag serving as a forwarding relay browns
+      out mid-route: the tag is dark for the window exactly as with the
+      hardware-tier ``brownout`` (frames buffered at it are lost, the
+      route's forward attempts fail), and the MCU cold-starts when power
+      returns.  A distinct kind so chaos schedules can target the relay
+      tier without also drawing hardware-tier events.
+    * ``relay_table_stale`` — the reader's T2T measurement pipeline
+      stalls: while active, :class:`~repro.resilience.RelayFallbackPolicy`
+      can neither engage new routes nor re-route around dead relays, so
+      an established route keeps limping through its failures — the
+      observable signature of a stale relay table.  Existing routes and
+      grants are untouched.
+    """
+
+    name = "relay"
+    kinds = RELAY_KINDS
+
+    def apply(self, event: FaultEvent, rng: np.random.Generator) -> None:
+        state = self.controller.state
+        if event.kind == "relay_brownout":
+            state.bump(state.offline, event.target, +1)
+        elif event.kind == "relay_table_stale":
+            state.relay_frozen += 1
+
+    def clear(self, event: FaultEvent, rng: np.random.Generator) -> None:
+        state = self.controller.state
+        if event.kind == "relay_brownout":
+            state.bump(state.offline, event.target, -1)
+            for name in self.controller.tags_matching(event.target):
+                if not state.is_flagged(state.offline, name):
+                    self.controller.network.tags[name].power_cycle()
+        elif event.kind == "relay_table_stale":
+            state.relay_frozen -= 1
+            if state.relay_frozen < 0:
+                raise RuntimeError("relay_table_stale refcount went negative")
+
+
 def default_injectors() -> List[FaultInjector]:
     """One injector per layer, covering every kind in
     :data:`~repro.faults.schedule.ALL_KINDS`."""
@@ -250,4 +291,5 @@ def default_injectors() -> List[FaultInjector]:
         PhyFaultInjector(),
         HardwareFaultInjector(),
         MacFaultInjector(),
+        RelayFaultInjector(),
     ]

@@ -34,7 +34,19 @@ HARDWARE_KINDS: Tuple[str, ...] = ("brownout", "harvester_collapse")
 #: MAC-layer faults (the feedback loop itself).
 MAC_KINDS: Tuple[str, ...] = ("beacon_loss", "ack_corrupt", "reader_restart")
 
-ALL_KINDS: Tuple[str, ...] = CHANNEL_KINDS + PHY_KINDS + HARDWARE_KINDS + MAC_KINDS
+#: Relay-tier faults (the tag-to-tag forwarding layer of
+#: :mod:`repro.relay`; no-ops on networks without engaged routes).
+RELAY_KINDS: Tuple[str, ...] = ("relay_brownout", "relay_table_stale")
+
+#: Kinds :meth:`FaultSchedule.generate` draws from by default.  The
+#: relay tier is excluded: adding kinds to the default pool would shift
+#: every existing generated schedule's draw sequence, breaking seed
+#: replay.  Pass ``kinds=RELAY_KINDS`` (or any mix) explicitly.
+GENERATABLE_KINDS: Tuple[str, ...] = (
+    CHANNEL_KINDS + PHY_KINDS + HARDWARE_KINDS + MAC_KINDS
+)
+
+ALL_KINDS: Tuple[str, ...] = GENERATABLE_KINDS + RELAY_KINDS
 
 #: Wildcard target: the fault hits every tag (or the whole channel).
 ALL_TAGS = "*"
@@ -54,6 +66,8 @@ ALL_TAGS = "*"
 #: beacon_loss         (unused) target misses every beacon in the window
 #: ack_corrupt         (unused) ACK bit inverted in the target's view
 #: reader_restart      (unused) reader soft state cleared at event start
+#: relay_brownout      (unused) relay tag dark mid-route, cold restart after
+#: relay_table_stale   (unused) relay routes frozen: no engage/re-route
 #: ==================  =====================================================
 DEFAULT_MAGNITUDES: Dict[str, float] = {
     "noise_burst": 9.0,
@@ -67,6 +81,8 @@ DEFAULT_MAGNITUDES: Dict[str, float] = {
     "beacon_loss": 1.0,
     "ack_corrupt": 1.0,
     "reader_restart": 1.0,
+    "relay_brownout": 1.0,
+    "relay_table_stale": 1.0,
 }
 
 #: Generation ranges for :meth:`FaultSchedule.generate`: kind ->
@@ -83,6 +99,8 @@ _GENERATE_MAGNITUDE_RANGES: Dict[str, Optional[Tuple[float, float]]] = {
     "beacon_loss": None,
     "ack_corrupt": None,
     "reader_restart": None,
+    "relay_brownout": None,
+    "relay_table_stale": None,
 }
 
 _SCHEDULE_FORMAT_VERSION = 1
@@ -297,13 +315,19 @@ class FaultSchedule:
             raise ValueError("max_duration must be >= 1")
         if n_faults < 0:
             raise ValueError("n_faults must be non-negative")
-        chosen_kinds = tuple(kinds) if kinds is not None else ALL_KINDS
+        chosen_kinds = tuple(kinds) if kinds is not None else GENERATABLE_KINDS
         for kind in chosen_kinds:
             if kind not in ALL_KINDS:
                 raise ValueError(f"unknown fault kind {kind!r}")
         tag_list = list(tags)
         if not tag_list and any(
-            k not in ("noise_burst", "junction_loss", "reader_restart")
+            k
+            not in (
+                "noise_burst",
+                "junction_loss",
+                "reader_restart",
+                "relay_table_stale",
+            )
             for k in chosen_kinds
         ):
             raise ValueError("tag-targeted kinds need a non-empty tag list")
@@ -317,7 +341,7 @@ class FaultSchedule:
             if kind == "reader_restart":
                 target = "reader"
                 duration = 1
-            elif kind in ("noise_burst", "junction_loss"):
+            elif kind in ("noise_burst", "junction_loss", "relay_table_stale"):
                 target = ALL_TAGS
             else:
                 target = tag_list[int(rng.integers(0, len(tag_list)))]

@@ -1,0 +1,51 @@
+"""Multi-hop tag-to-tag relaying: graceful degradation for
+junction-shadowed tags.
+
+ARACHNET's per-junction losses starve tags deep behind bulkheads: the
+round-trip uplink pays every junction twice, so a tag three junctions
+deep is unreachable even though the one-way downlink (and its
+neighbours' T2T links) still work.  This subsystem lets healthy tags
+forward for shadowed ones — the multi-hop backscatter tag-to-tag
+regime:
+
+* :class:`RelayTable` — T2T link budget + deterministic minimum-hop
+  relay selection (``repro.channel`` supplies the
+  backscatter-of-backscatter budget).
+* :class:`RelayReaderMac` — reader-granted forwarding slots layered on
+  the base slot MAC.
+* :class:`RelaySlottedNetwork` — the slot simulator with engaged
+  routes, cut-through forwarding, and relay-aware ACK semantics.
+
+Relaying is engaged per-tag by
+:class:`repro.resilience.RelayFallbackPolicy` when the link health
+monitor demotes a direct link, and released on recovery.  With no
+routes engaged the subsystem is zero-cost: no RNG stream exists and
+slot logs are byte-identical to a plain ``SlottedNetwork``.  See
+``docs/RELAY.md``.
+"""
+
+from repro.relay.budget import (
+    DEFAULT_MIN_LINK_SUCCESS,
+    DEFAULT_MIN_UPLINK_SUCCESS,
+    MAX_RELAY_HOPS,
+    RelayTable,
+)
+from repro.relay.mac import (
+    DEFAULT_MAX_FORWARD_ATTEMPTS,
+    DEFAULT_PROBE_EVERY,
+    RelayReaderMac,
+    RelayRoute,
+)
+from repro.relay.network import RelaySlottedNetwork
+
+__all__ = [
+    "DEFAULT_MIN_LINK_SUCCESS",
+    "DEFAULT_MIN_UPLINK_SUCCESS",
+    "MAX_RELAY_HOPS",
+    "RelayTable",
+    "DEFAULT_MAX_FORWARD_ATTEMPTS",
+    "DEFAULT_PROBE_EVERY",
+    "RelayReaderMac",
+    "RelayRoute",
+    "RelaySlottedNetwork",
+]

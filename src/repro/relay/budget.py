@@ -1,0 +1,142 @@
+"""Relay-route selection over the tag-to-tag link budget.
+
+:class:`RelayTable` answers the one question the relay MAC and the
+fallback policy need: *through whom can a junction-shadowed tag reach
+the reader?*  It caches the medium's T2T and direct-uplink packet
+success rates (invalidating on :attr:`AcousticMedium.channel_generation`
+bumps, so structural faults propagate) and runs a deterministic
+minimum-hop search over the admitted links.
+
+A route is a chain of relays ``(r1, ..., rk)``: the source's frame hops
+``source → r1 → ... → rk`` over T2T links and ``rk`` — the *terminal*
+relay, one with a healthy direct uplink — forwards it to the reader in
+a granted slot.  Total hop count is ``k + 1`` (T2T hops plus the final
+uplink), bounded by ``max_hops``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+from repro.channel.medium import AcousticMedium
+
+#: Minimum per-hop T2T packet success for a link to be admitted into a
+#: route.  Deliberately permissive: the forwarding MAC retries hops in
+#: later granted slots, so a 0.5 link still delivers most frames — and
+#: for the deepest tags a weak route strictly beats no route.
+DEFAULT_MIN_LINK_SUCCESS = 0.5
+
+#: Minimum *direct* uplink packet success for a tag to serve as the
+#: terminal relay.  Strict: the whole chain funnels through this link.
+DEFAULT_MIN_UPLINK_SUCCESS = 0.9
+
+#: Default bound on total hops (T2T hops + the final uplink).
+MAX_RELAY_HOPS = 4
+
+
+class RelayTable:
+    """Cached T2T link qualities + minimum-hop relay selection."""
+
+    def __init__(
+        self,
+        medium: AcousticMedium,
+        bit_rate_bps: float = 375.0,
+        min_link_success: float = DEFAULT_MIN_LINK_SUCCESS,
+        min_uplink_success: float = DEFAULT_MIN_UPLINK_SUCCESS,
+        max_hops: int = MAX_RELAY_HOPS,
+    ) -> None:
+        if not 0.0 < min_link_success <= 1.0:
+            raise ValueError("min_link_success must be in (0, 1]")
+        if not 0.0 < min_uplink_success <= 1.0:
+            raise ValueError("min_uplink_success must be in (0, 1]")
+        if max_hops < 2:
+            raise ValueError("a relay route needs at least two hops")
+        self.medium = medium
+        self.bit_rate_bps = bit_rate_bps
+        self.min_link_success = min_link_success
+        self.min_uplink_success = min_uplink_success
+        self.max_hops = max_hops
+        self._t2t: Dict[Tuple[str, str], float] = {}
+        self._direct: Dict[str, float] = {}
+        self._generation = medium.channel_generation
+
+    def _ensure_fresh(self) -> None:
+        generation = self.medium.channel_generation
+        if generation != self._generation:
+            self._t2t.clear()
+            self._direct.clear()
+            self._generation = generation
+
+    def t2t_success(self, src: str, dst: str) -> float:
+        """Packet success of the ``src`` → ``dst`` T2T hop (cached)."""
+        self._ensure_fresh()
+        key = (src, dst)
+        cached = self._t2t.get(key)
+        if cached is None:
+            cached = self.medium.tag_to_tag_packet_success(
+                src, dst, self.bit_rate_bps
+            )
+            self._t2t[key] = cached
+        return cached
+
+    def direct_success(self, tag: str) -> float:
+        """Packet success of ``tag``'s direct uplink (cached)."""
+        self._ensure_fresh()
+        cached = self._direct.get(tag)
+        if cached is None:
+            cached = self.medium.uplink_packet_success(tag, self.bit_rate_bps)
+            self._direct[tag] = cached
+        return cached
+
+    def route_for(
+        self,
+        source: str,
+        terminals: Sequence[str],
+        intermediates: Sequence[str],
+        exclude: Iterable[str] = (),
+    ) -> Optional[Tuple[str, ...]]:
+        """Minimum-hop relay chain from ``source`` to the reader.
+
+        ``terminals`` are candidates for the final relay (typically the
+        currently committed tags); only those whose direct uplink meets
+        ``min_uplink_success`` qualify.  ``intermediates`` may appear
+        anywhere before the terminal — engaged relay sources are valid
+        intermediates (their *uplink* is dead, their T2T radio is not).
+        ``exclude`` removes tags entirely (e.g. a relay that just
+        failed mid-route).
+
+        Returns the chain ``(r1, ..., rk)`` or None when no admitted
+        path of at most ``max_hops`` total hops exists.  The search is
+        breadth-first with sorted expansion, so the result is
+        deterministic and hash-seed independent.
+        """
+        excluded = set(exclude) | {source}
+        viable_terminals = {
+            t
+            for t in terminals
+            if t not in excluded
+            and self.direct_success(t) >= self.min_uplink_success
+        }
+        if not viable_terminals:
+            return None
+        neighbours = sorted(
+            (set(intermediates) | viable_terminals) - excluded
+        )
+        visited = {source}
+        queue: deque = deque([(source, ())])
+        while queue:
+            node, chain = queue.popleft()
+            for nb in neighbours:
+                if nb in visited:
+                    continue
+                if self.t2t_success(node, nb) < self.min_link_success:
+                    continue
+                if nb in viable_terminals:
+                    return chain + (nb,)
+                # One more T2T hop plus at least one further hop to a
+                # terminal plus the final uplink must fit the bound.
+                if len(chain) + 3 <= self.max_hops:
+                    visited.add(nb)
+                    queue.append((nb, chain + (nb,)))
+        return None

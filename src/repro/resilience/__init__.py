@@ -19,6 +19,7 @@ from repro.resilience.policies import (
     SlotLeasePolicy,
     default_policies,
 )
+from repro.resilience.relay import RelayFallbackPolicy
 from repro.resilience.supervisor import (
     EscalationEvent,
     EscalationExhausted,
@@ -35,6 +36,7 @@ __all__ = [
     "BeaconResyncPolicy",
     "PolicyAction",
     "RecoveryPolicy",
+    "RelayFallbackPolicy",
     "SlotLeasePolicy",
     "default_policies",
     "EscalationEvent",

@@ -1,0 +1,152 @@
+"""T2T link budget and relay-route selection."""
+
+import pytest
+
+from repro.channel import T2T_CONVERSION_LOSS_DB, deep_structure
+from repro.channel.biw import DEEP_N_TAGS
+from repro.channel.medium import AcousticMedium
+from repro.relay import MAX_RELAY_HOPS, RelayTable
+
+
+@pytest.fixture(scope="module")
+def deep_medium() -> AcousticMedium:
+    return AcousticMedium(biw=deep_structure(), reference_tag="tag1")
+
+
+@pytest.fixture(scope="module")
+def table(deep_medium) -> RelayTable:
+    return RelayTable(deep_medium)
+
+
+class TestDeepStructure:
+    def test_tag_depths_count_junctions(self, deep_medium):
+        biw = deep_medium.biw
+        for k in range(1, DEEP_N_TAGS + 1):
+            assert biw.junction_depth(f"tag{k}") == k - 1
+
+    def test_needs_at_least_two_tags(self):
+        with pytest.raises(ValueError):
+            deep_structure(n_tags=1)
+
+    def test_uplink_dies_at_depth_three(self, deep_medium):
+        # The acceptance regime: the round-trip uplink pays every
+        # junction twice, so depth >= 3 is dead while depth <= 2 is
+        # healthy.
+        for k in (1, 2, 3):
+            assert deep_medium.uplink_packet_success(f"tag{k}", 375.0) > 0.99
+        for k in (4, 5, 6):
+            assert deep_medium.uplink_packet_success(f"tag{k}", 375.0) < 0.05
+
+    def test_downlink_survives_everywhere(self, deep_medium):
+        # One-way beacons pay each junction once: even the deepest tag
+        # still hears the reader.
+        for k in range(1, DEEP_N_TAGS + 1):
+            assert deep_medium.beacon_loss_probability(f"tag{k}") < 0.01
+
+
+class TestT2TBudget:
+    def test_loss_chains_carrier_path_and_conversion(self, deep_medium):
+        prop = deep_medium.propagation
+        expected = (
+            prop.link("reader", "tag4").loss_db
+            + prop.link("tag4", "tag3").loss_db
+            + T2T_CONVERSION_LOSS_DB
+        )
+        assert deep_medium.tag_to_tag_loss_db("tag4", "tag3") == pytest.approx(
+            expected
+        )
+
+    def test_conversion_penalty_makes_t2t_weaker_than_echo(self, deep_medium):
+        # A hop between adjacent tags is strictly lossier than the same
+        # acoustic path alone: the receiving tag pays the
+        # backscatter-of-backscatter conversion penalty.
+        prop = deep_medium.propagation
+        t2t = deep_medium.tag_to_tag_loss_db("tag2", "tag1")
+        assert t2t > prop.link("tag2", "tag1").loss_db + prop.link(
+            "reader", "tag2"
+        ).loss_db
+
+    def test_adjacent_hops_beat_skipping(self, deep_medium):
+        # Each extra junction on the src->dst leg costs dB, so skipping
+        # a rung is strictly worse than the adjacent hop.
+        assert deep_medium.tag_to_tag_packet_success(
+            "tag5", "tag4"
+        ) > deep_medium.tag_to_tag_packet_success("tag5", "tag3")
+
+    def test_success_in_unit_interval(self, deep_medium):
+        for src in ("tag4", "tag6"):
+            for dst in ("tag3", "tag5"):
+                if src == dst:
+                    continue
+                p = deep_medium.tag_to_tag_packet_success(src, dst)
+                assert 0.0 <= p <= 1.0
+
+
+class TestRelayTable:
+    def test_route_prefers_minimum_hops(self, table):
+        # tag4 is one T2T hop from healthy tag3.
+        chain = table.route_for(
+            "tag4",
+            terminals=["tag1", "tag2", "tag3"],
+            intermediates=["tag1", "tag2", "tag3", "tag5", "tag6"],
+        )
+        assert chain == ("tag3",)
+
+    def test_deepest_tag_gets_full_chain(self, table):
+        chain = table.route_for(
+            "tag6",
+            terminals=["tag1", "tag2", "tag3"],
+            intermediates=["tag1", "tag2", "tag3", "tag4", "tag5"],
+        )
+        assert chain == ("tag5", "tag4", "tag3")
+        assert len(chain) + 1 <= MAX_RELAY_HOPS
+
+    def test_exclusion_reroutes_or_fails(self, table):
+        # Excluding the only viable first hop of tag6 kills the route:
+        # tag6->tag4 skips a rung and falls below the link floor.
+        chain = table.route_for(
+            "tag6",
+            terminals=["tag1", "tag2", "tag3"],
+            intermediates=["tag1", "tag2", "tag3", "tag4", "tag5"],
+            exclude=("tag5",),
+        )
+        assert chain is None
+
+    def test_shadowed_terminal_rejected(self, table):
+        # tag4's own uplink is dead, so it cannot terminate a route
+        # even though it is a fine intermediate.
+        chain = table.route_for(
+            "tag5", terminals=["tag4"], intermediates=["tag4"]
+        )
+        assert chain is None
+
+    def test_hop_bound_respected(self, deep_medium):
+        # With only 3 total hops allowed, tag6 (which needs 4) has no
+        # admissible route.
+        tight = RelayTable(deep_medium, max_hops=3)
+        chain = tight.route_for(
+            "tag6",
+            terminals=["tag1", "tag2", "tag3"],
+            intermediates=["tag1", "tag2", "tag3", "tag4", "tag5"],
+        )
+        assert chain is None
+
+    def test_cache_invalidates_on_channel_generation(self, deep_medium):
+        table = RelayTable(deep_medium)
+        before = table.t2t_success("tag4", "tag3")
+        deep_medium.biw.set_joint_loss_offset_db(6.0)
+        deep_medium.invalidate_channel_cache()
+        try:
+            degraded = table.t2t_success("tag4", "tag3")
+            assert degraded < before
+        finally:
+            deep_medium.biw.set_joint_loss_offset_db(0.0)
+            deep_medium.invalidate_channel_cache()
+
+    def test_validation(self, deep_medium):
+        with pytest.raises(ValueError):
+            RelayTable(deep_medium, min_link_success=0.0)
+        with pytest.raises(ValueError):
+            RelayTable(deep_medium, min_uplink_success=1.5)
+        with pytest.raises(ValueError):
+            RelayTable(deep_medium, max_hops=1)

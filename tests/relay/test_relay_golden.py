@@ -1,0 +1,197 @@
+"""Golden-trace regression for the relay tier: the canonical rescue
+scenario — a junction ladder with relay-tier faults under a supervised
+relay network — must replay byte-for-byte against a checked-in JSON
+document.
+
+Regenerate (after an intentional behaviour change) with::
+
+    PYTHONPATH=src python -m pytest tests/relay/test_relay_golden.py --regen-golden
+
+and review the golden diff like any other code change.
+"""
+
+import hashlib
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+import pytest
+
+from repro.channel import deep_structure
+from repro.channel.medium import AcousticMedium
+from repro.core.network import NetworkConfig
+from repro.faults import FaultEvent, FaultSchedule
+from repro.relay import RelaySlottedNetwork
+from repro.resilience import (
+    NetworkSupervisor,
+    RelayFallbackPolicy,
+    default_policies,
+)
+
+GOLDEN_PATH = Path(__file__).resolve().parent.parent / "golden" / "relay_rescue.json"
+
+#: The pinned scenario: the six-tag junction ladder, where tag4 rides a
+#: two-hop route (tag3 forwards) and the deeper tags chain through it,
+#: stressed by a relay brownout mid-route and a stale-table window.
+SCENARIO_SEEDS = (1, 3, 23)
+SCENARIO_SLOTS = 400
+SCENARIO_PERIODS = {f"tag{i}": 8 for i in range(1, 7)}
+
+
+def scenario_schedule() -> FaultSchedule:
+    return FaultSchedule(
+        [
+            FaultEvent(
+                slot=200, duration=60, kind="relay_brownout", target="tag3"
+            ),
+            FaultEvent(
+                slot=220, duration=100, kind="relay_table_stale", target="*"
+            ),
+        ]
+    )
+
+
+_RUN_CACHE = {}
+
+
+def scenario_run(seed):
+    """Each seed's supervised network executes once per test session."""
+    if seed not in _RUN_CACHE:
+        net = RelaySlottedNetwork(
+            dict(SCENARIO_PERIODS),
+            config=NetworkConfig(seed=seed),
+            medium=AcousticMedium(biw=deep_structure(), reference_tag="tag1"),
+            faults=scenario_schedule(),
+        )
+        sup = NetworkSupervisor(
+            net, policies=default_policies() + [RelayFallbackPolicy()]
+        )
+        sup.run(SCENARIO_SLOTS)
+        _RUN_CACHE[seed] = (net, sup)
+    return _RUN_CACHE[seed]
+
+
+def slot_log(net) -> list:
+    return [asdict(r) for r in net.records]
+
+
+def log_signature(log: list) -> str:
+    blob = json.dumps(log, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def run_doc(seed) -> dict:
+    net, sup = scenario_run(seed)
+    log = slot_log(net)
+    return {
+        "slots": log,
+        "signature": log_signature(log),
+        "trace_signature": net.faults.trace.signature(),
+        "relay_log": [list(entry) for entry in net.relay_log],
+        "routes": {
+            source: list(route.chain)
+            for source, route in sorted(net.routes.items())
+        },
+        "policy_actions": [
+            [a.slot, a.policy, a.tag, a.action]
+            for a in sup.actions
+            if a.policy == "relay_fallback"
+        ],
+    }
+
+
+def full_doc() -> dict:
+    return {
+        "scenario": "relay_rescue",
+        "n_slots": SCENARIO_SLOTS,
+        "tag_periods": SCENARIO_PERIODS,
+        "schedule_signature": scenario_schedule().signature(),
+        "runs": {str(seed): run_doc(seed) for seed in SCENARIO_SEEDS},
+    }
+
+
+def load_or_regen(regen: bool) -> dict:
+    if regen:
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        doc = full_doc()
+        GOLDEN_PATH.write_text(
+            json.dumps(doc, indent=1, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        return doc
+    if not GOLDEN_PATH.exists():
+        pytest.fail(
+            f"golden file {GOLDEN_PATH} missing — run pytest with --regen-golden"
+        )
+    return json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+
+
+@pytest.mark.parametrize("seed", SCENARIO_SEEDS)
+class TestGoldenRelay:
+    def test_signature_matches_golden(self, seed, regen_golden):
+        doc = load_or_regen(regen_golden)
+        net, _ = scenario_run(seed)
+        got = log_signature(slot_log(net))
+        assert got == doc["runs"][str(seed)]["signature"], (
+            f"seed {seed} drifted from its golden relay trace; if the "
+            "change is intentional, regenerate with --regen-golden"
+        )
+
+    def test_full_slot_log_matches_golden(self, seed, regen_golden):
+        doc = load_or_regen(regen_golden)
+        net, _ = scenario_run(seed)
+        assert slot_log(net) == doc["runs"][str(seed)]["slots"]
+
+    def test_relay_log_and_routes_match_golden(self, seed, regen_golden):
+        doc = load_or_regen(regen_golden)
+        net, _ = scenario_run(seed)
+        run = doc["runs"][str(seed)]
+        assert [list(e) for e in net.relay_log] == run["relay_log"]
+        assert {
+            s: list(r.chain) for s, r in sorted(net.routes.items())
+        } == run["routes"]
+
+    def test_trace_and_policy_actions_match_golden(self, seed, regen_golden):
+        doc = load_or_regen(regen_golden)
+        net, sup = scenario_run(seed)
+        run = doc["runs"][str(seed)]
+        assert net.faults.trace.signature() == run["trace_signature"]
+        assert [
+            [a.slot, a.policy, a.tag, a.action]
+            for a in sup.actions
+            if a.policy == "relay_fallback"
+        ] == run["policy_actions"]
+
+
+class TestGoldenMachinery:
+    def test_metadata_pins_the_setup(self, regen_golden):
+        doc = load_or_regen(regen_golden)
+        assert doc["scenario"] == "relay_rescue"
+        assert doc["n_slots"] == SCENARIO_SLOTS
+        assert doc["tag_periods"] == SCENARIO_PERIODS
+        assert doc["schedule_signature"] == scenario_schedule().signature()
+
+    def test_scenario_actually_relays(self, regen_golden):
+        # The pinned trace is a rescue, not a quiet run: routes engage
+        # and frames deliver in every seed.
+        doc = load_or_regen(regen_golden)
+        for seed, run in doc["runs"].items():
+            assert run["routes"], f"seed {seed} engaged no routes"
+            kinds = {entry[1] for entry in run["relay_log"]}
+            assert "relay.engage" in kinds
+            assert "relay.deliver" in kinds
+
+    def test_repeat_runs_are_byte_identical(self):
+        seed = SCENARIO_SEEDS[0]
+        net = RelaySlottedNetwork(
+            dict(SCENARIO_PERIODS),
+            config=NetworkConfig(seed=seed),
+            medium=AcousticMedium(biw=deep_structure(), reference_tag="tag1"),
+            faults=scenario_schedule(),
+        )
+        sup = NetworkSupervisor(
+            net, policies=default_policies() + [RelayFallbackPolicy()]
+        )
+        sup.run(SCENARIO_SLOTS)
+        cached, _ = scenario_run(seed)
+        assert slot_log(net) == slot_log(cached)
+        assert net.relay_log == cached.relay_log

@@ -1,0 +1,230 @@
+"""Relay MAC and network mechanics: grants, forwarding, ACK override,
+and the zero-cost-when-off differential contract."""
+
+from dataclasses import asdict
+
+import pytest
+
+from repro.channel import deep_structure
+from repro.channel.medium import AcousticMedium
+from repro.core.network import NetworkConfig, SlottedNetwork
+from repro.faults import FaultEvent, FaultSchedule
+from repro.relay import RelaySlottedNetwork
+
+
+def deep_medium() -> AcousticMedium:
+    return AcousticMedium(biw=deep_structure(), reference_tag="tag1")
+
+
+def deep_network(seed=3, **kwargs) -> RelaySlottedNetwork:
+    periods = {f"tag{i}": 8 for i in range(1, 7)}
+    return RelaySlottedNetwork(
+        periods,
+        config=NetworkConfig(seed=seed),
+        medium=deep_medium(),
+        **kwargs,
+    )
+
+
+def settle(net, n=200):
+    net.run(n)
+    return net
+
+
+class TestGrants:
+    def test_grant_is_conflict_free_and_reserved(self):
+        net = settle(deep_network())
+        route = net.engage_route("tag4")
+        assert route is not None
+        reader = net.reader
+        grant = reader.forward_grants["tag4"]
+        # The grant never collides with a committed tag's pattern.
+        for tag, offset in reader.committed_assignments.items():
+            period = reader.tag_periods[tag]
+            for slot in range(128):
+                hits_grant = slot % grant.period == grant.offset
+                hits_tag = slot % period == offset
+                assert not (hits_grant and hits_tag)
+
+    def test_engage_releases_direct_commitment(self):
+        net = settle(deep_network())
+        net.reader._committed["tag4"] = 1  # force a stale commitment
+        net.engage_route("tag4")
+        assert "tag4" not in net.reader.committed_assignments
+
+    def test_double_engage_rejected(self):
+        net = settle(deep_network())
+        assert net.engage_route("tag4") is not None
+        with pytest.raises(ValueError):
+            net.engage_route("tag4")
+
+    def test_unknown_source_rejected(self):
+        net = deep_network()
+        with pytest.raises(KeyError):
+            net.engage_route("tag99")
+
+    def test_explicit_chain_validated(self):
+        net = settle(deep_network())
+        with pytest.raises(ValueError):
+            net.engage_route("tag4", chain=())
+        with pytest.raises(ValueError):
+            net.engage_route("tag4", chain=("tag4",))
+        with pytest.raises(KeyError):
+            net.engage_route("tag4", chain=("tag99",))
+
+    def test_release_frees_the_grant(self):
+        net = settle(deep_network())
+        net.engage_route("tag4")
+        assert net.release_route("tag4", "test")
+        assert "tag4" not in net.reader.forward_grants
+        assert "tag4" not in net.routes
+        assert not net.release_route("tag4")
+
+    def test_disabled_network_never_engages(self):
+        net = settle(deep_network(relaying_enabled=False))
+        assert net.engage_route("tag4") is None
+        assert net._relay_rng is None
+
+
+class TestForwarding:
+    def test_route_delivers_and_attributes_to_source(self):
+        net = settle(deep_network())
+        route = net.engage_route("tag4")
+        engaged_at = net.reader.slot_index
+        net.run(200)
+        assert route.delivered > 3
+        # Every credited delivery is a slot record attributing the
+        # decode to the source in the granted pattern.
+        grant_decodes = [
+            r
+            for r in net.records
+            if r.slot >= engaged_at
+            and r.decoded == "tag4"
+            and r.acked
+            and r.slot % route.period == route.grant_offset
+        ]
+        assert len(grant_decodes) == route.delivered
+
+    def test_source_mac_settles_on_t2t_ack(self):
+        # The relay-aware ACK override lets the shadowed source's MAC
+        # state machine stabilise even though the reader never hears it
+        # directly: it stops changing offsets once the first hop ACKs.
+        net = settle(deep_network())
+        net.engage_route("tag4")
+        net.run(300)
+        tag = net.tags["tag4"]
+        offsets = set()
+        for _ in range(64):
+            net.step()
+            if tag.transmitted_last_slot:
+                offsets.add(tag.offset)
+        assert len(offsets) == 1
+
+    def test_multi_hop_chain_delivers(self):
+        net = settle(deep_network())
+        route = net.engage_route("tag6")
+        assert route.chain == ("tag5", "tag4", "tag3")
+        net.run(400)
+        assert route.delivered > 5
+
+    def test_grant_lost_on_reader_restart(self):
+        net = settle(deep_network())
+        net.engage_route("tag4")
+        net.reader.restart()
+        net.step()
+        assert net.routes == {}
+        assert any(k == "relay.release" and d == "grant_lost"
+                   for _, k, _, d in net.relay_log)
+
+    def test_relay_brownout_fails_forwards(self):
+        schedule = FaultSchedule(
+            [
+                FaultEvent(
+                    slot=300, duration=80, kind="relay_brownout", target="tag3"
+                )
+            ]
+        )
+        net = deep_network(faults=schedule)
+        settle(net, 250)
+        route = net.engage_route("tag4")
+        net.run(200)
+        assert route is net.routes.get("tag4")
+        assert net.routes["tag4"].failed_streak >= 0
+        assert route.dropped > 0  # frames died at the dark relay
+        assert route.last_failed_relay == "tag3"
+
+
+class TestZeroCostOff:
+    @pytest.mark.parametrize("seed", [0, 3, 17])
+    def test_relay_off_matches_plain_network(self, seed):
+        periods = {"tag8": 4, "tag4": 8, "tag11": 8, "tag3": 16}
+        plain = SlottedNetwork(dict(periods), config=NetworkConfig(seed=seed))
+        off = RelaySlottedNetwork(
+            dict(periods),
+            config=NetworkConfig(seed=seed),
+            relaying_enabled=False,
+        )
+        plain.run(400)
+        off.run(400)
+        assert [asdict(r) for r in plain.records] == [
+            asdict(r) for r in off.records
+        ]
+
+    @pytest.mark.parametrize("seed", [0, 3, 17])
+    def test_relay_off_matches_under_sparse_population(self, seed):
+        periods = {"tag8": 16, "tag5": 32}
+        plain = SlottedNetwork(dict(periods), config=NetworkConfig(seed=seed))
+        off = RelaySlottedNetwork(
+            dict(periods),
+            config=NetworkConfig(seed=seed),
+            relaying_enabled=False,
+        )
+        plain.run(400)
+        off.run(400)
+        assert [asdict(r) for r in plain.records] == [
+            asdict(r) for r in off.records
+        ]
+
+    @pytest.mark.parametrize("seed", [0, 3, 17])
+    def test_relay_off_matches_under_faults(self, seed):
+        periods = {"tag8": 4, "tag4": 8, "tag11": 8}
+
+        def schedule():
+            return FaultSchedule.generate(
+                seed=seed,
+                n_slots=200,
+                tags=sorted(periods),
+                n_faults=4,
+                start_slot=100,
+            )
+
+        plain = SlottedNetwork(
+            dict(periods),
+            config=NetworkConfig(seed=seed, ideal_channel=True),
+            faults=schedule(),
+        )
+        off = RelaySlottedNetwork(
+            dict(periods),
+            config=NetworkConfig(seed=seed, ideal_channel=True),
+            relaying_enabled=False,
+            faults=schedule(),
+        )
+        plain.run(400)
+        off.run(400)
+        assert [asdict(r) for r in plain.records] == [
+            asdict(r) for r in off.records
+        ]
+        assert plain.faults.trace.signature() == off.faults.trace.signature()
+
+    def test_idle_relay_on_network_is_also_identical(self):
+        # Even with relaying *enabled*, a network that never engages a
+        # route must not diverge: the stream is created lazily.
+        periods = {"tag8": 4, "tag4": 8}
+        plain = SlottedNetwork(dict(periods), config=NetworkConfig(seed=7))
+        idle = RelaySlottedNetwork(dict(periods), config=NetworkConfig(seed=7))
+        plain.run(300)
+        idle.run(300)
+        assert [asdict(r) for r in plain.records] == [
+            asdict(r) for r in idle.records
+        ]
+        assert idle._relay_rng is None

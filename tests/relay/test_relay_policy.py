@@ -1,0 +1,193 @@
+"""RelayFallbackPolicy: engage on demote/absence, release on recovery,
+re-route around dead relays, and freeze under a stale relay table."""
+
+import pytest
+
+from repro.channel import deep_structure
+from repro.channel.medium import AcousticMedium
+from repro.core.network import NetworkConfig, SlottedNetwork
+from repro.faults import FaultEvent, FaultSchedule
+from repro.relay import RelaySlottedNetwork
+from repro.resilience import (
+    NetworkSupervisor,
+    RelayFallbackPolicy,
+    default_policies,
+)
+
+
+def deep_network(seed=3, **kwargs) -> RelaySlottedNetwork:
+    periods = {f"tag{i}": 8 for i in range(1, 7)}
+    return RelaySlottedNetwork(
+        periods,
+        config=NetworkConfig(seed=seed),
+        medium=AcousticMedium(biw=deep_structure(), reference_tag="tag1"),
+        **kwargs,
+    )
+
+
+def supervised(net, policy=None):
+    policies = default_policies() + [policy or RelayFallbackPolicy()]
+    return NetworkSupervisor(net, policies=policies)
+
+
+def actions(sup, action):
+    return [a for a in sup.actions if a.action == action]
+
+
+class TestEngage:
+    def test_absent_shadowed_tags_get_routes(self):
+        net = deep_network()
+        sup = supervised(net)
+        sup.run(200)
+        # The depth>=3 tags never decoded at all: the absent path must
+        # catch them even though the monitor has no expectations.
+        assert set(net.routes) == {"tag4", "tag5", "tag6"}
+        engages = actions(sup, "relay_engage")
+        assert {a.tag for a in engages} == {"tag4", "tag5", "tag6"}
+        assert all("absent" in a.detail for a in engages)
+
+    def test_demoted_tag_gets_route(self):
+        # tag2 commits while healthy, then a massive attenuation fault
+        # kills its direct uplink: the monitor's missed expected slot
+        # must trigger engagement through the demote path.  A silently
+        # dead uplink yields exactly one countable miss before the
+        # commitment expires, so the demote threshold is 1 here; the
+        # default threshold targets collision-pinned tags and leaves
+        # dead uplinks to the absent path.
+        schedule = FaultSchedule(
+            [
+                FaultEvent(
+                    slot=300,
+                    duration=400,
+                    kind="attenuation",
+                    target="tag2",
+                    magnitude=60.0,
+                )
+            ]
+        )
+        net = deep_network(faults=schedule)
+        sup = NetworkSupervisor(
+            net, policies=[RelayFallbackPolicy(engage_misses=1)]
+        )
+        sup.run(600)
+        assert "tag2" in net.routes
+        engages = [a for a in actions(sup, "relay_engage") if a.tag == "tag2"]
+        assert engages and "demoted" in engages[0].detail
+
+    def test_policy_inert_on_plain_network(self):
+        net = SlottedNetwork(
+            {"tag8": 4, "tag4": 8}, config=NetworkConfig(seed=3)
+        )
+        sup = supervised(net)
+        sup.run(200)
+        assert actions(sup, "relay_engage") == []
+
+    def test_no_routes_on_disabled_relay_network(self):
+        net = deep_network(relaying_enabled=False)
+        sup = supervised(net)
+        sup.run(300)
+        assert net.routes == {}
+
+    def test_validation(self):
+        for kwargs in (
+            {"engage_misses": 0},
+            {"absent_after_periods": 0},
+            {"reroute_failures": 0},
+            {"retry_every_periods": 0},
+        ):
+            with pytest.raises(ValueError):
+                RelayFallbackPolicy(**kwargs)
+
+
+class TestRelease:
+    def test_direct_recovery_releases_the_route(self):
+        # The attenuation window ends at slot 700: afterwards tag2's
+        # direct probes decode again and the policy must tear the route
+        # down (and tag2 re-commits as a normal tag).
+        schedule = FaultSchedule(
+            [
+                FaultEvent(
+                    slot=300,
+                    duration=400,
+                    kind="attenuation",
+                    target="tag2",
+                    magnitude=60.0,
+                )
+            ]
+        )
+        net = deep_network(faults=schedule)
+        sup = supervised(net)
+        sup.run(1100)
+        assert "tag2" not in net.routes
+        releases = [a for a in actions(sup, "relay_release") if a.tag == "tag2"]
+        assert releases, "route was never released after recovery"
+        assert "tag2" in net.reader.committed_assignments
+
+
+class TestReroute:
+    def test_dead_relay_triggers_reroute(self):
+        # tag5's route runs via tag4>tag3; browning tag4 out mid-route
+        # racks up forwarding failures until the policy re-routes around
+        # it (tag5 -> tag3 directly skips the dead rung if admissible,
+        # else the route changes shape some other way).
+        net = deep_network()
+        sup = supervised(net)
+        sup.run(200)
+        before = net.routes["tag5"].chain
+        assert "tag4" in before
+        schedule_net_ctl = net._faults
+        assert schedule_net_ctl is None  # no controller yet in this run
+        # Re-run with the brownout baked into a schedule instead.
+        schedule = FaultSchedule(
+            [
+                FaultEvent(
+                    slot=260,
+                    duration=300,
+                    kind="relay_brownout",
+                    target="tag4",
+                )
+            ]
+        )
+        net = deep_network(faults=schedule)
+        sup = supervised(net)
+        sup.run(600)
+        reroutes = [
+            a
+            for a in sup.actions
+            if a.action in ("relay_reroute", "relay_reroute_failed")
+        ]
+        assert reroutes, "no reroute attempt despite a dead relay"
+
+    def test_stale_table_freezes_rerouting(self):
+        # Same dead relay, but with relay_table_stale active the policy
+        # must neither re-route nor engage new routes: the route keeps
+        # limping through its dead relay.
+        schedule = FaultSchedule(
+            [
+                FaultEvent(
+                    slot=260,
+                    duration=340,
+                    kind="relay_table_stale",
+                    target="*",
+                ),
+                FaultEvent(
+                    slot=280,
+                    duration=300,
+                    kind="relay_brownout",
+                    target="tag4",
+                ),
+            ]
+        )
+        net = deep_network(faults=schedule)
+        sup = supervised(net)
+        sup.run(250)
+        chains_before = {s: r.chain for s, r in net.routes.items()}
+        assert "tag4" in chains_before.get("tag5", ())
+        sup.run(300)  # the stale window covers the whole brownout
+        assert net.routes["tag5"].chain == chains_before["tag5"]
+        assert not [
+            a
+            for a in sup.actions
+            if a.action == "relay_reroute" and 260 <= a.slot < 550
+        ]
+        assert net.routes["tag5"].failed_streak > 0

@@ -27,6 +27,7 @@ SUBPACKAGES = [
     "repro.app",
     "repro.fleet",
     "repro.multireader",
+    "repro.relay",
 ]
 
 

@@ -45,6 +45,13 @@ MAX_RATIO_UNCHECKED = 2.5
 # leaves headroom for noisy shared runners).
 MAX_RATIO_MULTIREADER = 1.05
 
+# Relay overhead gate: a RelaySlottedNetwork with relaying disabled
+# must stay within this ratio of a plain SlottedNetwork over the same
+# seed and topology — the zero-cost-off contract for the relay layer
+# (step() delegates straight to the base class when no routes exist;
+# measured ~1.0x, the gate leaves headroom for noisy shared runners).
+MAX_RATIO_RELAY = 1.05
+
 # Telemetry overhead gate: the instrument sites are guarded by a single
 # `telemetry.active()` lookup, so running with collection enabled may
 # not slow the MAC loop beyond this ratio (measured ~1.2x; the gate
@@ -208,6 +215,54 @@ def multireader_overhead_check() -> bool:
         f"single-reader multireader overhead over {OVERHEAD_SLOTS} slots: "
         f"{ratio:.2f}x vs plain SlottedNetwork "
         f"(gate {MAX_RATIO_MULTIREADER}x) -> {'ok' if ok else 'FAIL'}"
+    )
+    return ok
+
+
+def relay_overhead_check() -> bool:
+    """Time a relaying-disabled RelaySlottedNetwork against the plain loop.
+
+    Returns True when the ratio stays under the gate.  With relaying
+    off the wrapper must be provably inert: same slot records (held
+    byte-identical by tests/relay/), and (checked here)
+    indistinguishable wall time — ``step()`` falls straight through to
+    the base class and no relay RNG stream is ever created.
+    """
+    sys.path.insert(0, os.path.join(repo_root(), "src"))
+    from repro.core.network import NetworkConfig, SlottedNetwork
+    from repro.relay import RelaySlottedNetwork
+
+    periods = {f"tag{i}": p for i, p in enumerate((4, 8, 8, 16, 16, 32), start=1)}
+
+    def build(relay: bool):
+        config = NetworkConfig(seed=0, ideal_channel=True)
+        if relay:
+            return RelaySlottedNetwork(
+                periods, config=config, relaying_enabled=False
+            )
+        return SlottedNetwork(periods, config=config)
+
+    def one_run(relay: bool) -> float:
+        net = build(relay)
+        start = time.perf_counter()
+        net.run(OVERHEAD_SLOTS)
+        return time.perf_counter() - start
+
+    # Warm both paths once, then interleave the timed repeats so
+    # interpreter warm-up cannot bias whichever leg runs first.
+    one_run(True)
+    one_run(False)
+    best = {True: float("inf"), False: float("inf")}
+    for _ in range(OVERHEAD_REPEATS):
+        for relay in (True, False):
+            best[relay] = min(best[relay], one_run(relay))
+
+    ratio = best[True] / best[False]
+    ok = ratio <= MAX_RATIO_RELAY
+    print(
+        f"relay-off overhead over {OVERHEAD_SLOTS} slots: "
+        f"{ratio:.2f}x vs plain SlottedNetwork "
+        f"(gate {MAX_RATIO_RELAY}x) -> {'ok' if ok else 'FAIL'}"
     )
     return ok
 
@@ -380,6 +435,12 @@ def main(argv: List[str] | None = None) -> int:
         "(skips everything else); used by the advisory CI figT job",
     )
     parser.add_argument(
+        "--relay-only",
+        action="store_true",
+        help="run only the relay-off overhead gate (skips everything "
+        "else); used by the advisory CI figM job",
+    )
+    parser.add_argument(
         "--fleet-out",
         default=None,
         metavar="PATH",
@@ -397,6 +458,8 @@ def main(argv: List[str] | None = None) -> int:
     root = repo_root()
     if args.multireader_only:
         return 0 if multireader_overhead_check() else 2
+    if args.relay_only:
+        return 0 if relay_overhead_check() else 2
     if args.fleet_only:
         fleet_snapshot(args.fleet_out or os.path.join(root, "BENCH_fleet.json"))
         return 0
@@ -410,6 +473,7 @@ def main(argv: List[str] | None = None) -> int:
         overhead_ok = resilience_overhead_check()
         overhead_ok = telemetry_overhead_check() and overhead_ok
         overhead_ok = multireader_overhead_check() and overhead_ok
+        overhead_ok = relay_overhead_check() and overhead_ok
     out = args.out or os.path.join(root, default_out())
     env = dict(os.environ)
     env["PYTHONPATH"] = os.pathsep.join(

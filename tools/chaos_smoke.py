@@ -36,16 +36,26 @@ sys.path.insert(
     os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"),
 )
 
+from repro.channel import deep_structure
+from repro.channel.medium import AcousticMedium
 from repro.core.network import NetworkConfig, SlottedNetwork
 from repro.faults.scenarios import SCENARIO_PERIODS
-from repro.faults.schedule import FaultSchedule
-from repro.resilience import NetworkSupervisor
+from repro.faults.schedule import FaultEvent, FaultSchedule
+from repro.relay import RelaySlottedNetwork
+from repro.resilience import (
+    NetworkSupervisor,
+    RelayFallbackPolicy,
+    default_policies,
+)
 
 #: Protocol-level fault kinds the recovery policies target.
 RECOVERY_KINDS = ("beacon_loss", "brownout", "harvester_collapse", "reader_restart")
 
 MEASURE_SLOTS = 400
 CONVERGE_BUDGET = 20_000
+
+RELAY_SLOTS = 600
+RELAY_PERIODS = {f"tag{i}": 8 for i in range(1, 7)}
 
 
 def run_trial(seed: int, n_faults: int, max_duration: int) -> List[str]:
@@ -100,6 +110,81 @@ def run_trial(seed: int, n_faults: int, max_duration: int) -> List[str]:
     return failures
 
 
+def run_relay_trial(seed: int, n_faults: int, max_duration: int) -> List[str]:
+    """One relay-tier chaos trial on the junction-depth ladder.
+
+    Shadowed tags (depth >= 3) get rescued over tag-to-tag routes; the
+    generated schedule browns relays out mid-route, freezes the relay
+    table, and attenuates direct uplinks.  The safety net: the run
+    completes cleanly, routes engage and actually deliver, and a
+    relay-off replay is byte-identical to a plain network under the
+    same schedule (the zero-cost-when-off contract of the relay tier).
+    """
+    failures: List[str] = []
+    schedule = FaultSchedule.generate(
+        seed=seed,
+        n_slots=RELAY_SLOTS,
+        tags=["tag1", "tag2", "tag3", "tag4"],
+        kinds=("relay_brownout", "relay_table_stale", "attenuation"),
+        n_faults=n_faults,
+        max_duration=max_duration,
+        start_slot=150,
+    )
+    n_slots = max(RELAY_SLOTS, schedule.last_clear_slot + 100)
+
+    def build(relaying: bool):
+        return RelaySlottedNetwork(
+            dict(RELAY_PERIODS),
+            config=NetworkConfig(seed=seed),
+            medium=AcousticMedium(biw=deep_structure(), reference_tag="tag1"),
+            faults=schedule,
+            relaying_enabled=relaying,
+        )
+
+    net = build(True)
+    supervisor = NetworkSupervisor(
+        net, policies=default_policies() + [RelayFallbackPolicy()]
+    )
+    supervisor.run(n_slots)
+
+    if len(net.records) != n_slots:
+        failures.append(f"run truncated: {len(net.records)}/{n_slots} records")
+    if supervisor.violations:
+        failures.append(
+            f"{len(supervisor.violations)} invariant violation(s): "
+            f"{supervisor.violations[0].to_jsonable()}"
+        )
+    if supervisor.escalations:
+        failures.append(
+            f"escalation ladder fired: "
+            f"{[e.level for e in supervisor.escalations]}"
+        )
+    engaged = {entry[2] for entry in net.relay_log if entry[1] == "relay.engage"}
+    if not engaged:
+        failures.append("no relay route ever engaged on the deep ladder")
+    delivered = sum(
+        1 for entry in net.relay_log if entry[1] == "relay.deliver"
+    )
+    if not delivered:
+        failures.append("relay routes engaged but delivered nothing")
+
+    # Zero-cost contract: a relay network with relaying disabled must
+    # replay byte-identically to the plain slot network, faults and all.
+    off = build(False)
+    off.run(n_slots)
+    plain = SlottedNetwork(
+        dict(RELAY_PERIODS),
+        config=NetworkConfig(seed=seed),
+        medium=AcousticMedium(biw=deep_structure(), reference_tag="tag1"),
+        faults=schedule,
+    )
+    plain.run(n_slots)
+    if [r.__dict__ for r in off.records] != [r.__dict__ for r in plain.records]:
+        failures.append("relay-off trace diverged from plain run")
+
+    return failures
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="Random-seed chaos smoke for the resilience layer."
@@ -135,7 +220,20 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"    - {failure}")
         failed += bool(failures)
 
-    print(f"{args.trials - failed}/{args.trials} trials passed")
+    # Relay-tier trials: longer windows so routes engage before the
+    # faults land, so fewer of them.
+    relay_trials = max(1, args.trials // 2)
+    for trial in range(relay_trials):
+        seed = master + args.trials + trial
+        failures = run_relay_trial(seed, args.n_faults, args.max_duration)
+        verdict = "ok" if not failures else "FAIL"
+        print(f"  relay trial {trial} (seed {seed}): {verdict}")
+        for failure in failures:
+            print(f"    - {failure}")
+        failed += bool(failures)
+
+    total = args.trials + relay_trials
+    print(f"{total - failed}/{total} trials passed")
     return 1 if failed else 0
 
 
