@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test coverage bench bench-smoke bench-waveform bench-fleet bench-compare chaos-smoke figT figM results report api-index
+.PHONY: test coverage bench bench-smoke bench-waveform bench-fleet bench-compare chaos-smoke figT figM figA results report api-index
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -48,6 +48,13 @@ figT:
 figM:
 	$(PYTHON) -m repro figM
 	$(PYTHON) tools/bench_smoke.py --relay-only
+
+# Adaptive-bitrate sweep (adaptive vs every fixed modulation/rate)
+# plus the adaptive-off zero-cost overhead gate (mirrors the CI figA
+# job).
+figA:
+	$(PYTHON) -m repro figA
+	$(PYTHON) tools/bench_smoke.py --adaptive-only
 
 # Usage: make bench-compare BEFORE=BENCH_old.json AFTER=BENCH_new.json
 bench-compare:

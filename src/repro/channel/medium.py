@@ -419,6 +419,88 @@ class AcousticMedium:
         burst = BASE_BURST_LOSS * (1.0 + bit_rate_bps / 1500.0)
         return clean_bits * (1.0 - min(burst, 1.0))
 
+    # -- adaptive-PHY link budget ---------------------------------------------
+
+    #: Reference raw rate (bps) for :meth:`link_quality_db` — the stock
+    #: fig12 operating point, so quality numbers line up with the
+    #: paper's SNR ladder regardless of what rate a link currently runs.
+    QUALITY_REFERENCE_RATE_BPS = 375.0
+
+    def link_quality_db(self, tag: str, penalty_db: float = 0.0) -> float:
+        """Rate-independent link quality (dB) the rate controller consumes.
+
+        The uplink SNR at the reference 375 bps FM0 bandwidth: one
+        number per link that every rung of the rate ladder is
+        calibrated against (``repro.phy.rate.DEFAULT_LADDER``).
+        """
+        return self.uplink_snr_db(
+            tag, self.QUALITY_REFERENCE_RATE_BPS, penalty_db=penalty_db
+        )
+
+    def link_config_snr_db(
+        self, tag: str, config, penalty_db: float = 0.0
+    ) -> float:
+        """Uplink SNR (dB) under a :class:`repro.phy.modulation.LinkConfig`.
+
+        FM0 configs reproduce :meth:`uplink_snr_db` float-for-float;
+        other modulations integrate the receiver noise over their own
+        occupied bandwidth and derate the signal by the modulation's
+        power efficiency.
+        """
+        from repro.phy.modulation import get_modulation
+
+        mod = get_modulation(config.modulation)
+        if mod.uses_fm0_chain:
+            return self.uplink_snr_db(
+                tag, config.bitrate_bps, penalty_db=penalty_db
+            )
+        amplitude = self.backscatter_amplitude_v(tag)
+        signal_power = mod.power_efficiency * amplitude**2 / 2.0
+        bandwidth = mod.occupied_bandwidth_hz(config.bitrate_bps)
+        noise_power = self._noise.power_in_band(bandwidth)
+        if self._foreign_carriers:
+            noise_power = noise_power + self.foreign_interference_power(
+                config.bitrate_bps
+            )
+        return acoustics.power_ratio_to_db(signal_power / noise_power) - penalty_db
+
+    def link_config_packet_success(
+        self,
+        tag: str,
+        config,
+        packet_bits: Optional[int] = None,
+        penalty_db: float = 0.0,
+    ) -> float:
+        """Per-frame success probability under an arbitrary link config.
+
+        ``packet_bits`` counts *raw* on-air bits; the default is the
+        modulation's raw footprint of the 32-bit UL frame (64 for FM0 —
+        matching :meth:`uplink_packet_success`'s legacy default — 32
+        for the one-bit-per-raw-bit modes).  The burst floor scales
+        with the modulation's ``burst_scale`` (constant-envelope FSK
+        dodges most envelope-transient glitches).
+        """
+        from repro.phy.modulation import get_modulation
+
+        mod = get_modulation(config.modulation)
+        if packet_bits is None:
+            packet_bits = mod.frame_raw_bits(32)
+        if mod.uses_fm0_chain:
+            return self.uplink_packet_success(
+                tag, config.bitrate_bps, packet_bits, penalty_db=penalty_db
+            )
+        snr_linear = acoustics.db_to_power_ratio(
+            self.link_config_snr_db(tag, config, penalty_db=penalty_db)
+        )
+        ber = mod.bit_error_rate(snr_linear, config.bitrate_bps)
+        clean_bits = (1.0 - ber) ** packet_bits
+        burst = (
+            BASE_BURST_LOSS
+            * mod.burst_scale
+            * (1.0 + config.bitrate_bps / 1500.0)
+        )
+        return clean_bits * (1.0 - min(burst, 1.0))
+
     # -- tag-to-tag (relay) link budget ---------------------------------------
 
     def tag_to_tag_loss_db(self, src: str, dst: str) -> float:
@@ -502,6 +584,7 @@ class AcousticMedium:
         bit_rate_bps: float = 375.0,
         packet_bits: int = 64,
         penalty_db: Optional[Mapping[str, float]] = None,
+        config_for: Optional[Mapping[str, object]] = None,
     ) -> SlotObservation:
         """Resolve one uplink slot: who (if anyone) the reader decodes,
         and whether its IQ-cluster detector flags a collision.
@@ -516,16 +599,33 @@ class AcousticMedium:
 
         ``penalty_db`` maps tag -> transient SNR penalty (dB) from fault
         injection; None (the normal path) means no penalties.
+
+        ``config_for`` maps tag -> :class:`repro.phy.modulation.LinkConfig`
+        for the adaptive PHY; tags absent from the map (and every tag
+        when it is None, the legacy path) use ``bit_rate_bps`` /
+        ``packet_bits``.  The RNG draw order is identical either way —
+        per-tag success probabilities are the only thing a config
+        changes — which is what keeps adaptive-off runs byte-identical.
         """
         tags = list(transmitters)
         if not tags:
             return SlotObservation((), None, False)
+
+        def tag_success(tag: str, pen: float) -> float:
+            if config_for is not None:
+                config = config_for.get(tag)
+                if config is not None:
+                    return self.link_config_packet_success(
+                        tag, config, penalty_db=pen
+                    )
+            return self.uplink_packet_success(
+                tag, bit_rate_bps, packet_bits, penalty_db=pen
+            )
+
         if len(tags) == 1:
             tag = tags[0]
             pen = penalty_db.get(tag, 0.0) if penalty_db else 0.0
-            success = self.uplink_packet_success(
-                tag, bit_rate_bps, packet_bits, penalty_db=pen
-            )
+            success = tag_success(tag, pen)
             decoded = tag if rng.random() < success else None
             return SlotObservation(tuple(tags), decoded, False)
 
@@ -546,9 +646,7 @@ class AcousticMedium:
         decoded = None
         if gap_db >= CAPTURE_THRESHOLD_DB:
             pen = penalty_db.get(strongest, 0.0) if penalty_db else 0.0
-            success = self.uplink_packet_success(
-                strongest, bit_rate_bps, packet_bits, penalty_db=pen
-            )
+            success = tag_success(strongest, pen)
             if rng.random() < success:
                 decoded = strongest
         collision_detected = rng.random() < CLUSTER_DETECTION_PROBABILITY

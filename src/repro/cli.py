@@ -281,6 +281,13 @@ def _run_figM(args: argparse.Namespace) -> str:
     return format_figM(run_figM(seed=seed))
 
 
+def _run_figA(args: argparse.Namespace) -> str:
+    from repro.experiments.figA_adaptive import DEFAULT_SEED, format_figA, run_figA
+
+    seed = args.seed if args.seed != 0 else DEFAULT_SEED
+    return format_figA(run_figA(seed=seed))
+
+
 def _run_resilience(args: argparse.Namespace) -> str:
     from repro.analysis.recovery import slots_to_reconverge
     from repro.core.network import NetworkConfig, SlottedNetwork
@@ -419,6 +426,7 @@ EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "figS": _run_figS,
     "figT": _run_figT,
     "figM": _run_figM,
+    "figA": _run_figA,
     "faults": _run_faults,
     "resilience": _run_resilience,
     "appc": _run_appc,

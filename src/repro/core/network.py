@@ -29,6 +29,8 @@ from repro.sim.random import RandomStreams
 if TYPE_CHECKING:  # avoid importing the fault layer unless it is used
     from repro.faults.controller import FaultController
     from repro.faults.schedule import FaultSchedule
+    from repro.phy.modulation import LinkConfig
+    from repro.phy.rate import RateController
     from repro.sim.trace import TraceRecorder
 
 #: Default slot duration (s), Sec. 6.4 ("empirically set to 1 s").
@@ -66,6 +68,8 @@ class SlottedNetwork:
         activation_slot: Optional[Mapping[str, int]] = None,
         faults: "Optional[FaultSchedule]" = None,
         fault_recorder: "Optional[TraceRecorder]" = None,
+        uplink_plan: "Optional[Mapping[str, LinkConfig]]" = None,
+        rate_controller: "Optional[RateController]" = None,
     ) -> None:
         if not tag_periods:
             raise ValueError("need at least one tag")
@@ -104,6 +108,20 @@ class SlottedNetwork:
         # per-slot check is a single falsy-set test, and parked tags
         # consume no RNG draws, so parking is strictly opt-in.
         self._parked: set = set()
+
+        # Adaptive PHY is strictly opt-in, like faults below: with no
+        # plan and no controller the attributes stay None, _observe
+        # takes one always-false branch, and the run is byte-identical
+        # to a build without this subsystem (pinned by
+        # tests/phy/test_adaptive_differential.py).
+        self.rate_controller = rate_controller
+        self._uplink_plan: "Optional[Dict[str, LinkConfig]]" = None
+        if uplink_plan is not None:
+            self._uplink_plan = dict(uplink_plan)
+        elif rate_controller is not None:
+            self._uplink_plan = {}
+        self._quality_cache: Dict[str, float] = {}
+        self._quality_generation = -1
 
         # Fault injection is strictly opt-in: with no schedule the
         # controller is never created, its RNG stream never instantiated,
@@ -166,6 +184,61 @@ class SlottedNetwork:
         for name in self._beacon_loss:
             self._beacon_loss[name] = self._derive_beacon_loss(name)
 
+    # -- adaptive uplink (opt-in) -------------------------------------------
+
+    @property
+    def uplink_plan(self) -> "Optional[Dict[str, LinkConfig]]":
+        """Current per-tag link configs (None when the PHY is fixed-rate)."""
+        return None if self._uplink_plan is None else dict(self._uplink_plan)
+
+    def _adaptive_active(self) -> bool:
+        if self._uplink_plan is None:
+            return False
+        from repro.phy.rate import adaptive_enabled
+
+        return adaptive_enabled()
+
+    def _link_quality(self, name: str) -> float:
+        """Clean-channel link quality, cached per channel generation."""
+        generation = self.medium.channel_generation
+        if generation != self._quality_generation:
+            self._quality_cache.clear()
+            self._quality_generation = generation
+        quality = self._quality_cache.get(name)
+        if quality is None:
+            quality = self.medium.link_quality_db(name)
+            self._quality_cache[name] = quality
+        return quality
+
+    def _advance_rate_control(
+        self,
+        transmitters: Sequence[str],
+        penalties: Optional[Mapping[str, float]],
+    ) -> None:
+        """Feed this slot's link qualities to the controller.
+
+        Draws nothing from any RNG stream — quality is a deterministic
+        function of the channel and the fault penalties — so rate
+        control never perturbs the shared slot stream.
+        """
+        controller = self.rate_controller
+        if controller is None:
+            return
+        from repro.phy.rate import QUALITY_HISTOGRAM_BOUNDS_DB, QUALITY_METRIC
+
+        tel = telemetry.active()
+        for name in transmitters:
+            quality = self._link_quality(name)
+            if penalties:
+                quality -= penalties.get(name, 0.0)
+            if tel is not None:
+                tel.histogram(
+                    QUALITY_METRIC,
+                    bounds=QUALITY_HISTOGRAM_BOUNDS_DB,
+                    tag=name,
+                ).observe(quality)
+            self._uplink_plan[name] = controller.observe(name, quality)
+
     # -- channel arbitration ---------------------------------------------------
 
     def _observe(self, transmitters: Sequence[str]) -> SlotObservation:
@@ -180,6 +253,15 @@ class SlottedNetwork:
             if self._faults is not None
             else None
         )
+        if self._adaptive_active():
+            self._advance_rate_control(transmitters, penalties)
+            return self.medium.observe_slot(
+                transmitters,
+                self._slot_rng,
+                bit_rate_bps=self.config.ul_raw_rate_bps,
+                penalty_db=penalties,
+                config_for=self._uplink_plan,
+            )
         return self.medium.observe_slot(
             transmitters,
             self._slot_rng,

@@ -54,6 +54,7 @@ from repro.faults.injectors import flip_bits
 from repro.phy import cache as phy_cache
 from repro.phy.iq import detect_collision_iq
 from repro.phy.modem import BackscatterUplink, receiver_noise_baseband
+from repro.phy.modulation import LinkConfig, get_modulation
 from repro.phy.packets import UplinkPacket
 from repro.phy.reader_dsp import ReaderReceiveChain
 
@@ -101,6 +102,8 @@ class WaveformNetwork(SlottedNetwork):
         payloads: Optional[Mapping[str, int]] = None,
         faults=None,
         fault_recorder=None,
+        uplink_plan: Optional[Mapping[str, LinkConfig]] = None,
+        rate_controller=None,
     ) -> None:
         super().__init__(
             tag_periods,
@@ -108,6 +111,8 @@ class WaveformNetwork(SlottedNetwork):
             config,
             faults=faults,
             fault_recorder=fault_recorder,
+            uplink_plan=uplink_plan,
+            rate_controller=rate_controller,
         )
         self._uplink = BackscatterUplink(pzt=self.medium.pzt)
         self._chain = ReaderReceiveChain()
@@ -192,6 +197,7 @@ class WaveformNetwork(SlottedNetwork):
         rate: float,
         cutoff_hz: float,
         decimation: int,
+        modulation: str = "fm0_ook",
     ) -> np.ndarray:
         """Assemble the slot's decimated baseband from cached templates.
 
@@ -203,9 +209,17 @@ class WaveformNetwork(SlottedNetwork):
         ~10^3 samples, replacing the ~10^5-sample synthesis + filter
         run of the reference path.  Equal to the reference baseband to
         ~1 ulp (float reassociation across the linear decomposition).
+
+        The template cache keys on the modulation name, so adaptive
+        slots mixing chirp, FSK, and FM0 frames share the machinery:
+        line coding and the unit envelope profile come from the
+        registered :class:`~repro.phy.modulation.Modulation` (for
+        ``fm0_ook`` exactly the legacy FM0 calls, so default-path
+        basebands are bit-identical).
         """
         uplink = self._uplink
         fs = uplink.sample_rate_hz
+        mod = get_modulation(modulation)
         low_ratio = (
             uplink.pzt.absorptive_coefficient / uplink.pzt.reflective_coefficient
         )
@@ -214,9 +228,10 @@ class WaveformNetwork(SlottedNetwork):
         entries = []
         n_capture = 0
         for bits, amplitude_v, delay_s, phase in plans:
-            raw = phy_cache.fm0_raw(bits)
+            raw = mod.line_encode(bits)
             template = phy_cache.tag_template(
-                raw, rate, fs, uplink.carrier_hz, low_ratio, n_lead, n_tail
+                raw, rate, fs, uplink.carrier_hz, low_ratio, n_lead, n_tail,
+                modulation,
             )
             n_delay = int(round(delay_s * fs))
             n_capture = max(n_capture, n_delay + template.n_body)
@@ -237,6 +252,157 @@ class WaveformNetwork(SlottedNetwork):
             iq -= (amplitude_v * math.sin(phase)) * bs[:m]
         return iq
 
+    def _plan_transmission(self, name: str):
+        """Frame bits, faulted link budget, and carrier phase for one
+        transmitter — the per-tag half of slot synthesis shared by the
+        legacy and adaptive observe paths.
+
+        Draws exactly one phase from the shared stream per call, in
+        caller order, so grouping tags by modulation downstream cannot
+        perturb replayability.
+        """
+        mac = self.tags[name]
+        packet = UplinkPacket(tid=mac.tid, payload=self._payload_for(name))
+        amplitude_v, delay_s = self._link_budget(name)
+        bits = packet.to_bits()
+        ctl = self.faults
+        if ctl is not None:
+            # Faults reach the DSP as physics: SNR penalties
+            # shrink the synthesised backscatter, bit flips
+            # corrupt the frame before line coding — the real
+            # receive chain then fails (or survives) on its own.
+            penalty_db = ctl.snr_penalty_for(name)
+            if penalty_db:
+                amplitude_v *= 10.0 ** (-penalty_db / 20.0)
+            flips = ctl.uplink_bit_flips(name, len(bits))
+            if flips:
+                bits = flip_bits(bits, flips)
+        phase = float(self._phase_rng.uniform(0, 2 * np.pi))
+        return bits, amplitude_v, delay_s, phase
+
+    def _observe_adaptive(self, transmitters: Sequence[str]) -> SlotObservation:
+        """Synthesise the slot under the per-tag modulation plan.
+
+        Tags on different :class:`~repro.phy.modulation.LinkConfig`\\ s
+        occupy disjoint envelope bands (chirp sweep, tone pair, FM0
+        main lobe), so cross-modulation interference is treated as
+        orthogonal: each config group gets its own synthesis, its own
+        receiver-noise draw, and its own decode + cluster pass, and
+        collision arbitration runs within groups only.  Phases are
+        drawn in transmitter order *before* grouping and groups are
+        processed in sorted config order, keeping the run replayable.
+        The slot observation reports the first decoded transmitter
+        (sorted-group order) and a collision if any group collided.
+        """
+        transmitters = list(transmitters)
+        if not transmitters:
+            self.slot_logs.append(
+                WaveformSlotLog(self.reader.slot_index, [], [], 0)
+            )
+            return SlotObservation((), None, False)
+
+        penalties = (
+            self._faults.penalties_for(transmitters)
+            if self._faults is not None
+            else None
+        )
+        self._advance_rate_control(transmitters, penalties)
+
+        uplink = self._uplink
+        chain = self._chain
+        fs = uplink.sample_rate_hz
+        fast = phy_cache.fast_path_enabled()
+        default_config = LinkConfig("fm0_ook", float(self.config.ul_raw_rate_bps))
+
+        groups: Dict[LinkConfig, list] = {}
+        for name in transmitters:
+            plan = self._plan_transmission(name)
+            config = self._uplink_plan.get(name, default_config)
+            groups.setdefault(config, []).append(plan)
+
+        decoded_tids: List[int] = []
+        n_clusters = 0
+        collision = False
+        for config in sorted(groups):
+            plans = groups[config]
+            mod = get_modulation(config.modulation)
+            rate = config.bitrate_bps
+            cutoff_hz = mod.cutoff_hz(rate)
+            decimation = mod.decimation(fs, rate)
+            baseband_rate = fs / decimation
+            with perf.timed("waveform.synthesize"):
+                if fast:
+                    iq = self._assemble_baseband_fast(
+                        plans, rate, cutoff_hz, decimation, config.modulation
+                    )
+                else:
+                    components = [
+                        uplink.tag_component(
+                            bits,
+                            rate,
+                            amplitude_v,
+                            phase_rad=phase,
+                            delay_s=delay_s,
+                            lead_in_s=SLOT_LEAD_IN_S,
+                            tail_s=SLOT_TAIL_S,
+                            modulation=config.modulation,
+                        )
+                        for bits, amplitude_v, delay_s, phase in plans
+                    ]
+                    n_capture = (
+                        max(len(c) for c in components) + SLOT_EXTRA_SAMPLES
+                    )
+                    if len(self._capture_scratch) < n_capture:
+                        self._capture_scratch = np.empty(
+                            max(n_capture, 2 * len(self._capture_scratch))
+                        )
+                    capture = uplink.capture_clean(
+                        components,
+                        extra_samples=SLOT_EXTRA_SAMPLES,
+                        out=self._capture_scratch,
+                    )
+                    iq, _ = chain.raw_baseband_config(capture, config)
+                iq += receiver_noise_baseband(
+                    len(iq),
+                    self.medium.noise.psd_v2_per_hz,
+                    fs,
+                    cutoff_hz,
+                    decimation,
+                    self._phase_rng,
+                )
+            with perf.timed("waveform.demodulate"):
+                outcome = chain.decode_config(iq, baseband_rate, config)
+                clusters = detect_collision_iq(iq)
+            decoded_tids.extend(p.tid for p in outcome.packets)
+            n_clusters += clusters.n_clusters
+            collision = collision or clusters.collision
+
+        perf.count("waveform.slots")
+        tel = telemetry.active()
+        if tel is not None:
+            tel.inc("waveform.slots")
+            if decoded_tids:
+                tel.inc("waveform.decodes")
+            if collision:
+                tel.inc("waveform.collisions")
+
+        self.slot_logs.append(
+            WaveformSlotLog(
+                self.reader.slot_index,
+                transmitters,
+                decoded_tids,
+                n_clusters,
+            )
+        )
+
+        decoded_name: Optional[str] = None
+        for tid in decoded_tids:
+            name = self._tid_to_name.get(tid)
+            if name in transmitters:
+                decoded_name = name
+                break
+        return SlotObservation(tuple(transmitters), decoded_name, collision)
+
     def _observe(self, transmitters: Sequence[str]) -> SlotObservation:
         """Synthesise the slot's capture and run the real receive path.
 
@@ -246,6 +412,8 @@ class WaveformNetwork(SlottedNetwork):
         is replayable across ``REPRO_PHY_FAST`` settings — the
         differential suite pins the decode outcomes byte-identical.
         """
+        if self._adaptive_active():
+            return self._observe_adaptive(transmitters)
         transmitters = list(transmitters)
         if not transmitters:
             self.slot_logs.append(
@@ -257,31 +425,12 @@ class WaveformNetwork(SlottedNetwork):
         chain = self._chain
         rate = self.config.ul_raw_rate_bps
         fs = uplink.sample_rate_hz
-        ctl = self.faults
         fast = phy_cache.fast_path_enabled()
         decimation = chain._decimation_for(rate)
         cutoff_hz = 2.0 * rate
         baseband_rate = fs / decimation
         with perf.timed("waveform.synthesize"):
-            plans = []
-            for name in transmitters:
-                mac = self.tags[name]
-                packet = UplinkPacket(tid=mac.tid, payload=self._payload_for(name))
-                amplitude_v, delay_s = self._link_budget(name)
-                bits = packet.to_bits()
-                if ctl is not None:
-                    # Faults reach the DSP as physics: SNR penalties
-                    # shrink the synthesised backscatter, bit flips
-                    # corrupt the frame before line coding — the real
-                    # receive chain then fails (or survives) on its own.
-                    penalty_db = ctl.snr_penalty_for(name)
-                    if penalty_db:
-                        amplitude_v *= 10.0 ** (-penalty_db / 20.0)
-                    flips = ctl.uplink_bit_flips(name, len(bits))
-                    if flips:
-                        bits = flip_bits(bits, flips)
-                phase = float(self._phase_rng.uniform(0, 2 * np.pi))
-                plans.append((bits, amplitude_v, delay_s, phase))
+            plans = [self._plan_transmission(name) for name in transmitters]
 
             if fast:
                 iq = self._assemble_baseband_fast(

@@ -38,6 +38,24 @@ from repro.phy.modem import (
     raw_bits_to_levels,
     receiver_noise_baseband,
 )
+from repro.phy.modulation import (
+    LinkConfig,
+    Modulation,
+    all_link_configs,
+    get_modulation,
+    modulation_names,
+    register_modulation,
+)
+from repro.phy.cook import ChirpOok
+from repro.phy.fsk import BinaryFsk
+from repro.phy.rate import (
+    DEFAULT_LADDER,
+    RateController,
+    RateStep,
+    adaptive,
+    adaptive_enabled,
+    set_adaptive,
+)
 from repro.phy.packets import (
     DownlinkBeacon,
     PacketError,
@@ -89,6 +107,20 @@ __all__ = [
     "FskOokDownlink",
     "raw_bits_to_levels",
     "receiver_noise_baseband",
+    "LinkConfig",
+    "Modulation",
+    "all_link_configs",
+    "get_modulation",
+    "modulation_names",
+    "register_modulation",
+    "ChirpOok",
+    "BinaryFsk",
+    "DEFAULT_LADDER",
+    "RateController",
+    "RateStep",
+    "adaptive",
+    "adaptive_enabled",
+    "set_adaptive",
     "DownlinkBeacon",
     "PacketError",
     "UplinkPacket",

@@ -301,6 +301,7 @@ class TagTemplate:
         "low_ratio",
         "n_lead",
         "n_tail",
+        "modulation",
         "profile",
         "n_body",
         "_baseband",
@@ -316,8 +317,9 @@ class TagTemplate:
         low_ratio: float,
         n_lead: int,
         n_tail: int,
+        modulation: str = "fm0_ook",
     ) -> None:
-        from repro.phy.modem import raw_bits_to_levels
+        from repro.phy.modulation import get_modulation
 
         self.raw_bits = raw_bits
         self.raw_rate_bps = raw_rate_bps
@@ -326,7 +328,12 @@ class TagTemplate:
         self.low_ratio = low_ratio
         self.n_lead = n_lead
         self.n_tail = n_tail
-        levels = raw_bits_to_levels(raw_bits, raw_rate_bps, sample_rate_hz)
+        self.modulation = modulation
+        # For "fm0_ook" this is exactly raw_bits_to_levels, so legacy
+        # templates stay bit-identical through the registry hop.
+        levels = get_modulation(modulation).unit_profile(
+            raw_bits, raw_rate_bps, sample_rate_hz
+        )
         n_body = n_lead + len(levels) + n_tail
         profile = np.empty(n_body)
         profile[:n_lead] = low_ratio
@@ -452,11 +459,14 @@ def tag_template(
     low_ratio: float,
     n_lead: int,
     n_tail: int,
+    modulation: str = "fm0_ook",
 ) -> TagTemplate:
     """Get-or-build the :class:`TagTemplate` for one encoded frame.
 
     LRU-bounded at :data:`MAX_TEMPLATES` entries; fault-injected bit
-    flips simply hash to different (transient) templates.
+    flips simply hash to different (transient) templates.  Templates
+    are keyed by modulation as well as bit content — a chirp frame and
+    an OOK frame over the same raw bits are different waveforms.
     """
     key = (
         tuple(int(b) for b in raw_bits),
@@ -466,6 +476,7 @@ def tag_template(
         float(low_ratio),
         int(n_lead),
         int(n_tail),
+        str(modulation),
     )
     with _templates_lock:
         template = _templates.get(key)

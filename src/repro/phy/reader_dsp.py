@@ -129,6 +129,30 @@ class ReaderReceiveChain:
         )
         return iq, baseband_rate
 
+    def raw_baseband_config(
+        self, waveform: np.ndarray, config
+    ) -> Tuple[np.ndarray, float]:
+        """:meth:`raw_baseband` with the cutoff/decimation geometry of
+        an arbitrary :class:`repro.phy.modulation.LinkConfig`.
+
+        The FM0 geometry reproduces :meth:`raw_baseband` exactly, so
+        the legacy call sites could route through here unchanged; they
+        keep the direct method to stay obviously byte-identical.
+        """
+        from repro.phy.modulation import get_modulation
+
+        mod = get_modulation(config.modulation)
+        decimation = mod.decimation(self.sample_rate_hz, config.bitrate_bps)
+        baseband_rate = self.sample_rate_hz / decimation
+        iq = downconvert(
+            waveform,
+            self.sample_rate_hz,
+            self.carrier_hz,
+            cutoff_hz=mod.cutoff_hz(config.bitrate_bps),
+            decimation=decimation,
+        )
+        return iq, baseband_rate
+
     def to_baseband(
         self, waveform: np.ndarray, raw_rate_bps: float
     ) -> Tuple[np.ndarray, float, float]:
@@ -295,4 +319,35 @@ class ReaderReceiveChain:
             raw_bits=best_raw,
             baseband=iq,
             frequency_offset_hz=offset,
+        )
+
+    def decode_config(
+        self, iq: np.ndarray, baseband_rate_hz: float, config
+    ) -> DecodeOutcome:
+        """Decode an uncalibrated baseband under an arbitrary
+        :class:`repro.phy.modulation.LinkConfig`.
+
+        FM0 configs ride the stock offset-corrected correlator chain
+        (:meth:`decode_baseband`); other modulations project the
+        baseband onto its modulation axis and hand the real signal to
+        the modulation's matched demodulator.  The matched correlators
+        integrate over whole bit windows, so residual carrier offset
+        (well below a bit rate by construction) washes out and no
+        offset estimation pass is run.
+        """
+        from repro.phy.modulation import get_modulation
+
+        mod = get_modulation(config.modulation)
+        if mod.uses_fm0_chain:
+            return self.decode_baseband(
+                iq, baseband_rate_hz, config.bitrate_bps
+            )
+        projected = self.project(iq)
+        raw = mod.demodulate(projected, baseband_rate_hz, config.bitrate_bps)
+        packets = find_ul_frames(raw)
+        return DecodeOutcome(
+            packets=packets,
+            raw_bits=list(raw),
+            baseband=iq,
+            frequency_offset_hz=0.0,
         )

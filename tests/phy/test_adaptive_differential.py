@@ -1,0 +1,156 @@
+"""Adaptive-off differential suite.
+
+The escape hatch contract: with ``REPRO_PHY_ADAPTIVE=0`` (or the
+:func:`repro.phy.rate.adaptive` context), a network carrying a full
+rate-control stack — installed controller, seeded uplink plan — must
+be **byte-identical** to the stock network: same records, same slot
+logs, same RNG consumption.  This is what lets every pre-adaptive
+baseline, golden trace, and calibration constant in the repo stay
+valid while the adaptive machinery ships alongside.
+
+Scenarios and seeds mirror ``test_fast_path_differential``; both the
+slot-level and the waveform-fidelity networks are pinned.
+"""
+
+import os
+
+import pytest
+
+from repro.core.network import NetworkConfig, SlottedNetwork
+from repro.core.waveform_network import WaveformNetwork
+from repro.faults import FaultEvent, FaultSchedule
+from repro.phy import cache as phy_cache
+from repro.phy import rate
+from repro.phy.modulation import LinkConfig
+from repro.phy.rate import DEFAULT_LADDER, RateController
+
+SEEDS = [1, 7, 23]
+SCENARIOS = ["dense", "sparse", "faulted"]
+
+
+@pytest.fixture(autouse=True)
+def isolated_caches():
+    phy_cache.clear_caches()
+    yield
+    phy_cache.clear_caches()
+
+
+def _fault_schedule():
+    return FaultSchedule(
+        [
+            FaultEvent(slot=4, duration=6, kind="attenuation", target="tag5",
+                       magnitude=12.0),
+            FaultEvent(slot=10, duration=8, kind="bit_flip", target="tag8",
+                       magnitude=3.0),
+            FaultEvent(slot=18, duration=5, kind="noise_burst", target="*",
+                       magnitude=6.0),
+        ]
+    )
+
+
+def _build(cls, scenario: str, seed: int, adaptive_stack: bool):
+    kwargs = {}
+    if adaptive_stack:
+        # A live controller AND a non-trivial standing plan: adaptive
+        # off must neutralise both, not just an empty default.
+        kwargs = dict(
+            rate_controller=RateController(DEFAULT_LADDER),
+            uplink_plan={"tag5": LinkConfig("cook", 3000.0),
+                         "tag8": LinkConfig("fsk", 125.0)},
+        )
+    config = NetworkConfig(seed=seed)
+    if scenario == "dense":
+        return cls({"tag5": 4, "tag8": 4, "tag9": 8}, config=config, **kwargs)
+    if scenario == "sparse":
+        return cls({"tag3": 8, "tag12": 16}, config=config, **kwargs)
+    if scenario == "faulted":
+        return cls({"tag5": 4, "tag8": 4, "tag9": 8}, config=config,
+                   faults=_fault_schedule(), **kwargs)
+    raise AssertionError(scenario)  # pragma: no cover
+
+
+def _signature(net):
+    sig = [
+        (r.slot, r.n_transmitters, r.decoded, r.collision_detected,
+         r.acked, r.empty_flag)
+        for r in net.records
+    ]
+    for log in getattr(net, "slot_logs", ()):
+        sig.append((log.slot, tuple(log.transmitters),
+                    tuple(log.decoded_tids), log.n_clusters))
+    return sig
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_slotted_adaptive_off_is_byte_identical(scenario, seed):
+    baseline = _build(SlottedNetwork, scenario, seed, adaptive_stack=False)
+    baseline.run(200)
+    with rate.adaptive(False):
+        stacked = _build(SlottedNetwork, scenario, seed, adaptive_stack=True)
+        stacked.run(200)
+    assert _signature(stacked) == _signature(baseline)
+    # The plan must be untouched: adaptive-off froze the controller out.
+    assert stacked.uplink_plan == {"tag5": LinkConfig("cook", 3000.0),
+                                   "tag8": LinkConfig("fsk", 125.0)}
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_waveform_adaptive_off_is_byte_identical(scenario, seed):
+    baseline = _build(WaveformNetwork, scenario, seed, adaptive_stack=False)
+    baseline.run(24)
+    with rate.adaptive(False):
+        stacked = _build(WaveformNetwork, scenario, seed, adaptive_stack=True)
+        stacked.run(24)
+    assert _signature(stacked) == _signature(baseline)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_slotted_adaptive_on_differs_and_converges(seed):
+    """Sanity inverse: with adaptive ON the plan actually moves (the
+    escape-hatch tests above are not vacuously comparing two legacy
+    runs)."""
+    net = _build(SlottedNetwork, "dense", seed, adaptive_stack=True)
+    net.run(200)
+    plan = net.uplink_plan
+    assert plan["tag8"] == LinkConfig("cook", 3000.0)
+    assert plan["tag5"] == LinkConfig("fm0_ook", 3000.0)
+    assert plan["tag9"] == LinkConfig("fm0_ook", 3000.0)
+
+
+def test_gate_default_on():
+    assert rate.adaptive_enabled()
+
+
+def test_gate_context_manager_nests():
+    with rate.adaptive(False):
+        assert not rate.adaptive_enabled()
+        with rate.adaptive(True):
+            assert rate.adaptive_enabled()
+        assert not rate.adaptive_enabled()
+    assert rate.adaptive_enabled()
+
+
+def test_gate_env_escape_hatch(monkeypatch):
+    for value in ("0", "false", "OFF", "No"):
+        monkeypatch.setenv(rate.ADAPTIVE_ENV, value)
+        assert not rate.adaptive_enabled()
+    monkeypatch.setenv(rate.ADAPTIVE_ENV, "1")
+    assert rate.adaptive_enabled()
+    monkeypatch.delenv(rate.ADAPTIVE_ENV)
+    assert rate.adaptive_enabled()
+    # The in-process override outranks the environment.
+    monkeypatch.setenv(rate.ADAPTIVE_ENV, "0")
+    with rate.adaptive(True):
+        assert rate.adaptive_enabled()
+
+
+def test_networks_without_stack_never_consult_gate():
+    """A plain network must not even look at the adaptive gate (the
+    plan short-circuit), so pre-adaptive deployments cannot be
+    perturbed by the environment variable."""
+    net = SlottedNetwork({"tag5": 4}, config=NetworkConfig(seed=1))
+    assert net.uplink_plan is None
+    assert not net._adaptive_active()
+    os.environ.get(rate.ADAPTIVE_ENV)  # document: env is irrelevant here

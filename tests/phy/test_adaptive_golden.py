@@ -1,0 +1,103 @@
+"""Golden-trace regression for the adaptive PHY: the pinned ``figA``
+run — boot ramp, clean cruise, 13 dB degradation, recovery — must
+replay byte-for-byte against a checked-in JSON document.
+
+Regenerate (after an intentional behaviour change) with::
+
+    PYTHONPATH=src python -m pytest tests/phy/test_adaptive_golden.py --regen-golden
+
+and review the golden diff like any other code change.
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.figA_adaptive import (
+    DEFAULT_SEED,
+    run_figA,
+    summarize_figA,
+)
+
+GOLDEN_PATH = (
+    Path(__file__).resolve().parent.parent / "golden" / "adaptive_uplink.json"
+)
+
+_RUN_CACHE = {}
+
+
+def pinned_summary() -> dict:
+    """The default-seed figA summary, computed once per session."""
+    if "summary" not in _RUN_CACHE:
+        _RUN_CACHE["summary"] = summarize_figA(run_figA(seed=DEFAULT_SEED))
+    return _RUN_CACHE["summary"]
+
+
+def summary_signature(summary: dict) -> str:
+    blob = json.dumps(summary, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def full_doc() -> dict:
+    summary = pinned_summary()
+    return {
+        "scenario": "adaptive_uplink",
+        "seed": DEFAULT_SEED,
+        "summary": summary,
+        "signature": summary_signature(summary),
+    }
+
+
+def load_or_regen(regen: bool) -> dict:
+    if regen:
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        doc = full_doc()
+        GOLDEN_PATH.write_text(
+            json.dumps(doc, indent=1, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        return doc
+    if not GOLDEN_PATH.exists():
+        pytest.fail(
+            f"golden file {GOLDEN_PATH} missing — run pytest with --regen-golden"
+        )
+    return json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+
+
+class TestGoldenAdaptive:
+    def test_signature_matches_golden(self, regen_golden):
+        doc = load_or_regen(regen_golden)
+        assert summary_signature(pinned_summary()) == doc["signature"], (
+            "figA drifted from its golden trace; if the change is "
+            "intentional, regenerate with --regen-golden"
+        )
+
+    def test_full_summary_matches_golden(self, regen_golden):
+        doc = load_or_regen(regen_golden)
+        assert pinned_summary() == doc["summary"]
+
+    def test_golden_run_passes_acceptance(self, regen_golden):
+        # The pinned trace must itself satisfy the figA acceptance:
+        # adaptive strictly above every fixed (modulation, rate) arm.
+        doc = load_or_regen(regen_golden)
+        summary = doc["summary"]
+        assert summary["verdict"] is True
+        adaptive = summary["adaptive_goodput_bps"]
+        for label, goodput in summary["fixed_goodput_bps"].items():
+            assert adaptive > goodput, f"adaptive does not beat {label}"
+
+    def test_golden_story_is_adaptive(self, regen_golden):
+        # Every tag must actually have moved (boot rung -> cruise ->
+        # degraded fallback -> recovery), otherwise the golden pins a
+        # static plan and certifies nothing about rate control.
+        doc = load_or_regen(regen_golden)
+        for tag, info in doc["summary"]["per_tag"].items():
+            assert info["switches"] >= 3, f"{tag} never adapted"
+            labels = [entry[1] for entry in info["history"]]
+            assert any(label.startswith("fsk@") for label in labels), (
+                f"{tag} never fell back during the degraded phase"
+            )
+
+    def test_repeat_runs_are_byte_identical(self):
+        assert summarize_figA(run_figA(seed=DEFAULT_SEED)) == pinned_summary()

@@ -1,0 +1,202 @@
+"""RateController unit + property suite.
+
+Derandomized (CI-stable) hypothesis sweeps over link-quality
+trajectories pin the controller's contract: rung selection is monotone
+in SNR, hysteresis bounds the switch count, downgrades are immediate,
+and telemetry-driven updates are independent of label enumeration
+order.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import telemetry
+from repro.phy.modulation import LinkConfig, get_modulation
+from repro.phy.rate import (
+    DEFAULT_LADDER,
+    QUALITY_HISTOGRAM_BOUNDS_DB,
+    QUALITY_METRIC,
+    RateController,
+    RateStep,
+)
+
+PROP = settings(max_examples=30, deadline=None, derandomize=True)
+
+LADDER_CONFIGS = [step.config for step in DEFAULT_LADDER]
+
+
+def _index(controller: RateController, tag: str) -> int:
+    return LADDER_CONFIGS.index(controller.config_for(tag))
+
+
+quality = st.floats(min_value=-10.0, max_value=40.0,
+                    allow_nan=False, allow_infinity=False)
+
+
+# -- construction contract ----------------------------------------------------
+
+
+def test_default_ladder_is_valid():
+    controller = RateController(DEFAULT_LADDER)
+    floors = [step.min_quality_db for step in controller.ladder]
+    assert floors == sorted(floors)
+    assert floors[0] == float("-inf")
+    # Data rate strictly increases up the ladder — "best qualifying
+    # rung" must also be "fastest".
+    rates = [
+        get_modulation(s.config.modulation).data_rate_bps(s.config.bitrate_bps)
+        for s in controller.ladder
+    ]
+    assert rates == sorted(rates)
+    assert len(set(rates)) == len(rates)
+
+
+def test_rejects_bad_ladders():
+    with pytest.raises(ValueError):
+        RateController(())
+    with pytest.raises(ValueError):
+        RateController(
+            (RateStep(LinkConfig("fm0_ook", 375.0), 10.0),
+             RateStep(LinkConfig("fm0_ook", 750.0), 5.0))
+        )
+    with pytest.raises(ValueError):
+        RateController((RateStep(LinkConfig("fm0_ook", 400.0), 0.0),))
+    with pytest.raises(ValueError):
+        RateController(DEFAULT_LADDER, dwell=0)
+    with pytest.raises(ValueError):
+        RateController(DEFAULT_LADDER, up_margin_db=-1.0)
+    with pytest.raises(ValueError):
+        RateController(DEFAULT_LADDER,
+                       initial=LinkConfig("fm0_ook", 187.5))
+
+
+# -- convergence properties ---------------------------------------------------
+
+
+@PROP
+@given(q_lo=quality, q_hi=quality)
+def test_steady_state_rung_is_monotone_in_quality(q_lo, q_hi):
+    if q_lo > q_hi:
+        q_lo, q_hi = q_hi, q_lo
+    lo, hi = RateController(DEFAULT_LADDER), RateController(DEFAULT_LADDER)
+    for _ in range(3 * len(DEFAULT_LADDER)):
+        lo.observe("tag", q_lo)
+        hi.observe("tag", q_hi)
+    assert _index(lo, "tag") <= _index(hi, "tag")
+
+
+@PROP
+@given(q=quality)
+def test_constant_quality_converges_and_stays(q):
+    controller = RateController(DEFAULT_LADDER)
+    for _ in range(3 * len(DEFAULT_LADDER)):
+        controller.observe("tag", q)
+    settled = controller.config_for("tag")
+    switches = controller.switch_count("tag")
+    # Converged: the rung's own hysteresis band contains q.
+    step = controller.ladder[_index(controller, "tag")]
+    assert q >= step.min_quality_db - controller.down_margin_db
+    for _ in range(3 * len(DEFAULT_LADDER)):
+        controller.observe("tag", q)
+    assert controller.config_for("tag") == settled
+    assert controller.switch_count("tag") == switches  # no oscillation
+
+
+@PROP
+@given(q=quality, jitter=st.floats(min_value=0.0, max_value=0.4))
+def test_small_jitter_never_causes_flapping(q, jitter):
+    """Quality wobble strictly inside the hysteresis margins commits at
+    most one upgrade chain — never a down-up-down flap."""
+    controller = RateController(DEFAULT_LADDER)
+    for i in range(4 * len(DEFAULT_LADDER)):
+        controller.observe("tag", q + (jitter if i % 2 else -jitter))
+    settled = controller.switch_count("tag")
+    for i in range(4 * len(DEFAULT_LADDER)):
+        controller.observe("tag", q + (jitter if i % 2 else -jitter))
+    assert controller.switch_count("tag") == settled
+
+
+@PROP
+@given(q=quality)
+def test_downgrade_is_immediate(q):
+    controller = RateController(DEFAULT_LADDER)
+    for _ in range(3 * len(DEFAULT_LADDER)):
+        controller.observe("tag", 30.0)
+    top = _index(controller, "tag")
+    assert top == len(DEFAULT_LADDER) - 1
+    config = controller.observe("tag", q)
+    expected = max(
+        i for i, step in enumerate(controller.ladder)
+        if step.min_quality_db <= q
+    ) if q < 30.0 - controller.down_margin_db else top
+    if q < controller.ladder[top].min_quality_db - controller.down_margin_db:
+        # One bad observation is enough to vacate a failing rung.
+        assert config == controller.ladder[expected].config
+
+
+@PROP
+@given(qualities=st.lists(quality, min_size=1, max_size=24))
+def test_history_and_switch_count_are_consistent(qualities):
+    controller = RateController(DEFAULT_LADDER)
+    for q in qualities:
+        controller.observe("tag", q)
+    history = controller.history("tag")
+    assert history[0][1] == DEFAULT_LADDER[0].config.label
+    assert controller.switch_count("tag") == len(history) - 1
+    assert history[-1][1] == controller.config_for("tag").label
+    counts = [entry[0] for entry in history]
+    assert counts == sorted(counts)
+
+
+# -- telemetry-driven updates -------------------------------------------------
+
+
+def _snapshot(pairs):
+    registry = telemetry.MetricsRegistry()
+    for tag, q in pairs:
+        histogram = registry.histogram(
+            QUALITY_METRIC, bounds=QUALITY_HISTOGRAM_BOUNDS_DB, tag=tag
+        )
+        for _ in range(4):
+            histogram.observe(q)
+    return registry.snapshot()
+
+
+@PROP
+@given(
+    perm=st.permutations(
+        [("tag1", 8.0), ("tag2", 15.0), ("tag3", 21.0), ("tag4", 27.0)]
+    )
+)
+def test_update_from_snapshot_is_order_independent(perm):
+    """The plan is a function of the snapshot's content, not of label
+    enumeration order (dict/registry insertion order must wash out)."""
+    reference = RateController(DEFAULT_LADDER)
+    shuffled = RateController(DEFAULT_LADDER)
+    for _ in range(3 * len(DEFAULT_LADDER)):
+        reference.update_from_snapshot(
+            _snapshot([("tag1", 8.0), ("tag2", 15.0), ("tag3", 21.0),
+                       ("tag4", 27.0)])
+        )
+        shuffled.update_from_snapshot(_snapshot(perm))
+    assert reference.plan() == shuffled.plan()
+
+
+def test_update_from_snapshot_returns_decisions():
+    controller = RateController(DEFAULT_LADDER)
+    decisions = controller.update_from_snapshot(_snapshot([("tag1", 25.0)]))
+    assert set(decisions) == {"tag1"}
+    assert decisions["tag1"] == controller.config_for("tag1")
+    # Snapshots without the quality metric are a no-op, not an error.
+    registry = telemetry.MetricsRegistry()
+    registry.counter("waveform.slots").inc()
+    assert controller.update_from_snapshot(registry.snapshot()) == {}
+
+
+def test_update_ignores_unlabelled_series():
+    controller = RateController(DEFAULT_LADDER)
+    registry = telemetry.MetricsRegistry()
+    registry.histogram(
+        QUALITY_METRIC, bounds=QUALITY_HISTOGRAM_BOUNDS_DB
+    ).observe(20.0)
+    assert controller.update_from_snapshot(registry.snapshot()) == {}

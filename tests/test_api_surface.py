@@ -17,6 +17,10 @@ SUBPACKAGES = [
     "repro.channel",
     "repro.hardware",
     "repro.phy",
+    "repro.phy.modulation",
+    "repro.phy.cook",
+    "repro.phy.fsk",
+    "repro.phy.rate",
     "repro.core",
     "repro.faults",
     "repro.resilience",

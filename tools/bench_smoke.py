@@ -52,6 +52,14 @@ MAX_RATIO_MULTIREADER = 1.05
 # measured ~1.0x, the gate leaves headroom for noisy shared runners).
 MAX_RATIO_RELAY = 1.05
 
+# Adaptive-PHY overhead gate: a SlottedNetwork with a RateController
+# installed but the REPRO_PHY_ADAPTIVE gate closed must stay within
+# this ratio of a plain SlottedNetwork over the same seed and topology
+# — the zero-cost-off contract for the adaptive PHY (the per-slot work
+# reduces to one adaptive_enabled() lookup; the differential suite
+# holds the slot logs byte-identical, this gate holds the wall time).
+MAX_RATIO_ADAPTIVE = 1.05
+
 # Telemetry overhead gate: the instrument sites are guarded by a single
 # `telemetry.active()` lookup, so running with collection enabled may
 # not slow the MAC loop beyond this ratio (measured ~1.2x; the gate
@@ -267,6 +275,60 @@ def relay_overhead_check() -> bool:
     return ok
 
 
+def adaptive_overhead_check() -> bool:
+    """Time an adaptive-gated-off SlottedNetwork against the plain loop.
+
+    Returns True when the ratio stays under the gate.  With the
+    ``REPRO_PHY_ADAPTIVE`` gate closed a network must be provably
+    inert even with a rate controller installed: same slot records
+    (held byte-identical by tests/phy/test_adaptive_differential.py),
+    and (checked here) indistinguishable wall time — each slot pays
+    one ``adaptive_enabled()`` lookup and nothing else.
+    """
+    sys.path.insert(0, os.path.join(repo_root(), "src"))
+    from repro.core.network import NetworkConfig, SlottedNetwork
+    from repro.phy import rate
+
+    periods = {f"tag{i}": p for i, p in enumerate((4, 8, 8, 16, 16, 32), start=1)}
+
+    def build(adaptive_stack: bool):
+        config = NetworkConfig(seed=0, ideal_channel=True)
+        if adaptive_stack:
+            return SlottedNetwork(
+                periods,
+                config=config,
+                rate_controller=rate.RateController(rate.DEFAULT_LADDER),
+            )
+        return SlottedNetwork(periods, config=config)
+
+    def one_run(adaptive_stack: bool) -> float:
+        net = build(adaptive_stack)
+        start = time.perf_counter()
+        net.run(OVERHEAD_SLOTS)
+        return time.perf_counter() - start
+
+    with rate.adaptive(False):
+        # Warm both paths once, then interleave the timed repeats so
+        # interpreter warm-up cannot bias whichever leg runs first.
+        one_run(True)
+        one_run(False)
+        best = {True: float("inf"), False: float("inf")}
+        for _ in range(OVERHEAD_REPEATS):
+            for adaptive_stack in (True, False):
+                best[adaptive_stack] = min(
+                    best[adaptive_stack], one_run(adaptive_stack)
+                )
+
+    ratio = best[True] / best[False]
+    ok = ratio <= MAX_RATIO_ADAPTIVE
+    print(
+        f"adaptive-off overhead over {OVERHEAD_SLOTS} slots: "
+        f"{ratio:.2f}x vs plain SlottedNetwork "
+        f"(gate {MAX_RATIO_ADAPTIVE}x) -> {'ok' if ok else 'FAIL'}"
+    )
+    return ok
+
+
 def waveform_snapshot(out_path: str) -> None:
     """Measure steady-state slots/s per fidelity tier into ``out_path``.
 
@@ -441,6 +503,12 @@ def main(argv: List[str] | None = None) -> int:
         "else); used by the advisory CI figM job",
     )
     parser.add_argument(
+        "--adaptive-only",
+        action="store_true",
+        help="run only the adaptive-off overhead gate (skips everything "
+        "else); used by the advisory CI figA job",
+    )
+    parser.add_argument(
         "--fleet-out",
         default=None,
         metavar="PATH",
@@ -460,6 +528,8 @@ def main(argv: List[str] | None = None) -> int:
         return 0 if multireader_overhead_check() else 2
     if args.relay_only:
         return 0 if relay_overhead_check() else 2
+    if args.adaptive_only:
+        return 0 if adaptive_overhead_check() else 2
     if args.fleet_only:
         fleet_snapshot(args.fleet_out or os.path.join(root, "BENCH_fleet.json"))
         return 0
@@ -474,6 +544,7 @@ def main(argv: List[str] | None = None) -> int:
         overhead_ok = telemetry_overhead_check() and overhead_ok
         overhead_ok = multireader_overhead_check() and overhead_ok
         overhead_ok = relay_overhead_check() and overhead_ok
+        overhead_ok = adaptive_overhead_check() and overhead_ok
     out = args.out or os.path.join(root, default_out())
     env = dict(os.environ)
     env["PYTHONPATH"] = os.pathsep.join(
