@@ -52,6 +52,7 @@ from repro.core.network import NetworkConfig, SlottedNetwork
 from repro.experiments.fig12_uplink import WAVEFORM_AMPLITUDE_CALIBRATION
 from repro.faults.injectors import flip_bits
 from repro.phy import cache as phy_cache
+from repro.phy import kernels
 from repro.phy.iq import detect_collision_iq
 from repro.phy.modem import BackscatterUplink, receiver_noise_baseband
 from repro.phy.modulation import LinkConfig, get_modulation
@@ -246,10 +247,23 @@ class WaveformNetwork(SlottedNetwork):
             cutoff_hz,
             decimation,
         )[:m].copy()
-        for template, n_delay, amplitude_v, phase in entries:
-            bc, bs = template.baseband(n_delay, n_capture, cutoff_hz, decimation)
-            iq += (amplitude_v * math.cos(phase)) * bc[:m]
-            iq -= (amplitude_v * math.sin(phase)) * bs[:m]
+        if entries:
+            # GEMM-shaped combine: stack every transmitter's quadrature
+            # templates as rows and collapse them with one BLAS gemv
+            # (coefs @ stack) instead of 2N sequential axpy passes.
+            coefs = np.empty(2 * len(entries))
+            pairs = []
+            for idx, (template, n_delay, amplitude_v, phase) in enumerate(
+                entries
+            ):
+                bc, bs = template.baseband(
+                    n_delay, n_capture, cutoff_hz, decimation
+                )
+                pairs.append(bc)
+                pairs.append(bs)
+                coefs[2 * idx] = amplitude_v * math.cos(phase)
+                coefs[2 * idx + 1] = -(amplitude_v * math.sin(phase))
+            kernels.combine_templates(iq, pairs, coefs)
         return iq
 
     def _plan_transmission(self, name: str):

@@ -611,6 +611,7 @@ def collect_results(
     if perf:
         from repro import perf as perf_mod
         from repro.phy import cache as phy_cache
+        from repro.phy import kernels
 
         if perf_reports:
             # Pool run: the parent's own registry saw only setup work;
@@ -631,6 +632,9 @@ def collect_results(
             "cache_hit_ratios": phy_cache.hit_ratios(
                 process_report.get("counters", {})
             ),
+            # Which kernel backend served the run (numba/cext/numpy),
+            # plus availability diagnostics for the others.
+            "kernels": kernels.kernel_info(),
         }
     return out
 

@@ -1,0 +1,1105 @@
+"""C-extension backend for :mod:`repro.phy.kernels`.
+
+A single small C translation unit holding the profiled scalar loops of
+the waveform hot path, compiled once per process family with the system
+C compiler and loaded through :mod:`ctypes`.  The build is
+content-addressed: the shared object's file name embeds a hash of the
+source, the compiler, and the flags, so repeated processes load the
+cached ``.so`` without recompiling (``cache.kernel_build.hit`` /
+``.miss`` perf counters track this).
+
+Every kernel is written to be **bit-identical** to the numpy/scipy
+expression it replaces — the kernels-on/off parity suite and the
+per-kernel exactness tests pin this.  The non-obvious equivalences:
+
+* ``sosfilt`` — scipy's direct-form-II-transposed recurrence is
+  replayed per sample / per section with the same operation order.
+* real × complex mixing — numpy promotes the real operand, so the
+  product is ``(re = x*lo_re - 0.0*lo_im, im = x*lo_im + 0.0*lo_re)``
+  including the sign-of-zero semantics of the ``0.0`` terms.
+* ``np.median`` / ``np.percentile`` — selection by value via
+  quickselect (any algorithm placing the k-th order statistic is
+  value-identical to ``np.partition``), with numpy's exact virtual
+  index ``(n - 1) * q`` and ``_lerp`` evaluation order.
+* complex x complex multiply (``z ** 2``, ``z * rot``) — numpy's
+  SIMD loop is FMA-contracted: ``re = fma(ar, br, -(ai*bi))`` and
+  ``im = fma(ar, bi, ai*br)`` (verified element-wise against this
+  build of numpy).  The projection kernels replay those exact
+  ``fma()`` calls; on a host whose numpy dispatches a non-FMA loop
+  the parity suite would flag the divergence and ``REPRO_PHY_KERNELS``
+  falls back cleanly.  (real x complex promotion takes numpy's
+  *generic* loop, which is NOT contracted — the mixer kernel keeps
+  plain arithmetic with explicit ``0.0`` terms.)
+* ``np.linspace`` — ``edge[i] = i * (delta / div) + start`` with the
+  end point pinned to ``stop`` (and the denormal-step fallback
+  ``(i / div) * delta + start``), which the 2-D histogram kernel
+  replays for its bin edges.
+* ``np.searchsorted(side="right")`` — any correct binary search is
+  exact (integer semantics).
+* compare-only loops (Schmitt states, hysteresis slicing, FM0 pairs)
+  are trivially exact.
+
+Floating-point contraction and fast-math are disabled explicitly
+(``-ffp-contract=off -fno-fast-math``): an FMA would change results.
+Transcendental steps that numpy may route through SIMD code paths
+(vectorised ``exp`` / ``cos`` / ``sin``, the de-rotation in
+``correct_frequency_offset``) are deliberately *not* ported — the
+fused projection kernel receives the rotation phasor precomputed by
+numpy scalar calls instead.
+
+ctypes call overhead is kept off the hot path by a per-thread buffer
+"lane": inputs are copied into preallocated scratch arrays whose C
+pointers were extracted once, the kernel runs in place, and outputs
+are copied out with one ``ndarray.copy``.  That turns the ~8 us of
+per-call ``ctypes.data_as`` + allocation bookkeeping into ~1 us.
+
+Inputs are assumed finite (the waveform tier synthesises finite
+signals); NaN propagation through the selection kernels is undefined,
+matching the documented contract in :mod:`repro.phy.kernels`.  One
+further caveat: partition order among *equal-comparing* elements is
+implementation-defined, so selection over mixed ``+0.0``/``-0.0`` ties
+may differ from numpy only in the sign of a zero result — unreachable
+from the receive chain, which feeds these kernels abs-derived or
+continuous data.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import threading
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro import perf
+
+#: Environment variable overriding where compiled kernels are cached.
+CACHE_DIR_ENV = "REPRO_KERNELS_CACHE"
+
+#: Maximum second-order sections the C filter kernels support (the hot
+#: path uses order-4 Butterworth designs = 2 sections).
+MAX_SOS_SECTIONS = 16
+
+#: Maximum bins-per-axis the 2-D histogram kernel supports.
+MAX_HIST_BINS = 64
+
+_CFLAGS = [
+    "-O3",
+    "-std=c11",
+    "-fPIC",
+    "-shared",
+    # Bit-exactness: no FMA contraction, no value-unsafe optimisation.
+    "-ffp-contract=off",
+    "-fno-fast-math",
+]
+
+_C_SOURCE = r"""
+/* repro.phy.kernels C backend — bit-exact replicas of numpy/scipy hot
+ * loops.  See _kernels_c.py for the equivalence notes. */
+
+#include <math.h>
+
+typedef long long i64;
+
+/* ---- order statistics (value-identical to np.partition) ---------- */
+
+static void kth_smallest(double *a, i64 lo, i64 hi, i64 k)
+{
+    while (lo < hi) {
+        i64 mid = lo + (hi - lo) / 2;
+        double p0 = a[lo], p1 = a[mid], p2 = a[hi];
+        double piv;
+        if (p0 < p1) {
+            if (p1 < p2) piv = p1;
+            else if (p0 < p2) piv = p2;
+            else piv = p0;
+        } else {
+            if (p0 < p2) piv = p0;
+            else if (p1 < p2) piv = p2;
+            else piv = p1;
+        }
+        i64 i = lo - 1, j = hi + 1;
+        for (;;) {
+            do { i++; } while (a[i] < piv);
+            do { j--; } while (a[j] > piv);
+            if (i >= j) break;
+            double t = a[i]; a[i] = a[j]; a[j] = t;
+        }
+        if (k <= j) hi = j; else lo = j + 1;
+    }
+}
+
+static double median_inplace(double *a, i64 n)
+{
+    i64 h = n / 2;
+    kth_smallest(a, 0, n - 1, h);
+    if (n & 1)
+        return a[h];
+    /* np.median (even n): mean of the two middle order statistics,
+     * lower-half max first — (part[h-1] + part[h]) / 2. */
+    double upper = a[h];
+    double lower = a[0];
+    for (i64 i = 1; i < h; i++)
+        if (a[i] > lower) lower = a[i];
+    return (lower + upper) / 2.0;
+}
+
+double rk_median_destroy(double *a, i64 n)
+{
+    return median_inplace(a, n);
+}
+
+double rk_mad_destroy(double *a, i64 n)
+{
+    /* partition permutes but preserves the multiset, so |a - med| over
+     * the permuted buffer has the same order statistics. */
+    double med = median_inplace(a, n);
+    for (i64 i = 0; i < n; i++) a[i] = fabs(a[i] - med);
+    return 1.4826 * median_inplace(a, n);
+}
+
+double rk_median(const double *x, double *scratch, i64 n)
+{
+    for (i64 i = 0; i < n; i++) scratch[i] = x[i];
+    return median_inplace(scratch, n);
+}
+
+double rk_mad_spread(const double *x, double *scratch, i64 n)
+{
+    double med = rk_median(x, scratch, n);
+    for (i64 i = 0; i < n; i++) scratch[i] = fabs(x[i] - med);
+    return 1.4826 * median_inplace(scratch, n);
+}
+
+/* numpy _lerp: a + (b-a)*t, switching to b - (b-a)*(1-t) at t >= 0.5 */
+static double lerp_np(double a, double b, double t)
+{
+    double d = b - a;
+    if (t >= 0.5) return b - d * (1.0 - t);
+    return a + d * t;
+}
+
+static double quantile_from(double *a, i64 n, i64 done_upto, double q,
+                            i64 *last_k)
+{
+    /* numpy's virtual index for the 'linear' method: (n - 1) * q */
+    double virt = (double)(n - 1) * q;
+    i64 jp, jn;
+    double gamma;
+    if (virt >= (double)(n - 1)) {
+        jp = jn = n - 1;
+        gamma = 0.0;
+    } else if (virt < 0.0) {
+        jp = jn = 0;
+        gamma = 0.0;
+    } else {
+        double fl = floor(virt);
+        jp = (i64)fl;
+        jn = jp + 1;
+        gamma = virt - fl;
+    }
+    i64 lo = done_upto;
+    if (jp > lo) { kth_smallest(a, lo, n - 1, jp); lo = jp; }
+    else if (jp < lo) { /* already ordered below lo */ }
+    else { kth_smallest(a, lo, n - 1, jp); }
+    double prev = a[jp];
+    double next;
+    if (jn == jp) {
+        next = prev;
+    } else {
+        /* min of the tail right of jp */
+        next = a[jp + 1];
+        for (i64 i = jp + 2; i < n; i++)
+            if (a[i] < next) next = a[i];
+    }
+    *last_k = jp;
+    return lerp_np(prev, next, gamma);
+}
+
+static void two_quantiles_destroy(double *a, i64 n, double q0, double q1,
+                                  double *out)
+{
+    i64 k = 0;
+    out[0] = quantile_from(a, n, 0, q0, &k);
+    i64 k2 = 0;
+    out[1] = quantile_from(a, n, k, q1, &k2);
+}
+
+void rk_two_quantiles_destroy(double *a, i64 n, double q0, double q1,
+                              double *out)
+{
+    two_quantiles_destroy(a, n, q0, q1, out);
+}
+
+void rk_two_quantiles(const double *x, double *scratch, i64 n,
+                      double q0, double q1, double *out)
+{
+    for (i64 i = 0; i < n; i++) scratch[i] = x[i];
+    two_quantiles_destroy(scratch, n, q0, q1, out);
+}
+
+/* ---- fused projection (ReaderReceiveChain.project) --------------- */
+
+void rk_project_center(const double *iq, i64 n, double *scratch,
+                       double *out4)
+{
+    for (i64 i = 0; i < n; i++) scratch[i] = iq[2 * i];
+    double c_re = median_inplace(scratch, n);
+    for (i64 i = 0; i < n; i++) scratch[i] = iq[2 * i + 1];
+    double c_im = median_inplace(scratch, n);
+    /* z = iq - center; z**2 via numpy's FMA-contracted complex
+     * multiply: re = fma(zr, zr, -(zi*zi)), im = fma(zr, zi, zi*zr). */
+    for (i64 i = 0; i < n; i++) {
+        double zr = iq[2 * i] - c_re;
+        double zi = iq[2 * i + 1] - c_im;
+        scratch[i] = fma(zr, zr, -(zi * zi));
+    }
+    double m_re = median_inplace(scratch, n);
+    for (i64 i = 0; i < n; i++) {
+        double zr = iq[2 * i] - c_re;
+        double zi = iq[2 * i + 1] - c_im;
+        scratch[i] = fma(zr, zi, zi * zr);
+    }
+    double m_im = median_inplace(scratch, n);
+    out4[0] = c_re; out4[1] = c_im; out4[2] = m_re; out4[3] = m_im;
+}
+
+void rk_project_finish(const double *iq, i64 n, double c_re, double c_im,
+                       double rot_re, double rot_im, double q0, double q1,
+                       double *scratch, double *out)
+{
+    /* projected = real((iq - center) * rot), with numpy's contracted
+     * real part: fma(zr, rot_re, -(zi * rot_im)). */
+    for (i64 i = 0; i < n; i++) {
+        double zr = iq[2 * i] - c_re;
+        double zi = iq[2 * i + 1] - c_im;
+        out[i] = fma(zr, rot_re, -(zi * rot_im));
+    }
+    for (i64 i = 0; i < n; i++) scratch[i] = out[i];
+    double q[2];
+    two_quantiles_destroy(scratch, n, q0, q1, q);
+    double shift = (q[0] + q[1]) / 2.0;
+    for (i64 i = 0; i < n; i++) out[i] = out[i] - shift;
+}
+
+/* ---- compare-only loops ------------------------------------------ */
+
+void rk_schmitt_states(const double *p, i64 n, double hi, double lo,
+                       signed char initial, signed char *out)
+{
+    signed char s = initial;
+    for (i64 i = 0; i < n; i++) {
+        double v = p[i];
+        /* lo wins on overlap, matching the vectorised mark order */
+        if (v <= lo) s = 0;
+        else if (v >= hi) s = 1;
+        out[i] = s;
+    }
+}
+
+double rk_schmitt_full(const double *p, i64 n, double hysteresis,
+                       double drift, double *scratch, signed char *out)
+{
+    double spread = rk_mad_spread(p, scratch, n);
+    if (spread == 0.0) {
+        for (i64 i = 0; i < n; i++) out[i] = 0;
+        return spread;
+    }
+    double center = drift * spread;
+    double hi = center + hysteresis * spread;
+    double lo = center - hysteresis * spread;
+    signed char initial = p[0] > center ? 1 : 0;
+    rk_schmitt_states(p, n, hi, lo, initial, out);
+    return spread;
+}
+
+void rk_hysteresis_slice(const double *env, i64 n, double hi, double lo,
+                         signed char *out)
+{
+    signed char s = 0;
+    for (i64 i = 0; i < n; i++) {
+        double v = env[i];
+        if (s == 0) { if (v >= hi) s = 1; }
+        else        { if (v <= lo) s = 0; }
+        out[i] = s;
+    }
+}
+
+void rk_fm0_pairs(const unsigned char *raw, i64 n_pairs, int initial_level,
+                  unsigned char *bits, unsigned char *viol)
+{
+    unsigned char prev = (unsigned char)initial_level;
+    for (i64 i = 0; i < n_pairs; i++) {
+        unsigned char first = raw[2 * i], second = raw[2 * i + 1];
+        viol[i] = (unsigned char)(first == prev);
+        bits[i] = (unsigned char)(first == second);
+        prev = second;
+    }
+}
+
+/* ---- integrate-and-dump bit grid --------------------------------- */
+
+i64 rk_bit_grid(i64 n_samples, double samples_per_bit, double grid_offset,
+                double margin, i64 *lo_idx, i64 *hi_idx)
+{
+    /* Replays the sequential `start += samples_per_bit` left fold with
+     * rint (half-to-even, same as np.rint / Python round). */
+    i64 count = 0;
+    double start = grid_offset;
+    while (start + samples_per_bit <= (double)n_samples) {
+        i64 lo = (i64)rint(start + margin);
+        i64 hi = (i64)rint((start + samples_per_bit) - margin);
+        if (hi > lo) {
+            lo_idx[count] = lo;
+            hi_idx[count] = hi;
+            count++;
+        }
+        start += samples_per_bit;
+    }
+    return count;
+}
+
+/* ---- 2-D histogram (np.histogram2d with scalar bins + range) ----- */
+
+static i64 searchsorted_right(const double *e, i64 m, double v)
+{
+    i64 lo = 0, hi = m;
+    while (lo < hi) {
+        i64 mid = (lo + hi) >> 1;
+        if (e[mid] <= v) lo = mid + 1; else hi = mid;
+    }
+    return lo;
+}
+
+static void linspace_np(double start, double stop, i64 div, double *e)
+{
+    /* numpy linspace: step = delta/div; edge[i] = i*step + start,
+     * end point pinned to stop; denormal-step fallback (gh-5437)
+     * divides first. */
+    double delta = stop - start;
+    double step = delta / (double)div;
+    if (step == 0.0) {
+        for (i64 i = 0; i <= div; i++)
+            e[i] = ((double)i / (double)div) * delta + start;
+    } else {
+        for (i64 i = 0; i <= div; i++)
+            e[i] = (double)i * step + start;
+    }
+    e[div] = stop;
+}
+
+void rk_hist2d(const double *x, const double *y, i64 n, i64 bins,
+               double x0, double x1, double y0, double y1,
+               double *hist, double *xe, double *ye)
+{
+    linspace_np(x0, x1, bins, xe);
+    linspace_np(y0, y1, bins, ye);
+    for (i64 i = 0; i < bins * bins; i++) hist[i] = 0.0;
+    for (i64 i = 0; i < n; i++) {
+        double vx = x[i], vy = y[i];
+        i64 ix = searchsorted_right(xe, bins + 1, vx);
+        i64 iy = searchsorted_right(ye, bins + 1, vy);
+        if (vx == x1) ix--;
+        if (vy == y1) iy--;
+        if (ix > 0 && ix <= bins && iy > 0 && iy <= bins)
+            hist[(ix - 1) * bins + (iy - 1)] += 1.0;
+    }
+}
+
+/* ---- constellation cluster stage (collision detector) ------------ */
+
+void rk_iq_hist(const double *iq, i64 n, i64 bins,
+                double q0, double q1, double pad_frac, double pad_min,
+                double *re_buf, double *im_buf, double *qscratch,
+                double *hist, double *xe, double *ye)
+{
+    for (i64 i = 0; i < n; i++) {
+        re_buf[i] = iq[2 * i];
+        im_buf[i] = iq[2 * i + 1];
+    }
+    double q[2];
+    for (i64 i = 0; i < n; i++) qscratch[i] = re_buf[i];
+    two_quantiles_destroy(qscratch, n, q0, q1, q);
+    double pad_r = (q[1] - q[0]) * pad_frac;
+    if (pad_r < pad_min) pad_r = pad_min;
+    double x0 = q[0] - pad_r, x1 = q[1] + pad_r;
+    for (i64 i = 0; i < n; i++) qscratch[i] = im_buf[i];
+    two_quantiles_destroy(qscratch, n, q0, q1, q);
+    double pad_i = (q[1] - q[0]) * pad_frac;
+    if (pad_i < pad_min) pad_i = pad_min;
+    double y0 = q[0] - pad_i, y1 = q[1] + pad_i;
+    rk_hist2d(re_buf, im_buf, n, bins, x0, x1, y0, y1, hist, xe, ye);
+}
+
+static int uf_find(int *parent, int x)
+{
+    while (parent[x] != x) {
+        parent[x] = parent[parent[x]];
+        x = parent[x];
+    }
+    return x;
+}
+
+i64 rk_cluster_peaks(const double *hist, i64 bins, double threshold,
+                     double *sm, double *tmp, int *labels,
+                     double *out_smax)
+{
+    /* scipy.ndimage replication on a <=64x64 grid:
+     * uniform_filter(size=3, constant 0) — separable axis-0 then
+     * axis-1 passes of scipy's running-sum recurrence
+     * ``tmp += line[ll+2] - line[ll-1]; out[ll] = tmp / 3``;
+     * maximum_filter(size=3, constant 0) — separable window max;
+     * label() — 4-connected union-find, components numbered in
+     * raster order of first appearance. */
+    i64 nb = bins * bins;
+    double line[66];
+    line[0] = 0.0;
+    line[bins + 1] = 0.0;
+    for (i64 c = 0; c < bins; c++) {
+        for (i64 r = 0; r < bins; r++) line[r + 1] = hist[r * bins + c];
+        double s = 0.0;
+        s += line[0]; s += line[1]; s += line[2];
+        tmp[c] = s / 3.0;
+        for (i64 r = 1; r < bins; r++) {
+            s += line[r + 2] - line[r - 1];
+            tmp[r * bins + c] = s / 3.0;
+        }
+    }
+    for (i64 r = 0; r < bins; r++) {
+        for (i64 c = 0; c < bins; c++) line[c + 1] = tmp[r * bins + c];
+        double s = 0.0;
+        s += line[0]; s += line[1]; s += line[2];
+        sm[r * bins] = s / 3.0;
+        for (i64 c = 1; c < bins; c++) {
+            s += line[c + 2] - line[c - 1];
+            sm[r * bins + c] = s / 3.0;
+        }
+    }
+    double smax = sm[0];
+    for (i64 i = 1; i < nb; i++)
+        if (sm[i] > smax) smax = sm[i];
+    *out_smax = smax;
+    if (smax <= 0.0) {
+        for (i64 i = 0; i < nb; i++) labels[i] = 0;
+        return 0;
+    }
+    for (i64 c = 0; c < bins; c++) {
+        for (i64 r = 0; r < bins; r++) line[r + 1] = sm[r * bins + c];
+        for (i64 r = 0; r < bins; r++) {
+            double m = line[r];
+            if (line[r + 1] > m) m = line[r + 1];
+            if (line[r + 2] > m) m = line[r + 2];
+            tmp[r * bins + c] = m;
+        }
+    }
+    for (i64 r = 0; r < bins; r++) {
+        for (i64 c = 0; c < bins; c++) line[c + 1] = tmp[r * bins + c];
+        for (i64 c = 0; c < bins; c++) {
+            double m = line[c];
+            if (line[c + 1] > m) m = line[c + 1];
+            if (line[c + 2] > m) m = line[c + 2];
+            tmp[r * bins + c] = m;
+        }
+    }
+    double cut = threshold * smax;
+    int parent[64 * 64 + 1];
+    int nprov = 0;
+    for (i64 r = 0; r < bins; r++) {
+        for (i64 c = 0; c < bins; c++) {
+            i64 idx = r * bins + c;
+            if (!(sm[idx] == tmp[idx] && sm[idx] >= cut)) {
+                labels[idx] = 0;
+                continue;
+            }
+            int up = r > 0 ? labels[idx - bins] : 0;
+            int left = c > 0 ? labels[idx - 1] : 0;
+            if (!up && !left) {
+                nprov++;
+                parent[nprov] = nprov;
+                labels[idx] = nprov;
+            } else if (up && !left) {
+                labels[idx] = uf_find(parent, up);
+            } else if (!up && left) {
+                labels[idx] = uf_find(parent, left);
+            } else {
+                int ru = uf_find(parent, up);
+                int rl = uf_find(parent, left);
+                int lo2 = ru < rl ? ru : rl;
+                int hi2 = ru < rl ? rl : ru;
+                parent[hi2] = lo2;
+                labels[idx] = lo2;
+            }
+        }
+    }
+    int remap[64 * 64 + 1];
+    for (int i = 0; i <= nprov; i++) remap[i] = 0;
+    int nfinal = 0;
+    for (i64 i = 0; i < nb; i++) {
+        if (!labels[i]) continue;
+        int root = uf_find(parent, labels[i]);
+        if (!remap[root]) {
+            nfinal++;
+            remap[root] = nfinal;
+        }
+        labels[i] = remap[root];
+    }
+    return nfinal;
+}
+
+/* ---- IIR filters (scipy DF2T, same op order) --------------------- */
+
+void rk_envelope_rc(const double *x, i64 n, double alpha, double *out)
+{
+    /* lfilter([alpha], [1, -(1-alpha)]) on |x|, scaled by pi/2 */
+    const double one_minus = 1.0 - alpha;
+    const double half_pi = 3.14159265358979323846 / 2.0;
+    double z = 0.0;
+    for (i64 i = 0; i < n; i++) {
+        double xi = fabs(x[i]);
+        double y = alpha * xi + z;
+        z = one_minus * y;
+        out[i] = y * half_pi;
+    }
+}
+
+static int sosfilt_cplx(const double *sos, i64 n_sections,
+                        const double *xin, i64 n, i64 dec, double *out)
+{
+    if (n_sections > 16) return 1;
+    double z0r[16], z0i[16], z1r[16], z1i[16];
+    for (i64 s = 0; s < n_sections; s++)
+        z0r[s] = z0i[s] = z1r[s] = z1i[s] = 0.0;
+    i64 oi = 0, until = 0;
+    for (i64 i = 0; i < n; i++) {
+        double xr = xin[2 * i], xi = xin[2 * i + 1];
+        for (i64 s = 0; s < n_sections; s++) {
+            const double *c = sos + 6 * s;
+            double yr = c[0] * xr + z0r[s];
+            double yi = c[0] * xi + z0i[s];
+            z0r[s] = c[1] * xr - c[4] * yr + z1r[s];
+            z0i[s] = c[1] * xi - c[4] * yi + z1i[s];
+            z1r[s] = c[2] * xr - c[5] * yr;
+            z1i[s] = c[2] * xi - c[5] * yi;
+            xr = yr; xi = yi;
+        }
+        if (i == until) {
+            out[2 * oi] = xr; out[2 * oi + 1] = xi;
+            oi++; until += dec;
+        }
+    }
+    return 0;
+}
+
+int rk_sosfilt_cplx(const double *sos, i64 n_sections,
+                    const double *xin, i64 n, double *out)
+{
+    return sosfilt_cplx(sos, n_sections, xin, n, 1, out);
+}
+
+int rk_mix_sosfilt_dec(const double *x, const double *lo, i64 n,
+                       const double *sos, i64 n_sections, i64 dec,
+                       double *mixed, double *out)
+{
+    /* numpy promotes the real operand of real*complex, so the product
+     * carries explicit 0.0 terms (sign-of-zero semantics). */
+    for (i64 i = 0; i < n; i++) {
+        double xv = x[i];
+        double lr = lo[2 * i], li = lo[2 * i + 1];
+        mixed[2 * i] = xv * lr - 0.0 * li;
+        mixed[2 * i + 1] = xv * li + 0.0 * lr;
+    }
+    return sosfilt_cplx(sos, n_sections, mixed, n, dec, out);
+}
+"""
+
+
+class KernelBuildError(RuntimeError):
+    """Raised when the C backend cannot be compiled or loaded."""
+
+
+def _compiler() -> str:
+    cc = os.environ.get("CC")
+    if cc:
+        return cc
+    for cand in ("cc", "gcc", "clang"):
+        if shutil.which(cand):
+            return cand
+    raise KernelBuildError("no C compiler found (cc/gcc/clang)")
+
+
+def _source_hash(cc: str) -> str:
+    h = hashlib.sha256()
+    h.update(_C_SOURCE.encode())
+    h.update(" ".join(_CFLAGS).encode())
+    h.update(cc.encode())
+    h.update(sys.platform.encode())
+    return h.hexdigest()[:16]
+
+
+def _candidate_dirs() -> List[str]:
+    dirs = []
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        dirs.append(env)
+    dirs.append(os.path.join(os.path.dirname(__file__), "_kernels_build"))
+    dirs.append(
+        os.path.join(tempfile.gettempdir(), f"repro-kernels-{os.getuid()}")
+        if hasattr(os, "getuid")
+        else os.path.join(tempfile.gettempdir(), "repro-kernels")
+    )
+    return dirs
+
+
+def _build_library() -> Tuple[str, str]:
+    """Compile (or reuse) the shared object; returns (path, cc)."""
+    cc = _compiler()
+    tag = _source_hash(cc)
+    so_name = f"_repro_kernels_{tag}.so"
+    last_error: Optional[Exception] = None
+    for cache_dir in _candidate_dirs():
+        try:
+            os.makedirs(cache_dir, exist_ok=True)
+            so_path = os.path.join(cache_dir, so_name)
+            if os.path.exists(so_path):
+                perf.count("cache.kernel_build.hit")
+                return so_path, cc
+            src_path = os.path.join(cache_dir, f"_repro_kernels_{tag}.c")
+            tmp_path = os.path.join(
+                cache_dir, f".{so_name}.{os.getpid()}.tmp"
+            )
+            with open(src_path, "w") as fh:
+                fh.write(_C_SOURCE)
+            cmd = [cc, *_CFLAGS, "-o", tmp_path, src_path, "-lm"]
+            proc = subprocess.run(
+                cmd, capture_output=True, text=True, timeout=120
+            )
+            if proc.returncode != 0:
+                raise KernelBuildError(
+                    f"{cc} failed ({proc.returncode}): {proc.stderr[-500:]}"
+                )
+            os.replace(tmp_path, so_path)
+            perf.count("cache.kernel_build.miss")
+            return so_path, cc
+        except KernelBuildError:
+            raise
+        except Exception as exc:  # unwritable dir, timeout, ...
+            last_error = exc
+            continue
+    raise KernelBuildError(f"no writable kernel cache dir: {last_error}")
+
+
+_tls = threading.local()
+
+
+class _Lane:
+    """Per-thread reusable buffers with C pointers extracted once.
+
+    ``ndarray.ctypes.data`` costs ~1.3 us per access and
+    ``ctypes.data_as`` ~2.4 us; at ~15 kernel calls per slot that
+    bookkeeping would dominate the kernels themselves.  The lane keeps
+    every scratch/in/out buffer alive for the thread's lifetime with
+    its raw pointer cached, so a call is one ``np.copyto`` in, one C
+    call, and (for array results) one ``ndarray.copy`` out.
+    """
+
+    __slots__ = (
+        "cap",
+        "fa", "pfa",        # float64 input/output lane
+        "fb", "pfb",        # float64 scratch (destroyed by kernels)
+        "fc", "pfc",        # float64 secondary output lane
+        "i8", "pi8",        # int8 output lane
+        "u8a", "pu8a",      # uint8 input lane
+        "u8b", "pu8b",      # uint8 output lane
+        "u8c", "pu8c",      # uint8 output lane
+        "ca", "pca",        # complex128 input lane
+        "cb", "pcb",        # complex128 scratch lane
+        "cc", "pcc",        # complex128 output lane
+        "ia", "pia",        # int64 output lane
+        "ib", "pib",        # int64 output lane
+        "hist", "phist",    # histogram counts
+        "xe", "pxe",        # histogram x edges
+        "ye", "pye",        # histogram y edges
+        "grid", "pgrid",    # cluster-stage float grid
+        "l32", "pl32",      # cluster labels (int32)
+        "out16", "pout16",  # small scalar-tuple returns
+    )
+
+    def __init__(self, cap: int) -> None:
+        self.cap = cap
+        self.fa = np.empty(cap)
+        self.pfa = self.fa.ctypes.data
+        self.fb = np.empty(cap)
+        self.pfb = self.fb.ctypes.data
+        self.fc = np.empty(cap)
+        self.pfc = self.fc.ctypes.data
+        self.i8 = np.empty(cap, dtype=np.int8)
+        self.pi8 = self.i8.ctypes.data
+        self.u8a = np.empty(cap, dtype=np.uint8)
+        self.pu8a = self.u8a.ctypes.data
+        self.u8b = np.empty(cap, dtype=np.uint8)
+        self.pu8b = self.u8b.ctypes.data
+        self.u8c = np.empty(cap, dtype=np.uint8)
+        self.pu8c = self.u8c.ctypes.data
+        self.ca = np.empty(cap, dtype=np.complex128)
+        self.pca = self.ca.ctypes.data
+        self.cb = np.empty(cap, dtype=np.complex128)
+        self.pcb = self.cb.ctypes.data
+        self.cc = np.empty(cap, dtype=np.complex128)
+        self.pcc = self.cc.ctypes.data
+        self.ia = np.empty(cap, dtype=np.int64)
+        self.pia = self.ia.ctypes.data
+        self.ib = np.empty(cap, dtype=np.int64)
+        self.pib = self.ib.ctypes.data
+        self.hist = np.empty(MAX_HIST_BINS * MAX_HIST_BINS)
+        self.phist = self.hist.ctypes.data
+        self.xe = np.empty(MAX_HIST_BINS + 1)
+        self.pxe = self.xe.ctypes.data
+        self.ye = np.empty(MAX_HIST_BINS + 1)
+        self.pye = self.ye.ctypes.data
+        self.grid = np.empty(MAX_HIST_BINS * MAX_HIST_BINS)
+        self.pgrid = self.grid.ctypes.data
+        self.l32 = np.empty(MAX_HIST_BINS * MAX_HIST_BINS, dtype=np.int32)
+        self.pl32 = self.l32.ctypes.data
+        self.out16 = np.empty(16)
+        self.pout16 = self.out16.ctypes.data
+
+
+def _lane(n: int) -> _Lane:
+    lane = getattr(_tls, "lane", None)
+    if lane is None or lane.cap < n:
+        lane = _Lane(max(2 * n, 8192))
+        _tls.lane = lane
+    return lane
+
+
+def load() -> Dict[str, Callable]:
+    """Build/load the shared object and return the kernel table.
+
+    Raises :class:`KernelBuildError` (or OSError from ``CDLL``) when the
+    backend is unavailable; the caller falls back to numpy.
+    """
+    so_path, _cc = _build_library()
+    lib = ctypes.CDLL(so_path)
+
+    i64 = ctypes.c_longlong
+    f64 = ctypes.c_double
+    ptr = ctypes.c_void_p
+
+    lib.rk_median_destroy.restype = f64
+    lib.rk_median_destroy.argtypes = [ptr, i64]
+    lib.rk_mad_destroy.restype = f64
+    lib.rk_mad_destroy.argtypes = [ptr, i64]
+    lib.rk_two_quantiles_destroy.restype = None
+    lib.rk_two_quantiles_destroy.argtypes = [ptr, i64, f64, f64, ptr]
+    lib.rk_project_center.restype = None
+    lib.rk_project_center.argtypes = [ptr, i64, ptr, ptr]
+    lib.rk_project_finish.restype = None
+    lib.rk_project_finish.argtypes = [
+        ptr, i64, f64, f64, f64, f64, f64, f64, ptr, ptr
+    ]
+    lib.rk_schmitt_states.restype = None
+    lib.rk_schmitt_states.argtypes = [ptr, i64, f64, f64, ctypes.c_byte, ptr]
+    lib.rk_schmitt_full.restype = f64
+    lib.rk_schmitt_full.argtypes = [ptr, i64, f64, f64, ptr, ptr]
+    lib.rk_hysteresis_slice.restype = None
+    lib.rk_hysteresis_slice.argtypes = [ptr, i64, f64, f64, ptr]
+    lib.rk_fm0_pairs.restype = None
+    lib.rk_fm0_pairs.argtypes = [ptr, i64, ctypes.c_int, ptr, ptr]
+    lib.rk_bit_grid.restype = i64
+    lib.rk_bit_grid.argtypes = [i64, f64, f64, f64, ptr, ptr]
+    lib.rk_hist2d.restype = None
+    lib.rk_hist2d.argtypes = [
+        ptr, ptr, i64, i64, f64, f64, f64, f64, ptr, ptr, ptr
+    ]
+    lib.rk_iq_hist.restype = None
+    lib.rk_iq_hist.argtypes = [
+        ptr, i64, i64, f64, f64, f64, f64, ptr, ptr, ptr, ptr, ptr, ptr
+    ]
+    lib.rk_cluster_peaks.restype = i64
+    lib.rk_cluster_peaks.argtypes = [ptr, i64, f64, ptr, ptr, ptr, ptr]
+    lib.rk_envelope_rc.restype = None
+    lib.rk_envelope_rc.argtypes = [ptr, i64, f64, ptr]
+    lib.rk_sosfilt_cplx.restype = ctypes.c_int
+    lib.rk_sosfilt_cplx.argtypes = [ptr, i64, ptr, i64, ptr]
+    lib.rk_mix_sosfilt_dec.restype = ctypes.c_int
+    lib.rk_mix_sosfilt_dec.argtypes = [ptr, ptr, i64, ptr, i64, i64, ptr, ptr]
+
+    c_median = lib.rk_median_destroy
+    c_mad = lib.rk_mad_destroy
+    c_two_q = lib.rk_two_quantiles_destroy
+    c_center = lib.rk_project_center
+    c_finish = lib.rk_project_finish
+    c_states = lib.rk_schmitt_states
+    c_schmitt = lib.rk_schmitt_full
+    c_hyst = lib.rk_hysteresis_slice
+    c_fm0 = lib.rk_fm0_pairs
+    c_grid = lib.rk_bit_grid
+    c_hist = lib.rk_hist2d
+    c_iq_hist = lib.rk_iq_hist
+    c_peaks = lib.rk_cluster_peaks
+    c_env = lib.rk_envelope_rc
+    c_sos = lib.rk_sosfilt_cplx
+    c_mix = lib.rk_mix_sosfilt_dec
+
+    def median(x: np.ndarray) -> float:
+        a = np.asarray(x, dtype=np.float64)
+        n = a.size
+        if n == 0:
+            return float(np.median(a))
+        lane = _lane(n)
+        np.copyto(lane.fb[:n], a)
+        return c_median(lane.pfb, n)
+
+    def mad_spread(x: np.ndarray) -> float:
+        a = np.asarray(x, dtype=np.float64)
+        n = a.size
+        if n == 0:
+            return 1.4826 * float(np.median(np.abs(a - np.median(a))))
+        lane = _lane(n)
+        np.copyto(lane.fb[:n], a)
+        return c_mad(lane.pfb, n)
+
+    def two_quantiles(
+        x: np.ndarray, q0: float, q1: float
+    ) -> Tuple[float, float]:
+        a = np.asarray(x, dtype=np.float64)
+        n = a.size
+        if n == 0:
+            lo, hi = np.quantile(a, [q0, q1])
+            return float(lo), float(hi)
+        lane = _lane(n)
+        np.copyto(lane.fb[:n], a)
+        c_two_q(lane.pfb, n, q0, q1, lane.pout16)
+        out = lane.out16
+        return out[0], out[1]
+
+    def project_center(
+        iq: np.ndarray,
+    ) -> Tuple[float, float, float, float]:
+        a = np.asarray(iq, dtype=np.complex128)
+        n = a.size
+        lane = _lane(n)
+        np.copyto(lane.ca[:n], a)
+        c_center(lane.pca, n, lane.pfb, lane.pout16)
+        out = lane.out16
+        return out[0], out[1], out[2], out[3]
+
+    def project_finish(
+        iq: np.ndarray,
+        c_re: float,
+        c_im: float,
+        rot_re: float,
+        rot_im: float,
+        q0: float,
+        q1: float,
+    ) -> np.ndarray:
+        a = np.asarray(iq, dtype=np.complex128)
+        n = a.size
+        lane = _lane(n)
+        np.copyto(lane.ca[:n], a)
+        c_finish(
+            lane.pca, n, c_re, c_im, rot_re, rot_im, q0, q1,
+            lane.pfb, lane.pfa,
+        )
+        return lane.fa[:n].copy()
+
+    def project(iq: np.ndarray) -> np.ndarray:
+        # One lane copy serves both halves; the scalar angle/phasor
+        # step between them stays numpy (see kernels.project).
+        a = np.asarray(iq, dtype=np.complex128)
+        n = a.size
+        lane = _lane(n)
+        np.copyto(lane.ca[:n], a)
+        c_center(lane.pca, n, lane.pfb, lane.pout16)
+        out = lane.out16
+        second_moment = out[2] + 1j * out[3]
+        theta = 0.5 * np.angle(second_moment) if second_moment != 0 else 0.0
+        rot = np.exp(-1j * theta)
+        c_finish(
+            lane.pca, n, out[0], out[1], rot.real, rot.imag,
+            10.0 / 100.0, 90.0 / 100.0, lane.pfb, lane.pfa,
+        )
+        return lane.fa[:n].copy()
+
+    def schmitt_states(
+        projected: np.ndarray, hi: float, lo: float, initial: int
+    ) -> np.ndarray:
+        a = np.asarray(projected, dtype=np.float64)
+        n = a.size
+        lane = _lane(n)
+        np.copyto(lane.fa[:n], a)
+        c_states(lane.pfa, n, hi, lo, int(initial), lane.pi8)
+        return lane.i8[:n].copy()
+
+    def schmitt_full(
+        projected: np.ndarray, hysteresis: float, drift: float
+    ) -> np.ndarray:
+        a = np.asarray(projected, dtype=np.float64)
+        n = a.size
+        lane = _lane(n)
+        np.copyto(lane.fa[:n], a)
+        c_schmitt(lane.pfa, n, hysteresis, drift, lane.pfb, lane.pi8)
+        return lane.i8[:n].copy()
+
+    def hysteresis_slice(
+        env: np.ndarray, hi: float, lo: float
+    ) -> np.ndarray:
+        a = np.asarray(env, dtype=np.float64)
+        n = a.size
+        lane = _lane(n)
+        np.copyto(lane.fa[:n], a)
+        c_hyst(lane.pfa, n, hi, lo, lane.pi8)
+        return lane.i8[:n].copy()
+
+    def fm0_pairs(
+        raw, initial_level: int = 1
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        arr = np.asarray(raw, dtype=np.uint8)
+        n = arr.size
+        n_pairs = n // 2
+        lane = _lane(n)
+        np.copyto(lane.u8a[:n], arr)
+        c_fm0(lane.pu8a, n_pairs, int(initial_level), lane.pu8b, lane.pu8c)
+        return lane.u8b[:n_pairs].copy(), lane.u8c[:n_pairs].copy()
+
+    def bit_grid(
+        n_samples: int,
+        samples_per_bit: float,
+        grid_offset: float,
+        margin: float,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        if samples_per_bit <= 0:
+            return np.empty(0, dtype=np.intp), np.empty(0, dtype=np.intp)
+        cap = int(n_samples / samples_per_bit) + 2
+        lane = _lane(max(cap, 1))
+        count = c_grid(
+            int(n_samples), samples_per_bit, grid_offset, margin,
+            lane.pia, lane.pib,
+        )
+        return lane.ia[:count].copy(), lane.ib[:count].copy()
+
+    def hist2d_counts(
+        x: np.ndarray,
+        y: np.ndarray,
+        bins: int,
+        x_range: Tuple[float, float],
+        y_range: Tuple[float, float],
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        if bins > MAX_HIST_BINS:
+            raise ValueError("too many bins for the C histogram kernel")
+        xa = np.asarray(x, dtype=np.float64)
+        ya = np.asarray(y, dtype=np.float64)
+        n = xa.size
+        lane = _lane(n)
+        np.copyto(lane.fa[:n], xa)
+        np.copyto(lane.fc[:n], ya)
+        c_hist(
+            lane.pfa, lane.pfc, n, int(bins),
+            float(x_range[0]), float(x_range[1]),
+            float(y_range[0]), float(y_range[1]),
+            lane.phist, lane.pxe, lane.pye,
+        )
+        hist = lane.hist[: bins * bins].copy().reshape(bins, bins)
+        return hist, lane.xe[: bins + 1].copy(), lane.ye[: bins + 1].copy()
+
+    def cluster_histogram(
+        iq: np.ndarray, bins: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        if bins > MAX_HIST_BINS:
+            raise ValueError("too many bins for the C histogram kernel")
+        a = np.asarray(iq, dtype=np.complex128)
+        n = a.size
+        lane = _lane(n)
+        np.copyto(lane.ca[:n], a)
+        c_iq_hist(
+            lane.pca, n, int(bins), 1.0 / 100.0, 99.0 / 100.0,
+            0.1, 1e-12,
+            lane.pfa, lane.pfc, lane.pfb, lane.phist, lane.pxe, lane.pye,
+        )
+        hist = lane.hist[: bins * bins].copy().reshape(bins, bins)
+        return hist, lane.xe[: bins + 1].copy(), lane.ye[: bins + 1].copy()
+
+    def cluster_peaks(
+        hist: np.ndarray, peak_threshold: float
+    ) -> Tuple[np.ndarray, np.ndarray, int, float]:
+        bins = hist.shape[0]
+        if bins > MAX_HIST_BINS:
+            raise ValueError("too many bins for the C cluster kernel")
+        h = np.ascontiguousarray(hist, dtype=np.float64)
+        nb = bins * bins
+        lane = _lane(nb)
+        np.copyto(lane.hist[:nb], h.reshape(-1))
+        n_peaks = c_peaks(
+            lane.phist, int(bins), float(peak_threshold),
+            lane.pfa, lane.pgrid, lane.pl32, lane.pout16,
+        )
+        smoothed = lane.fa[:nb].copy().reshape(bins, bins)
+        labels = lane.l32[:nb].copy().reshape(bins, bins)
+        return smoothed, labels, int(n_peaks), float(lane.out16[0])
+
+    def envelope_rc(waveform: np.ndarray, alpha: float) -> np.ndarray:
+        a = np.asarray(waveform, dtype=np.float64)
+        n = a.size
+        lane = _lane(n)
+        np.copyto(lane.fa[:n], a)
+        c_env(lane.pfa, n, alpha, lane.pfc)
+        return lane.fc[:n].copy()
+
+    def sosfilt_complex(sos: np.ndarray, x: np.ndarray) -> np.ndarray:
+        s = np.ascontiguousarray(sos, dtype=np.float64)
+        a = np.asarray(x, dtype=np.complex128)
+        if s.shape[0] > MAX_SOS_SECTIONS:
+            raise ValueError("too many SOS sections for the C kernel")
+        n = a.size
+        lane = _lane(n)
+        np.copyto(lane.ca[:n], a)
+        np.copyto(lane.fa[: s.size], s.reshape(-1))
+        c_sos(lane.pfa, s.shape[0], lane.pca, n, lane.pcc)
+        return lane.cc[:n].copy()
+
+    def mix_sosfilt_decimate(
+        x: np.ndarray, lo: np.ndarray, sos: np.ndarray, decimation: int
+    ) -> np.ndarray:
+        xv = np.asarray(x, dtype=np.float64)
+        lov = np.asarray(lo, dtype=np.complex128)
+        s = np.ascontiguousarray(sos, dtype=np.float64)
+        if s.shape[0] > MAX_SOS_SECTIONS:
+            raise ValueError("too many SOS sections for the C kernel")
+        n = xv.size
+        dec = int(decimation)
+        m = -(-n // dec) if n else 0
+        lane = _lane(n)
+        np.copyto(lane.fc[:n], xv)
+        np.copyto(lane.ca[:n], lov)
+        np.copyto(lane.fa[: s.size], s.reshape(-1))
+        c_mix(
+            lane.pfc, lane.pca, n, lane.pfa, s.shape[0], dec,
+            lane.pcb, lane.pcc,
+        )
+        return lane.cc[:m].copy()
+
+    return {
+        "median": median,
+        "mad_spread": mad_spread,
+        "two_quantiles": two_quantiles,
+        "project": project,
+        "project_center": project_center,
+        "project_finish": project_finish,
+        "cluster_histogram": cluster_histogram,
+        "cluster_peaks": cluster_peaks,
+        "schmitt_states": schmitt_states,
+        "schmitt_full": schmitt_full,
+        "hysteresis_slice": hysteresis_slice,
+        "fm0_pairs": fm0_pairs,
+        "bit_grid": bit_grid,
+        "hist2d_counts": hist2d_counts,
+        "envelope_rc": envelope_rc,
+        "sosfilt_complex": sosfilt_complex,
+        "mix_sosfilt_decimate": mix_sosfilt_decimate,
+    }

@@ -1,0 +1,440 @@
+"""Numba backend for :mod:`repro.phy.kernels`.
+
+``@njit`` mirrors of the C kernels in :mod:`repro.phy._kernels_c`, used
+when numba is importable (``pip install .[kernels]``).  The algorithms
+are kept line-for-line parallel with the C translation unit so the two
+compiled backends are interchangeable; ``fastmath`` stays off — an FMA
+or reassociation would break the bit-exactness contract against the
+numpy expressions these replace.
+
+Importing this module raises ``ImportError`` when numba is absent; the
+selector in :mod:`repro.phy.kernels` treats that as "backend
+unavailable" and moves on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+from numba import njit
+
+_JIT = dict(cache=True, nogil=True, fastmath=False)
+
+
+@njit(**_JIT)
+def _kth_smallest(a, lo, hi, k):
+    while lo < hi:
+        mid = lo + (hi - lo) // 2
+        p0, p1, p2 = a[lo], a[mid], a[hi]
+        if p0 < p1:
+            if p1 < p2:
+                piv = p1
+            elif p0 < p2:
+                piv = p2
+            else:
+                piv = p0
+        else:
+            if p0 < p2:
+                piv = p0
+            elif p1 < p2:
+                piv = p2
+            else:
+                piv = p1
+        i = lo - 1
+        j = hi + 1
+        while True:
+            i += 1
+            while a[i] < piv:
+                i += 1
+            j -= 1
+            while a[j] > piv:
+                j -= 1
+            if i >= j:
+                break
+            a[i], a[j] = a[j], a[i]
+        if k <= j:
+            hi = j
+        else:
+            lo = j + 1
+
+
+@njit(**_JIT)
+def _median_inplace(a, n):
+    h = n // 2
+    _kth_smallest(a, 0, n - 1, h)
+    if n & 1:
+        return a[h]
+    upper = a[h]
+    lower = a[0]
+    for i in range(1, h):
+        if a[i] > lower:
+            lower = a[i]
+    return (lower + upper) / 2.0
+
+
+@njit(**_JIT)
+def _median(x):
+    scratch = x.copy()
+    return _median_inplace(scratch, scratch.size)
+
+
+@njit(**_JIT)
+def _mad_spread(x):
+    n = x.size
+    scratch = x.copy()
+    med = _median_inplace(scratch, n)
+    for i in range(n):
+        scratch[i] = abs(x[i] - med)
+    return 1.4826 * _median_inplace(scratch, n)
+
+
+@njit(**_JIT)
+def _lerp_np(a, b, t):
+    d = b - a
+    if t >= 0.5:
+        return b - d * (1.0 - t)
+    return a + d * t
+
+
+@njit(**_JIT)
+def _quantile_from(a, n, done_upto, q):
+    virt = (n - 1) * q
+    if virt >= n - 1.0:
+        jp = n - 1
+        jn = n - 1
+        gamma = 0.0
+    elif virt < 0.0:
+        jp = 0
+        jn = 0
+        gamma = 0.0
+    else:
+        fl = np.floor(virt)
+        jp = int(fl)
+        jn = jp + 1
+        gamma = virt - fl
+    lo = done_upto
+    if jp >= lo:
+        _kth_smallest(a, lo, n - 1, jp)
+    prev = a[jp]
+    if jn == jp:
+        nxt = prev
+    else:
+        nxt = a[jp + 1]
+        for i in range(jp + 2, n):
+            if a[i] < nxt:
+                nxt = a[i]
+    return _lerp_np(prev, nxt, gamma), jp
+
+
+@njit(**_JIT)
+def _two_quantiles(x, q0, q1):
+    scratch = x.copy()
+    n = scratch.size
+    lo_val, k = _quantile_from(scratch, n, 0, q0)
+    hi_val, _ = _quantile_from(scratch, n, k, q1)
+    return lo_val, hi_val
+
+
+@njit(**_JIT)
+def _schmitt_states(p, hi, lo, initial):
+    n = p.size
+    out = np.empty(n, dtype=np.int8)
+    s = np.int8(initial)
+    for i in range(n):
+        v = p[i]
+        if v <= lo:
+            s = np.int8(0)
+        elif v >= hi:
+            s = np.int8(1)
+        out[i] = s
+    return out
+
+
+@njit(**_JIT)
+def _schmitt_full(p, hysteresis, drift):
+    n = p.size
+    spread = _mad_spread(p)
+    if spread == 0.0:
+        return np.zeros(n, dtype=np.int8)
+    center = drift * spread
+    hi = center + hysteresis * spread
+    lo = center - hysteresis * spread
+    initial = 1 if p[0] > center else 0
+    return _schmitt_states(p, hi, lo, initial)
+
+
+@njit(**_JIT)
+def _bit_grid(n_samples, samples_per_bit, grid_offset, margin):
+    cap = int(n_samples / samples_per_bit) + 2
+    lo_idx = np.empty(max(cap, 1), dtype=np.int64)
+    hi_idx = np.empty(max(cap, 1), dtype=np.int64)
+    count = 0
+    start = grid_offset
+    while start + samples_per_bit <= n_samples:
+        lo = int(np.rint(start + margin))
+        hi = int(np.rint((start + samples_per_bit) - margin))
+        if hi > lo:
+            lo_idx[count] = lo
+            hi_idx[count] = hi
+            count += 1
+        start += samples_per_bit
+    return lo_idx[:count].copy(), hi_idx[:count].copy()
+
+
+@njit(**_JIT)
+def _linspace_np(start, stop, div):
+    # numpy linspace: step = delta/div; edge[i] = i*step + start, end
+    # point pinned to stop; denormal-step fallback divides first.
+    e = np.empty(div + 1)
+    delta = stop - start
+    step = delta / div
+    if step == 0.0:
+        for i in range(div + 1):
+            e[i] = (i / div) * delta + start
+    else:
+        for i in range(div + 1):
+            e[i] = i * step + start
+    e[div] = stop
+    return e
+
+
+@njit(**_JIT)
+def _searchsorted_right(e, v):
+    lo = 0
+    hi = e.size
+    while lo < hi:
+        mid = (lo + hi) >> 1
+        if e[mid] <= v:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+@njit(**_JIT)
+def _hist2d(x, y, bins, x0, x1, y0, y1):
+    xe = _linspace_np(x0, x1, bins)
+    ye = _linspace_np(y0, y1, bins)
+    hist = np.zeros((bins, bins))
+    for i in range(x.size):
+        vx = x[i]
+        vy = y[i]
+        ix = _searchsorted_right(xe, vx)
+        iy = _searchsorted_right(ye, vy)
+        if vx == x1:
+            ix -= 1
+        if vy == y1:
+            iy -= 1
+        if 0 < ix <= bins and 0 < iy <= bins:
+            hist[ix - 1, iy - 1] += 1.0
+    return hist, xe, ye
+
+
+@njit(**_JIT)
+def _hysteresis_slice(env, hi, lo):
+    n = env.size
+    out = np.empty(n, dtype=np.int8)
+    s = np.int8(0)
+    for i in range(n):
+        v = env[i]
+        if s == 0:
+            if v >= hi:
+                s = np.int8(1)
+        else:
+            if v <= lo:
+                s = np.int8(0)
+        out[i] = s
+    return out
+
+
+@njit(**_JIT)
+def _fm0_pairs(raw, initial_level):
+    n_pairs = raw.size // 2
+    bits = np.empty(n_pairs, dtype=np.uint8)
+    viol = np.empty(n_pairs, dtype=np.uint8)
+    prev = np.uint8(initial_level)
+    for i in range(n_pairs):
+        first = raw[2 * i]
+        second = raw[2 * i + 1]
+        viol[i] = np.uint8(1) if first == prev else np.uint8(0)
+        bits[i] = np.uint8(1) if first == second else np.uint8(0)
+        prev = second
+    return bits, viol
+
+
+@njit(**_JIT)
+def _envelope_rc(x, alpha):
+    n = x.size
+    out = np.empty(n)
+    one_minus = 1.0 - alpha
+    half_pi = 3.14159265358979323846 / 2.0
+    z = 0.0
+    for i in range(n):
+        xi = abs(x[i])
+        y = alpha * xi + z
+        z = one_minus * y
+        out[i] = y * half_pi
+    return out
+
+
+@njit(**_JIT)
+def _sosfilt_cplx_dec(sos, x, dec):
+    n_sections = sos.shape[0]
+    n = x.size
+    m = -((-n) // dec) if n else 0
+    out = np.empty(m, dtype=np.complex128)
+    z0 = np.zeros(n_sections, dtype=np.complex128)
+    z1 = np.zeros(n_sections, dtype=np.complex128)
+    oi = 0
+    until = 0
+    for i in range(n):
+        xc = x[i]
+        for s in range(n_sections):
+            y = sos[s, 0] * xc + z0[s]
+            z0[s] = sos[s, 1] * xc - sos[s, 4] * y + z1[s]
+            z1[s] = sos[s, 2] * xc - sos[s, 5] * y
+            xc = y
+        if i == until:
+            out[oi] = xc
+            oi += 1
+            until += dec
+    return out
+
+
+@njit(**_JIT)
+def _mix(x, lo):
+    n = x.size
+    mixed = np.empty(n, dtype=np.complex128)
+    for i in range(n):
+        xv = x[i]
+        lr = lo[i].real
+        li = lo[i].imag
+        mixed[i] = complex(xv * lr - 0.0 * li, xv * li + 0.0 * lr)
+    return mixed
+
+
+def load() -> Dict[str, Callable]:
+    """Return the kernel table (wrappers normalising array layout)."""
+
+    def median(x: np.ndarray) -> float:
+        a = np.ascontiguousarray(x, dtype=np.float64)
+        if a.size == 0:
+            return float(np.median(a))
+        return float(_median(a))
+
+    def mad_spread(x: np.ndarray) -> float:
+        a = np.ascontiguousarray(x, dtype=np.float64)
+        if a.size == 0:
+            return 1.4826 * float(np.median(np.abs(a - np.median(a))))
+        return float(_mad_spread(a))
+
+    def two_quantiles(
+        x: np.ndarray, q0: float, q1: float
+    ) -> Tuple[float, float]:
+        a = np.ascontiguousarray(x, dtype=np.float64)
+        if a.size == 0:
+            lo, hi = np.quantile(a, [q0, q1])
+            return float(lo), float(hi)
+        lo, hi = _two_quantiles(a, float(q0), float(q1))
+        return float(lo), float(hi)
+
+    # The projection kernels hinge on replaying numpy's FMA-contracted
+    # complex multiply; numba (without a portable math.fma) cannot
+    # guarantee that contraction, so these two stages ride the numpy
+    # implementations — still exact, just not jitted.
+    from repro.phy import kernels as _kernels
+
+    project_center = _kernels._np_project_center
+    project_finish = _kernels._np_project_finish
+
+    def schmitt_states(
+        projected: np.ndarray, hi: float, lo: float, initial: int
+    ) -> np.ndarray:
+        a = np.ascontiguousarray(projected, dtype=np.float64)
+        return _schmitt_states(a, float(hi), float(lo), int(initial))
+
+    def schmitt_full(
+        projected: np.ndarray, hysteresis: float, drift: float
+    ) -> np.ndarray:
+        a = np.ascontiguousarray(projected, dtype=np.float64)
+        return _schmitt_full(a, float(hysteresis), float(drift))
+
+    def bit_grid(
+        n_samples: int,
+        samples_per_bit: float,
+        grid_offset: float,
+        margin: float,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        lo_idx, hi_idx = _bit_grid(
+            int(n_samples), float(samples_per_bit), float(grid_offset),
+            float(margin),
+        )
+        return lo_idx.astype(np.intp), hi_idx.astype(np.intp)
+
+    def hist2d_counts(
+        x: np.ndarray,
+        y: np.ndarray,
+        bins: int,
+        x_range: Tuple[float, float],
+        y_range: Tuple[float, float],
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        xa = np.ascontiguousarray(x, dtype=np.float64)
+        ya = np.ascontiguousarray(y, dtype=np.float64)
+        return _hist2d(
+            xa, ya, int(bins),
+            float(x_range[0]), float(x_range[1]),
+            float(y_range[0]), float(y_range[1]),
+        )
+
+    def hysteresis_slice(
+        env: np.ndarray, hi: float, lo: float
+    ) -> np.ndarray:
+        a = np.ascontiguousarray(env, dtype=np.float64)
+        return _hysteresis_slice(a, float(hi), float(lo))
+
+    def fm0_pairs(raw, initial_level: int = 1):
+        arr = np.ascontiguousarray(raw, dtype=np.uint8)
+        return _fm0_pairs(arr, int(initial_level))
+
+    def envelope_rc(waveform: np.ndarray, alpha: float) -> np.ndarray:
+        a = np.ascontiguousarray(waveform, dtype=np.float64)
+        return _envelope_rc(a, float(alpha))
+
+    def sosfilt_complex(sos: np.ndarray, x: np.ndarray) -> np.ndarray:
+        s = np.ascontiguousarray(sos, dtype=np.float64)
+        a = np.ascontiguousarray(x, dtype=np.complex128)
+        return _sosfilt_cplx_dec(s, a, 1)
+
+    def mix_sosfilt_decimate(
+        x: np.ndarray, lo: np.ndarray, sos: np.ndarray, decimation: int
+    ) -> np.ndarray:
+        xv = np.ascontiguousarray(x, dtype=np.float64)
+        lov = np.ascontiguousarray(lo, dtype=np.complex128)
+        s = np.ascontiguousarray(sos, dtype=np.float64)
+        return _sosfilt_cplx_dec(s, _mix(xv, lov), int(decimation))
+
+    # Trigger one tiny compilation so an unusable numba install fails
+    # here (at selection time) instead of mid-run.
+    median(np.array([1.0, 2.0, 3.0]))
+    return {
+        "median": median,
+        "mad_spread": mad_spread,
+        "two_quantiles": two_quantiles,
+        "project_center": project_center,
+        "project_finish": project_finish,
+        "schmitt_states": schmitt_states,
+        "schmitt_full": schmitt_full,
+        "hysteresis_slice": hysteresis_slice,
+        "fm0_pairs": fm0_pairs,
+        "bit_grid": bit_grid,
+        "hist2d_counts": hist2d_counts,
+        # The cluster stage leans on scipy.ndimage (not jittable
+        # without replaying its C loops); the numpy composition is the
+        # exact reference, so this backend reuses it directly.
+        "cluster_histogram": _kernels._np_cluster_histogram,
+        "cluster_peaks": _kernels._np_cluster_peaks,
+        "envelope_rc": envelope_rc,
+        "sosfilt_complex": sosfilt_complex,
+        "mix_sosfilt_decimate": mix_sosfilt_decimate,
+    }

@@ -567,7 +567,7 @@ def hit_ratios(
     if counters is None:
         counters = perf.report()["counters"]  # type: ignore[assignment]
     out: Dict[str, Dict[str, float]] = {}
-    for name in ("carrier", "mixer", "template", "leak"):
+    for name in ("carrier", "mixer", "template", "leak", "kernel_build"):
         hits = int(counters.get(f"cache.{name}.hit", 0))
         misses = int(counters.get(f"cache.{name}.miss", 0))
         total = hits + misses
@@ -602,9 +602,13 @@ def clear_caches() -> None:
 
 def cache_sizes() -> Dict[str, int]:
     """Entry counts per cache (diagnostics / perf reports)."""
+    from repro.phy import kernels
+
     with _templates_lock:
         templates = list(_templates.values())
+    info = kernels.kernel_info()
     return {
+        "compiled_kernels": int(info["compiled_kernels"]),
         "quadrature_tables": len(_tables),
         "quadrature_samples": sum(len(t.cos) for t in _tables.values()),
         "mixers": len(_mixers),

@@ -23,6 +23,8 @@ from typing import List, Tuple
 
 import numpy as np
 
+from repro.phy import kernels
+
 #: Default RC time constant of the envelope low-pass (s); sized for the
 #: 250 bps downlink (raw bit 4 ms).
 DEFAULT_RC_S = 2.0e-3
@@ -43,17 +45,16 @@ class EnvelopeDetector:
             raise ValueError("RC constant must be positive")
 
     def detect(self, waveform: np.ndarray, sample_rate_hz: float) -> np.ndarray:
-        """Envelope of ``waveform`` via rectification and IIR smoothing."""
+        """Envelope of ``waveform`` via rectification and IIR smoothing.
+
+        The output is scaled by pi/2: the mean of a rectified sine is
+        2/pi of its peak, so the scaling makes the envelope track the
+        peak amplitude.
+        """
         if sample_rate_hz <= 0:
             raise ValueError("sample rate must be positive")
-        from scipy.signal import lfilter
-
-        rectified = np.abs(np.asarray(waveform, dtype=float))
         alpha = 1.0 - math.exp(-1.0 / (self.rc_s * sample_rate_hz))
-        out = lfilter([alpha], [1.0, -(1.0 - alpha)], rectified)
-        # Scale: the mean of a rectified sine is 2/pi of its peak; undo
-        # it so the envelope tracks the peak amplitude.
-        return out * (math.pi / 2.0)
+        return kernels.envelope_rc(np.asarray(waveform, dtype=float), alpha)
 
     def threshold_crossing_delay_s(
         self, carrier_amplitude_v: float, threshold_v: float = DEFAULT_THRESHOLD_V
@@ -94,16 +95,9 @@ class HysteresisComparator:
     def slice(self, envelope: np.ndarray) -> np.ndarray:
         """Binary output (0/1 ints) with hysteresis, initial state low."""
         env = np.asarray(envelope, dtype=float)
-        out = np.empty(len(env), dtype=np.int8)
-        state = 0
-        hi, lo = self.rising_threshold_v, self.falling_threshold_v
-        for i, v in enumerate(env):
-            if state == 0 and v >= hi:
-                state = 1
-            elif state == 1 and v <= lo:
-                state = 0
-            out[i] = state
-        return out
+        return kernels.hysteresis_slice(
+            env, self.rising_threshold_v, self.falling_threshold_v
+        )
 
 
 def edges(binary: np.ndarray, sample_rate_hz: float) -> List[Tuple[float, int]]:

@@ -13,26 +13,14 @@ the ACK (the anti-capture rule that keeps the slot-allocation honest).
 from __future__ import annotations
 
 import math
-import threading
 from dataclasses import dataclass
 from typing import List, Sequence
 
 import numpy as np
-from scipy.signal import sosfilt
 
 from repro.channel import acoustics
 from repro.phy import cache as phy_cache
-
-_scratch = threading.local()
-
-
-def _mix_buffer(n: int) -> np.ndarray:
-    """Grow-once thread-local complex scratch for the mixing product."""
-    buf = getattr(_scratch, "mixed", None)
-    if buf is None or len(buf) < n:
-        buf = np.empty(max(n, 4096), dtype=complex)
-        _scratch.mixed = buf
-    return buf[:n]
+from repro.phy import kernels
 
 
 def downconvert(
@@ -52,23 +40,18 @@ def downconvert(
     numerically fragile in transfer-function form.
 
     The local oscillator and the filter design are served from
-    :mod:`repro.phy.cache`, the mixing product lands in a grow-once
-    thread-local scratch instead of a fresh ~10^5-sample allocation,
-    and the decimated result is copied contiguous — every downstream
-    consumer walks it repeatedly, and the copy also releases the
-    full-rate filter output instead of pinning it behind a strided
-    view.
+    :mod:`repro.phy.cache`; the fused mix + filter + decimate runs
+    through :func:`repro.phy.kernels.mix_sosfilt_decimate`, whose
+    compiled backends write only the kept (decimated) samples and
+    return them contiguous — every downstream consumer walks the
+    result repeatedly.
     """
     if decimation < 1:
         raise ValueError("decimation must be >= 1")
     x = np.asarray(waveform, dtype=float)
     lo = phy_cache.mixer(len(x), sample_rate_hz, carrier_hz)
-    mixed = np.multiply(x, lo, out=_mix_buffer(len(x)))
     sos = phy_cache.butter_lowpass_sos(4, cutoff_hz / (sample_rate_hz / 2.0))
-    filtered = sosfilt(sos, mixed)
-    if decimation == 1:
-        return filtered
-    return np.ascontiguousarray(filtered[::decimation])
+    return kernels.mix_sosfilt_decimate(x, lo, sos, decimation)
 
 
 def frequency_offset_estimate(
@@ -118,40 +101,33 @@ def cluster_iq(
     OOK modulators produce up to 2^K well-separated modes; transition
     samples form low-density ridges that the threshold suppresses, and
     a pure-noise capture collapses to a single blob.
-    """
-    from scipy.ndimage import label, maximum_filter, uniform_filter
 
+    The whole detection runs as two fused kernels —
+    :func:`repro.phy.kernels.cluster_histogram` (percentile box + pad
+    + 2-D histogram) and :func:`repro.phy.kernels.cluster_peaks` (box
+    smoothing + local-maxima labelling, scipy.ndimage semantics); only
+    the per-peak centre-of-mass loop stays in numpy.
+    """
     pts = np.asarray(iq, dtype=complex)
     if pts.size == 0:
         return ClusterResult(0, [])
-    re, im = pts.real, pts.imag
-    lo_r, hi_r = np.percentile(re, [1.0, 99.0])
-    lo_i, hi_i = np.percentile(im, [1.0, 99.0])
-    pad_r = max((hi_r - lo_r) * 0.1, 1e-12)
-    pad_i = max((hi_i - lo_i) * 0.1, 1e-12)
-    hist, r_edges, i_edges = np.histogram2d(
-        re,
-        im,
-        bins=bins,
-        range=[[lo_r - pad_r, hi_r + pad_r], [lo_i - pad_i, hi_i + pad_i]],
-    )
-    smoothed = uniform_filter(hist, size=3, mode="constant")
-    if smoothed.max() <= 0:
-        return ClusterResult(1, [complex(np.mean(re), np.mean(im))])
-    peak_mask = (smoothed == maximum_filter(smoothed, size=3, mode="constant")) & (
-        smoothed >= peak_threshold * smoothed.max()
-    )
-    labels, n_peaks = label(peak_mask)
+    hist, r_edges, i_edges = kernels.cluster_histogram(pts, bins)
+    smoothed, labels, n_peaks, smax = kernels.cluster_peaks(hist, peak_threshold)
+    if smax <= 0:
+        return ClusterResult(1, [complex(np.mean(pts.real), np.mean(pts.imag))])
     centers: List[complex] = []
     r_mid = (r_edges[:-1] + r_edges[1:]) / 2.0
     i_mid = (i_edges[:-1] + i_edges[1:]) / 2.0
     for k in range(1, n_peaks + 1):
         rs, cs = np.nonzero(labels == k)
         weights = smoothed[rs, cs]
+        # np.average inlined (same multiply/sum/divide, minus its
+        # dispatch overhead): weighted mean of the member bin centres.
+        wsum = weights.sum()
         centers.append(
             complex(
-                float(np.average(r_mid[rs], weights=weights)),
-                float(np.average(i_mid[cs], weights=weights)),
+                float(np.multiply(r_mid[rs], weights).sum() / wsum),
+                float(np.multiply(i_mid[cs], weights).sum() / wsum),
             )
         )
     return ClusterResult(n_peaks, centers)
@@ -209,7 +185,7 @@ def detect_collision_iq(iq: np.ndarray) -> ClusterResult:
     # rate-matched LPF smears level changes into ridges that would
     # otherwise masquerade as extra constellation modes.
     step = np.abs(np.diff(iq))
-    plateau = step < 3.0 * np.median(step)
+    plateau = step < 3.0 * kernels.median(step)
     plateau_iq = iq[1:][plateau]
     if len(plateau_iq) >= 50:
         iq = plateau_iq

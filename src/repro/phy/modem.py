@@ -22,11 +22,11 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 import numpy as np
-from scipy.signal import sosfilt
 
 from repro.channel import acoustics
 from repro.channel.pzt import PZTTransducer
 from repro.phy import cache as phy_cache
+from repro.phy import kernels
 
 
 def raw_bits_to_levels(
@@ -268,7 +268,7 @@ def receiver_noise_baseband(
     noise *= scale
     baseband_rate = sample_rate_hz / decimation
     sos = phy_cache.butter_lowpass_sos(4, cutoff_hz / (baseband_rate / 2.0))
-    return sosfilt(sos, noise)
+    return kernels.sosfilt_complex(sos, noise)
 
 
 @dataclass(frozen=True)

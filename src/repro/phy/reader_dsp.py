@@ -20,7 +20,7 @@ from typing import Deque, Generic, List, Optional, Tuple, TypeVar
 import numpy as np
 
 from repro.channel import acoustics
-from repro.phy.fm0 import fm0_decode
+from repro.phy import kernels
 from repro.phy.iq import correct_frequency_offset, downconvert, frequency_offset_estimate
 from repro.phy.packets import UplinkPacket, find_ul_frames
 
@@ -176,46 +176,66 @@ class ReaderReceiveChain:
         The static carrier leak is removed as the constellation centre
         (component-wise median — robust against the filter's settling
         transient); the surviving backscatter phasor lies, up to noise,
-        along one axis whose angle is half the angle of E[z^2].
+        along one axis whose angle is half the angle of E[z^2].  The
+        result is re-centred between its 10th/90th percentiles so zero
+        is the decision threshold even when the lead-in skews the
+        median.  The whole stage runs as the fused
+        :func:`repro.phy.kernels.project` kernel pair.
         """
-        center = complex(np.median(iq.real), np.median(iq.imag))
-        z = iq - center
-        second_moment = np.median(np.real(z**2)) + 1j * np.median(np.imag(z**2))
-        theta = 0.5 * np.angle(second_moment) if second_moment != 0 else 0.0
-        projected = np.real(z * np.exp(-1j * theta))
-        # Re-centre between the two OOK levels so zero is the decision
-        # threshold even when the lead-in skews the median.
-        lo, hi = np.percentile(projected, [10.0, 90.0])
-        return projected - (lo + hi) / 2.0
+        return kernels.project(iq)
 
     def schmitt(self, projected: np.ndarray) -> np.ndarray:
         """Hysteresis slicer around zero, scaled to the signal spread.
 
         The spread estimate is a median absolute deviation: the filter's
         settling transient would inflate a plain standard deviation and
-        freeze the slicer.
+        freeze the slicer.  Samples at/above the upper threshold force
+        state 1, at/below the lower force state 0, anything in the dead
+        band holds the previous forced state; the initial state is the
+        sign of the first sample against the drifted centre.  A flat
+        input (zero spread) slices to all zeros.
         """
-        spread = 1.4826 * float(np.median(np.abs(projected - np.median(projected))))
-        if spread == 0.0:
-            return np.zeros(len(projected), dtype=np.int8)
-        center = self.threshold_drift * spread
-        hi = center + self.schmitt_hysteresis * spread
-        lo = center - self.schmitt_hysteresis * spread
-        # Vectorised hysteresis: samples at/above +hi force state 1,
-        # at/below -hi force state 0, anything in the dead band holds
-        # the previous forced state (forward fill); the initial state is
-        # the sign of the first sample.  hi > 0 > lo, so the two forcing
-        # conditions are mutually exclusive and this reproduces the
-        # sequential slicer exactly.
-        n = len(projected)
-        marks = np.full(n, -1, dtype=np.int8)
-        marks[projected >= hi] = 1
-        marks[projected <= lo] = 0
-        forced = np.where(marks >= 0, np.arange(n), -1)
-        np.maximum.accumulate(forced, out=forced)
-        initial = np.int8(1 if projected[0] > center else 0)
-        out = np.where(forced >= 0, marks[np.maximum(forced, 0)], initial)
-        return out.astype(np.int8)
+        return kernels.schmitt_full(
+            projected, self.schmitt_hysteresis, self.threshold_drift
+        )
+
+    def _raw_bit_sums(
+        self,
+        projected: np.ndarray,
+        binary: np.ndarray,
+        raw_rate_bps: float,
+        baseband_rate_hz: float,
+    ) -> Optional[np.ndarray]:
+        """Per-bit matched-filter sums, or ``None`` when no bit grid
+        can be established (no slicer transitions / no full windows).
+
+        Bit-grid phase is estimated from the circular mean of the
+        slicer's transition positions modulo the bit period; each sum
+        integrates the projected signal over the central 80% of its
+        bit — the matched-filter step that buys back the per-sample
+        noise.  The raw bit is the sign of the sum.
+        """
+        if raw_rate_bps <= 0:
+            raise ValueError("bit rate must be positive")
+        samples_per_bit = baseband_rate_hz / raw_rate_bps
+        transitions = np.flatnonzero(np.diff(binary) != 0) + 1
+        if transitions.size == 0:
+            return None
+        phases = (transitions % samples_per_bit) / samples_per_bit
+        angle = np.angle(np.mean(np.exp(2j * math.pi * phases)))
+        grid_offset = (angle / (2 * math.pi)) % 1.0 * samples_per_bit
+        margin = 0.1 * samples_per_bit
+        lo_idx, hi_idx = kernels.bit_grid(
+            len(projected), samples_per_bit, grid_offset, margin
+        )
+        if lo_idx.size == 0:
+            return None
+        # One reduceat over interleaved [lo0, hi0, lo1, hi1, ...] sums
+        # every bit's central window in a single ufunc call.  Summation
+        # order within a window may differ from a per-slice
+        # np.add.reduce by ulp-level reassociation; the decision is the
+        # sign of a matched-filter sum, far from that scale.
+        return kernels.bit_window_sums(projected, lo_idx, hi_idx)
 
     def sample_raw_bits(
         self,
@@ -224,49 +244,13 @@ class ReaderReceiveChain:
         raw_rate_bps: float,
         baseband_rate_hz: float,
     ) -> List[int]:
-        """Recover the raw bit sequence: integrate-and-dump per bit.
-
-        Bit-grid phase is estimated from the circular mean of the
-        slicer's transition positions modulo the bit period; each raw
-        bit is then the sign of the *integrated* projected signal over
-        the central 80% of the bit — the matched-filter step that buys
-        back the per-sample noise.
-        """
-        if raw_rate_bps <= 0:
-            raise ValueError("bit rate must be positive")
-        samples_per_bit = baseband_rate_hz / raw_rate_bps
-        transitions = np.flatnonzero(np.diff(binary) != 0) + 1
-        if transitions.size == 0:
+        """Recover the raw bit sequence: integrate-and-dump per bit
+        (the list form of :meth:`_raw_bit_sums`)."""
+        sums = self._raw_bit_sums(
+            projected, binary, raw_rate_bps, baseband_rate_hz
+        )
+        if sums is None:
             return []
-        phases = (transitions % samples_per_bit) / samples_per_bit
-        angle = np.angle(np.mean(np.exp(2j * math.pi * phases)))
-        grid_offset = (angle / (2 * math.pi)) % 1.0 * samples_per_bit
-        margin = 0.1 * samples_per_bit
-        lo_idx: List[int] = []
-        hi_idx: List[int] = []
-        start = grid_offset
-        while start + samples_per_bit <= len(projected):
-            lo = int(round(start + margin))
-            hi = int(round(start + samples_per_bit - margin))
-            if hi > lo:
-                lo_idx.append(lo)
-                hi_idx.append(hi)
-            start += samples_per_bit
-        if not lo_idx:
-            return []
-        # One reduceat over interleaved [lo0, hi0, lo1, hi1, ...] sums
-        # every bit's central window in a single ufunc call; the odd
-        # segments are the inter-window gaps and are discarded.  The
-        # trailing zero pad keeps a final hi == len(projected) a valid
-        # reduceat index (the segment it opens is discarded anyway).
-        # Summation order within a window may differ from a per-slice
-        # np.add.reduce by ulp-level reassociation; the decision is the
-        # sign of a matched-filter sum, far from that scale.
-        inter = np.empty(2 * len(lo_idx), dtype=np.intp)
-        inter[0::2] = lo_idx
-        inter[1::2] = hi_idx
-        padded = np.append(projected, 0.0)
-        sums = np.add.reduceat(padded, inter)[0::2]
         return [1 if s > 0 else 0 for s in sums]
 
     # -- end-to-end -----------------------------------------------------------
@@ -294,29 +278,36 @@ class ReaderReceiveChain:
         iq = correct_frequency_offset(iq, offset, baseband_rate)
         projected = self.project(iq)
         binary = self.schmitt(projected)
-        raw = self.sample_raw_bits(projected, binary, raw_rate_bps, baseband_rate)
+        sums = self._raw_bit_sums(projected, binary, raw_rate_bps, baseband_rate)
 
+        # bool -> uint8 is a view (same byte values as the list
+        # round-trip sample_raw_bits would have produced).
+        raw_arr = (
+            np.empty(0, dtype=np.uint8)
+            if sums is None
+            else (sums > 0).view(np.uint8)
+        )
         best_packets: List[UplinkPacket] = []
-        best_raw: List[int] = []
+        best_candidate: Optional[np.ndarray] = None
         best_violations = math.inf
         for start in (0, 1):
-            candidate = raw[start:]
+            candidate = raw_arr[start:]
             if len(candidate) < 2:
                 continue
             if len(candidate) % 2:
                 candidate = candidate[:-1]
-            result = fm0_decode(candidate)
-            packets = find_ul_frames(result.bits)
-            violations = sum(result.violations)
+            bits_arr, viol_arr = kernels.fm0_pairs(candidate)
+            packets = find_ul_frames(bits_arr.tolist())
+            violations = int(viol_arr.sum())
             if len(packets) > len(best_packets) or (
                 len(packets) == len(best_packets) and violations < best_violations
             ):
                 best_packets = packets
-                best_raw = candidate
+                best_candidate = candidate
                 best_violations = violations
         return DecodeOutcome(
             packets=best_packets,
-            raw_bits=best_raw,
+            raw_bits=[] if best_candidate is None else best_candidate.tolist(),
             baseband=iq,
             frequency_offset_hz=offset,
         )

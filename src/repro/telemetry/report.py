@@ -157,6 +157,18 @@ def render_report(
             lines.append(f"  {'tag power cycles':<24}{power_cycles:>9}")
 
     if perf:
+        kernels = perf.get("kernels")
+        if kernels:
+            lines += _section("phy kernels")
+            lines.append(f"  {'backend':<24}{kernels.get('backend', '?'):>9}")
+            lines.append(
+                f"  {'compiled kernels':<24}"
+                f"{kernels.get('compiled_kernels', 0):>9}"
+            )
+            for name, err in sorted(
+                (kernels.get("load_errors") or {}).items()
+            ):
+                lines.append(f"  unavailable: {name} ({err})")
         lines += _section("stage timings (wall clock — non-deterministic)")
         stages = (perf.get("process") or {}).get("stages", {})
         if stages:

@@ -17,6 +17,7 @@ SUBPACKAGES = [
     "repro.channel",
     "repro.hardware",
     "repro.phy",
+    "repro.phy.kernels",
     "repro.phy.modulation",
     "repro.phy.cook",
     "repro.phy.fsk",

@@ -10,9 +10,11 @@ Two formats are understood, picked automatically:
 
 * pytest-benchmark documents — matches benchmarks by fullname and
   reports the ratio of mean runtimes (after / before);
-* ``bench-waveform/1`` throughput snapshots (from
+* ``bench-waveform/*`` throughput snapshots (from
   ``tools/bench_smoke.py``) — compares slots/s per fidelity tier, where
-  higher is better;
+  higher is better; ``/2`` snapshots also carry the active
+  ``repro.phy.kernels`` backend, shown (and flagged when the two sides
+  differ — cross-backend numbers are not comparable);
 * ``bench-fleet/1`` throughput snapshots (from
   ``tools/bench_smoke.py --fleet-only``) — compares the batch engine's
   aggregate tag-slots/s per fleet width (plus the sequential baseline),
@@ -197,6 +199,18 @@ def main(argv: List[str] | None = None) -> int:
     if kind(before_doc) == "waveform":
         lines, regressions = compare_rates(before, after, args.threshold)
         print(f"slot throughput, {args.before} -> {args.after}:")
+        b_backend = before_doc.get("kernel_backend")
+        a_backend = after_doc.get("kernel_backend")
+        if b_backend or a_backend:
+            note = (
+                "  (DIFFERENT BACKENDS — ratios not comparable)"
+                if b_backend != a_backend
+                else ""
+            )
+            print(
+                f"  kernel backend: {b_backend or '?'} -> "
+                f"{a_backend or '?'}{note}"
+            )
     elif kind(before_doc) == "fleet":
         lines, regressions = compare_rates(
             before, after, args.threshold, unit="tag-slots/s"

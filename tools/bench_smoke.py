@@ -74,7 +74,20 @@ MAX_RATIO_TELEMETRY = 3.0
 # with `python tools/bench_compare.py <baseline> <fresh>`.
 WAVEFORM_WARMUP_SLOTS = 40
 WAVEFORM_TIMED_SLOTS = 120
-WAVEFORM_SNAPSHOT_SCHEMA = "bench-waveform/1"
+# /2 adds "kernel_backend": which repro.phy.kernels backend (numba /
+# cext / numpy) served the measurement — numbers from different
+# backends are not comparable, so the snapshot records it.
+WAVEFORM_SNAPSHOT_SCHEMA = "bench-waveform/2"
+
+# Kernels-off overhead gate: with the ``REPRO_PHY_KERNELS`` gate
+# closed every kernel rides the numpy fallback — the pre-kernel-tier
+# code path — so the waveform fast tier must stay within this ratio of
+# the baseline measured just before the kernel tier landed
+# (1.03 ms/slot).  Guards against the dispatch layer taxing the
+# fallback everyone gets when no compiler/numba is available.
+KERNELS_OFF_BASELINE_MS_PER_SLOT = 1.03
+MAX_RATIO_KERNELS_OFF = 1.05
+KERNELS_OFF_REPEATS = 3
 
 # Fleet-tier throughput snapshot: aggregate (network x tag x slot) work
 # units per second for the batch engine at each fleet width, plus the
@@ -329,6 +342,48 @@ def adaptive_overhead_check() -> bool:
     return ok
 
 
+def kernels_overhead_check() -> bool:
+    """Time the waveform fast tier with compiled kernels forced off.
+
+    Returns True when the kernels-off ms/slot stays within
+    ``MAX_RATIO_KERNELS_OFF`` of the pre-kernel-tier baseline.  The
+    numpy fallback *is* that baseline's code path, so this gate keeps
+    the dispatch layer honest for environments with no C compiler and
+    no numba: the escape hatch must not quietly cost the fallback
+    anything.  Best-of-``KERNELS_OFF_REPEATS`` to shrug off scheduler
+    noise.
+    """
+    sys.path.insert(0, os.path.join(repo_root(), "src"))
+    from repro.core.network import NetworkConfig
+    from repro.core.waveform_network import WaveformNetwork
+    from repro.phy import cache as phy_cache
+    from repro.phy import kernels
+
+    periods = {"tag5": 4, "tag8": 4, "tag9": 8}
+
+    best = float("inf")
+    with kernels.use_kernels(False):
+        for _ in range(KERNELS_OFF_REPEATS):
+            phy_cache.clear_caches()
+            with phy_cache.fast_path(True):
+                net = WaveformNetwork(periods, config=NetworkConfig(seed=3))
+                net.run(WAVEFORM_WARMUP_SLOTS)
+                start = time.perf_counter()
+                net.run(WAVEFORM_TIMED_SLOTS)
+                elapsed = time.perf_counter() - start
+            best = min(best, 1e3 * elapsed / WAVEFORM_TIMED_SLOTS)
+
+    limit = KERNELS_OFF_BASELINE_MS_PER_SLOT * MAX_RATIO_KERNELS_OFF
+    ok = best <= limit
+    print(
+        f"kernels-off waveform fast tier over {WAVEFORM_TIMED_SLOTS} slots: "
+        f"{best:.2f} ms/slot vs {KERNELS_OFF_BASELINE_MS_PER_SLOT:.2f} "
+        f"pre-kernel baseline (gate {limit:.2f} ms/slot) "
+        f"-> {'ok' if ok else 'FAIL'}"
+    )
+    return ok
+
+
 def waveform_snapshot(out_path: str) -> None:
     """Measure steady-state slots/s per fidelity tier into ``out_path``.
 
@@ -346,6 +401,7 @@ def waveform_snapshot(out_path: str) -> None:
     from repro.core.network import NetworkConfig, SlottedNetwork
     from repro.core.waveform_network import WaveformNetwork
     from repro.phy import cache as phy_cache
+    from repro.phy import kernels
 
     periods = {"tag5": 4, "tag8": 4, "tag9": 8}
 
@@ -380,6 +436,7 @@ def waveform_snapshot(out_path: str) -> None:
         "schema": WAVEFORM_SNAPSHOT_SCHEMA,
         "warmup_slots": WAVEFORM_WARMUP_SLOTS,
         "timed_slots": WAVEFORM_TIMED_SLOTS,
+        "kernel_backend": kernels.backend(),
         "tiers": {
             "slot": {"slots_per_s": slot_tier()},
             "waveform_fast": waveform_tier(fast=True),
@@ -392,6 +449,7 @@ def waveform_snapshot(out_path: str) -> None:
     tiers = snapshot["tiers"]
     print(
         "waveform snapshot: "
+        f"kernels {snapshot['kernel_backend']}, "
         f"slot {tiers['slot']['slots_per_s']:.0f} slots/s, "
         f"fast {tiers['waveform_fast']['slots_per_s']:.1f} slots/s "
         f"({tiers['waveform_fast']['ms_per_slot']:.2f} ms/slot, "
@@ -509,6 +567,13 @@ def main(argv: List[str] | None = None) -> int:
         "else); used by the advisory CI figA job",
     )
     parser.add_argument(
+        "--kernels-only",
+        action="store_true",
+        help="run only the kernels-off overhead gate (waveform fast "
+        "tier with REPRO_PHY_KERNELS forced off vs the pre-kernel "
+        "baseline); used by the advisory CI kernels job",
+    )
+    parser.add_argument(
         "--fleet-out",
         default=None,
         metavar="PATH",
@@ -530,6 +595,8 @@ def main(argv: List[str] | None = None) -> int:
         return 0 if relay_overhead_check() else 2
     if args.adaptive_only:
         return 0 if adaptive_overhead_check() else 2
+    if args.kernels_only:
+        return 0 if kernels_overhead_check() else 2
     if args.fleet_only:
         fleet_snapshot(args.fleet_out or os.path.join(root, "BENCH_fleet.json"))
         return 0
